@@ -1,0 +1,223 @@
+//! Criterion benches, one group per paper experiment.
+//!
+//! The `fig*` binaries regenerate the paper's *numbers*; these benches time
+//! the simulation pipelines that produce them (at a reduced table scale so
+//! Criterion's repeated sampling stays fast) plus the functional substrates
+//! (ECC codecs, device command issue) the experiments rest on.
+//!
+//! ```text
+//! cargo bench -p sam-bench
+//! ```
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use sam::design::Granularity;
+use sam::designs::{commodity, gs_dram_ecc, rc_nvm_wd, sam_en, sam_io, sam_sub};
+use sam::layout::Store;
+use sam::system::SystemConfig;
+use sam_dram::command::Command;
+use sam_dram::device::{DeviceConfig, MemoryDevice};
+use sam_ecc::codes::{SecDed, SscCode, SscDsdCode};
+use sam_ecc::inject::chipkill_campaign;
+use sam_imdb::exec::{run_baseline, run_query, Workload};
+use sam_imdb::plan::PlanConfig;
+use sam_imdb::query::Query;
+use sam_power::{breakdown, ActivityCounts, PowerParams};
+
+fn bench_plan() -> PlanConfig {
+    let mut p = PlanConfig::tiny();
+    p.ta_records = 2048;
+    p.tb_records = 8192;
+    p
+}
+
+/// Figure 12: per-design query simulation (the speedup engine).
+fn bench_fig12(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_speedup");
+    group.sample_size(10);
+    let plan = bench_plan();
+    for (name, design) in [
+        ("baseline", commodity()),
+        ("SAM-en", sam_en()),
+        ("SAM-IO", sam_io()),
+        ("SAM-sub", sam_sub()),
+        ("GS-DRAM-ecc", gs_dram_ecc()),
+        ("RC-NVM-wd", rc_nvm_wd()),
+    ] {
+        group.bench_with_input(BenchmarkId::new("Q3", name), &design, |b, d| {
+            let w = Workload::new(Query::Q3, plan);
+            b.iter(|| black_box(run_query(&w, d, Store::Row).result.cycles));
+        });
+        group.bench_with_input(BenchmarkId::new("Qs4", name), &design, |b, d| {
+            let w = Workload::new(Query::Qs4, plan);
+            b.iter(|| black_box(run_query(&w, d, Store::Row).result.cycles));
+        });
+    }
+    group.finish();
+}
+
+/// Figure 13: the power/energy accounting pipeline.
+fn bench_fig13(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig13_power");
+    group.sample_size(10);
+    let plan = bench_plan();
+    let w = Workload::new(Query::Q5, plan);
+    let run = run_baseline(&w);
+    let activity = ActivityCounts::from_run(&run.result, 8);
+    group.bench_function("breakdown", |b| {
+        let params = PowerParams::ddr4();
+        let d = commodity();
+        b.iter(|| black_box(breakdown(&params, &d, &activity)));
+    });
+    group.bench_function("query_to_energy", |b| {
+        let d = sam_io();
+        let params = PowerParams::for_design(&d);
+        b.iter(|| {
+            let r = run_query(&w, &d, Store::Row);
+            let a = ActivityCounts::from_run(&r.result, 8);
+            black_box(sam_power::energy_uj(&params, &d, &a))
+        });
+    });
+    group.finish();
+}
+
+/// Figure 14: substrate swaps and granularity sweeps.
+fn bench_fig14(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig14_sweeps");
+    group.sample_size(10);
+    let plan = bench_plan();
+    for gran in [Granularity::Bits16, Granularity::Bits8, Granularity::Bits4] {
+        group.bench_with_input(
+            BenchmarkId::new("granularity", format!("{gran}")),
+            &gran,
+            |b, &g| {
+                let mut sys = SystemConfig::default();
+                sys.granularity = g;
+                let w = Workload::new(Query::Q3, plan).with_system(sys);
+                let d = sam_en();
+                b.iter(|| black_box(run_query(&w, &d, Store::Row).result.cycles));
+            },
+        );
+    }
+    group.bench_function("substrate_swap", |b| {
+        let d = sam_en().with_substrate(sam_dram::timing::Substrate::Rram);
+        let w = Workload::new(Query::Q3, plan);
+        b.iter(|| black_box(run_query(&w, &d, Store::Row).result.cycles));
+    });
+    group.finish();
+}
+
+/// Figure 15: the parametric arithmetic/aggregate queries.
+fn bench_fig15(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig15_parametric");
+    group.sample_size(10);
+    let plan = bench_plan();
+    for sel in [0.1, 0.5, 1.0] {
+        group.bench_with_input(BenchmarkId::new("arith_selectivity", sel), &sel, |b, &s| {
+            let q = Query::Arithmetic {
+                projectivity: 8,
+                selectivity: s,
+            };
+            let w = Workload::new(q, plan);
+            let d = sam_en();
+            b.iter(|| black_box(run_query(&w, &d, Store::Row).result.cycles));
+        });
+    }
+    group.bench_function("aggregate_field_major", |b| {
+        let q = Query::Aggregate {
+            projectivity: 8,
+            selectivity: 0.5,
+        };
+        let w = Workload::new(q, plan);
+        let d = rc_nvm_wd();
+        b.iter(|| black_box(run_query(&w, &d, Store::Row).result.cycles));
+    });
+    group.finish();
+}
+
+/// Table 1's reliability row: the chipkill fault-injection campaign.
+fn bench_reliability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reliability");
+    let code = SscCode::new();
+    group.bench_function("chipkill_campaign", |b| {
+        b.iter(|| {
+            black_box(chipkill_campaign(
+                &code,
+                sam_ecc::layout::CodewordLayout::Transposed,
+                4,
+                7,
+            ))
+        });
+    });
+    group.finish();
+}
+
+/// The ECC substrate: encode/decode throughput of the three codes.
+fn bench_ecc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ecc_codecs");
+    let ssc = SscCode::new();
+    let data16: Vec<u8> = (0..16).collect();
+    let cw = ssc.encode(&data16);
+    group.bench_function("ssc_encode", |b| b.iter(|| black_box(ssc.encode(&data16))));
+    group.bench_function("ssc_decode_clean", |b| {
+        b.iter(|| black_box(ssc.decode(&cw)))
+    });
+    group.bench_function("ssc_decode_correct", |b| {
+        let mut bad = cw.clone();
+        bad[7] ^= 0x5A;
+        b.iter(|| black_box(ssc.decode(&bad)))
+    });
+    let dsd = SscDsdCode::new();
+    let data32: Vec<u8> = (0..32).map(|i| i % 16).collect();
+    let cw2 = dsd.encode(&data32);
+    group.bench_function("ssc_dsd_encode", |b| {
+        b.iter(|| black_box(dsd.encode(&data32)))
+    });
+    group.bench_function("ssc_dsd_decode", |b| b.iter(|| black_box(dsd.decode(&cw2))));
+    let secded = SecDed::new();
+    group.bench_function("secded_roundtrip", |b| {
+        b.iter(|| {
+            let cw = secded.encode(black_box(0xDEAD_BEEF_0123_4567));
+            black_box(secded.decode(cw).unwrap())
+        })
+    });
+    group.finish();
+}
+
+/// The device substrate: raw command issue rate of the timing model.
+fn bench_device(c: &mut Criterion) {
+    let mut group = c.benchmark_group("device_model");
+    group.bench_function("act_rd_pre_cycle", |b| {
+        b.iter(|| {
+            let mut dev = MemoryDevice::new(DeviceConfig::ddr4_server());
+            let mut t = 0;
+            for row in 0..64u64 {
+                let act = Command::act(0, (row % 4) as usize, 0, row);
+                t = dev.earliest_issue(&act, t);
+                dev.issue(&act, t).unwrap();
+                let rd = Command::read(0, (row % 4) as usize, 0, row, 0, false);
+                let at = dev.earliest_issue(&rd, t);
+                dev.issue(&rd, at).unwrap();
+                let pre = Command::pre(0, (row % 4) as usize, 0);
+                let p = dev.earliest_issue(&pre, at);
+                dev.issue(&pre, p).unwrap();
+                t = p;
+            }
+            black_box(dev.stats().acts)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig12,
+    bench_fig13,
+    bench_fig14,
+    bench_fig15,
+    bench_reliability,
+    bench_ecc,
+    bench_device
+);
+criterion_main!(benches);

@@ -1,0 +1,111 @@
+//! Ablation studies behind the design choices DESIGN.md calls out:
+//!
+//! 1. SAM-en's two independent options (Section 4.3): fine-grained
+//!    activation (power) and the 2D I/O buffer (layout), toggled
+//!    independently against SAM-IO and full SAM-en.
+//! 2. Miss-level-parallelism sensitivity: how the Figure 12 speedups
+//!    depend on the cores' outstanding-miss window.
+//!
+//! ```text
+//! cargo run --release -p sam-bench --bin ablation [-- --rows N]
+//! ```
+
+use sam::designs::{commodity, sam_en, sam_en_no_2d, sam_en_no_fga, sam_io};
+use sam::layout::Store;
+use sam::system::SystemConfig;
+use sam_bench::plan_from_args;
+use sam_imdb::exec::{run_query, Workload};
+use sam_imdb::plan::PlanConfig;
+use sam_imdb::query::Query;
+use sam_power::{breakdown, ActivityCounts, PowerParams};
+use sam_util::table::TextTable;
+
+fn main() {
+    let plan = plan_from_args(PlanConfig::default_scale());
+    let sys = SystemConfig::default();
+
+    println!("Ablation 1: SAM-en option decomposition on Q3 (Section 4.3)\n");
+    let w = Workload::new(Query::Q3, plan).with_system(sys);
+    let base = run_query(&w, &commodity(), Store::Row);
+    let mut t = TextTable::new(vec!["design", "speedup", "power (mW)", "CWF", "over-fetch"]);
+    t.numeric();
+    for d in [sam_io(), sam_en_no_fga(), sam_en_no_2d(), sam_en()] {
+        let run = run_query(&w, &d, Store::Row);
+        let params = PowerParams::for_design(&d);
+        let act = ActivityCounts::from_run(&run.result, sys.granularity.gather() as u64);
+        let power = breakdown(&params, &d, &act);
+        t.row(vec![
+            d.name.to_string(),
+            format!(
+                "{:.2}",
+                base.result.cycles as f64 / run.result.cycles as f64
+            ),
+            format!("{:.0}", power.total_mw()),
+            if d.critical_word_first {
+                "yes".into()
+            } else {
+                "no".into()
+            },
+            format!("{:.0}x", d.power.stride_overfetch),
+        ]);
+    }
+    println!("{t}");
+    println!("Option 1 (fine-grained activation) removes the over-fetch power;");
+    println!("option 2 (2D buffer) restores critical-word-first. Speedups are");
+    println!("within noise of each other — the options trade power and layout,");
+    println!("not bandwidth (Section 4.3).\n");
+
+    println!("Ablation 2: MLP-window sensitivity of the Q3 speedup\n");
+    let mut t = TextTable::new(vec![
+        "MLP/core",
+        "baseline cycles",
+        "SAM-en cycles",
+        "speedup",
+    ]);
+    t.numeric();
+    for mlp in [4usize, 8, 16, 32] {
+        let mut s = sys;
+        s.mlp = mlp;
+        let w = Workload::new(Query::Q3, plan).with_system(s);
+        let b = run_query(&w, &commodity(), Store::Row);
+        let r = run_query(&w, &sam_en(), Store::Row);
+        t.row(vec![
+            mlp.to_string(),
+            b.result.cycles.to_string(),
+            r.result.cycles.to_string(),
+            format!("{:.2}", b.result.cycles as f64 / r.result.cycles as f64),
+        ]);
+    }
+    println!("{t}");
+    println!("Both designs saturate their bottlenecks at modest windows (the");
+    println!("baseline the bus, SAM the gathered-burst stream), so the speedup");
+    println!("is stable across realistic MLP — until the window oversubscribes");
+    println!("the controller's read queue (4 cores x 32 > 96 entries), where");
+    println!("queue-full stalls start costing SAM's latency-sensitive bursts.");
+
+    println!("\nAblation 3: next-line stream prefetching on Qs3 under a narrow");
+    println!("MLP window (2 outstanding misses/core: a latency-bound core)\n");
+    let mut t = TextTable::new(vec!["prefetch degree", "baseline cycles", "SAM-en cycles"]);
+    t.numeric();
+    for degree in [0u32, 2, 4] {
+        let mut s = sys;
+        s.mlp = 2;
+        s.prefetch_degree = degree;
+        let w = Workload::new(Query::Qs3, plan).with_system(s);
+        let b = run_query(&w, &commodity(), Store::Row);
+        let r = run_query(&w, &sam_en(), Store::Row);
+        t.row(vec![
+            degree.to_string(),
+            b.result.cycles.to_string(),
+            r.result.cycles.to_string(),
+        ]);
+    }
+    println!("{t}");
+    println!("With a narrow window, sequential whole-tuple scans are latency-bound");
+    println!("and a next-line prefetcher recovers the baseline's loss. SAM-en does");
+    println!("NOT benefit: its grouped record alignment (Figure 11(a)) interleaves");
+    println!("a tuple's lines at stride K, so a next-line detector never fires — a");
+    println!("stride-aware prefetcher would be needed. At Table 2's MLP both scans");
+    println!("are bandwidth-bound anyway, which is why the main configuration");
+    println!("leaves prefetching off.");
+}

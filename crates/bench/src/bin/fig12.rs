@@ -1,0 +1,52 @@
+//! Figure 12: speedup (normalized to the row-store commodity baseline) of
+//! every design on the Q and Qs query sets, with geometric means.
+//!
+//! ```text
+//! cargo run --release -p sam-bench --bin fig12 [-- --rows N --tb-rows N]
+//! ```
+
+use sam::system::SystemConfig;
+use sam_bench::{gmean, plan_from_args, speedup_row};
+use sam_imdb::plan::PlanConfig;
+use sam_imdb::query::Query;
+use sam_util::table::TextTable;
+
+fn main() {
+    let plan = plan_from_args(PlanConfig::default_scale());
+    let system = SystemConfig::default();
+    println!(
+        "Figure 12: speedup vs row-store baseline (Ta rows = {}, Tb rows = {}, SSC-DSD 4-bit granularity)\n",
+        plan.ta_records, plan.tb_records
+    );
+
+    for (label, queries) in [
+        ("Q queries (prefer column store)", Query::q_set().to_vec()),
+        ("Qs queries (prefer row store)", Query::qs_set().to_vec()),
+    ] {
+        let mut header = vec!["query".to_string()];
+        let mut rows = Vec::new();
+        let mut columns: Vec<Vec<f64>> = Vec::new();
+        for (qi, q) in queries.iter().enumerate() {
+            let row = speedup_row(*q, plan, system);
+            if qi == 0 {
+                header.extend(row.speedups.iter().map(|(n, _)| n.clone()));
+                header.push("ideal".into());
+                columns = vec![Vec::new(); row.speedups.len() + 1];
+            }
+            let mut values: Vec<f64> = row.speedups.iter().map(|(_, s)| *s).collect();
+            values.push(row.ideal);
+            for (ci, v) in values.iter().enumerate() {
+                columns[ci].push(*v);
+            }
+            rows.push((row.query, values));
+        }
+        let mut table = TextTable::new(header);
+        table.numeric();
+        for (name, values) in rows {
+            table.row_f64(name, &values, 2);
+        }
+        let gmeans: Vec<f64> = columns.iter().map(|c| gmean(c)).collect();
+        table.row_f64("Gmean", &gmeans, 2);
+        println!("{label}\n{table}");
+    }
+}

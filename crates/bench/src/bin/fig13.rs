@@ -1,0 +1,93 @@
+//! Figure 13: power breakdown (background / ACT / RD-WR) and normalized
+//! energy efficiency per design, grouped by query class.
+//!
+//! ```text
+//! cargo run --release -p sam-bench --bin fig13 [-- --rows N --tb-rows N]
+//! ```
+
+use sam::designs::commodity;
+use sam::layout::Store;
+use sam::system::SystemConfig;
+use sam_bench::{figure12_designs, plan_from_args};
+use sam_imdb::exec::{run_query, Workload};
+use sam_imdb::plan::PlanConfig;
+use sam_imdb::query::Query;
+use sam_power::{breakdown, energy_uj, ActivityCounts, PowerParams};
+use sam_util::table::TextTable;
+
+fn main() {
+    let plan = plan_from_args(PlanConfig::default_scale());
+    let system = SystemConfig::default();
+    let gather = system.granularity.gather() as u64;
+
+    let groups: [(&str, Vec<Query>); 4] = [
+        (
+            "Read (Q1-Q10)",
+            vec![
+                Query::Q1,
+                Query::Q2,
+                Query::Q3,
+                Query::Q4,
+                Query::Q5,
+                Query::Q6,
+                Query::Q7,
+                Query::Q8,
+                Query::Q9,
+                Query::Q10,
+            ],
+        ),
+        ("Write (Q11,Q12)", vec![Query::Q11, Query::Q12]),
+        (
+            "Read (Qs1-Qs4)",
+            vec![Query::Qs1, Query::Qs2, Query::Qs3, Query::Qs4],
+        ),
+        ("Write (Qs5,Qs6)", vec![Query::Qs5, Query::Qs6]),
+    ];
+
+    println!(
+        "Figure 13: average power (mW) by component and normalized energy efficiency\n\
+         (Ta rows = {}, Tb rows = {})\n",
+        plan.ta_records, plan.tb_records
+    );
+
+    let mut designs = vec![commodity()];
+    designs.extend(figure12_designs());
+
+    for (label, queries) in groups {
+        let mut power_table = TextTable::new(vec!["design", "background", "ACT", "RD/WR", "total"]);
+        power_table.numeric();
+        let mut eff_table = TextTable::new(vec!["design", "energy-efficiency"]);
+        eff_table.numeric();
+        let mut baseline_energy = 0.0;
+        for design in &designs {
+            let params = PowerParams::for_design(design);
+            let mut bg = 0.0;
+            let mut act = 0.0;
+            let mut rdwr = 0.0;
+            let mut energy = 0.0;
+            for q in &queries {
+                let w = Workload::new(*q, plan).with_system(system);
+                let run = run_query(&w, design, Store::Row);
+                let activity = ActivityCounts::from_run(&run.result, gather);
+                let b = breakdown(&params, design, &activity);
+                bg += b.background_mw;
+                act += b.act_mw;
+                rdwr += b.rdwr_mw;
+                energy += energy_uj(&params, design, &activity);
+            }
+            let n = queries.len() as f64;
+            let name = if design.name == "commodity" {
+                "baseline(row)"
+            } else {
+                design.name
+            };
+            power_table.row_f64(name, &[bg / n, act / n, rdwr / n, (bg + act + rdwr) / n], 1);
+            if design.name == "commodity" {
+                baseline_energy = energy;
+            }
+            eff_table.row_f64(name, &[baseline_energy / energy], 2);
+        }
+        println!("{label}: power breakdown (mW)\n{power_table}");
+        println!("{label}: energy efficiency (baseline energy / design energy)\n{eff_table}");
+    }
+}

@@ -1,0 +1,103 @@
+//! Figure 14: (a) substrate swap NVM<->DRAM, (b) strided granularity sweep,
+//! (c) area/storage overhead.
+//!
+//! ```text
+//! cargo run --release -p sam-bench --bin fig14 [-- a b c] [--rows N]
+//! ```
+//! With no panel arguments, all three panels run.
+
+use sam::design::Granularity;
+use sam::designs::{gs_dram_ecc, rc_nvm_wd, sam_en, sam_io, sam_sub};
+use sam::system::SystemConfig;
+use sam_bench::{gmean, plan_from_args, speedup_subset};
+use sam_dram::timing::Substrate;
+use sam_imdb::plan::PlanConfig;
+use sam_imdb::query::Query;
+use sam_util::table::TextTable;
+
+fn all_queries() -> Vec<Query> {
+    let mut qs = Query::q_set().to_vec();
+    qs.extend(Query::qs_set());
+    qs
+}
+
+fn panel_a(plan: PlanConfig, system: SystemConfig) {
+    println!("Figure 14(a): all-query gmean speedup under each substrate\n");
+    let mut table = TextTable::new(vec!["design", "NVM", "DRAM"]);
+    table.numeric();
+    for base in [rc_nvm_wd(), sam_sub(), sam_io(), sam_en()] {
+        let mut row = Vec::new();
+        for substrate in [Substrate::Rram, Substrate::Dram] {
+            let design = base.clone().with_substrate(substrate);
+            let mut speedups = Vec::new();
+            for q in all_queries() {
+                let r = speedup_subset(q, plan, system, std::slice::from_ref(&design));
+                speedups.push(r.speedups[0].1);
+            }
+            row.push(gmean(&speedups));
+        }
+        table.row_f64(base.name, &row, 2);
+    }
+    println!("{table}");
+}
+
+fn panel_b(plan: PlanConfig, system: SystemConfig) {
+    println!("Figure 14(b): Q-query gmean speedup vs strided granularity\n");
+    let designs = [rc_nvm_wd(), gs_dram_ecc(), sam_en()];
+    let mut table = TextTable::new(vec!["design", "16-bit", "8-bit", "4-bit"]);
+    table.numeric();
+    for design in &designs {
+        let mut row = Vec::new();
+        for gran in [Granularity::Bits16, Granularity::Bits8, Granularity::Bits4] {
+            let mut sys = system;
+            sys.granularity = gran;
+            let mut speedups = Vec::new();
+            for q in Query::q_set() {
+                let r = speedup_subset(q, plan, sys, std::slice::from_ref(design));
+                speedups.push(r.speedups[0].1);
+            }
+            row.push(gmean(&speedups));
+        }
+        table.row_f64(design.name, &row, 2);
+    }
+    println!("{table}");
+}
+
+fn panel_c() {
+    println!("Figure 14(c): area and storage overhead\n");
+    let mut table = TextTable::new(vec!["design", "area", "storage", "extra metal layers"]);
+    table.numeric();
+    for r in sam_area::report() {
+        table.row(vec![
+            r.name.to_string(),
+            format!("{:.4}", r.area),
+            format!("{:.3}", r.storage),
+            r.extra_metal_layers.to_string(),
+        ]);
+    }
+    println!("{table}");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let panels: Vec<&str> = args
+        .iter()
+        .filter(|a| matches!(a.as_str(), "a" | "b" | "c"))
+        .map(String::as_str)
+        .collect();
+    let panels = if panels.is_empty() {
+        vec!["a", "b", "c"]
+    } else {
+        panels
+    };
+    let plan = plan_from_args(PlanConfig::default_scale());
+    let system = SystemConfig::default();
+    for p in panels {
+        match p {
+            "a" => panel_a(plan, system),
+            "b" => panel_b(plan, system),
+            "c" => panel_c(),
+            _ => unreachable!(),
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Figure 15: parametric arithmetic/aggregate query sweeps over
+//! selectivity, projectivity, and record size, for RC-NVM-wd, GS-DRAM-ecc,
+//! SAM-en, and the ideal store.
+//!
+//! ```text
+//! cargo run --release -p sam-bench --bin fig15 [-- a b c d e f g h i] [--rows N]
+//! ```
+//! With no panel arguments, all nine panels run.
+
+use sam::design::Design;
+use sam::designs::{gs_dram_ecc, rc_nvm_wd, sam_en};
+use sam::system::SystemConfig;
+use sam_bench::{plan_from_args, speedup_subset};
+use sam_imdb::plan::PlanConfig;
+use sam_imdb::query::Query;
+use sam_util::table::TextTable;
+
+fn designs() -> Vec<Design> {
+    vec![rc_nvm_wd(), gs_dram_ecc(), sam_en()]
+}
+
+const SELECTIVITIES: [f64; 7] = [0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 1.0];
+const PROJECTIVITIES: [u32; 7] = [4, 8, 16, 32, 64, 96, 128];
+
+fn sweep_selectivity(
+    label: &str,
+    projectivity: u32,
+    aggregate: bool,
+    plan: PlanConfig,
+    system: SystemConfig,
+) {
+    println!(
+        "Figure 15({label}): speedup vs selectivity ({projectivity} fields projected{})\n",
+        if aggregate { ", aggregate" } else { "" }
+    );
+    let ds = designs();
+    let mut table = TextTable::new(vec![
+        "selectivity",
+        "RC-NVM-wd",
+        "GS-DRAM-ecc",
+        "SAM-en",
+        "ideal",
+    ]);
+    table.numeric();
+    for sel in SELECTIVITIES {
+        let q = if aggregate {
+            Query::Aggregate {
+                projectivity,
+                selectivity: sel,
+            }
+        } else {
+            Query::Arithmetic {
+                projectivity,
+                selectivity: sel,
+            }
+        };
+        let row = speedup_subset(q, plan, system, &ds);
+        let mut values: Vec<f64> = row.speedups.iter().map(|(_, s)| *s).collect();
+        values.push(row.ideal);
+        table.row_f64(format!("{:.0}%", sel * 100.0), &values, 2);
+    }
+    println!("{table}");
+}
+
+fn sweep_projectivity(
+    label: &str,
+    selectivity: f64,
+    aggregate: bool,
+    plan: PlanConfig,
+    system: SystemConfig,
+) {
+    println!(
+        "Figure 15({label}): speedup vs projectivity ({:.0}% records selected{})\n",
+        selectivity * 100.0,
+        if aggregate { ", aggregate" } else { "" }
+    );
+    let ds = designs();
+    let mut table = TextTable::new(vec![
+        "fields",
+        "RC-NVM-wd",
+        "GS-DRAM-ecc",
+        "SAM-en",
+        "ideal",
+    ]);
+    table.numeric();
+    for proj in PROJECTIVITIES {
+        let q = if aggregate {
+            Query::Aggregate {
+                projectivity: proj,
+                selectivity,
+            }
+        } else {
+            Query::Arithmetic {
+                projectivity: proj,
+                selectivity,
+            }
+        };
+        let row = speedup_subset(q, plan, system, &ds);
+        let mut values: Vec<f64> = row.speedups.iter().map(|(_, s)| *s).collect();
+        values.push(row.ideal);
+        table.row_f64(proj.to_string(), &values, 2);
+    }
+    println!("{table}");
+}
+
+fn sweep_record_size(plan: PlanConfig, system: SystemConfig) {
+    println!("Figure 15(i): speedup vs record size (100% selected, all fields projected)\n");
+    let ds = designs();
+    let mut table = TextTable::new(vec![
+        "record",
+        "RC-NVM-wd",
+        "GS-DRAM-ecc",
+        "SAM-en",
+        "ideal",
+    ]);
+    table.numeric();
+    for fields in [2u32, 4, 8, 16, 32, 64, 128, 256] {
+        let mut p = plan;
+        p.ta_fields = fields;
+        // Keep total data volume roughly constant across record sizes.
+        p.ta_records = (plan.ta_records * 128 / fields as u64).max(1024);
+        let q = Query::Arithmetic {
+            projectivity: fields,
+            selectivity: 1.0,
+        };
+        let row = speedup_subset(q, p, system, &ds);
+        let mut values: Vec<f64> = row.speedups.iter().map(|(_, s)| *s).collect();
+        values.push(row.ideal);
+        table.row_f64(format!("{}B", fields as u64 * 8), &values, 2);
+    }
+    println!("{table}");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let panels: Vec<&str> = args
+        .iter()
+        .filter(|a| {
+            matches!(
+                a.as_str(),
+                "a" | "b" | "c" | "d" | "e" | "f" | "g" | "h" | "i"
+            )
+        })
+        .map(String::as_str)
+        .collect();
+    let panels = if panels.is_empty() {
+        vec!["a", "b", "c", "d", "e", "f", "g", "h", "i"]
+    } else {
+        panels
+    };
+    let plan = plan_from_args(PlanConfig::default_scale());
+    let system = SystemConfig::default();
+    for p in panels {
+        match p {
+            "a" => sweep_selectivity("a", 8, false, plan, system),
+            "b" => sweep_selectivity("b", 64, false, plan, system),
+            "c" => sweep_selectivity("c", 128, false, plan, system),
+            "d" => sweep_projectivity("d", 0.1, false, plan, system),
+            "e" => sweep_projectivity("e", 0.5, false, plan, system),
+            "f" => sweep_projectivity("f", 1.0, false, plan, system),
+            "g" => sweep_selectivity("g", 8, true, plan, system),
+            "h" => sweep_projectivity("h", 1.0, true, plan, system),
+            "i" => sweep_record_size(plan, system),
+            _ => unreachable!(),
+        }
+    }
+}

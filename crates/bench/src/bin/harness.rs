@@ -1,0 +1,68 @@
+//! One-shot harness: regenerates every table and figure into a results
+//! directory.
+//!
+//! ```text
+//! cargo run --release -p sam-bench --bin harness [-- --out results --rows N]
+//! ```
+//!
+//! Each experiment's output is both printed and written to
+//! `<out>/<name>.txt`, matching the files EXPERIMENTS.md references.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "results".to_string());
+    let passthrough: Vec<String> = args
+        .iter()
+        .enumerate()
+        .filter(|(i, a)| {
+            matches!(a.as_str(), "--rows" | "--ta-rows" | "--tb-rows" | "--seed")
+                || args.get(i.wrapping_sub(1)).is_some_and(|p| {
+                    matches!(p.as_str(), "--rows" | "--ta-rows" | "--tb-rows" | "--seed")
+                })
+        })
+        .map(|(_, a)| a.clone())
+        .collect();
+
+    fs::create_dir_all(&out).expect("create output directory");
+    let exe_dir = std::env::current_exe()
+        .expect("own path")
+        .parent()
+        .expect("bin dir")
+        .to_path_buf();
+
+    let experiments = [
+        "table1",
+        "table2",
+        "table3",
+        "fig12",
+        "fig13",
+        "fig14",
+        "fig15",
+        "reliability",
+        "motivation",
+        "ablation",
+    ];
+    for name in experiments {
+        let bin: PathBuf = exe_dir.join(name);
+        print!("running {name}... ");
+        let output = Command::new(&bin)
+            .args(&passthrough)
+            .stdout(Stdio::piped())
+            .output()
+            .unwrap_or_else(|e| panic!("spawn {}: {e}", bin.display()));
+        assert!(output.status.success(), "{name} failed");
+        let path = PathBuf::from(&out).join(format!("{name}.txt"));
+        fs::write(&path, &output.stdout).expect("write result file");
+        println!("{} bytes -> {}", output.stdout.len(), path.display());
+    }
+    println!("\nall experiments regenerated under {out}/");
+}

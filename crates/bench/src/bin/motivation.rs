@@ -1,0 +1,79 @@
+//! The Section 1 motivation experiment: sub-ranked memory (AGMS/DGMS)
+//! "speeds up random accesses from different sub-ranks but is ineffective
+//! for strided memory accesses whose data tend to reside in the same
+//! sub-rank" — while SAM accelerates exactly those strided accesses.
+//!
+//! ```text
+//! cargo run --release -p sam-bench --bin motivation [-- --rows N]
+//! ```
+
+use sam::designs::{commodity, dgms, sam_en};
+use sam::layout::{Store, TableSpec};
+use sam::ops::TraceOp;
+use sam::system::{System, SystemConfig};
+use sam_bench::plan_from_args;
+use sam_imdb::plan::{PlanConfig, TA_BASE};
+use sam_util::rng::Xoshiro256StarStar;
+use sam_util::table::TextTable;
+
+/// Random single-field point reads: each core touches records scattered
+/// over the table, one random field each (sub-rank-friendly).
+fn random_point_reads(records: u64, count: usize, cores: usize, seed: u64) -> Vec<Vec<TraceOp>> {
+    let mut rng = Xoshiro256StarStar::new(seed);
+    let mut traces = vec![Vec::new(); cores];
+    for i in 0..count {
+        let r = rng.next_below(records);
+        let f = rng.next_below(128) as u16;
+        traces[i % cores].push(TraceOp::read_fields(r, vec![f]));
+        traces[i % cores].push(TraceOp::compute(3));
+    }
+    traces
+}
+
+/// A strided field scan: every record's field 9 (same word offset — the
+/// same sub-rank every time).
+fn strided_scan(records: u64, cores: usize) -> Vec<Vec<TraceOp>> {
+    sam::ops::partition_records(0..records, cores, |r, t| {
+        t.push(TraceOp::read_fields(r, vec![9]));
+        t.push(TraceOp::compute(3));
+    })
+}
+
+fn main() {
+    let plan = plan_from_args(PlanConfig::default_scale());
+    let records = plan.ta_records;
+    let table = TableSpec::ta(TA_BASE, records);
+    let sys = SystemConfig::default();
+
+    println!(
+        "Section 1 motivation: sub-ranking vs SAM on random and strided accesses\n\
+         (Ta = {records} x 1KB records; cycles normalized to commodity DRAM)\n"
+    );
+    let mut out = TextTable::new(vec!["workload", "commodity", "DGMS (sub-ranked)", "SAM-en"]);
+    out.numeric();
+
+    for (label, traces) in [
+        (
+            "random point reads",
+            random_point_reads(records, records as usize, 4, 0xD1CE),
+        ),
+        ("strided field scan", strided_scan(records, 4)),
+    ] {
+        let base = System::new(sys, commodity(), Store::Row).run(&[table], &traces);
+        let sub = System::new(sys, dgms(), Store::Row).run(&[table], &traces);
+        let sam = System::new(sys, sam_en(), Store::Row).run(&[table], &traces);
+        out.row_f64(
+            label,
+            &[
+                1.0,
+                base.cycles as f64 / sub.cycles as f64,
+                base.cycles as f64 / sam.cycles as f64,
+            ],
+            2,
+        );
+    }
+    println!("{out}");
+    println!("Sub-ranking helps when accesses scatter across sub-ranks (random");
+    println!("reads) but a strided scan hits one word offset — one sub-rank —");
+    println!("so DGMS stays near 1x while SAM gathers 8 records per burst.");
+}

@@ -1,0 +1,85 @@
+//! Developer probe: dumps raw run counters for one query across designs.
+//! Not part of the paper reproduction; used for calibration.
+
+use sam::designs;
+use sam::layout::Store;
+use sam::system::SystemConfig;
+use sam_imdb::exec::{run_query, Workload};
+use sam_imdb::plan::PlanConfig;
+use sam_imdb::query::Query;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let qname = args.get(1).map(String::as_str).unwrap_or("Q3");
+    let rows: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(4096);
+    let query = match qname {
+        "Q1" => Query::Q1,
+        "Q2" => Query::Q2,
+        "Q3" => Query::Q3,
+        "Q4" => Query::Q4,
+        "Q11" => Query::Q11,
+        "Qs3" => Query::Qs3,
+        "Qs5" => Query::Qs5,
+        _ => Query::Q3,
+    };
+    let mut plan = PlanConfig::default_scale();
+    plan.ta_records = rows;
+    plan.tb_records = rows * 4;
+    let w = Workload::new(query, plan).with_system(SystemConfig::default());
+    println!("{query}: ta={} tb={}", plan.ta_records, plan.tb_records);
+    let mut runs = vec![
+        ("base/row", designs::commodity(), Store::Row),
+        ("base/col", designs::commodity(), Store::Column),
+        ("SAM-en", designs::sam_en(), Store::Row),
+        ("SAM-IO", designs::sam_io(), Store::Row),
+        ("SAM-sub", designs::sam_sub(), Store::Row),
+        (
+            "sub-lin",
+            {
+                let mut d = designs::sam_sub();
+                d.alignment = sam::design::AlignmentPolicy::Linear;
+                d
+            },
+            Store::Row,
+        ),
+        (
+            "sub-nomrs",
+            {
+                let mut d = designs::sam_sub();
+                d.stride = Some(sam::design::StrideCaps {
+                    needs_mode_switch: false,
+                    extra_burst_period: 0,
+                    field_switch_cost: false,
+                });
+                d
+            },
+            Store::Row,
+        ),
+        ("GS-ecc", designs::gs_dram_ecc(), Store::Row),
+        ("RC-wd", designs::rc_nvm_wd(), Store::Row),
+    ];
+    let mut base_cycles = 0u64;
+    for (name, d, store) in runs.drain(..) {
+        let r = run_query(&w, &d, store).result;
+        if name == "base/row" {
+            base_cycles = r.cycles;
+        }
+        println!(
+            "{name:>8}: cyc {:>9} speedup {:>5.2} | line {:>7} stride {:>6} ecc {:>6} wb {:>6} | hits {:>7} miss {:>6} conf {:>6} | busy {:>8} util {:.2} | acts {:>6} msw {:>5} | lat {:>6.1}",
+            r.cycles,
+            base_cycles as f64 / r.cycles as f64,
+            r.line_bursts,
+            r.stride_bursts,
+            r.ecc_bursts,
+            r.writeback_bursts,
+            r.ctrl.row_hits,
+            r.ctrl.row_misses,
+            r.ctrl.row_conflicts,
+            r.bus_busy,
+            r.bus_utilization(),
+            r.device.acts,
+            r.device.mode_switches,
+            r.ctrl.avg_latency().unwrap_or(0.0),
+        );
+    }
+}

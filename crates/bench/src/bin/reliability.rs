@@ -1,0 +1,56 @@
+//! The reliability experiment behind Table 1's "Reliability" row: inject
+//! whole-chip failures into bursts encoded under each design's codeword
+//! layout and verify chipkill correction.
+//!
+//! ```text
+//! cargo run --release -p sam-bench --bin reliability [-- --trials N]
+//! ```
+
+use sam::designs::all_designs;
+use sam_ecc::codes::SscCode;
+use sam_ecc::inject::chipkill_campaign;
+use sam_util::table::TextTable;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let trials = args
+        .iter()
+        .position(|a| a == "--trials")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100usize);
+
+    println!(
+        "Chipkill fault-injection campaign: {trials} corruption patterns per chip x 18 chips\n"
+    );
+    let code = SscCode::new();
+    let mut table = TextTable::new(vec![
+        "design",
+        "layout",
+        "corrected",
+        "detected",
+        "silent",
+        "unprotected",
+        "chipkill-safe",
+    ]);
+    for design in all_designs() {
+        let report = chipkill_campaign(&code, design.codeword_layout, trials, 0xC41F);
+        table.row(vec![
+            design.name.to_string(),
+            format!("{:?}", design.codeword_layout),
+            report.corrected.to_string(),
+            report.detected.to_string(),
+            report.silent.to_string(),
+            report.unprotected.to_string(),
+            if report.chipkill_safe() {
+                "yes".into()
+            } else {
+                "NO".into()
+            },
+        ]);
+    }
+    println!("{table}");
+    println!("GS-DRAM's strided gather cannot co-fetch ECC symbols (Section 3.3.1):");
+    println!("its strided accesses run unprotected, while every SAM layout corrects");
+    println!("all whole-chip failures (Sections 4.1-4.3).");
+}

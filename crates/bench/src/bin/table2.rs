@@ -1,0 +1,60 @@
+//! Table 2: the simulated system parameters, read back from the live
+//! configuration structs (so the printout cannot drift from the code).
+//!
+//! ```text
+//! cargo run --release -p sam-bench --bin table2
+//! ```
+
+use sam::system::SystemConfig;
+use sam_cache::hierarchy::HierarchyConfig;
+use sam_dram::device::DeviceConfig;
+use sam_memctrl::controller::ControllerConfig;
+
+fn main() {
+    let sys = SystemConfig::default();
+    let h = HierarchyConfig::table2();
+    let dram = DeviceConfig::ddr4_server();
+    let rram = DeviceConfig::rram_server();
+    let ctrl = ControllerConfig::default();
+
+    println!("Table 2: simulated system parameters\n");
+    println!("Processor");
+    println!(
+        "  {} cores, x86-class issue model, {:.1} GHz",
+        sys.cores,
+        sys.cpu_mhz as f64 / 1000.0
+    );
+    println!(
+        "  L1: {}KB, L2: {}KB, LLC: {}MB",
+        h.l1_bytes / 1024,
+        h.l2_bytes / 1024,
+        h.llc_bytes / (1024 * 1024)
+    );
+    println!("  64B cachelines, {}-way associative, 16B sectors", h.ways);
+    println!("Memory Controller");
+    println!("  Write queue capacity: {}", ctrl.write_queue_capacity);
+    println!("  Address mapping: rw:rk:bk:ch:cl:offset (XOR bank permutation)");
+    println!("  Page management: open-page, FR-FCFS");
+    for (name, cfg) in [("DRAM", dram), ("RRAM", rram)] {
+        let t = cfg.timing;
+        println!("{name}");
+        println!("  DDR4-2400 interface, x4 I/O width");
+        println!(
+            "  1 channel, {} ranks, {} banks/rank",
+            cfg.ranks,
+            cfg.banks_per_rank()
+        );
+        println!(
+            "  {} rows/bank, {} cachelines/row",
+            cfg.rows_per_bank, cfg.cols_per_row
+        );
+        println!("  CL-nRCD-nRP: {}-{}-{}", t.cl, t.rcd, t.rp);
+        println!(
+            "  nRTR(mode switch)-nCCDS-nCCDL: {}-{}-{}",
+            t.rtr, t.ccd_s, t.ccd_l
+        );
+        if t.wtw > 0 {
+            println!("  write pulse (same-bank write-to-write): {} CK", t.wtw);
+        }
+    }
+}

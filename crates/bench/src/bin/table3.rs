@@ -1,0 +1,42 @@
+//! Table 3: the benchmark query set with its SQL statements.
+//!
+//! ```text
+//! cargo run --release -p sam-bench --bin table3
+//! ```
+
+use sam_imdb::query::Query;
+use sam_util::table::TextTable;
+
+fn main() {
+    println!("Table 3: benchmark queries\n");
+    let mut table = TextTable::new(vec!["No.", "SQL statement"]);
+    for q in Query::q_set() {
+        table.row(vec![q.name(), q.sql()]);
+    }
+    println!("Queries from the RC-NVM benchmark (prefer column store)\n{table}");
+
+    let mut table = TextTable::new(vec!["No.", "SQL statement"]);
+    for q in Query::qs_set() {
+        table.row(vec![q.name(), q.sql()]);
+    }
+    println!("Supplemental queries (prefer row store)\n{table}");
+
+    let mut table = TextTable::new(vec!["No.", "SQL statement"]);
+    table.row(vec![
+        "Arith.".into(),
+        Query::Arithmetic {
+            projectivity: 8,
+            selectivity: 0.25,
+        }
+        .sql(),
+    ]);
+    table.row(vec![
+        "Aggr.".into(),
+        Query::Aggregate {
+            projectivity: 8,
+            selectivity: 0.25,
+        }
+        .sql(),
+    ]);
+    println!("Parametric queries (prefer row or column store)\n{table}");
+}

@@ -1,0 +1,89 @@
+//! Developer probe: drains synthetic address patterns through the bare
+//! controller to compare pacing. Not part of the paper reproduction.
+
+use sam_memctrl::controller::{Controller, ControllerConfig};
+use sam_memctrl::request::MemRequest;
+
+fn drain_pattern(name: &str, addrs: &[u64]) {
+    let mut ctrl = Controller::new(ControllerConfig::default());
+    let mut id = 0;
+    let mut finished = 0u64;
+    let mut issued = Vec::new();
+    for chunk in addrs.chunks(64) {
+        for &a in chunk {
+            id += 1;
+            ctrl.enqueue(MemRequest::read(id, a), 0).unwrap();
+        }
+        for c in ctrl.drain(0) {
+            finished = finished.max(c.finish);
+            issued.push(c.issue);
+        }
+    }
+    issued.sort_unstable();
+    let gaps: Vec<u64> = issued.windows(2).map(|w| w[1] - w[0]).collect();
+    let avg = gaps.iter().sum::<u64>() as f64 / gaps.len() as f64;
+    let s = ctrl.stats();
+    println!(
+        "{name:>10}: finish {finished:>7} avg_gap {avg:>5.2} hits {} miss {} conf {}",
+        s.row_hits, s.row_misses, s.row_conflicts
+    );
+}
+
+fn drain_closed_loop(name: &str, addrs: &[u64], window: usize) {
+    let mut ctrl = Controller::new(ControllerConfig::default());
+    let mut finishes: Vec<u64> = Vec::new();
+    let mut last = 0u64;
+    for (i, &a) in addrs.iter().enumerate() {
+        let arrival = if i >= window { finishes[i - window] } else { 0 };
+        ctrl.enqueue(MemRequest::read(i as u64 + 1, a), arrival)
+            .unwrap();
+        // Keep the queue shallow like the closed-loop system does.
+        if ctrl.queued() >= window {
+            let c = ctrl.schedule_one(last).expect("queued");
+            finishes.push(c.finish);
+            last = last.max(c.issue);
+        }
+    }
+    for c in ctrl.drain(last) {
+        finishes.push(c.finish);
+    }
+    finishes.sort_unstable();
+    let total = *finishes.last().unwrap();
+    let s = ctrl.stats();
+    println!(
+        "{name:>10} (closed): finish {total:>7} per_req {:.2} hits {} conf {} lat {:.0}",
+        total as f64 / addrs.len() as f64,
+        s.row_hits,
+        s.row_conflicts,
+        s.avg_latency().unwrap_or(0.0),
+    );
+}
+
+fn main() {
+    let n = 1024u64;
+    // SAM-en style: one burst per 8KB group (bank-rotating rows).
+    let en: Vec<u64> = (0..n).map(|g| g * 8192 + 512).collect();
+    // Column-space style: 4 regions cycling, 4 slots each per row_id.
+    let sub: Vec<u64> = (0..n)
+        .map(|g| {
+            let row_id = g / 16;
+            let slot = g % 16;
+            let region = slot % 4;
+            (row_id * 16 + region * 4) * 8192 + (slot / 4) * 512
+        })
+        .collect();
+    drain_pattern("en-style", &en);
+    drain_pattern("sub-style", &sub);
+    drain_closed_loop("en-style", &en, 64);
+    drain_closed_loop("sub-style", &sub, 64);
+    // 4-core interleaving: each core owns a contiguous quarter; arrivals
+    // round-robin across cores like the closed-loop system.
+    let interleave = |addrs: &[u64]| -> Vec<u64> {
+        let q = addrs.len() / 4;
+        (0..addrs.len())
+            .map(|i| addrs[(i % 4) * q + i / 4])
+            .collect()
+    };
+    drain_closed_loop("en-4core", &interleave(&en), 64);
+    drain_closed_loop("sub-4core", &interleave(&sub), 64);
+}

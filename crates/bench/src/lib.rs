@@ -1,0 +1,154 @@
+//! Shared harness code for the `fig*` / `table*` binaries that regenerate
+//! the paper's tables and figures.
+//!
+//! Every binary prints an aligned text table whose rows/series correspond
+//! one-to-one with what the paper reports; `EXPERIMENTS.md` records a
+//! captured copy next to the paper's numbers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use sam::design::Design;
+use sam::designs;
+use sam::layout::Store;
+use sam::system::SystemConfig;
+use sam_imdb::exec::{run_baseline, run_ideal, run_query, speedup, QueryRun, Workload};
+use sam_imdb::plan::PlanConfig;
+use sam_imdb::query::Query;
+
+/// The evaluated designs in Figure 12's legend order.
+pub fn figure12_designs() -> Vec<Design> {
+    vec![
+        designs::rc_nvm_bit(),
+        designs::rc_nvm_wd(),
+        designs::gs_dram(),
+        designs::gs_dram_ecc(),
+        designs::sam_sub(),
+        designs::sam_io(),
+        designs::sam_en(),
+    ]
+}
+
+/// One query's speedups: per design, plus the ideal reference.
+#[derive(Debug, Clone)]
+pub struct SpeedupRow {
+    /// Query name.
+    pub query: String,
+    /// (design name, speedup vs row-store baseline).
+    pub speedups: Vec<(String, f64)>,
+    /// Ideal (best-store commodity) speedup.
+    pub ideal: f64,
+}
+
+/// Runs `query` on every Figure 12 design and the ideal reference.
+pub fn speedup_row(query: Query, plan: PlanConfig, system: SystemConfig) -> SpeedupRow {
+    let workload = Workload::new(query, plan).with_system(system);
+    let base = run_baseline(&workload);
+    let mut speedups = Vec::new();
+    for design in figure12_designs() {
+        let run = run_query(&workload, &design, Store::Row);
+        speedups.push((design.name.to_string(), speedup(&base, &run)));
+    }
+    let ideal = run_ideal(&workload);
+    SpeedupRow {
+        query: query.name(),
+        speedups,
+        ideal: speedup(&base, &ideal),
+    }
+}
+
+/// Runs `query` for a subset of designs (the Figure 14/15 panels).
+pub fn speedup_subset(
+    query: Query,
+    plan: PlanConfig,
+    system: SystemConfig,
+    designs: &[Design],
+) -> SpeedupRow {
+    let workload = Workload::new(query, plan).with_system(system);
+    let base = run_baseline(&workload);
+    let speedups = designs
+        .iter()
+        .map(|d| {
+            let run = run_query(&workload, d, Store::Row);
+            (d.name.to_string(), speedup(&base, &run))
+        })
+        .collect();
+    let ideal = run_ideal(&workload);
+    SpeedupRow {
+        query: query.name(),
+        speedups,
+        ideal: speedup(&base, &ideal),
+    }
+}
+
+/// A baseline/design pair of raw runs (for power/energy figures).
+pub fn run_pair(
+    query: Query,
+    plan: PlanConfig,
+    system: SystemConfig,
+    design: &Design,
+) -> (QueryRun, QueryRun) {
+    let workload = Workload::new(query, plan).with_system(system);
+    (
+        run_baseline(&workload),
+        run_query(&workload, design, Store::Row),
+    )
+}
+
+/// Parses `--rows N` and `--tb-rows N` style CLI overrides onto a config.
+pub fn plan_from_args(mut plan: PlanConfig) -> PlanConfig {
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--rows" | "--ta-rows" => {
+                if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                    plan.ta_records = v;
+                    i += 1;
+                }
+            }
+            "--tb-rows" => {
+                if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                    plan.tb_records = v;
+                    i += 1;
+                }
+            }
+            "--seed" => {
+                if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                    plan.seed = v;
+                    i += 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    plan
+}
+
+/// Geometric mean helper re-exported for the binaries.
+pub fn gmean(values: &[f64]) -> f64 {
+    sam_util::stats::geometric_mean(values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure12_has_seven_hardware_designs() {
+        assert_eq!(figure12_designs().len(), 7);
+    }
+
+    #[test]
+    fn speedup_row_small_scale() {
+        let row = speedup_row(Query::Q4, PlanConfig::tiny(), SystemConfig::default());
+        assert_eq!(row.speedups.len(), 7);
+        assert!(row.ideal >= 1.0);
+        let sam_en = row.speedups.iter().find(|(n, _)| n == "SAM-en").unwrap().1;
+        assert!(
+            sam_en > 1.0,
+            "SAM-en should beat baseline on Q4: {sam_en:.2}"
+        );
+    }
+}

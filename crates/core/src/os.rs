@@ -1,0 +1,317 @@
+//! OS support for stride mode (Section 5.2, Figure 10).
+//!
+//! An OS page normally maps onto one or two DRAM row segments to maximize
+//! row-buffer hits. SAM reshapes rows under stride mode, so a page that is
+//! accessed stridedly needs a different virtual-to-physical mapping: a
+//! small segment of the page offset (2 bits at 8-bit-per-chip granularity,
+//! 3 bits at 4-bit) is swapped with the bits just above it — implementable
+//! via huge pages or a kernel module, per the paper.
+//!
+//! [`AddressSpace`] is that kernel module in miniature: a page table with
+//! 4KB base pages and 2MB huge pages, a bump frame allocator, and a
+//! per-page *stride attribute*. Translation applies the Figure 10 swap for
+//! stride-mode pages, and tests verify the properties the paper needs:
+//! translation is a bijection within each page, the 16B-unit offset is
+//! preserved, and toggling the attribute only permutes data *within* the
+//! page (so flipping a table between modes never leaks across pages).
+
+use crate::design::Granularity;
+use sam_memctrl::mapping::stride_page_remap;
+use std::collections::HashMap;
+
+/// Base page size (4KB, Figure 10's page offset).
+pub const PAGE_BYTES: u64 = 4096;
+/// Huge page size (2MB) for the paper's huge-page implementation path.
+pub const HUGE_PAGE_BYTES: u64 = 2 * 1024 * 1024;
+
+/// Errors from address-space operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OsError {
+    /// Translation attempted on an unmapped virtual page.
+    NotMapped {
+        /// The faulting virtual address.
+        vaddr: u64,
+    },
+    /// The mapping would overlap an existing one.
+    AlreadyMapped,
+    /// Virtual address or length not page-aligned.
+    Misaligned,
+}
+
+impl std::fmt::Display for OsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OsError::NotMapped { vaddr } => write!(f, "page fault at {vaddr:#x}"),
+            OsError::AlreadyMapped => write!(f, "mapping overlaps an existing one"),
+            OsError::Misaligned => write!(f, "address or length not page-aligned"),
+        }
+    }
+}
+
+impl std::error::Error for OsError {}
+
+#[derive(Debug, Clone, Copy)]
+struct PageEntry {
+    frame_base: u64,
+    huge: bool,
+    stride_mode: bool,
+}
+
+/// A process address space with stride-mode page attributes.
+#[derive(Debug, Clone)]
+pub struct AddressSpace {
+    granularity: Granularity,
+    /// 4KB-granular page table: vpn -> entry (huge pages occupy 512 slots'
+    /// worth but are stored once per 4KB vpn for O(1) lookup).
+    pages: HashMap<u64, PageEntry>,
+    next_frame: u64,
+}
+
+impl AddressSpace {
+    /// Creates an empty address space; physical frames are handed out from
+    /// `phys_base` upward.
+    pub fn new(phys_base: u64, granularity: Granularity) -> Self {
+        assert_eq!(
+            phys_base % HUGE_PAGE_BYTES,
+            0,
+            "physical base must be huge-page aligned"
+        );
+        Self {
+            granularity,
+            pages: HashMap::new(),
+            next_frame: phys_base,
+        }
+    }
+
+    /// Maps `len` bytes at `vaddr` with fresh physical frames.
+    /// `huge` uses 2MB pages (rounding `len` up); `stride_mode` tags every
+    /// page with the Figure 10 remap attribute.
+    ///
+    /// # Errors
+    ///
+    /// [`OsError::Misaligned`] for unaligned `vaddr`/`len`;
+    /// [`OsError::AlreadyMapped`] on overlap (nothing is mapped then).
+    pub fn mmap(
+        &mut self,
+        vaddr: u64,
+        len: u64,
+        huge: bool,
+        stride_mode: bool,
+    ) -> Result<(), OsError> {
+        let page = if huge { HUGE_PAGE_BYTES } else { PAGE_BYTES };
+        if vaddr % page != 0 || len == 0 {
+            return Err(OsError::Misaligned);
+        }
+        let len = len.next_multiple_of(page);
+        // Overlap check first so failure has no side effects.
+        for off in (0..len).step_by(PAGE_BYTES as usize) {
+            if self.pages.contains_key(&((vaddr + off) / PAGE_BYTES)) {
+                return Err(OsError::AlreadyMapped);
+            }
+        }
+        for big_off in (0..len).step_by(page as usize) {
+            let frame = self.next_frame;
+            self.next_frame += page;
+            for small in (0..page).step_by(PAGE_BYTES as usize) {
+                self.pages.insert(
+                    (vaddr + big_off + small) / PAGE_BYTES,
+                    PageEntry {
+                        frame_base: frame + small,
+                        huge,
+                        stride_mode,
+                    },
+                );
+            }
+        }
+        Ok(())
+    }
+
+    /// Changes the stride attribute of the pages covering `[vaddr, +len)`
+    /// (the `madvise`-style switch an IMDB issues before a strided phase).
+    ///
+    /// # Errors
+    ///
+    /// [`OsError::NotMapped`] if any page in the range is unmapped.
+    pub fn set_stride_mode(&mut self, vaddr: u64, len: u64, enabled: bool) -> Result<(), OsError> {
+        for off in (0..len.next_multiple_of(PAGE_BYTES)).step_by(PAGE_BYTES as usize) {
+            let vpn = (vaddr + off) / PAGE_BYTES;
+            if !self.pages.contains_key(&vpn) {
+                return Err(OsError::NotMapped { vaddr: vaddr + off });
+            }
+        }
+        for off in (0..len.next_multiple_of(PAGE_BYTES)).step_by(PAGE_BYTES as usize) {
+            let vpn = (vaddr + off) / PAGE_BYTES;
+            self.pages.get_mut(&vpn).expect("checked above").stride_mode = enabled;
+        }
+        Ok(())
+    }
+
+    /// Translates a virtual address, applying the Figure 10 swap for
+    /// stride-mode pages.
+    ///
+    /// # Errors
+    ///
+    /// [`OsError::NotMapped`] on a page fault.
+    pub fn translate(&self, vaddr: u64) -> Result<u64, OsError> {
+        let entry = self
+            .pages
+            .get(&(vaddr / PAGE_BYTES))
+            .ok_or(OsError::NotMapped { vaddr })?;
+        let offset = vaddr % PAGE_BYTES;
+        let paddr = entry.frame_base + offset;
+        if entry.stride_mode {
+            Ok(stride_page_remap(
+                paddr,
+                self.granularity.remap_segment_bits(),
+            ))
+        } else {
+            Ok(paddr)
+        }
+    }
+
+    /// Whether the page containing `vaddr` is huge-page backed.
+    pub fn is_huge_page(&self, vaddr: u64) -> bool {
+        self.pages
+            .get(&(vaddr / PAGE_BYTES))
+            .is_some_and(|e| e.huge)
+    }
+
+    /// Whether the page containing `vaddr` is in stride mode.
+    pub fn is_stride_page(&self, vaddr: u64) -> bool {
+        self.pages
+            .get(&(vaddr / PAGE_BYTES))
+            .is_some_and(|e| e.stride_mode)
+    }
+
+    /// Number of mapped 4KB slots.
+    pub fn mapped_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn space() -> AddressSpace {
+        AddressSpace::new(0x1000_0000, Granularity::Bits4)
+    }
+
+    #[test]
+    fn mmap_and_translate_identity_pages() {
+        let mut a = space();
+        a.mmap(0x4000, 2 * PAGE_BYTES, false, false).unwrap();
+        let p0 = a.translate(0x4000).unwrap();
+        let p1 = a.translate(0x4000 + PAGE_BYTES).unwrap();
+        assert_eq!(p0 % PAGE_BYTES, 0);
+        assert_ne!(p0, p1);
+        assert_eq!(a.translate(0x4123).unwrap(), p0 + 0x123);
+    }
+
+    #[test]
+    fn page_fault_on_unmapped() {
+        let a = space();
+        assert_eq!(
+            a.translate(0x9000),
+            Err(OsError::NotMapped { vaddr: 0x9000 })
+        );
+    }
+
+    #[test]
+    fn overlap_rejected_atomically() {
+        let mut a = space();
+        a.mmap(0x4000, PAGE_BYTES, false, false).unwrap();
+        let before = a.mapped_pages();
+        assert_eq!(
+            a.mmap(0x3000, 3 * PAGE_BYTES, false, false),
+            Err(OsError::AlreadyMapped)
+        );
+        assert_eq!(
+            a.mapped_pages(),
+            before,
+            "failed mmap must not leave partial mappings"
+        );
+    }
+
+    #[test]
+    fn misaligned_mmap_rejected() {
+        let mut a = space();
+        assert_eq!(
+            a.mmap(0x4100, PAGE_BYTES, false, false),
+            Err(OsError::Misaligned)
+        );
+        assert_eq!(a.mmap(0x0000, 0, false, false), Err(OsError::Misaligned));
+    }
+
+    #[test]
+    fn huge_pages_are_contiguous() {
+        let mut a = space();
+        a.mmap(0, HUGE_PAGE_BYTES, true, false).unwrap();
+        assert!(a.is_huge_page(0));
+        assert!(a.is_huge_page(HUGE_PAGE_BYTES - 1));
+        let base = a.translate(0).unwrap();
+        for off in (0..HUGE_PAGE_BYTES).step_by(PAGE_BYTES as usize * 64) {
+            assert_eq!(
+                a.translate(off).unwrap(),
+                base + off,
+                "huge page is physically contiguous"
+            );
+        }
+    }
+
+    #[test]
+    fn stride_pages_permute_within_the_page() {
+        // The Figure 10 swap must be a bijection on the page and keep the
+        // 16B offset intact.
+        let mut a = space();
+        a.mmap(0, PAGE_BYTES, false, true).unwrap();
+        let mut seen = HashSet::new();
+        let frame = a.translate(0).unwrap() & !(PAGE_BYTES - 1);
+        for off in 0..PAGE_BYTES {
+            let p = a.translate(off).unwrap();
+            assert_eq!(p & !(PAGE_BYTES - 1), frame, "stays in its frame");
+            assert_eq!(p % 16, off % 16, "16B strided-unit offset preserved");
+            assert!(seen.insert(p), "bijective");
+        }
+        assert_eq!(seen.len(), PAGE_BYTES as usize);
+    }
+
+    #[test]
+    fn toggling_stride_mode_is_reversible() {
+        let mut a = space();
+        a.mmap(0x8000, PAGE_BYTES, false, false).unwrap();
+        let plain = a.translate(0x8050).unwrap();
+        a.set_stride_mode(0x8000, PAGE_BYTES, true).unwrap();
+        assert!(a.is_stride_page(0x8000));
+        let strided = a.translate(0x8050).unwrap();
+        a.set_stride_mode(0x8000, PAGE_BYTES, false).unwrap();
+        assert_eq!(a.translate(0x8050).unwrap(), plain);
+        // 0x50 = 0b0101_0000: swapped segments differ, so the stride view
+        // really moved this unit.
+        assert_ne!(plain, strided);
+    }
+
+    #[test]
+    fn set_stride_mode_faults_on_holes() {
+        let mut a = space();
+        a.mmap(0, PAGE_BYTES, false, false).unwrap();
+        assert!(matches!(
+            a.set_stride_mode(0, 2 * PAGE_BYTES, true),
+            Err(OsError::NotMapped { .. })
+        ));
+    }
+
+    #[test]
+    fn granularity_selects_segment_width() {
+        // 8-bit granularity swaps 2-bit segments; 4-bit swaps 3-bit ones —
+        // so the two views of the same offset differ.
+        let mut a8 = AddressSpace::new(0x1000_0000, Granularity::Bits8);
+        let mut a4 = AddressSpace::new(0x1000_0000, Granularity::Bits4);
+        a8.mmap(0, PAGE_BYTES, false, true).unwrap();
+        a4.mmap(0, PAGE_BYTES, false, true).unwrap();
+        // Offset with bits in the 3-bit-but-not-2-bit segment region.
+        let off = 0b111_0000u64 << 3; // exercises bit 9 (only in 3-bit swap)
+        assert_ne!(a8.translate(off).unwrap(), a4.translate(off).unwrap());
+    }
+}

@@ -1,0 +1,174 @@
+//! The qualitative comparison of Table 1, as machine-checkable properties.
+//!
+//! Each design reports a [`Rating`] per dimension; the `table1` harness
+//! binary prints the paper's matrix and the tests here pin the entries the
+//! paper calls out explicitly.
+
+use crate::design::{Design, EccScheme};
+
+/// Table 1's three-level rating: good/unmodified, fair/slightly modified,
+/// poor/modified.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Rating {
+    /// `x` in the paper: poor / heavily modified.
+    Poor,
+    /// `o` in the paper: fair / slightly modified.
+    Fair,
+    /// A check mark in the paper: good / unmodified.
+    Good,
+}
+
+impl std::fmt::Display for Rating {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Rating::Good => write!(f, "v"),
+            Rating::Fair => write!(f, "o"),
+            Rating::Poor => write!(f, "x"),
+        }
+    }
+}
+
+/// The full Table 1 row-set for one design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Properties {
+    /// Needs database alignment support (all designs do).
+    pub database_alignment: bool,
+    /// Needs an ISA extension (all designs do).
+    pub isa_extension: bool,
+    /// Needs a sector (or MDA) cache (all designs do).
+    pub sector_cache: bool,
+    /// Memory-controller modification burden.
+    pub memory_controller: Rating,
+    /// Command-interface modification burden.
+    pub command_interface: Rating,
+    /// Critical-word-first preserved.
+    pub critical_word_first: Rating,
+    /// Strided-access performance.
+    pub performance: Rating,
+    /// Power consumption.
+    pub power: Rating,
+    /// Area overhead.
+    pub area: Rating,
+    /// Reliability (chipkill compatibility).
+    pub reliability: Rating,
+    /// Mode-switch delay burden.
+    pub mode_switch: Rating,
+}
+
+/// Derives the Table 1 properties of `design` from its structural fields.
+pub fn properties(design: &Design) -> Properties {
+    let name = design.name;
+    let is_gs = name.starts_with("GS-DRAM");
+    let is_rc = name.starts_with("RC-NVM");
+    Properties {
+        database_alignment: true,
+        isa_extension: true,
+        sector_cache: true,
+        memory_controller: if is_gs { Rating::Poor } else { Rating::Good },
+        command_interface: if is_gs { Rating::Poor } else { Rating::Good },
+        critical_word_first: if design.critical_word_first {
+            Rating::Good
+        } else {
+            Rating::Poor
+        },
+        performance: match name {
+            "SAM-IO" | "SAM-en" | "GS-DRAM" | "GS-DRAM-ecc" => Rating::Good,
+            "SAM-sub" => Rating::Fair,
+            _ if is_rc => Rating::Poor,
+            _ => Rating::Good,
+        },
+        // Over-fetch (SAM-IO) and RRAM's heavy writes both rate "fair".
+        power: if design.power.stride_overfetch > 1.0 || is_rc {
+            Rating::Fair
+        } else {
+            Rating::Good
+        },
+        area: if design.area_overhead >= 0.10 {
+            Rating::Poor
+        } else if design.area_overhead >= 0.01 {
+            Rating::Fair
+        } else {
+            Rating::Good
+        },
+        reliability: match design.ecc {
+            EccScheme::Chipkill => Rating::Good,
+            EccScheme::Embedded => Rating::Fair,
+            EccScheme::Unprotected => Rating::Poor,
+        },
+        mode_switch: match design.stride {
+            Some(caps) if caps.needs_mode_switch => Rating::Fair,
+            _ => Rating::Good,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::designs::*;
+
+    #[test]
+    fn sam_en_wins_most_dimensions() {
+        let p = properties(&sam_en());
+        assert_eq!(p.performance, Rating::Good);
+        assert_eq!(p.power, Rating::Good);
+        assert_eq!(p.area, Rating::Good);
+        assert_eq!(p.reliability, Rating::Good);
+        assert_eq!(p.critical_word_first, Rating::Good);
+        // The one dimension GS-DRAM beats SAM-en on (Section 5.4.2).
+        assert_eq!(p.mode_switch, Rating::Fair);
+        assert_eq!(properties(&gs_dram()).mode_switch, Rating::Good);
+    }
+
+    #[test]
+    fn gs_dram_sacrifices_reliability_and_interface() {
+        let p = properties(&gs_dram());
+        assert_eq!(p.reliability, Rating::Poor);
+        assert_eq!(p.memory_controller, Rating::Poor);
+        assert_eq!(p.command_interface, Rating::Poor);
+        assert_eq!(p.performance, Rating::Good);
+    }
+
+    #[test]
+    fn rc_nvm_lags_performance_and_area() {
+        let p = properties(&rc_nvm_wd());
+        assert_eq!(p.performance, Rating::Poor);
+        assert_eq!(p.area, Rating::Poor);
+        assert_eq!(p.reliability, Rating::Good);
+    }
+
+    #[test]
+    fn sam_io_trades_power_and_cwf() {
+        let p = properties(&sam_io());
+        assert_eq!(p.power, Rating::Fair);
+        assert_eq!(p.critical_word_first, Rating::Poor);
+        assert_eq!(p.area, Rating::Good);
+        assert_eq!(p.reliability, Rating::Good);
+    }
+
+    #[test]
+    fn sam_sub_area_is_fair() {
+        let p = properties(&sam_sub());
+        assert_eq!(p.area, Rating::Fair);
+        assert_eq!(p.performance, Rating::Fair);
+    }
+
+    #[test]
+    fn every_design_needs_system_support() {
+        for d in all_designs() {
+            let p = properties(&d);
+            assert!(
+                p.database_alignment && p.isa_extension && p.sector_cache,
+                "{}",
+                d.name
+            );
+        }
+    }
+
+    #[test]
+    fn rating_display_symbols() {
+        assert_eq!(Rating::Good.to_string(), "v");
+        assert_eq!(Rating::Fair.to_string(), "o");
+        assert_eq!(Rating::Poor.to_string(), "x");
+    }
+}

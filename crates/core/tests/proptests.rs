@@ -1,0 +1,112 @@
+//! Property-based tests of record placement: bijectivity of the grouped
+//! layout, coverage of stride fills, and vertical-stack invariants — for
+//! arbitrary table geometries and granularities.
+
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+use sam::design::Granularity;
+use sam::designs::{commodity, rc_nvm_wd, sam_en, sam_sub};
+use sam::layout::{Placement, Store, TableSpec};
+
+fn granularity() -> impl Strategy<Value = Granularity> {
+    prop_oneof![
+        Just(Granularity::Bits16),
+        Just(Granularity::Bits8),
+        Just(Granularity::Bits4),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn grouped_layout_never_collides(
+        fields in prop_oneof![Just(2u32), Just(4), Just(8), Just(16), Just(64), Just(128)],
+        records in 8u64..200,
+        gran in granularity(),
+    ) {
+        let spec = TableSpec::new(0, fields, records);
+        let p = Placement::new(spec, Store::Row, &sam_en(), gran);
+        let mut seen = HashSet::new();
+        for r in 0..records {
+            for f in 0..fields {
+                prop_assert!(seen.insert(p.field_addr(r, f)), "collision at ({r},{f})");
+            }
+        }
+    }
+
+    #[test]
+    fn stride_fill_covers_the_requesting_sector(
+        fields in prop_oneof![Just(16u32), Just(128)],
+        records in 16u64..128,
+        record in 0u64..128,
+        field in 0u32..128,
+        gran in granularity(),
+    ) {
+        let record = record % records;
+        let field = field % fields;
+        let spec = TableSpec::new(0, fields, records);
+        let p = Placement::new(spec, Store::Row, &sam_en(), gran);
+        let fill = p.stride_fill(record, field).unwrap();
+        let sector = p.field_addr(record, field) & !15;
+        prop_assert!(fill.sector_addrs.contains(&sector),
+            "fill must cover the sector that triggered it");
+        // All group-mates' same-field sectors are covered too.
+        let k = gran.gather() as u64;
+        let g = record / k;
+        for r in (g * k)..((g + 1) * k).min(records) {
+            let s = p.field_addr(r, field) & !15;
+            prop_assert!(fill.sector_addrs.contains(&s), "group mate {r} missing");
+        }
+    }
+
+    #[test]
+    fn stride_fill_lines_are_consecutive(
+        record in 0u64..512,
+        field in 0u32..128,
+        gran in granularity(),
+    ) {
+        let spec = TableSpec::ta(0, 512);
+        let p = Placement::new(spec, Store::Row, &sam_en(), gran);
+        let fill = p.stride_fill(record, field % 128).unwrap();
+        let lines: Vec<u64> = fill.sector_addrs.iter().map(|s| s & !63).collect();
+        let mut unique: Vec<u64> = lines.clone();
+        unique.dedup();
+        for w in unique.windows(2) {
+            prop_assert_eq!(w[1] - w[0], 64, "gathered lines must be consecutive");
+        }
+    }
+
+    #[test]
+    fn vertical_mapping_is_injective_per_table(
+        records in 16u64..96,
+        fields in prop_oneof![Just(16u32), Just(128)],
+    ) {
+        let spec = TableSpec::new(0, fields, records);
+        for design in [sam_sub(), rc_nvm_wd()] {
+            let p = Placement::new(spec, Store::Row, &design, Granularity::Bits4);
+            let mut seen = HashSet::new();
+            for r in 0..records {
+                for f in 0..fields {
+                    let a = p.dram_addr_for(r, f);
+                    prop_assert!(seen.insert(a), "{}: DRAM collision at ({r},{f})", design.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn column_store_is_field_major(
+        records in 64u64..512,
+        r1 in 0u64..512,
+        f in 0u32..128,
+    ) {
+        let r1 = r1 % records;
+        let spec = TableSpec::ta(0, records);
+        let p = Placement::new(spec, Store::Column, &commodity(), Granularity::Bits4);
+        if r1 + 1 < records {
+            prop_assert_eq!(p.field_addr(r1 + 1, f) - p.field_addr(r1, f), 8);
+        }
+    }
+}

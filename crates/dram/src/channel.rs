@@ -1,0 +1,187 @@
+//! Channel-level shared-resource state: data-bus occupancy and rank-to-rank
+//! switch penalties.
+
+use crate::timing::TimingParams;
+use crate::Cycle;
+
+/// Data-bus and rank-switch state of one channel.
+///
+/// The bus is modelled as four 16B-wide sub-lanes (the AGMS/DGMS sub-rank
+/// view of Section 1): a full-width burst occupies all four; a narrow burst
+/// occupies one sub-lane for a full burst time (a sub-rank delivers 16B at
+/// a quarter of the width), letting up to four narrow bursts of *different*
+/// sub-lanes overlap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct ChannelState {
+    /// First cycle at which each 16B sub-lane is free again.
+    sub_free: [Cycle; 4],
+    /// Rank that last drove the data bus.
+    last_rank: Option<usize>,
+    /// Statistics: busy data-bus cycles in full-width equivalents.
+    pub busy_cycles: u64,
+    /// Statistics: total data bursts transferred (narrow or full).
+    pub bursts: u64,
+}
+
+impl ChannelState {
+    /// Creates an idle channel.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn full_free(&self) -> Cycle {
+        self.sub_free.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Earliest cycle a data command for `rank` may *issue* (command time,
+    /// not data time) such that its data lands on a free bus (all sub-lanes
+    /// for a full burst, one for a narrow burst), including the tRTR gap
+    /// when ownership changes rank.
+    pub fn earliest_data_cmd(
+        &self,
+        rank: usize,
+        is_read: bool,
+        narrow: Option<u8>,
+        now: Cycle,
+        t: &TimingParams,
+    ) -> Cycle {
+        let lat = if is_read { t.cl } else { t.cwl };
+        let mut bus_at = match narrow {
+            Some(lane) => self.sub_free[(lane & 3) as usize],
+            None => self.full_free(),
+        };
+        if let Some(last) = self.last_rank {
+            if last != rank {
+                bus_at += t.rtr;
+            }
+        }
+        now.max(bus_at.saturating_sub(lat))
+    }
+
+    /// Records a data command issued at `at`; the burst occupies its
+    /// sub-lane(s) for `t.burst` cycles starting `CL`/`CWL` later.
+    pub fn record_data_cmd(
+        &mut self,
+        rank: usize,
+        is_read: bool,
+        narrow: Option<u8>,
+        at: Cycle,
+        t: &TimingParams,
+    ) {
+        let lat = if is_read { t.cl } else { t.cwl };
+        let done = at + lat + t.burst;
+        match narrow {
+            Some(lane) => {
+                self.sub_free[(lane & 3) as usize] = done;
+                self.busy_cycles += t.burst / 4; // quarter width
+            }
+            None => {
+                self.sub_free = [done; 4];
+                self.busy_cycles += t.burst;
+            }
+        }
+        self.last_rank = Some(rank);
+        self.bursts += 1;
+    }
+
+    /// First cycle at which the full-width data bus is free.
+    pub fn bus_free(&self) -> Cycle {
+        self.full_free()
+    }
+
+    /// Rank that last owned the data bus.
+    pub fn last_rank(&self) -> Option<usize> {
+        self.last_rank
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> TimingParams {
+        TimingParams::ddr4_2400()
+    }
+
+    #[test]
+    fn idle_channel_issues_immediately() {
+        let t = t();
+        let ch = ChannelState::new();
+        assert_eq!(ch.earliest_data_cmd(0, true, None, 25, &t), 25);
+    }
+
+    #[test]
+    fn back_to_back_same_rank_gapless() {
+        let t = t();
+        let mut ch = ChannelState::new();
+        ch.record_data_cmd(0, true, None, 0, &t);
+        // Bus busy [cl, cl+burst); next read data may start at cl+burst,
+        // i.e. the command may issue at burst.
+        assert_eq!(ch.earliest_data_cmd(0, true, None, 0, &t), t.burst);
+        assert_eq!(ch.bus_free(), t.cl + t.burst);
+    }
+
+    #[test]
+    fn rank_switch_adds_trtr() {
+        let t = t();
+        let mut ch = ChannelState::new();
+        ch.record_data_cmd(0, true, None, 0, &t);
+        let same = ch.earliest_data_cmd(0, true, None, 0, &t);
+        let other = ch.earliest_data_cmd(1, true, None, 0, &t);
+        assert_eq!(other, same + t.rtr);
+    }
+
+    #[test]
+    fn write_uses_cwl() {
+        let t = t();
+        let mut ch = ChannelState::new();
+        ch.record_data_cmd(0, false, None, 10, &t);
+        assert_eq!(ch.bus_free(), 10 + t.cwl + t.burst);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let t = t();
+        let mut ch = ChannelState::new();
+        ch.record_data_cmd(0, true, None, 0, &t);
+        ch.record_data_cmd(0, false, None, 100, &t);
+        assert_eq!(ch.bursts, 2);
+        assert_eq!(ch.busy_cycles, 2 * t.burst);
+        assert_eq!(ch.last_rank(), Some(0));
+    }
+
+    #[test]
+    fn earliest_never_before_now() {
+        let t = t();
+        let mut ch = ChannelState::new();
+        ch.record_data_cmd(0, true, None, 0, &t);
+        // Far in the future, the bus constraint is stale.
+        assert_eq!(ch.earliest_data_cmd(1, true, None, 10_000, &t), 10_000);
+    }
+
+    #[test]
+    fn narrow_bursts_overlap_across_sub_lanes() {
+        let t = t();
+        let mut ch = ChannelState::new();
+        ch.record_data_cmd(0, true, Some(0), 0, &t);
+        // A different sub-lane is free immediately; the same one is not.
+        assert_eq!(ch.earliest_data_cmd(0, true, Some(1), 0, &t), 0);
+        assert_eq!(ch.earliest_data_cmd(0, true, Some(0), 0, &t), t.burst);
+        // A full burst must wait for every sub-lane.
+        assert_eq!(ch.earliest_data_cmd(0, true, None, 0, &t), t.burst);
+    }
+
+    #[test]
+    fn narrow_bursts_count_quarter_bandwidth() {
+        let t = t();
+        let mut ch = ChannelState::new();
+        for lane in 0..4 {
+            ch.record_data_cmd(0, true, Some(lane), 0, &t);
+        }
+        assert_eq!(
+            ch.busy_cycles, t.burst,
+            "four narrow bursts = one full burst of data"
+        );
+        assert_eq!(ch.bursts, 4);
+    }
+}

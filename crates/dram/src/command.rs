@@ -1,0 +1,304 @@
+//! The DRAM command protocol.
+//!
+//! SAM deliberately avoids widening the command interface (Section 5.3):
+//! stride accesses reuse the ordinary RD/WR commands, with the stride
+//! behaviour selected by a mode register written via ordinary MRS commands.
+//! The command set here therefore matches commodity DDR4, with the `stride`
+//! flag on RD/WR recording which mode the access executes under (the device
+//! checks it against the current mode register).
+
+use crate::moderegs::IoMode;
+
+/// The kind of a DRAM command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmdKind {
+    /// Activate a row (row buffer fill).
+    Act,
+    /// Precharge the bank.
+    Pre,
+    /// Column read burst. `stride: true` executes under a stride I/O mode
+    /// (the chip internally fills all four I/O buffers — Section 4.2.1).
+    /// `narrow: Some(lane)` is a sub-ranked 16B access (the AGMS/DGMS
+    /// baselines of Section 1): it occupies only one of the four channel
+    /// sub-lanes.
+    Rd {
+        /// Whether this read runs under a stride I/O mode.
+        stride: bool,
+        /// Sub-rank lane for a narrow (16B) burst; `None` = full width.
+        narrow: Option<u8>,
+    },
+    /// Column write burst (stride analogous to reads; used by `sstore`).
+    Wr {
+        /// Whether this write runs under a stride I/O mode.
+        stride: bool,
+        /// Sub-rank lane for a narrow (16B) burst; `None` = full width.
+        narrow: Option<u8>,
+    },
+    /// Refresh (all banks).
+    Ref,
+    /// Mode-register set: switches the I/O mode (costs tRTR before the next
+    /// data command — Section 5.3).
+    Mrs(IoMode),
+}
+
+/// A fully addressed DRAM command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Command {
+    /// Command kind.
+    pub kind: CmdKind,
+    /// Target rank.
+    pub rank: usize,
+    /// Target bank group within the rank.
+    pub bank_group: usize,
+    /// Target bank within the bank group.
+    pub bank: usize,
+    /// Target row (meaningful for ACT).
+    pub row: u64,
+    /// Target column (meaningful for RD/WR).
+    pub col: u64,
+}
+
+impl Command {
+    /// Builds an ACT command.
+    pub fn act(rank: usize, bank_group: usize, bank: usize, row: u64) -> Self {
+        Self {
+            kind: CmdKind::Act,
+            rank,
+            bank_group,
+            bank,
+            row,
+            col: 0,
+        }
+    }
+
+    /// Builds a PRE command.
+    pub fn pre(rank: usize, bank_group: usize, bank: usize) -> Self {
+        Self {
+            kind: CmdKind::Pre,
+            rank,
+            bank_group,
+            bank,
+            row: 0,
+            col: 0,
+        }
+    }
+
+    /// Builds an RD command. `stride` selects stride-mode semantics.
+    pub fn read(
+        rank: usize,
+        bank_group: usize,
+        bank: usize,
+        row: u64,
+        col: u64,
+        stride: bool,
+    ) -> Self {
+        Self {
+            kind: CmdKind::Rd {
+                stride,
+                narrow: None,
+            },
+            rank,
+            bank_group,
+            bank,
+            row,
+            col,
+        }
+    }
+
+    /// Builds a WR command. `stride` selects stride-mode semantics.
+    pub fn write(
+        rank: usize,
+        bank_group: usize,
+        bank: usize,
+        row: u64,
+        col: u64,
+        stride: bool,
+    ) -> Self {
+        Self {
+            kind: CmdKind::Wr {
+                stride,
+                narrow: None,
+            },
+            rank,
+            bank_group,
+            bank,
+            row,
+            col,
+        }
+    }
+
+    /// Builds a narrow (sub-ranked, 16B) read on sub-lane `lane` (0..4).
+    pub fn read_narrow(
+        rank: usize,
+        bank_group: usize,
+        bank: usize,
+        row: u64,
+        col: u64,
+        lane: u8,
+    ) -> Self {
+        assert!(lane < 4, "four sub-lanes");
+        Self {
+            kind: CmdKind::Rd {
+                stride: false,
+                narrow: Some(lane),
+            },
+            rank,
+            bank_group,
+            bank,
+            row,
+            col,
+        }
+    }
+
+    /// Builds a narrow (sub-ranked, 16B) write on sub-lane `lane` (0..4).
+    pub fn write_narrow(
+        rank: usize,
+        bank_group: usize,
+        bank: usize,
+        row: u64,
+        col: u64,
+        lane: u8,
+    ) -> Self {
+        assert!(lane < 4, "four sub-lanes");
+        Self {
+            kind: CmdKind::Wr {
+                stride: false,
+                narrow: Some(lane),
+            },
+            rank,
+            bank_group,
+            bank,
+            row,
+            col,
+        }
+    }
+
+    /// The sub-rank lane of a narrow data command, if any.
+    pub fn narrow_lane(&self) -> Option<u8> {
+        match self.kind {
+            CmdKind::Rd { narrow, .. } | CmdKind::Wr { narrow, .. } => narrow,
+            _ => None,
+        }
+    }
+
+    /// Builds a REF command for `rank`.
+    pub fn refresh(rank: usize) -> Self {
+        Self {
+            kind: CmdKind::Ref,
+            rank,
+            bank_group: 0,
+            bank: 0,
+            row: 0,
+            col: 0,
+        }
+    }
+
+    /// Builds an MRS command switching `rank` to `mode`.
+    pub fn mrs(rank: usize, mode: IoMode) -> Self {
+        Self {
+            kind: CmdKind::Mrs(mode),
+            rank,
+            bank_group: 0,
+            bank: 0,
+            row: 0,
+            col: 0,
+        }
+    }
+
+    /// Whether this command transfers data on the bus.
+    pub fn is_data(&self) -> bool {
+        matches!(self.kind, CmdKind::Rd { .. } | CmdKind::Wr { .. })
+    }
+
+    /// Whether this is a column read.
+    pub fn is_read(&self) -> bool {
+        matches!(self.kind, CmdKind::Rd { .. })
+    }
+
+    /// Whether this is a column write.
+    pub fn is_write(&self) -> bool {
+        matches!(self.kind, CmdKind::Wr { .. })
+    }
+
+    /// Whether this data command executes under a stride mode.
+    pub fn is_stride(&self) -> bool {
+        matches!(
+            self.kind,
+            CmdKind::Rd { stride: true, .. } | CmdKind::Wr { stride: true, .. }
+        )
+    }
+}
+
+impl std::fmt::Display for Command {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.kind {
+            CmdKind::Act => write!(
+                f,
+                "ACT r{}bg{}b{} row {}",
+                self.rank, self.bank_group, self.bank, self.row
+            ),
+            CmdKind::Pre => write!(f, "PRE r{}bg{}b{}", self.rank, self.bank_group, self.bank),
+            CmdKind::Rd { stride, narrow } => write!(
+                f,
+                "{}{} r{}bg{}b{} col {}",
+                if stride { "SRD" } else { "RD" },
+                if narrow.is_some() { "n" } else { "" },
+                self.rank,
+                self.bank_group,
+                self.bank,
+                self.col
+            ),
+            CmdKind::Wr { stride, narrow } => write!(
+                f,
+                "{}{} r{}bg{}b{} col {}",
+                if stride { "SWR" } else { "WR" },
+                if narrow.is_some() { "n" } else { "" },
+                self.rank,
+                self.bank_group,
+                self.bank,
+                self.col
+            ),
+            CmdKind::Ref => write!(f, "REF r{}", self.rank),
+            CmdKind::Mrs(mode) => write!(f, "MRS r{} -> {mode}", self.rank),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_fill_fields() {
+        let c = Command::read(1, 2, 3, 40, 5, true);
+        assert_eq!(c.rank, 1);
+        assert_eq!(c.bank_group, 2);
+        assert_eq!(c.bank, 3);
+        assert_eq!(c.row, 40);
+        assert_eq!(c.col, 5);
+        assert!(c.is_read() && c.is_stride() && c.is_data());
+        assert!(!c.is_write());
+    }
+
+    #[test]
+    fn classification() {
+        assert!(!Command::act(0, 0, 0, 0).is_data());
+        assert!(!Command::pre(0, 0, 0).is_data());
+        assert!(Command::write(0, 0, 0, 0, 0, false).is_write());
+        assert!(!Command::write(0, 0, 0, 0, 0, false).is_stride());
+        assert!(Command::write(0, 0, 0, 0, 0, true).is_stride());
+        assert!(!Command::refresh(0).is_data());
+        assert!(!Command::mrs(0, IoMode::Sx4(0)).is_data());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert!(Command::read(0, 1, 2, 3, 4, true)
+            .to_string()
+            .starts_with("SRD"));
+        assert!(Command::read(0, 1, 2, 3, 4, false)
+            .to_string()
+            .starts_with("RD"));
+        assert!(Command::mrs(1, IoMode::X16).to_string().contains("x16"));
+    }
+}

@@ -1,0 +1,472 @@
+//! The assembled memory device: geometry, per-resource timing state, command
+//! validation, and statistics for the power model.
+
+use crate::bank::BankState;
+use crate::channel::ChannelState;
+use crate::command::{CmdKind, Command};
+use crate::moderegs::IoMode;
+use crate::rank::RankState;
+use crate::timing::TimingParams;
+use crate::{Cycle, DeviceError};
+
+/// Geometry and timing of one memory channel (Table 2 defaults).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceConfig {
+    /// Timing parameter set (device technology).
+    pub timing: TimingParams,
+    /// Ranks on the channel.
+    pub ranks: usize,
+    /// Bank groups per rank.
+    pub bank_groups: usize,
+    /// Banks per bank group.
+    pub banks_per_group: usize,
+    /// Rows per bank (256 subarrays x 512 rows in Table 2).
+    pub rows_per_bank: u64,
+    /// Cachelines per row (the 4Kb/chip local row buffer across a 16-chip
+    /// rank holds 8KB of data = 128 64B lines).
+    pub cols_per_row: u64,
+}
+
+impl DeviceConfig {
+    /// The paper's server configuration: DDR4-2400, 1 channel, 2 ranks,
+    /// 16 banks per rank (4 groups x 4), 256 subarrays x 512 rows, 128
+    /// cachelines per row.
+    pub fn ddr4_server() -> Self {
+        Self {
+            timing: TimingParams::ddr4_2400(),
+            ranks: 2,
+            bank_groups: 4,
+            banks_per_group: 4,
+            rows_per_bank: 256 * 512,
+            cols_per_row: 128,
+        }
+    }
+
+    /// A desktop x8 configuration (Section 2.3): 8 data chips + 1 parity
+    /// chip with SEC-DED instead of chipkill, a single rank, and the same
+    /// 8Gb-die geometry (each chip supplies 8 bits per beat, so the row
+    /// spans the same 8KB of data across half as many chips).
+    pub fn ddr4_desktop() -> Self {
+        Self {
+            timing: TimingParams::ddr4_2400(),
+            ranks: 1,
+            bank_groups: 4,
+            banks_per_group: 4,
+            rows_per_bank: 256 * 512,
+            cols_per_row: 128,
+        }
+    }
+
+    /// The RRAM configuration used as the RC-NVM substrate: Table 2's
+    /// 128 subarrays x 2K rows, 2Kb local row buffer (64 lines per row
+    /// across the rank).
+    pub fn rram_server() -> Self {
+        Self {
+            timing: TimingParams::rram(),
+            ranks: 2,
+            bank_groups: 4,
+            banks_per_group: 4,
+            rows_per_bank: 128 * 2048,
+            cols_per_row: 64,
+        }
+    }
+
+    /// Total banks per rank.
+    pub fn banks_per_rank(&self) -> usize {
+        self.bank_groups * self.banks_per_group
+    }
+
+    /// Replaces the timing set (builder-style helper for substrate swaps).
+    pub fn with_timing(mut self, timing: TimingParams) -> Self {
+        self.timing = timing;
+        self
+    }
+}
+
+impl Default for DeviceConfig {
+    fn default() -> Self {
+        Self::ddr4_server()
+    }
+}
+
+/// Command counters, the power model's input.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeviceStats {
+    /// Row activations.
+    pub acts: u64,
+    /// Precharges (explicit PREs; refresh-internal ones are not counted).
+    pub pres: u64,
+    /// Regular column reads.
+    pub reads: u64,
+    /// Stride-mode column reads (internally move up to 4x the data).
+    pub stride_reads: u64,
+    /// Regular column writes.
+    pub writes: u64,
+    /// Stride-mode column writes.
+    pub stride_writes: u64,
+    /// Refreshes issued.
+    pub refreshes: u64,
+    /// I/O mode switches applied.
+    pub mode_switches: u64,
+}
+
+impl DeviceStats {
+    /// Total column commands (any kind).
+    pub fn column_commands(&self) -> u64 {
+        self.reads + self.stride_reads + self.writes + self.stride_writes
+    }
+}
+
+/// A cycle-accurate model of one memory channel's devices.
+#[derive(Debug, Clone)]
+pub struct MemoryDevice {
+    config: DeviceConfig,
+    ranks: Vec<RankState>,
+    /// `banks[rank][bank_group * banks_per_group + bank]`.
+    banks: Vec<Vec<BankState>>,
+    channel: ChannelState,
+    stats: DeviceStats,
+}
+
+impl MemoryDevice {
+    /// Creates an idle device with the given geometry.
+    pub fn new(config: DeviceConfig) -> Self {
+        let ranks = (0..config.ranks)
+            .map(|_| RankState::new(config.bank_groups))
+            .collect();
+        let banks = (0..config.ranks)
+            .map(|_| vec![BankState::new(); config.banks_per_rank()])
+            .collect();
+        Self {
+            config,
+            ranks,
+            banks,
+            channel: ChannelState::new(),
+            stats: DeviceStats::default(),
+        }
+    }
+
+    /// The device geometry/timing.
+    pub fn config(&self) -> &DeviceConfig {
+        &self.config
+    }
+
+    /// Command counters accumulated so far.
+    pub fn stats(&self) -> &DeviceStats {
+        &self.stats
+    }
+
+    /// Channel bus statistics.
+    pub fn channel(&self) -> &ChannelState {
+        &self.channel
+    }
+
+    /// Current I/O mode of `rank`.
+    pub fn io_mode(&self, rank: usize) -> IoMode {
+        self.ranks[rank].io_mode()
+    }
+
+    /// Row currently open in the addressed bank, if any.
+    pub fn open_row(&self, rank: usize, bank_group: usize, bank: usize) -> Option<u64> {
+        self.banks[rank][bank_group * self.config.banks_per_group + bank].open_row()
+    }
+
+    fn bank_index(&self, cmd: &Command) -> usize {
+        cmd.bank_group * self.config.banks_per_group + cmd.bank
+    }
+
+    fn validate_address(&self, cmd: &Command) -> Result<(), DeviceError> {
+        if cmd.rank >= self.config.ranks
+            || cmd.bank_group >= self.config.bank_groups
+            || cmd.bank >= self.config.banks_per_group
+            || cmd.row >= self.config.rows_per_bank
+            || cmd.col >= self.config.cols_per_row
+        {
+            return Err(DeviceError::OutOfRange);
+        }
+        Ok(())
+    }
+
+    /// Earliest cycle `cmd` can legally issue, not before `now`.
+    ///
+    /// For commands that are illegal in the current *state* (e.g. RD with no
+    /// open row) this still returns a time — state legality is enforced by
+    /// [`Self::issue`]; the controller is expected to open rows itself.
+    pub fn earliest_issue(&self, cmd: &Command, now: Cycle) -> Cycle {
+        let t = &self.config.timing;
+        let bank = &self.banks[cmd.rank][self.bank_index(cmd)];
+        match cmd.kind {
+            CmdKind::Act => {
+                let rank_at = self.ranks[cmd.rank].earliest_act(cmd.bank_group, now, t);
+                rank_at.max(bank.next_act())
+            }
+            CmdKind::Pre => now.max(bank.next_pre()),
+            CmdKind::Rd { .. } | CmdKind::Wr { .. } => {
+                let is_read = cmd.is_read();
+                let rank_at = self.ranks[cmd.rank].earliest_col(cmd.bank_group, is_read, now, t);
+                let chan_at =
+                    self.channel
+                        .earliest_data_cmd(cmd.rank, is_read, cmd.narrow_lane(), now, t);
+                rank_at.max(chan_at).max(bank.next_col())
+            }
+            CmdKind::Ref => {
+                // All banks of the rank must be precharge-able and idle.
+                let mut at = now;
+                for b in &self.banks[cmd.rank] {
+                    at = at.max(if b.open_row().is_some() {
+                        b.next_pre() + t.rp
+                    } else {
+                        b.next_act()
+                    });
+                }
+                at
+            }
+            CmdKind::Mrs(_) => now,
+        }
+    }
+
+    /// Issues `cmd` at cycle `at`.
+    ///
+    /// Returns the completion cycle: for data commands, the cycle after the
+    /// last data beat on the bus; for others, `at`.
+    ///
+    /// # Errors
+    ///
+    /// * [`DeviceError::OutOfRange`] if the address exceeds the geometry.
+    /// * [`DeviceError::TimingViolation`] if `at` precedes the earliest
+    ///   legal cycle.
+    /// * [`DeviceError::StateViolation`] if the bank state or the rank's I/O
+    ///   mode does not match the command (stride data commands require a
+    ///   stride mode and vice versa).
+    pub fn issue(&mut self, cmd: &Command, at: Cycle) -> Result<Cycle, DeviceError> {
+        self.validate_address(cmd)?;
+        let earliest = self.earliest_issue(cmd, at);
+        if at < earliest {
+            return Err(DeviceError::TimingViolation { at, earliest });
+        }
+        let t = self.config.timing;
+        let bank_idx = self.bank_index(cmd);
+        match cmd.kind {
+            CmdKind::Act => {
+                self.banks[cmd.rank][bank_idx].activate(cmd.row, at, &t)?;
+                self.ranks[cmd.rank].record_act(cmd.bank_group, at);
+                self.stats.acts += 1;
+                Ok(at)
+            }
+            CmdKind::Pre => {
+                self.banks[cmd.rank][bank_idx].precharge(at, &t)?;
+                self.stats.pres += 1;
+                Ok(at)
+            }
+            CmdKind::Rd { stride, narrow } => {
+                if stride != self.ranks[cmd.rank].io_mode().is_stride() {
+                    return Err(DeviceError::StateViolation);
+                }
+                self.banks[cmd.rank][bank_idx].read(at, &t)?;
+                self.ranks[cmd.rank].record_col(cmd.bank_group, false, at, &t);
+                self.channel.record_data_cmd(cmd.rank, true, narrow, at, &t);
+                if stride {
+                    self.stats.stride_reads += 1;
+                } else {
+                    self.stats.reads += 1;
+                }
+                Ok(at + t.cl + t.burst)
+            }
+            CmdKind::Wr { stride, narrow } => {
+                if stride != self.ranks[cmd.rank].io_mode().is_stride() {
+                    return Err(DeviceError::StateViolation);
+                }
+                self.banks[cmd.rank][bank_idx].write(at, &t)?;
+                self.ranks[cmd.rank].record_col(cmd.bank_group, true, at, &t);
+                self.channel
+                    .record_data_cmd(cmd.rank, false, narrow, at, &t);
+                if stride {
+                    self.stats.stride_writes += 1;
+                } else {
+                    self.stats.writes += 1;
+                }
+                Ok(at + t.cwl + t.burst)
+            }
+            CmdKind::Ref => {
+                for b in &mut self.banks[cmd.rank] {
+                    b.refresh(at, &t);
+                }
+                self.stats.refreshes += 1;
+                Ok(at + t.rfc)
+            }
+            CmdKind::Mrs(mode) => {
+                if self.ranks[cmd.rank].apply_mrs(mode, at, &t) {
+                    self.stats.mode_switches += 1;
+                }
+                Ok(at)
+            }
+        }
+    }
+
+    /// Convenience used by the controller's FR-FCFS ranking: the earliest
+    /// cycle a column access to (`rank`, `bank_group`, `bank`, `row`) could
+    /// complete, including any precharge/activate it would require.
+    pub fn earliest_column_for_row(
+        &self,
+        rank: usize,
+        bank_group: usize,
+        bank: usize,
+        row: u64,
+        now: Cycle,
+    ) -> Cycle {
+        let t = &self.config.timing;
+        let b = &self.banks[rank][bank_group * self.config.banks_per_group + bank];
+        b.earliest_column_for_row(row, now, t)
+    }
+
+    /// Whether a column access to `row` would hit the open row.
+    pub fn is_row_hit(&self, rank: usize, bank_group: usize, bank: usize, row: u64) -> bool {
+        self.open_row(rank, bank_group, bank) == Some(row)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dev() -> MemoryDevice {
+        MemoryDevice::new(DeviceConfig::ddr4_server())
+    }
+
+    #[test]
+    fn act_read_pre_sequence() {
+        let mut d = dev();
+        let t = *(&d.config().timing);
+        let act = Command::act(0, 1, 2, 99);
+        d.issue(&act, 0).unwrap();
+        let rd = Command::read(0, 1, 2, 99, 5, false);
+        let at = d.earliest_issue(&rd, 0);
+        assert_eq!(at, t.rcd);
+        let done = d.issue(&rd, at).unwrap();
+        assert_eq!(done, t.rcd + t.cl + t.burst);
+        let pre = Command::pre(0, 1, 2);
+        let pre_at = d.earliest_issue(&pre, 0);
+        assert_eq!(pre_at, t.ras); // tRAS dominates tRTP here
+        d.issue(&pre, pre_at).unwrap();
+        assert_eq!(d.stats().acts, 1);
+        assert_eq!(d.stats().reads, 1);
+        assert_eq!(d.stats().pres, 1);
+    }
+
+    #[test]
+    fn premature_issue_rejected() {
+        let mut d = dev();
+        d.issue(&Command::act(0, 0, 0, 1), 0).unwrap();
+        let rd = Command::read(0, 0, 0, 1, 0, false);
+        assert!(matches!(
+            d.issue(&rd, 1),
+            Err(DeviceError::TimingViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let mut d = dev();
+        let bad = Command::act(9, 0, 0, 1);
+        assert_eq!(d.issue(&bad, 0), Err(DeviceError::OutOfRange));
+        let bad_row = Command::act(0, 0, 0, u64::MAX);
+        assert_eq!(d.issue(&bad_row, 0), Err(DeviceError::OutOfRange));
+    }
+
+    #[test]
+    fn stride_read_requires_stride_mode() {
+        let mut d = dev();
+        d.issue(&Command::act(0, 0, 0, 1), 0).unwrap();
+        let srd = Command::read(0, 0, 0, 1, 0, true);
+        let at = d.earliest_issue(&srd, 0);
+        assert_eq!(d.issue(&srd, at), Err(DeviceError::StateViolation));
+        // Switch mode, then it works.
+        d.issue(&Command::mrs(0, IoMode::Sx4(0)), at).unwrap();
+        let at2 = d.earliest_issue(&srd, at);
+        d.issue(&srd, at2).unwrap();
+        assert_eq!(d.stats().stride_reads, 1);
+        assert_eq!(d.stats().mode_switches, 1);
+        // And regular reads are now rejected until switching back.
+        let rd = Command::read(0, 0, 0, 1, 1, false);
+        let at3 = d.earliest_issue(&rd, at2 + 100);
+        assert_eq!(d.issue(&rd, at3), Err(DeviceError::StateViolation));
+    }
+
+    #[test]
+    fn mode_switch_delays_next_column() {
+        let mut d = dev();
+        let t = *(&d.config().timing);
+        d.issue(&Command::act(0, 0, 0, 1), 0).unwrap();
+        d.issue(&Command::mrs(0, IoMode::Sx4(3)), t.rcd).unwrap();
+        let srd = Command::read(0, 0, 0, 1, 0, true);
+        assert_eq!(d.earliest_issue(&srd, t.rcd), t.rcd + t.rtr);
+    }
+
+    #[test]
+    fn rank_switch_penalty_on_data_bus() {
+        let mut d = dev();
+        let t = *(&d.config().timing);
+        d.issue(&Command::act(0, 0, 0, 1), 0).unwrap();
+        d.issue(&Command::act(1, 0, 0, 1), t.rrd_s.max(1)).unwrap();
+        let rd0 = Command::read(0, 0, 0, 1, 0, false);
+        let at0 = d.earliest_issue(&rd0, 0);
+        d.issue(&rd0, at0).unwrap();
+        let rd1 = Command::read(1, 0, 0, 1, 0, false);
+        let at1 = d.earliest_issue(&rd1, at0);
+        // Data for rank 1 must wait for the bus plus tRTR; with identical CL
+        // the command gap is burst + rtr.
+        assert_eq!(at1, at0 + t.burst + t.rtr);
+    }
+
+    #[test]
+    fn refresh_blocks_rank() {
+        let mut d = dev();
+        let t = *(&d.config().timing);
+        d.issue(&Command::refresh(0), 0).unwrap();
+        let act = Command::act(0, 0, 0, 1);
+        assert_eq!(d.earliest_issue(&act, 0), t.rfc);
+        assert_eq!(d.stats().refreshes, 1);
+    }
+
+    #[test]
+    fn refresh_waits_for_open_rows() {
+        let mut d = dev();
+        let t = *(&d.config().timing);
+        d.issue(&Command::act(0, 0, 0, 1), 0).unwrap();
+        let r = Command::refresh(0);
+        // Must wait tRAS (precharge legality) + tRP.
+        assert_eq!(d.earliest_issue(&r, 0), t.ras + t.rp);
+    }
+
+    #[test]
+    fn row_hit_tracking() {
+        let mut d = dev();
+        d.issue(&Command::act(0, 2, 3, 77), 0).unwrap();
+        assert!(d.is_row_hit(0, 2, 3, 77));
+        assert!(!d.is_row_hit(0, 2, 3, 78));
+        assert!(!d.is_row_hit(0, 2, 2, 77));
+        assert_eq!(d.open_row(0, 2, 3), Some(77));
+    }
+
+    #[test]
+    fn desktop_config_is_single_rank() {
+        let cfg = DeviceConfig::ddr4_desktop();
+        assert_eq!(cfg.ranks, 1);
+        assert_eq!(cfg.banks_per_rank(), 16);
+        let mut d = MemoryDevice::new(cfg);
+        // Rank 1 does not exist on the desktop part.
+        assert_eq!(
+            d.issue(&Command::act(1, 0, 0, 0), 0),
+            Err(DeviceError::OutOfRange)
+        );
+        d.issue(&Command::act(0, 0, 0, 0), 0).unwrap();
+    }
+
+    #[test]
+    fn stats_column_totals() {
+        let mut s = DeviceStats::default();
+        s.reads = 2;
+        s.stride_writes = 3;
+        assert_eq!(s.column_commands(), 5);
+    }
+}

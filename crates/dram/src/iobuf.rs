@@ -1,0 +1,369 @@
+//! Functional model of the common-die I/O buffer (Sections 2.2, 4.2–4.4).
+//!
+//! Every DDR4 die carries the maximum 128-bit I/O buffer — four 32-bit
+//! buffers of four 8-bit *lanes* each — and electric fuses select how much
+//! of it a given part uses (x4 uses one buffer, x8 two, x16 all four).
+//! SAM-IO's observation is that an x4 part still *has* all four buffers, so
+//! a stride mode can fill them all from four different columns and drive
+//! lane `n` of each buffer out of the four bonded DQs in a single burst.
+//!
+//! This module models the data path bit-exactly so the data-layout claims of
+//! the paper (which byte of which cacheline appears on which DQ in which
+//! beat) can be tested, including:
+//!
+//! * regular x4 / x8 / x16 serialization,
+//! * the SAM-IO stride read (`Sx4_n`, Figure 7),
+//! * the SAM-en two-dimensional buffer read (Figure 8), and
+//! * the Section 4.4 finer-granularity interleaved-MUX read (Figure 9).
+
+use crate::moderegs::IoMode;
+
+/// Lanes per 32-bit buffer.
+pub const LANES: usize = 4;
+/// 32-bit buffers per die.
+pub const BUFFERS: usize = 4;
+
+/// The 128-bit common-die I/O buffer of one chip.
+///
+/// `lanes[b][l]` is the 8-bit lane `l` of buffer `b`. In a regular x4 burst
+/// buffer 0 holds the chip's 32 bits; in stride mode buffer `b` holds the
+/// chip's 32 bits of the `b`-th gathered cacheline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct IoBuffer {
+    lanes: [[u8; LANES]; BUFFERS],
+}
+
+impl IoBuffer {
+    /// Creates an empty (all-zero) buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Loads a regular x4 fetch: 32 bits into buffer 0, little-endian byte
+    /// `i` into lane `i`.
+    pub fn load_x4(&mut self, data: u32) {
+        for l in 0..LANES {
+            self.lanes[0][l] = (data >> (8 * l)) as u8;
+        }
+    }
+
+    /// Loads a wide (x16 or stride-mode) fetch: 128 bits filling all four
+    /// buffers; bits `32b..32b+32` go to buffer `b`.
+    pub fn load_wide(&mut self, data: u128) {
+        for b in 0..BUFFERS {
+            let word = (data >> (32 * b)) as u32;
+            for l in 0..LANES {
+                self.lanes[b][l] = (word >> (8 * l)) as u8;
+            }
+        }
+    }
+
+    /// Raw lane accessor (for tests and the SAM-en column view).
+    pub fn lane(&self, buffer: usize, lane: usize) -> u8 {
+        self.lanes[buffer][lane]
+    }
+
+    /// Sets one lane directly.
+    pub fn set_lane(&mut self, buffer: usize, lane: usize, value: u8) {
+        self.lanes[buffer][lane] = value;
+    }
+
+    /// Serializes a burst under `mode`. Each of the 8 returned beats holds
+    /// [`IoMode::bits_per_beat`] valid low bits.
+    ///
+    /// * `X4` — buffer 0, DQ `l` carries bit `beat` of lane `l`.
+    /// * `X8` — buffers 0–1, DQs 0–7.
+    /// * `X16` — all buffers, DQs 0–15.
+    /// * `Sx4(n)` — DQ `b` carries bit `beat` of lane `n` of buffer `b`:
+    ///   the four gathered cachelines' bytes leave together (Figure 7).
+    ///
+    /// # Panics
+    ///
+    /// Panics for `Sx4(n)` with `n >= 4`.
+    pub fn read_burst(&self, mode: IoMode) -> [u16; 8] {
+        let mut beats = [0u16; 8];
+        match mode {
+            IoMode::X4 => {
+                for (beat, out) in beats.iter_mut().enumerate() {
+                    for l in 0..LANES {
+                        *out |= (((self.lanes[0][l] >> beat) & 1) as u16) << l;
+                    }
+                }
+            }
+            IoMode::X8 => {
+                for (beat, out) in beats.iter_mut().enumerate() {
+                    for b in 0..2 {
+                        for l in 0..LANES {
+                            *out |= (((self.lanes[b][l] >> beat) & 1) as u16) << (b * 4 + l);
+                        }
+                    }
+                }
+            }
+            IoMode::X16 => {
+                for (beat, out) in beats.iter_mut().enumerate() {
+                    for b in 0..BUFFERS {
+                        for l in 0..LANES {
+                            *out |= (((self.lanes[b][l] >> beat) & 1) as u16) << (b * 4 + l);
+                        }
+                    }
+                }
+            }
+            IoMode::Sx4(n) => {
+                let n = n as usize;
+                assert!(n < LANES, "lane id {n} out of range");
+                for (beat, out) in beats.iter_mut().enumerate() {
+                    for b in 0..BUFFERS {
+                        *out |= (((self.lanes[b][n] >> beat) & 1) as u16) << b;
+                    }
+                }
+            }
+        }
+        beats
+    }
+
+    /// SAM-en two-dimensional read (Figure 8): the second set of serializers
+    /// reads the buffer stack along the z-axis at column `col` (each lane is
+    /// split into four 2-bit blocks; block `col` of every lane of every
+    /// buffer leaves in one burst).
+    ///
+    /// DQ `l` carries, over the 8 beats, the four 2-bit blocks
+    /// `lanes[0][l].block(col) .. lanes[3][l].block(col)` in buffer order —
+    /// so the output preserves the default beat-major data layout and with
+    /// it critical-word-first (Section 4.3, option 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col >= 4`.
+    pub fn read_en_stride(&self, col: usize) -> [u8; 8] {
+        assert!(col < 4, "column {col} out of range");
+        let mut beats = [0u8; 8];
+        for l in 0..LANES {
+            for b in 0..BUFFERS {
+                let block = (self.lanes[b][l] >> (2 * col)) & 0b11;
+                // Buffer b's block occupies beats 2b and 2b+1 on DQ l.
+                beats[2 * b] |= (block & 1) << l;
+                beats[2 * b + 1] |= ((block >> 1) & 1) << l;
+            }
+        }
+        beats
+    }
+
+    /// Section 4.4 finer-granularity read: two 4-bit symbols from two lanes
+    /// with the same lane id are redirected to one driver, so the four
+    /// gathered 4-bit symbols (nibble `nibble` of lane `lane` of each
+    /// buffer) leave on just two DQs. Returns 8 beats of 2 valid bits:
+    /// DQ 0 carries buffers 0–1, DQ 1 carries buffers 2–3.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= 4` or `nibble >= 2`.
+    pub fn read_fine_stride(&self, lane: usize, nibble: usize) -> [u8; 8] {
+        assert!(lane < LANES, "lane {lane} out of range");
+        assert!(nibble < 2, "nibble {nibble} out of range");
+        let mut beats = [0u8; 8];
+        let nib = |b: usize| (self.lanes[b][lane] >> (4 * nibble)) & 0xF;
+        for (beat, out) in beats.iter_mut().enumerate() {
+            // DQ0: buffer 0's nibble in beats 0..4, buffer 1's in beats 4..8.
+            let (buf_lo, bit_lo) = if beat < 4 { (0, beat) } else { (1, beat - 4) };
+            *out |= (nib(buf_lo) >> bit_lo) & 1;
+            // DQ1: buffers 2 and 3.
+            let (buf_hi, bit_hi) = if beat < 4 { (2, beat) } else { (3, beat - 4) };
+            *out |= ((nib(buf_hi) >> bit_hi) & 1) << 1;
+        }
+        beats
+    }
+
+    /// Reconstructs the four bytes a stride read delivers: byte `b` is lane
+    /// `n` of buffer `b` (the inverse of [`Self::read_burst`] under
+    /// `Sx4(n)`; provided for test ergonomics).
+    pub fn stride_bytes(&self, n: usize) -> [u8; 4] {
+        [
+            self.lanes[0][n],
+            self.lanes[1][n],
+            self.lanes[2][n],
+            self.lanes[3][n],
+        ]
+    }
+}
+
+/// Deserializes x4 beats back into the 32-bit word (test helper; this is
+/// what the memory controller's receivers do).
+pub fn deserialize_x4(beats: &[u16; 8]) -> u32 {
+    let mut lanes = [0u8; 4];
+    for (beat, &v) in beats.iter().enumerate() {
+        for (l, lane) in lanes.iter_mut().enumerate() {
+            *lane |= (((v >> l) & 1) as u8) << beat;
+        }
+    }
+    u32::from_le_bytes(lanes)
+}
+
+/// Deserializes stride-mode beats into the four gathered bytes (byte `b`
+/// came from buffer `b`).
+pub fn deserialize_stride(beats: &[u16; 8]) -> [u8; 4] {
+    let mut bytes = [0u8; 4];
+    for (beat, &v) in beats.iter().enumerate() {
+        for (b, byte) in bytes.iter_mut().enumerate() {
+            *byte |= (((v >> b) & 1) as u8) << beat;
+        }
+    }
+    bytes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn x4_serialization_roundtrip() {
+        let mut buf = IoBuffer::new();
+        buf.load_x4(0xDEAD_BEEF);
+        let beats = buf.read_burst(IoMode::X4);
+        assert_eq!(deserialize_x4(&beats), 0xDEAD_BEEF);
+        // Only 4 bits per beat.
+        assert!(beats.iter().all(|&b| b < 16));
+    }
+
+    #[test]
+    fn x16_reads_all_buffers() {
+        let mut buf = IoBuffer::new();
+        let wide: u128 = 0x0123_4567_89AB_CDEF_1122_3344_5566_7788;
+        buf.load_wide(wide);
+        let beats = buf.read_burst(IoMode::X16);
+        // Reassemble: bit (b*4+l) of beat `t` is bit t of lanes[b][l].
+        let mut out: u128 = 0;
+        for b in 0..4 {
+            for l in 0..4 {
+                let mut byte = 0u8;
+                for (t, &v) in beats.iter().enumerate() {
+                    byte |= (((v >> (b * 4 + l)) & 1) as u8) << t;
+                }
+                out |= (byte as u128) << (32 * b + 8 * l);
+            }
+        }
+        assert_eq!(out, wide);
+    }
+
+    #[test]
+    fn x8_uses_two_buffers() {
+        let mut buf = IoBuffer::new();
+        buf.load_wide(0xFFFF_FFFF_FFFF_FFFF_u128); // low 64 bits set
+        let beats = buf.read_burst(IoMode::X8);
+        assert!(beats.iter().all(|&b| b == 0xFF), "all 8 DQs high");
+    }
+
+    #[test]
+    fn stride_mode_gathers_one_lane_of_each_buffer() {
+        let mut buf = IoBuffer::new();
+        // Buffer b gets bytes [b0, b1, b2, b3] = [0xb0 | l].
+        for b in 0..4 {
+            for l in 0..4 {
+                buf.set_lane(b, l, ((b as u8) << 4) | l as u8);
+            }
+        }
+        for n in 0..4u8 {
+            let beats = buf.read_burst(IoMode::Sx4(n));
+            let bytes = deserialize_stride(&beats);
+            for (b, &byte) in bytes.iter().enumerate() {
+                assert_eq!(byte, ((b as u8) << 4) | n, "lane {n} buffer {b}");
+            }
+            assert_eq!(bytes, buf.stride_bytes(n as usize));
+        }
+    }
+
+    #[test]
+    fn stride_mode_emits_4_bits_per_beat() {
+        let mut buf = IoBuffer::new();
+        buf.load_wide(u128::MAX);
+        let beats = buf.read_burst(IoMode::Sx4(2));
+        assert!(beats.iter().all(|&b| b == 0xF));
+    }
+
+    #[test]
+    fn en_stride_reads_column_blocks() {
+        let mut buf = IoBuffer::new();
+        for b in 0..4 {
+            for l in 0..4 {
+                // Encode (b, l) into each 2-bit block distinctly per column.
+                buf.set_lane(b, l, (0b11_10_01_00u8).rotate_left((b + l) as u32 * 2));
+            }
+        }
+        for col in 0..4 {
+            let beats = buf.read_en_stride(col);
+            // Recover block (b, l, col) from beats 2b, 2b+1 at bit l.
+            for b in 0..4 {
+                for l in 0..4 {
+                    let bit0 = (beats[2 * b] >> l) & 1;
+                    let bit1 = (beats[2 * b + 1] >> l) & 1;
+                    let got = bit0 | (bit1 << 1);
+                    let expected = (buf.lane(b, l) >> (2 * col)) & 0b11;
+                    assert_eq!(got, expected, "col {col} buf {b} lane {l}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn en_stride_preserves_beat_major_order() {
+        // Buffer b's data occupies beats 2b..2b+2 — the default layout of
+        // Figure 4(b), hence critical-word-first survives (Section 4.3).
+        let mut buf = IoBuffer::new();
+        buf.set_lane(0, 0, 0b01); // block 0 of lane 0 of buffer 0
+        let beats = buf.read_en_stride(0);
+        assert_eq!(beats[0] & 1, 1, "buffer 0 data appears in beat 0");
+        assert!(beats[2..].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn fine_stride_sends_four_nibbles_on_two_dqs() {
+        let mut buf = IoBuffer::new();
+        for b in 0..4 {
+            buf.set_lane(b, 1, 0x50 | (b as u8 + 1)); // hi nibble 5, lo nibble b+1
+        }
+        let beats = buf.read_fine_stride(1, 0);
+        // Only 2 valid bits per beat.
+        assert!(beats.iter().all(|&b| b < 4));
+        // DQ0: buffer 0 nibble in beats 0..4, buffer 1 nibble in beats 4..8.
+        let mut n0 = 0u8;
+        let mut n1 = 0u8;
+        let mut n2 = 0u8;
+        let mut n3 = 0u8;
+        for t in 0..4 {
+            n0 |= (beats[t] & 1) << t;
+            n1 |= (beats[t + 4] & 1) << t;
+            n2 |= ((beats[t] >> 1) & 1) << t;
+            n3 |= ((beats[t + 4] >> 1) & 1) << t;
+        }
+        assert_eq!([n0, n1, n2, n3], [1, 2, 3, 4]);
+        // The high nibble (nibble=1) reads the 0x5s.
+        let beats_hi = buf.read_fine_stride(1, 1);
+        let mut h0 = 0u8;
+        for t in 0..4 {
+            h0 |= (beats_hi[t] & 1) << t;
+        }
+        assert_eq!(h0, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn en_stride_bad_column_panics() {
+        IoBuffer::new().read_en_stride(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn fine_stride_bad_nibble_panics() {
+        IoBuffer::new().read_fine_stride(0, 2);
+    }
+
+    #[test]
+    fn load_x4_only_touches_buffer_zero() {
+        let mut buf = IoBuffer::new();
+        buf.load_wide(u128::MAX);
+        buf.load_x4(0);
+        for l in 0..4 {
+            assert_eq!(buf.lane(0, l), 0);
+            assert_eq!(buf.lane(1, l), 0xFF);
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Mode registers and the configurable I/O modes of SAM (Sections 4.2, 5.3).
+//!
+//! Commodity DDR4 exposes a set of mode registers configured over the C/A
+//! bus (MRS commands). SAM-IO/SAM-en extend this file with one extra 7-bit
+//! register that selects the I/O configuration: the three fuse-era modes
+//! (x4, x8, x16) plus the four stride modes `Sx4_n` that drive lane `n` of
+//! all four I/O buffers out of the chip in a single burst (Figure 7's table).
+//! SAM-sub instead needs only a single extra bit that flags stride mode.
+//!
+//! Switching the I/O mode retargets the DQ drivers, which the paper models
+//! with the same cost as a rank-to-rank switch (tRTR).
+
+/// The I/O configuration of a chip (Figure 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum IoMode {
+    /// Regular x4: one 32-bit I/O buffer, drivers 0..4.
+    #[default]
+    X4,
+    /// Regular x8: two buffers, drivers 0..8.
+    X8,
+    /// Regular x16: all four buffers, drivers 0..16.
+    X16,
+    /// Stride mode: lane `n` of each of the four buffers, drivers
+    /// `{n, n+4, n+8, n+12}`.
+    Sx4(u8),
+}
+
+impl IoMode {
+    /// All seven encodable modes, in mode-register bit order.
+    pub const ALL: [IoMode; 7] = [
+        IoMode::X4,
+        IoMode::X8,
+        IoMode::X16,
+        IoMode::Sx4(0),
+        IoMode::Sx4(1),
+        IoMode::Sx4(2),
+        IoMode::Sx4(3),
+    ];
+
+    /// Whether this is one of the SAM stride modes.
+    pub fn is_stride(self) -> bool {
+        matches!(self, IoMode::Sx4(_))
+    }
+
+    /// The DQ drivers this mode enables (Figure 7's table).
+    ///
+    /// # Panics
+    ///
+    /// Panics for `Sx4(n)` with `n >= 4`.
+    pub fn enabled_drivers(self) -> Vec<usize> {
+        match self {
+            IoMode::X4 => (0..4).collect(),
+            IoMode::X8 => (0..8).collect(),
+            IoMode::X16 => (0..16).collect(),
+            IoMode::Sx4(n) => {
+                assert!(n < 4, "lane id {n} out of range");
+                (0..4).map(|buf| buf * 4 + n as usize).collect()
+            }
+        }
+    }
+
+    /// One-hot position of this mode in the 7-bit SAM-IO mode register.
+    pub fn register_bit(self) -> u8 {
+        match self {
+            IoMode::X4 => 0,
+            IoMode::X8 => 1,
+            IoMode::X16 => 2,
+            IoMode::Sx4(n) => {
+                assert!(n < 4, "lane id {n} out of range");
+                3 + n
+            }
+        }
+    }
+
+    /// Bits each chip puts on the channel per beat in this mode.
+    pub fn bits_per_beat(self) -> usize {
+        match self {
+            IoMode::X4 | IoMode::Sx4(_) => 4,
+            IoMode::X8 => 8,
+            IoMode::X16 => 16,
+        }
+    }
+}
+
+impl std::fmt::Display for IoMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoMode::X4 => write!(f, "x4"),
+            IoMode::X8 => write!(f, "x8"),
+            IoMode::X16 => write!(f, "x16"),
+            IoMode::Sx4(n) => write!(f, "Sx4_{n}"),
+        }
+    }
+}
+
+/// The per-rank mode-register file, extended with the SAM-IO register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct ModeRegisters {
+    io_mode: IoMode,
+    /// SAM-sub's single stride-enable bit (Section 5.3).
+    sub_stride: bool,
+}
+
+impl ModeRegisters {
+    /// Creates the register file in the default (x4, regular) configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current I/O mode.
+    pub fn io_mode(&self) -> IoMode {
+        self.io_mode
+    }
+
+    /// Whether the SAM-sub stride bit is set.
+    pub fn sub_stride(&self) -> bool {
+        self.sub_stride
+    }
+
+    /// Applies an MRS write of the I/O mode register. Returns `true` if the
+    /// mode actually changed (and thus a driver-switch delay applies).
+    pub fn set_io_mode(&mut self, mode: IoMode) -> bool {
+        let changed = self.io_mode != mode;
+        self.io_mode = mode;
+        changed
+    }
+
+    /// Sets SAM-sub's stride bit. Returns `true` if it changed.
+    pub fn set_sub_stride(&mut self, enabled: bool) -> bool {
+        let changed = self.sub_stride != enabled;
+        self.sub_stride = enabled;
+        changed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stride_modes_enable_one_driver_per_buffer() {
+        for n in 0..4u8 {
+            let drivers = IoMode::Sx4(n).enabled_drivers();
+            assert_eq!(drivers.len(), 4);
+            // One driver in each group of four, at offset n.
+            for (buf, d) in drivers.iter().enumerate() {
+                assert_eq!(*d, buf * 4 + n as usize);
+            }
+        }
+    }
+
+    #[test]
+    fn regular_modes_enable_prefix_drivers() {
+        assert_eq!(IoMode::X4.enabled_drivers(), vec![0, 1, 2, 3]);
+        assert_eq!(IoMode::X8.enabled_drivers().len(), 8);
+        assert_eq!(IoMode::X16.enabled_drivers().len(), 16);
+    }
+
+    #[test]
+    fn register_bits_are_distinct_and_7_wide() {
+        let mut seen = [false; 7];
+        for mode in IoMode::ALL {
+            let bit = mode.register_bit() as usize;
+            assert!(bit < 7);
+            assert!(!seen[bit], "duplicate register bit {bit}");
+            seen[bit] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn stride_detection() {
+        assert!(IoMode::Sx4(2).is_stride());
+        assert!(!IoMode::X4.is_stride());
+    }
+
+    #[test]
+    fn mode_switch_reports_change() {
+        let mut regs = ModeRegisters::new();
+        assert_eq!(regs.io_mode(), IoMode::X4);
+        assert!(regs.set_io_mode(IoMode::Sx4(1)));
+        assert!(!regs.set_io_mode(IoMode::Sx4(1)), "same mode: no switch");
+        assert!(regs.set_io_mode(IoMode::X4));
+    }
+
+    #[test]
+    fn sub_stride_bit_toggles() {
+        let mut regs = ModeRegisters::new();
+        assert!(!regs.sub_stride());
+        assert!(regs.set_sub_stride(true));
+        assert!(!regs.set_sub_stride(true));
+        assert!(regs.sub_stride());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(IoMode::Sx4(3).to_string(), "Sx4_3");
+        assert_eq!(IoMode::X16.to_string(), "x16");
+    }
+
+    #[test]
+    fn bits_per_beat_by_mode() {
+        assert_eq!(IoMode::X4.bits_per_beat(), 4);
+        assert_eq!(IoMode::Sx4(0).bits_per_beat(), 4);
+        assert_eq!(IoMode::X8.bits_per_beat(), 8);
+        assert_eq!(IoMode::X16.bits_per_beat(), 16);
+    }
+}

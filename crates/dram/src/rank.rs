@@ -1,0 +1,224 @@
+//! Per-rank timing state: tRRD/tFAW activation windows, tCCD column gating,
+//! write-to-read turnaround, and the I/O mode register with its switch delay.
+
+use std::collections::VecDeque;
+
+use crate::moderegs::{IoMode, ModeRegisters};
+use crate::timing::TimingParams;
+use crate::Cycle;
+
+/// Timing state shared by all banks of one rank.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankState {
+    bank_groups: usize,
+    /// Issue times of the most recent four ACTs (tFAW window).
+    act_window: VecDeque<Cycle>,
+    /// Last ACT per bank group (tRRD_L) and rank-wide (tRRD_S).
+    last_act_per_bg: Vec<Option<Cycle>>,
+    last_act_any: Option<Cycle>,
+    /// Last column command per bank group (tCCD_L) and rank-wide (tCCD_S).
+    last_col_per_bg: Vec<Option<Cycle>>,
+    last_col_any: Option<Cycle>,
+    /// End of the last write's data on the bus, per bank group and rank-wide
+    /// (write-to-read turnaround).
+    last_wr_end_per_bg: Vec<Option<Cycle>>,
+    last_wr_end_any: Option<Cycle>,
+    /// Mode registers and the cycle from which data commands may use the
+    /// newly selected I/O mode.
+    mode_regs: ModeRegisters,
+    mode_ready: Cycle,
+    /// Statistics: number of I/O mode switches performed.
+    pub mode_switches: u64,
+}
+
+impl RankState {
+    /// Creates an idle rank with `bank_groups` bank groups.
+    pub fn new(bank_groups: usize) -> Self {
+        Self {
+            bank_groups,
+            act_window: VecDeque::with_capacity(4),
+            last_act_per_bg: vec![None; bank_groups],
+            last_act_any: None,
+            last_col_per_bg: vec![None; bank_groups],
+            last_col_any: None,
+            last_wr_end_per_bg: vec![None; bank_groups],
+            last_wr_end_any: None,
+            mode_regs: ModeRegisters::new(),
+            mode_ready: 0,
+            mode_switches: 0,
+        }
+    }
+
+    /// Current I/O mode of the rank's chips.
+    pub fn io_mode(&self) -> IoMode {
+        self.mode_regs.io_mode()
+    }
+
+    /// Earliest cycle an ACT to `bank_group` satisfies tRRD_S/L and tFAW.
+    pub fn earliest_act(&self, bank_group: usize, now: Cycle, t: &TimingParams) -> Cycle {
+        let mut at = now;
+        if let Some(last) = self.last_act_any {
+            at = at.max(last + t.rrd_s);
+        }
+        if let Some(last) = self.last_act_per_bg[bank_group] {
+            at = at.max(last + t.rrd_l);
+        }
+        if self.act_window.len() == 4 {
+            at = at.max(self.act_window[0] + t.faw);
+        }
+        at
+    }
+
+    /// Records an ACT at `at`.
+    pub fn record_act(&mut self, bank_group: usize, at: Cycle) {
+        if self.act_window.len() == 4 {
+            self.act_window.pop_front();
+        }
+        self.act_window.push_back(at);
+        self.last_act_per_bg[bank_group] = Some(at);
+        self.last_act_any = Some(at);
+    }
+
+    /// Earliest cycle a column command to `bank_group` satisfies tCCD_S/L,
+    /// write-to-read turnaround, and any pending mode switch.
+    pub fn earliest_col(
+        &self,
+        bank_group: usize,
+        is_read: bool,
+        now: Cycle,
+        t: &TimingParams,
+    ) -> Cycle {
+        let mut at = now.max(self.mode_ready);
+        if let Some(last) = self.last_col_any {
+            at = at.max(last + t.ccd_s);
+        }
+        if let Some(last) = self.last_col_per_bg[bank_group] {
+            at = at.max(last + t.ccd_l);
+        }
+        if is_read {
+            if let Some(end) = self.last_wr_end_any {
+                at = at.max(end + t.wtr_s);
+            }
+            if let Some(end) = self.last_wr_end_per_bg[bank_group] {
+                at = at.max(end + t.wtr_l);
+            }
+        }
+        at
+    }
+
+    /// Records a column command at `at`.
+    pub fn record_col(&mut self, bank_group: usize, is_write: bool, at: Cycle, t: &TimingParams) {
+        self.last_col_per_bg[bank_group] = Some(at);
+        self.last_col_any = Some(at);
+        if is_write {
+            let data_end = at + t.cwl + t.burst;
+            self.last_wr_end_per_bg[bank_group] = Some(data_end);
+            self.last_wr_end_any = Some(data_end);
+        }
+    }
+
+    /// Applies an MRS switching the I/O mode at `at`. Returns `true` if the
+    /// mode changed; data commands must then wait until `at + tRTR`
+    /// (Section 5.3 equates the driver switch with a rank-to-rank switch).
+    pub fn apply_mrs(&mut self, mode: IoMode, at: Cycle, t: &TimingParams) -> bool {
+        let changed = self.mode_regs.set_io_mode(mode);
+        if changed {
+            self.mode_ready = self.mode_ready.max(at + t.rtr);
+            self.mode_switches += 1;
+        }
+        changed
+    }
+
+    /// Cycle from which data commands may run under the current mode.
+    pub fn mode_ready(&self) -> Cycle {
+        self.mode_ready
+    }
+
+    /// Number of configured bank groups.
+    pub fn bank_groups(&self) -> usize {
+        self.bank_groups
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> TimingParams {
+        TimingParams::ddr4_2400()
+    }
+
+    #[test]
+    fn trrd_short_and_long() {
+        let t = t();
+        let mut r = RankState::new(4);
+        r.record_act(0, 100);
+        // Same bank group: tRRD_L.
+        assert_eq!(r.earliest_act(0, 100, &t), 100 + t.rrd_l);
+        // Different bank group: tRRD_S.
+        assert_eq!(r.earliest_act(1, 100, &t), 100 + t.rrd_s);
+    }
+
+    #[test]
+    fn tfaw_limits_fifth_activate() {
+        let t = t();
+        let mut r = RankState::new(4);
+        // Four ACTs as fast as tRRD_S allows, rotating bank groups.
+        let mut at = 0;
+        for i in 0..4 {
+            at = r.earliest_act(i % 4, at, &t);
+            r.record_act(i % 4, at);
+        }
+        let fifth = r.earliest_act(0, at, &t);
+        assert!(
+            fifth >= t.faw,
+            "fifth ACT at {fifth} must respect tFAW {}",
+            t.faw
+        );
+    }
+
+    #[test]
+    fn tccd_short_and_long() {
+        let t = t();
+        let mut r = RankState::new(4);
+        r.record_col(2, false, 50, &t);
+        assert_eq!(r.earliest_col(2, true, 50, &t), 50 + t.ccd_l);
+        assert_eq!(r.earliest_col(3, true, 50, &t), 50 + t.ccd_s);
+    }
+
+    #[test]
+    fn write_to_read_turnaround() {
+        let t = t();
+        let mut r = RankState::new(4);
+        r.record_col(1, true, 10, &t);
+        let data_end = 10 + t.cwl + t.burst;
+        // Read in the same bank group: WTR_L dominates over CCD if later.
+        let same_bg = r.earliest_col(1, true, 10, &t);
+        assert_eq!(same_bg, (data_end + t.wtr_l).max(10 + t.ccd_l));
+        // Write after write: no WTR, only CCD.
+        let wr_after = r.earliest_col(1, false, 10, &t);
+        assert_eq!(wr_after, 10 + t.ccd_l);
+    }
+
+    #[test]
+    fn mode_switch_blocks_columns_for_trtr() {
+        let t = t();
+        let mut r = RankState::new(4);
+        assert!(r.apply_mrs(IoMode::Sx4(2), 100, &t));
+        assert_eq!(r.io_mode(), IoMode::Sx4(2));
+        assert_eq!(r.earliest_col(0, true, 100, &t), 100 + t.rtr);
+        assert_eq!(r.mode_switches, 1);
+        // Re-selecting the same mode is free.
+        assert!(!r.apply_mrs(IoMode::Sx4(2), 200, &t));
+        assert_eq!(r.mode_switches, 1);
+    }
+
+    #[test]
+    fn fresh_rank_has_no_constraints() {
+        let t = t();
+        let r = RankState::new(4);
+        assert_eq!(r.earliest_act(0, 7, &t), 7);
+        assert_eq!(r.earliest_col(0, true, 7, &t), 7);
+        assert_eq!(r.io_mode(), IoMode::X4);
+    }
+}

@@ -1,0 +1,251 @@
+//! Functional model of SAM-sub's column-wise subarrays (Section 4.1).
+//!
+//! A bank is a grid of mats; each mat is a small 2D cell array whose local
+//! row buffer talks to the global sense amplifiers through helper flip-flops
+//! (HFFs) of 4 or 8 bits. A conventional access activates one *row-wise
+//! subarray* (all mats in one mat-row) and gathers one word from each mat.
+//! SAM-sub adds row-oriented bitlines between the HFFs so that all mats in
+//! one mat-*column* (a *column-wise subarray*) can be activated instead,
+//! gathering vertically — which is exactly a strided access when records are
+//! aligned to rows.
+//!
+//! The model is bit-exact on data movement; its timing is identical in both
+//! directions (the paper: "SAM-sub tends to cost the same power for accesses
+//! to row-wise subarray and column-wise subarray because of the symmetric
+//! data path").
+
+/// Width of a helper flip-flop in bits (configurable at manufacturing to 4
+/// or 8; this determines SAM-sub's strided granularity — Section 4.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HffWidth {
+    /// 4-bit HFFs (matches SSC-DSD's 4-bit symbols).
+    W4,
+    /// 8-bit HFFs (matches SSC's 8-bit symbols).
+    W8,
+}
+
+impl HffWidth {
+    /// The width in bits.
+    pub fn bits(self) -> usize {
+        match self {
+            HffWidth::W4 => 4,
+            HffWidth::W8 => 8,
+        }
+    }
+}
+
+/// A grid of mats forming one bank, with data stored per (mat, local row,
+/// word) for gather experiments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MatGrid {
+    mat_rows: usize,
+    mat_cols: usize,
+    rows_per_mat: usize,
+    words_per_row: usize,
+    hff: HffWidth,
+    /// `data[mr][mc][local_row][word]`, each word `hff.bits()` wide.
+    data: Vec<Vec<Vec<Vec<u8>>>>,
+}
+
+impl MatGrid {
+    /// Creates a zeroed grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(
+        mat_rows: usize,
+        mat_cols: usize,
+        rows_per_mat: usize,
+        words_per_row: usize,
+        hff: HffWidth,
+    ) -> Self {
+        assert!(
+            mat_rows > 0 && mat_cols > 0 && rows_per_mat > 0 && words_per_row > 0,
+            "all grid dimensions must be positive"
+        );
+        let data = vec![vec![vec![vec![0u8; words_per_row]; rows_per_mat]; mat_cols]; mat_rows];
+        Self {
+            mat_rows,
+            mat_cols,
+            rows_per_mat,
+            words_per_row,
+            hff,
+            data,
+        }
+    }
+
+    /// Number of mat rows (row-wise subarrays).
+    pub fn mat_rows(&self) -> usize {
+        self.mat_rows
+    }
+
+    /// Number of mat columns (column-wise subarrays).
+    pub fn mat_cols(&self) -> usize {
+        self.mat_cols
+    }
+
+    /// HFF width (strided granularity of this bank).
+    pub fn hff_width(&self) -> HffWidth {
+        self.hff
+    }
+
+    /// Writes one word.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any out-of-range index or a word wider than the HFF.
+    pub fn write_word(
+        &mut self,
+        mat_row: usize,
+        mat_col: usize,
+        local_row: usize,
+        word: usize,
+        value: u8,
+    ) {
+        assert!(
+            mat_row < self.mat_rows && mat_col < self.mat_cols,
+            "mat index out of range"
+        );
+        assert!(
+            local_row < self.rows_per_mat && word < self.words_per_row,
+            "cell index out of range"
+        );
+        let mask = ((1u16 << self.hff.bits()) - 1) as u8;
+        assert_eq!(value & !mask, 0, "value wider than HFF width");
+        self.data[mat_row][mat_col][local_row][word] = value;
+    }
+
+    /// Reads one word.
+    pub fn read_word(&self, mat_row: usize, mat_col: usize, local_row: usize, word: usize) -> u8 {
+        self.data[mat_row][mat_col][local_row][word]
+    }
+
+    /// A conventional access: activates row-wise subarray `mat_row` at
+    /// `local_row` and gathers word `word` from every mat in that mat-row
+    /// into the global row buffer, left to right.
+    pub fn gather_row_wise(&self, mat_row: usize, local_row: usize, word: usize) -> Vec<u8> {
+        assert!(mat_row < self.mat_rows, "mat_row out of range");
+        (0..self.mat_cols)
+            .map(|mc| self.data[mat_row][mc][local_row][word])
+            .collect()
+    }
+
+    /// A SAM-sub strided access: activates column-wise subarray `mat_col`
+    /// (every mat in that mat-column at `local_row`) and gathers word `word`
+    /// from each into the global *column* buffer, top to bottom.
+    ///
+    /// Each mat is still activated row-wise internally — SAM-sub changes
+    /// only which mats participate, not the mat internals (Section 4.1).
+    pub fn gather_column_wise(&self, mat_col: usize, local_row: usize, word: usize) -> Vec<u8> {
+        assert!(mat_col < self.mat_cols, "mat_col out of range");
+        (0..self.mat_rows)
+            .map(|mr| self.data[mr][mat_col][local_row][word])
+            .collect()
+    }
+
+    /// Scatter counterpart of [`Self::gather_column_wise`] (strided write).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != mat_rows` or any value exceeds HFF width.
+    pub fn scatter_column_wise(
+        &mut self,
+        mat_col: usize,
+        local_row: usize,
+        word: usize,
+        values: &[u8],
+    ) {
+        assert_eq!(
+            values.len(),
+            self.mat_rows,
+            "one value per mat in the column"
+        );
+        for (mr, &v) in values.iter().enumerate() {
+            self.write_word(mr, mat_col, local_row, word, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> MatGrid {
+        let mut g = MatGrid::new(4, 8, 16, 4, HffWidth::W8);
+        for mr in 0..4 {
+            for mc in 0..8 {
+                for lr in 0..16 {
+                    for w in 0..4 {
+                        g.write_word(mr, mc, lr, w, ((mr * 64 + mc * 8 + lr * 2 + w) % 251) as u8);
+                    }
+                }
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn row_wise_gather_matches_cells() {
+        let g = grid();
+        let out = g.gather_row_wise(2, 5, 1);
+        assert_eq!(out.len(), 8);
+        for (mc, &v) in out.iter().enumerate() {
+            assert_eq!(v, g.read_word(2, mc, 5, 1));
+        }
+    }
+
+    #[test]
+    fn column_wise_gather_is_strided() {
+        let g = grid();
+        let out = g.gather_column_wise(3, 7, 2);
+        assert_eq!(out.len(), 4);
+        for (mr, &v) in out.iter().enumerate() {
+            assert_eq!(v, g.read_word(mr, 3, 7, 2));
+        }
+    }
+
+    #[test]
+    fn row_and_column_gathers_cross_at_shared_mat() {
+        // The value at (mr, mc) appears in both the row-wise gather of mr and
+        // the column-wise gather of mc at the same position indices.
+        let g = grid();
+        let row = g.gather_row_wise(1, 3, 0);
+        let col = g.gather_column_wise(5, 3, 0);
+        assert_eq!(row[5], col[1]);
+    }
+
+    #[test]
+    fn scatter_then_gather_roundtrip() {
+        let mut g = grid();
+        let values = [9u8, 8, 7, 6];
+        g.scatter_column_wise(2, 4, 3, &values);
+        assert_eq!(g.gather_column_wise(2, 4, 3), values);
+    }
+
+    #[test]
+    fn hff_width_limits_values() {
+        let mut g = MatGrid::new(2, 2, 2, 2, HffWidth::W4);
+        g.write_word(0, 0, 0, 0, 0xF); // fits
+        assert_eq!(g.hff_width().bits(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "wider than HFF")]
+    fn oversized_word_panics() {
+        let mut g = MatGrid::new(2, 2, 2, 2, HffWidth::W4);
+        g.write_word(0, 0, 0, 0, 0x10);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must be positive")]
+    fn zero_dimension_panics() {
+        MatGrid::new(0, 1, 1, 1, HffWidth::W8);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn gather_bad_column_panics() {
+        grid().gather_column_wise(8, 0, 0);
+    }
+}

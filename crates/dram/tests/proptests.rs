@@ -1,0 +1,161 @@
+//! Property-based tests of the device timing model: for arbitrary legal
+//! command streams, `earliest_issue` must be self-consistent (issuing at
+//! the earliest time never violates timing) and data bursts must never
+//! overlap on the bus.
+
+use proptest::prelude::*;
+use sam_dram::command::Command;
+use sam_dram::device::{DeviceConfig, MemoryDevice};
+use sam_dram::iobuf::{deserialize_stride, deserialize_x4, IoBuffer};
+use sam_dram::moderegs::IoMode;
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Activate {
+        rank: usize,
+        bg: usize,
+        bank: usize,
+        row: u64,
+    },
+    Column {
+        rank: usize,
+        bg: usize,
+        bank: usize,
+        col: u64,
+        write: bool,
+    },
+    Precharge {
+        rank: usize,
+        bg: usize,
+        bank: usize,
+    },
+    Refresh {
+        rank: usize,
+    },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0usize..2, 0usize..4, 0usize..4, 0u64..64).prop_map(|(rank, bg, bank, row)| {
+            Op::Activate {
+                rank,
+                bg,
+                bank,
+                row,
+            }
+        }),
+        (0usize..2, 0usize..4, 0usize..4, 0u64..128, any::<bool>()).prop_map(
+            |(rank, bg, bank, col, write)| Op::Column {
+                rank,
+                bg,
+                bank,
+                col,
+                write
+            }
+        ),
+        (0usize..2, 0usize..4, 0usize..4).prop_map(|(rank, bg, bank)| Op::Precharge {
+            rank,
+            bg,
+            bank
+        }),
+        (0usize..2).prop_map(|rank| Op::Refresh { rank }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn earliest_issue_is_always_legal(ops in proptest::collection::vec(op_strategy(), 1..80)) {
+        let mut dev = MemoryDevice::new(DeviceConfig::ddr4_server());
+        let mut now = 0u64;
+        let mut bus_intervals: Vec<(u64, u64)> = Vec::new();
+        let t = dev.config().timing;
+        for op in ops {
+            match op {
+                Op::Activate { rank, bg, bank, row } => {
+                    if dev.open_row(rank, bg, bank).is_none() {
+                        let cmd = Command::act(rank, bg, bank, row);
+                        let at = dev.earliest_issue(&cmd, now);
+                        prop_assert!(dev.issue(&cmd, at).is_ok(), "ACT at earliest must succeed");
+                        now = now.max(at);
+                    }
+                }
+                Op::Column { rank, bg, bank, col, write } => {
+                    if dev.open_row(rank, bg, bank).is_some() {
+                        let row = dev.open_row(rank, bg, bank).unwrap();
+                        let cmd = if write {
+                            Command::write(rank, bg, bank, row, col, false)
+                        } else {
+                            Command::read(rank, bg, bank, row, col, false)
+                        };
+                        let at = dev.earliest_issue(&cmd, now);
+                        let done = dev.issue(&cmd, at).unwrap();
+                        let lat = if write { t.cwl } else { t.cl };
+                        bus_intervals.push((at + lat, done));
+                        now = now.max(at);
+                    }
+                }
+                Op::Precharge { rank, bg, bank } => {
+                    let cmd = Command::pre(rank, bg, bank);
+                    let at = dev.earliest_issue(&cmd, now);
+                    prop_assert!(dev.issue(&cmd, at).is_ok());
+                    now = now.max(at);
+                }
+                Op::Refresh { rank } => {
+                    let cmd = Command::refresh(rank);
+                    let at = dev.earliest_issue(&cmd, now);
+                    prop_assert!(dev.issue(&cmd, at).is_ok());
+                    now = now.max(at);
+                }
+            }
+        }
+        // No two data bursts may overlap on the shared bus.
+        bus_intervals.sort_unstable();
+        for w in bus_intervals.windows(2) {
+            prop_assert!(w[0].1 <= w[1].0, "bus overlap: {:?} then {:?}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn io_buffer_x4_roundtrip(word in any::<u32>()) {
+        let mut buf = IoBuffer::new();
+        buf.load_x4(word);
+        prop_assert_eq!(deserialize_x4(&buf.read_burst(IoMode::X4)), word);
+    }
+
+    #[test]
+    fn io_buffer_stride_gathers_correct_bytes(wide in any::<u128>(), lane in 0u8..4) {
+        let mut buf = IoBuffer::new();
+        buf.load_wide(wide);
+        let bytes = deserialize_stride(&buf.read_burst(IoMode::Sx4(lane)));
+        for (b, byte) in bytes.iter().enumerate() {
+            let word = (wide >> (32 * b)) as u32;
+            prop_assert_eq!(*byte, (word >> (8 * lane as usize)) as u8);
+        }
+    }
+
+    #[test]
+    fn en_stride_covers_all_blocks_once(wide in any::<u128>()) {
+        // Reading all four columns of the 2D buffer recovers every 2-bit
+        // block exactly once.
+        let mut buf = IoBuffer::new();
+        buf.load_wide(wide);
+        let mut recovered = [[0u8; 4]; 4]; // [buffer][lane]
+        for col in 0..4 {
+            let beats = buf.read_en_stride(col);
+            for b in 0..4 {
+                for l in 0..4 {
+                    let bit0 = (beats[2 * b] >> l) & 1;
+                    let bit1 = (beats[2 * b + 1] >> l) & 1;
+                    recovered[b][l] |= (bit0 | (bit1 << 1)) << (2 * col);
+                }
+            }
+        }
+        for b in 0..4 {
+            for l in 0..4 {
+                prop_assert_eq!(recovered[b][l], buf.lane(b, l));
+            }
+        }
+    }
+}

@@ -1,0 +1,305 @@
+//! Galois-field arithmetic for the chipkill codes.
+//!
+//! Two fields are needed: GF(2^8) for SSC (8-bit symbols, one per x4 chip per
+//! two beats — Figure 4(b)) and GF(2^4) for SSC-DSD (4-bit symbols, one per
+//! chip per beat). Both are implemented with log/antilog tables built at
+//! construction time from a primitive polynomial.
+
+/// GF(2^8) with the primitive polynomial x^8 + x^4 + x^3 + x^2 + 1 (0x11D),
+/// the field used by most Reed–Solomon deployments.
+#[derive(Debug, Clone)]
+pub struct Gf256 {
+    log: [u8; 256],
+    exp: [u8; 512],
+}
+
+impl Gf256 {
+    /// Field order (number of elements).
+    pub const ORDER: usize = 256;
+
+    /// Builds the log/antilog tables.
+    pub fn new() -> Self {
+        let mut log = [0u8; 256];
+        let mut exp = [0u8; 512];
+        let mut x: u16 = 1;
+        for i in 0..255 {
+            exp[i] = x as u8;
+            log[x as usize] = i as u8;
+            x <<= 1;
+            if x & 0x100 != 0 {
+                x ^= 0x11D;
+            }
+        }
+        for i in 255..512 {
+            exp[i] = exp[i - 255];
+        }
+        Self { log, exp }
+    }
+
+    /// Adds two field elements (XOR in characteristic 2).
+    #[inline]
+    pub fn add(&self, a: u8, b: u8) -> u8 {
+        a ^ b
+    }
+
+    /// Multiplies two field elements.
+    #[inline]
+    pub fn mul(&self, a: u8, b: u8) -> u8 {
+        if a == 0 || b == 0 {
+            0
+        } else {
+            self.exp[self.log[a as usize] as usize + self.log[b as usize] as usize]
+        }
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == 0` (zero has no inverse).
+    #[inline]
+    pub fn inv(&self, a: u8) -> u8 {
+        assert!(a != 0, "zero has no multiplicative inverse");
+        self.exp[255 - self.log[a as usize] as usize]
+    }
+
+    /// Divides `a` by `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b == 0`.
+    #[inline]
+    pub fn div(&self, a: u8, b: u8) -> u8 {
+        self.mul(a, self.inv(b))
+    }
+
+    /// `alpha^power` for the primitive element alpha = 0x02.
+    #[inline]
+    pub fn alpha_pow(&self, power: usize) -> u8 {
+        self.exp[power % 255]
+    }
+
+    /// Discrete logarithm base alpha.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == 0`.
+    #[inline]
+    pub fn log(&self, a: u8) -> u8 {
+        assert!(a != 0, "log of zero is undefined");
+        self.log[a as usize]
+    }
+}
+
+impl Default for Gf256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// GF(2^4) with the primitive polynomial x^4 + x + 1 (0x13).
+///
+/// Elements are the low nibble of a `u8`; the high nibble must be zero.
+#[derive(Debug, Clone)]
+pub struct Gf16 {
+    log: [u8; 16],
+    exp: [u8; 32],
+}
+
+impl Gf16 {
+    /// Field order (number of elements).
+    pub const ORDER: usize = 16;
+
+    /// Builds the log/antilog tables.
+    pub fn new() -> Self {
+        let mut log = [0u8; 16];
+        let mut exp = [0u8; 32];
+        let mut x: u8 = 1;
+        for i in 0..15 {
+            exp[i] = x;
+            log[x as usize] = i as u8;
+            x <<= 1;
+            if x & 0x10 != 0 {
+                x ^= 0x13;
+            }
+        }
+        for i in 15..32 {
+            exp[i] = exp[i - 15];
+        }
+        Self { log, exp }
+    }
+
+    /// Adds two field elements (XOR).
+    #[inline]
+    pub fn add(&self, a: u8, b: u8) -> u8 {
+        debug_assert!(a < 16 && b < 16);
+        a ^ b
+    }
+
+    /// Multiplies two field elements.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics if an operand is not a valid nibble.
+    #[inline]
+    pub fn mul(&self, a: u8, b: u8) -> u8 {
+        debug_assert!(a < 16 && b < 16);
+        if a == 0 || b == 0 {
+            0
+        } else {
+            self.exp[self.log[a as usize] as usize + self.log[b as usize] as usize]
+        }
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == 0`.
+    #[inline]
+    pub fn inv(&self, a: u8) -> u8 {
+        assert!(a != 0 && a < 16, "invalid operand for GF(16) inverse: {a}");
+        self.exp[15 - self.log[a as usize] as usize]
+    }
+
+    /// Divides `a` by `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b == 0`.
+    #[inline]
+    pub fn div(&self, a: u8, b: u8) -> u8 {
+        self.mul(a, self.inv(b))
+    }
+
+    /// `alpha^power` for the primitive element alpha = 0x2.
+    #[inline]
+    pub fn alpha_pow(&self, power: usize) -> u8 {
+        self.exp[power % 15]
+    }
+
+    /// Discrete logarithm base alpha.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == 0`.
+    #[inline]
+    pub fn log(&self, a: u8) -> u8 {
+        assert!(a != 0 && a < 16, "log of zero is undefined");
+        self.log[a as usize]
+    }
+}
+
+impl Default for Gf16 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gf256_mul_identity_and_zero() {
+        let f = Gf256::new();
+        for a in 0..=255u8 {
+            assert_eq!(f.mul(a, 1), a);
+            assert_eq!(f.mul(a, 0), 0);
+            assert_eq!(f.mul(0, a), 0);
+        }
+    }
+
+    #[test]
+    fn gf256_inverse_roundtrip() {
+        let f = Gf256::new();
+        for a in 1..=255u8 {
+            assert_eq!(f.mul(a, f.inv(a)), 1, "inv failed for {a}");
+        }
+    }
+
+    #[test]
+    fn gf256_mul_commutative_associative_distributive() {
+        let f = Gf256::new();
+        // Spot-check algebraic laws over a sample grid.
+        for a in (0..=255u8).step_by(17) {
+            for b in (0..=255u8).step_by(23) {
+                assert_eq!(f.mul(a, b), f.mul(b, a));
+                for c in (0..=255u8).step_by(51) {
+                    assert_eq!(f.mul(f.mul(a, b), c), f.mul(a, f.mul(b, c)));
+                    assert_eq!(f.mul(a, f.add(b, c)), f.add(f.mul(a, b), f.mul(a, c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gf256_alpha_generates_field() {
+        let f = Gf256::new();
+        let mut seen = [false; 256];
+        for p in 0..255 {
+            let v = f.alpha_pow(p);
+            assert!(!seen[v as usize], "alpha^{p} repeats");
+            seen[v as usize] = true;
+        }
+        assert!(!seen[0], "alpha powers never hit zero");
+    }
+
+    #[test]
+    fn gf256_log_exp_roundtrip() {
+        let f = Gf256::new();
+        for a in 1..=255u8 {
+            assert_eq!(f.alpha_pow(f.log(a) as usize), a);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no multiplicative inverse")]
+    fn gf256_inv_zero_panics() {
+        Gf256::new().inv(0);
+    }
+
+    #[test]
+    fn gf16_inverse_roundtrip() {
+        let f = Gf16::new();
+        for a in 1..16u8 {
+            assert_eq!(f.mul(a, f.inv(a)), 1);
+        }
+    }
+
+    #[test]
+    fn gf16_alpha_generates_field() {
+        let f = Gf16::new();
+        let mut seen = [false; 16];
+        for p in 0..15 {
+            let v = f.alpha_pow(p);
+            assert!(!seen[v as usize]);
+            seen[v as usize] = true;
+        }
+    }
+
+    #[test]
+    fn gf16_full_multiplication_laws() {
+        let f = Gf16::new();
+        for a in 0..16u8 {
+            for b in 0..16u8 {
+                assert_eq!(f.mul(a, b), f.mul(b, a));
+                for c in 0..16u8 {
+                    assert_eq!(f.mul(f.mul(a, b), c), f.mul(a, f.mul(b, c)));
+                    assert_eq!(f.mul(a, f.add(b, c)), f.add(f.mul(a, b), f.mul(a, c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gf16_div_matches_mul_inv() {
+        let f = Gf16::new();
+        for a in 0..16u8 {
+            for b in 1..16u8 {
+                assert_eq!(f.div(a, b), f.mul(a, f.inv(b)));
+                assert_eq!(f.mul(f.div(a, b), b), a);
+            }
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! Fault injection and reliability evaluation.
+//!
+//! Reproduces the "Reliability" row of Table 1 as an executable experiment:
+//! inject chip-level (chipkill), pin-level, and single-bit faults into bursts
+//! encoded under each design's codeword layout and classify the outcome.
+
+use crate::codes::SscCode;
+use crate::layout::{decode_line, encode_line, Burst, CodewordLayout, CHIPS, PINS};
+use sam_util::rng::Xoshiro256StarStar;
+
+/// A fault to inject into a burst in flight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Fault {
+    /// An entire chip returns corrupted data (the chipkill scenario).
+    ChipFailure {
+        /// Which of the 18 chips fails.
+        chip: usize,
+    },
+    /// A single DQ (pin) is corrupted across the burst.
+    PinFailure {
+        /// Which of the 72 pins fails.
+        pin: usize,
+    },
+    /// One bit of one beat flips (transient error).
+    SingleBit {
+        /// Beat index (0..8).
+        beat: usize,
+        /// Pin index (0..72).
+        pin: usize,
+    },
+}
+
+/// Outcome of a fault-injection trial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Outcome {
+    /// Data decoded correctly (error corrected or fault was masked).
+    Corrected,
+    /// Decoder flagged the error; data not silently wrong.
+    Detected,
+    /// Decoder returned wrong data without flagging — the failure mode the
+    /// paper's reliability goal forbids.
+    SilentCorruption,
+    /// The layout cannot perform ECC at all (GS-DRAM strided gather).
+    Unprotected,
+}
+
+/// Injects `fault` into an encoded 64-byte line and classifies the result.
+///
+/// `rng` drives the corruption pattern so campaigns can sweep many patterns.
+pub fn run_trial(
+    code: &SscCode,
+    layout: CodewordLayout,
+    line: &[u8; 64],
+    fault: Fault,
+    rng: &mut Xoshiro256StarStar,
+) -> Outcome {
+    if !layout.codewords_complete() {
+        return Outcome::Unprotected;
+    }
+    let mut burst = encode_line(code, line, layout);
+    apply_fault(&mut burst, fault, rng);
+    match decode_line(code, &burst, layout) {
+        Ok(decoded) if decoded == *line => Outcome::Corrected,
+        Ok(_) => Outcome::SilentCorruption,
+        Err(_) => Outcome::Detected,
+    }
+}
+
+/// Applies `fault` to `burst` with an RNG-chosen corruption pattern.
+pub fn apply_fault(burst: &mut Burst, fault: Fault, rng: &mut Xoshiro256StarStar) {
+    match fault {
+        Fault::ChipFailure { chip } => {
+            assert!(chip < CHIPS, "chip {chip} out of range");
+            // Guarantee at least one corrupted bit.
+            let mut pattern = 0u128;
+            while pattern & 0xFFFF_FFFF == 0 {
+                pattern = rng.next_u64() as u128 | ((rng.next_u64() as u128) << 64);
+            }
+            burst.kill_chip(chip, pattern);
+        }
+        Fault::PinFailure { pin } => {
+            assert!(pin < PINS, "pin {pin} out of range");
+            let mut pattern = 0u8;
+            while pattern == 0 {
+                pattern = rng.next_below(256) as u8;
+            }
+            burst.kill_pin(pin, pattern);
+        }
+        Fault::SingleBit { beat, pin } => {
+            let old = burst.bit(beat, pin);
+            burst.set_bit(beat, pin, !old);
+        }
+    }
+}
+
+/// Aggregate results of a fault-injection campaign.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CampaignReport {
+    /// Trials whose data decoded correctly.
+    pub corrected: u64,
+    /// Trials flagged uncorrectable (no silent corruption).
+    pub detected: u64,
+    /// Trials that silently returned wrong data.
+    pub silent: u64,
+    /// Trials where the layout offered no protection at all.
+    pub unprotected: u64,
+}
+
+impl CampaignReport {
+    /// Total number of trials recorded.
+    pub fn total(&self) -> u64 {
+        self.corrected + self.detected + self.silent + self.unprotected
+    }
+
+    /// Records one outcome.
+    pub fn record(&mut self, outcome: Outcome) {
+        match outcome {
+            Outcome::Corrected => self.corrected += 1,
+            Outcome::Detected => self.detected += 1,
+            Outcome::SilentCorruption => self.silent += 1,
+            Outcome::Unprotected => self.unprotected += 1,
+        }
+    }
+
+    /// Whether the campaign upholds the chipkill guarantee: every trial
+    /// either corrected or (at worst) detected, never silent or unprotected.
+    pub fn chipkill_safe(&self) -> bool {
+        self.silent == 0 && self.unprotected == 0
+    }
+}
+
+/// Runs a chip-failure campaign over every chip with `patterns_per_chip`
+/// random corruption patterns each.
+pub fn chipkill_campaign(
+    code: &SscCode,
+    layout: CodewordLayout,
+    patterns_per_chip: usize,
+    seed: u64,
+) -> CampaignReport {
+    let mut rng = Xoshiro256StarStar::new(seed);
+    let mut report = CampaignReport::default();
+    let mut line = [0u8; 64];
+    for (i, byte) in line.iter_mut().enumerate() {
+        *byte = (i as u8).wrapping_mul(37).wrapping_add(11);
+    }
+    for chip in 0..CHIPS {
+        for _ in 0..patterns_per_chip {
+            let outcome = run_trial(code, layout, &line, Fault::ChipFailure { chip }, &mut rng);
+            report.record(outcome);
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn beat_spread_survives_chipkill_campaign() {
+        let code = SscCode::new();
+        let report = chipkill_campaign(&code, CodewordLayout::BeatSpread, 20, 42);
+        assert_eq!(report.total(), 18 * 20);
+        assert_eq!(report.corrected, report.total());
+        assert!(report.chipkill_safe());
+    }
+
+    #[test]
+    fn transposed_survives_chipkill_campaign() {
+        // The SAM-IO layout keeps chipkill intact (Section 4.2.2).
+        let code = SscCode::new();
+        let report = chipkill_campaign(&code, CodewordLayout::Transposed, 20, 43);
+        assert_eq!(report.corrected, report.total());
+        assert!(report.chipkill_safe());
+    }
+
+    #[test]
+    fn gather_layout_is_unprotected() {
+        // The GS-DRAM strided gather cannot co-fetch ECC (Section 3.3.1).
+        let code = SscCode::new();
+        let report = chipkill_campaign(&code, CodewordLayout::GatherNoEcc, 5, 44);
+        assert_eq!(report.unprotected, report.total());
+        assert!(!report.chipkill_safe());
+    }
+
+    #[test]
+    fn pin_failures_corrected_everywhere_protected() {
+        let code = SscCode::new();
+        let mut rng = Xoshiro256StarStar::new(45);
+        let line = [0xA5u8; 64];
+        for layout in [CodewordLayout::BeatSpread, CodewordLayout::Transposed] {
+            for pin in 0..PINS {
+                let outcome = run_trial(&code, layout, &line, Fault::PinFailure { pin }, &mut rng);
+                assert_eq!(outcome, Outcome::Corrected, "layout {layout:?} pin {pin}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_bit_faults_always_corrected() {
+        let code = SscCode::new();
+        let mut rng = Xoshiro256StarStar::new(46);
+        let line = [0x3Cu8; 64];
+        for beat in 0..8 {
+            for pin in (0..PINS).step_by(5) {
+                let outcome = run_trial(
+                    &code,
+                    CodewordLayout::BeatSpread,
+                    &line,
+                    Fault::SingleBit { beat, pin },
+                    &mut rng,
+                );
+                assert_eq!(outcome, Outcome::Corrected);
+            }
+        }
+    }
+
+    #[test]
+    fn campaign_report_bookkeeping() {
+        let mut r = CampaignReport::default();
+        r.record(Outcome::Corrected);
+        r.record(Outcome::Detected);
+        r.record(Outcome::SilentCorruption);
+        assert_eq!(r.total(), 3);
+        assert!(!r.chipkill_safe());
+    }
+}

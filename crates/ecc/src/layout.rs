@@ -1,0 +1,371 @@
+//! Mapping between DDR4 bursts and ECC codewords (Figure 4).
+//!
+//! A burst is an 8-beat transfer across the channel's pins (72 pins for the
+//! 18-chip x4 server rank). The same 576 transferred bits can be grouped into
+//! codewords in different ways, and the grouping determines whether a chip
+//! failure stays confined to correctable symbols:
+//!
+//! * [`CodewordLayout::BeatSpread`] — the default layout of Figure 4(b): an
+//!   SSC codeword occupies two beats; each chip contributes one 8-bit symbol
+//!   (4 pins x 2 beats). Four codewords per burst. Critical-word-first works
+//!   because a 16B word arrives in the first two beats.
+//! * [`CodewordLayout::Transposed`] — the SAM-IO layout of Figure 4(c): a
+//!   symbol is the 8 bits one DQ sends over the whole burst. Four codewords
+//!   per burst, each built from one DQ of every chip. A chip failure corrupts
+//!   one symbol in each codeword — still single-symbol-correctable — but a
+//!   codeword now spans all 8 beats, so critical-word-first is lost.
+//! * [`CodewordLayout::GatherNoEcc`] — the GS-DRAM strided layout: data
+//!   symbols are gathered from different rows in different chips, and the
+//!   matching ECC symbols live at four different addresses of the parity
+//!   chips that cannot be co-fetched; the codeword is incomplete.
+//!
+//! The [`Burst`] type carries the raw bits; [`extract_codewords`] and
+//! [`scatter_codewords`] convert to and from 18-symbol SSC codewords.
+
+use crate::codes::SscCode;
+
+/// Number of beats in a DDR4 burst (burst length 8).
+pub const BEATS: usize = 8;
+/// Pins in the 18-chip x4 server channel (16 data + 2 parity chips).
+pub const PINS: usize = 72;
+/// Pins driven by each x4 chip.
+pub const PINS_PER_CHIP: usize = 4;
+/// Chips in the rank.
+pub const CHIPS: usize = PINS / PINS_PER_CHIP;
+/// SSC codewords carried by one burst.
+pub const CODEWORDS_PER_BURST: usize = 4;
+
+/// Raw bits of one burst: `bits[beat]` holds [`PINS`] bits (bit `p` = pin `p`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Burst {
+    /// Per-beat pin bits; only the low [`PINS`] bits of each word are used.
+    pub bits: [u128; BEATS],
+}
+
+impl Burst {
+    /// Creates an all-zero burst.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reads the bit sent on `pin` during `beat`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `beat >= 8` or `pin >= 72`.
+    pub fn bit(&self, beat: usize, pin: usize) -> bool {
+        assert!(
+            beat < BEATS && pin < PINS,
+            "beat {beat} pin {pin} out of range"
+        );
+        (self.bits[beat] >> pin) & 1 == 1
+    }
+
+    /// Sets the bit sent on `pin` during `beat`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `beat >= 8` or `pin >= 72`.
+    pub fn set_bit(&mut self, beat: usize, pin: usize, value: bool) {
+        assert!(
+            beat < BEATS && pin < PINS,
+            "beat {beat} pin {pin} out of range"
+        );
+        if value {
+            self.bits[beat] |= 1 << pin;
+        } else {
+            self.bits[beat] &= !(1 << pin);
+        }
+    }
+
+    /// XOR-corrupts every bit a whole chip drives (all 4 pins, all beats) —
+    /// the chipkill fault model.
+    pub fn kill_chip(&mut self, chip: usize, pattern: u128) {
+        assert!(chip < CHIPS, "chip {chip} out of range");
+        for beat in 0..BEATS {
+            let mask = 0xFu128 << (chip * PINS_PER_CHIP);
+            let noise = (pattern >> (beat * 4)) & 0xF;
+            self.bits[beat] ^= (noise << (chip * PINS_PER_CHIP)) & mask;
+        }
+    }
+
+    /// XOR-corrupts one DQ (pin) across all beats.
+    pub fn kill_pin(&mut self, pin: usize, beat_pattern: u8) {
+        assert!(pin < PINS, "pin {pin} out of range");
+        for beat in 0..BEATS {
+            if (beat_pattern >> beat) & 1 == 1 {
+                self.bits[beat] ^= 1 << pin;
+            }
+        }
+    }
+}
+
+/// How codeword symbols map onto the burst.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CodewordLayout {
+    /// Figure 4(b): symbol = one chip's 8 bits over two beats. Default for
+    /// commodity ranks, SAM-sub, SAM-en, and RC-NVM.
+    #[default]
+    BeatSpread,
+    /// Figure 4(c): symbol = one DQ's 8 bits over the whole burst. Used by
+    /// SAM-IO because its I/O buffer stores a codeword symbol along a lane.
+    Transposed,
+    /// GS-DRAM strided gather: ECC symbols cannot be co-fetched; codewords
+    /// are incomplete and cannot be decoded.
+    GatherNoEcc,
+}
+
+impl CodewordLayout {
+    /// Whether this layout preserves critical-word-first ordering
+    /// (Table 1 row "Critical-Word-First").
+    pub fn critical_word_first(self) -> bool {
+        matches!(self, CodewordLayout::BeatSpread)
+    }
+
+    /// Whether complete codewords (data + parity symbols) arrive in the
+    /// burst, i.e. chipkill decoding is possible at all.
+    pub fn codewords_complete(self) -> bool {
+        !matches!(self, CodewordLayout::GatherNoEcc)
+    }
+}
+
+/// Extracts the four 18-symbol SSC codewords from a burst under `layout`.
+///
+/// Returns `None` for [`CodewordLayout::GatherNoEcc`], where the parity
+/// symbols are not present in the burst.
+pub fn extract_codewords(
+    burst: &Burst,
+    layout: CodewordLayout,
+) -> Option<[[u8; CHIPS]; CODEWORDS_PER_BURST]> {
+    match layout {
+        CodewordLayout::BeatSpread => {
+            let mut cws = [[0u8; CHIPS]; CODEWORDS_PER_BURST];
+            for (w, cw) in cws.iter_mut().enumerate() {
+                for (chip, sym) in cw.iter_mut().enumerate() {
+                    let mut s = 0u8;
+                    for half in 0..2 {
+                        let beat = 2 * w + half;
+                        for dq in 0..PINS_PER_CHIP {
+                            if burst.bit(beat, chip * PINS_PER_CHIP + dq) {
+                                s |= 1 << (half * 4 + dq);
+                            }
+                        }
+                    }
+                    *sym = s;
+                }
+            }
+            Some(cws)
+        }
+        CodewordLayout::Transposed => {
+            let mut cws = [[0u8; CHIPS]; CODEWORDS_PER_BURST];
+            for (w, cw) in cws.iter_mut().enumerate() {
+                for (chip, sym) in cw.iter_mut().enumerate() {
+                    // Codeword w takes DQ w of every chip; the symbol is that
+                    // DQ's bits across all 8 beats.
+                    let pin = chip * PINS_PER_CHIP + w;
+                    let mut s = 0u8;
+                    for (beat, bit) in (0..BEATS).map(|b| (b, burst.bit(b, pin))) {
+                        if bit {
+                            s |= 1 << beat;
+                        }
+                    }
+                    *sym = s;
+                }
+            }
+            Some(cws)
+        }
+        CodewordLayout::GatherNoEcc => None,
+    }
+}
+
+/// Writes four 18-symbol codewords into a burst under `layout` (the inverse
+/// of [`extract_codewords`]).
+///
+/// # Panics
+///
+/// Panics for [`CodewordLayout::GatherNoEcc`], which has no complete-codeword
+/// representation.
+pub fn scatter_codewords(
+    cws: &[[u8; CHIPS]; CODEWORDS_PER_BURST],
+    layout: CodewordLayout,
+) -> Burst {
+    let mut burst = Burst::new();
+    match layout {
+        CodewordLayout::BeatSpread => {
+            for (w, cw) in cws.iter().enumerate() {
+                for (chip, &sym) in cw.iter().enumerate() {
+                    for half in 0..2 {
+                        let beat = 2 * w + half;
+                        for dq in 0..PINS_PER_CHIP {
+                            let bit = (sym >> (half * 4 + dq)) & 1 == 1;
+                            burst.set_bit(beat, chip * PINS_PER_CHIP + dq, bit);
+                        }
+                    }
+                }
+            }
+        }
+        CodewordLayout::Transposed => {
+            for (w, cw) in cws.iter().enumerate() {
+                for (chip, &sym) in cw.iter().enumerate() {
+                    let pin = chip * PINS_PER_CHIP + w;
+                    for beat in 0..BEATS {
+                        burst.set_bit(beat, pin, (sym >> beat) & 1 == 1);
+                    }
+                }
+            }
+        }
+        CodewordLayout::GatherNoEcc => {
+            panic!("GatherNoEcc carries no complete codewords to scatter")
+        }
+    }
+    burst
+}
+
+/// Encodes 64 data bytes (one cacheline) into a full burst: each 16-byte
+/// quarter becomes one SSC codeword's data symbols.
+///
+/// # Panics
+///
+/// Panics if `line.len() != 64` or `layout` is `GatherNoEcc`.
+pub fn encode_line(code: &SscCode, line: &[u8], layout: CodewordLayout) -> Burst {
+    assert_eq!(line.len(), 64, "a cacheline is 64 bytes");
+    let mut cws = [[0u8; CHIPS]; CODEWORDS_PER_BURST];
+    for (w, cw) in cws.iter_mut().enumerate() {
+        let chunk = &line[w * 16..(w + 1) * 16];
+        let encoded = code.encode(chunk);
+        cw.copy_from_slice(&encoded);
+    }
+    scatter_codewords(&cws, layout)
+}
+
+/// Decodes a burst back into 64 data bytes, correcting up to one symbol per
+/// codeword.
+///
+/// # Errors
+///
+/// Returns [`crate::EccError::Uncorrectable`] when any codeword is
+/// uncorrectable or the layout cannot deliver complete codewords.
+pub fn decode_line(
+    code: &SscCode,
+    burst: &Burst,
+    layout: CodewordLayout,
+) -> Result<[u8; 64], crate::EccError> {
+    let cws = extract_codewords(burst, layout).ok_or(crate::EccError::Uncorrectable)?;
+    let mut line = [0u8; 64];
+    for (w, cw) in cws.iter().enumerate() {
+        let decoded = code.decode(cw)?;
+        line[w * 16..(w + 1) * 16].copy_from_slice(&decoded.data);
+    }
+    Ok(line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn burst_bit_roundtrip() {
+        let mut b = Burst::new();
+        b.set_bit(3, 71, true);
+        assert!(b.bit(3, 71));
+        b.set_bit(3, 71, false);
+        assert!(!b.bit(3, 71));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn burst_bit_bounds_checked() {
+        Burst::new().bit(0, 72);
+    }
+
+    #[test]
+    fn extract_scatter_roundtrip_beat_spread() {
+        let mut cws = [[0u8; CHIPS]; CODEWORDS_PER_BURST];
+        for (w, cw) in cws.iter_mut().enumerate() {
+            for (c, sym) in cw.iter_mut().enumerate() {
+                *sym = (w * 37 + c * 11) as u8;
+            }
+        }
+        let burst = scatter_codewords(&cws, CodewordLayout::BeatSpread);
+        assert_eq!(
+            extract_codewords(&burst, CodewordLayout::BeatSpread),
+            Some(cws)
+        );
+    }
+
+    #[test]
+    fn extract_scatter_roundtrip_transposed() {
+        let mut cws = [[0u8; CHIPS]; CODEWORDS_PER_BURST];
+        for (w, cw) in cws.iter_mut().enumerate() {
+            for (c, sym) in cw.iter_mut().enumerate() {
+                *sym = (w * 53 + c * 7 + 1) as u8;
+            }
+        }
+        let burst = scatter_codewords(&cws, CodewordLayout::Transposed);
+        assert_eq!(
+            extract_codewords(&burst, CodewordLayout::Transposed),
+            Some(cws)
+        );
+    }
+
+    #[test]
+    fn gather_layout_yields_no_codewords() {
+        assert_eq!(
+            extract_codewords(&Burst::new(), CodewordLayout::GatherNoEcc),
+            None
+        );
+        assert!(!CodewordLayout::GatherNoEcc.codewords_complete());
+    }
+
+    #[test]
+    fn chip_failure_is_one_symbol_per_codeword_in_both_layouts() {
+        // The structural property Section 4 relies on: under either complete
+        // layout, a whole-chip failure corrupts at most one symbol of each
+        // codeword.
+        for layout in [CodewordLayout::BeatSpread, CodewordLayout::Transposed] {
+            let cws = [[0u8; CHIPS]; CODEWORDS_PER_BURST];
+            let clean = scatter_codewords(&cws, layout);
+            let mut bad = clean;
+            bad.kill_chip(7, 0xDEAD_BEEF_DEAD_BEEF_u128);
+            let extracted = extract_codewords(&bad, layout).unwrap();
+            for (w, cw) in extracted.iter().enumerate() {
+                let corrupted: Vec<usize> = cw
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &s)| s != 0)
+                    .map(|(i, _)| i)
+                    .collect();
+                assert!(
+                    corrupted.len() <= 1,
+                    "{layout:?} codeword {w} has {} corrupted symbols",
+                    corrupted.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn critical_word_first_flags() {
+        assert!(CodewordLayout::BeatSpread.critical_word_first());
+        assert!(!CodewordLayout::Transposed.critical_word_first());
+        assert!(!CodewordLayout::GatherNoEcc.critical_word_first());
+    }
+
+    #[test]
+    fn encode_decode_line_survives_chip_failure() {
+        let code = SscCode::new();
+        let line: Vec<u8> = (0..64u8).collect();
+        for layout in [CodewordLayout::BeatSpread, CodewordLayout::Transposed] {
+            let mut burst = encode_line(&code, &line, layout);
+            burst.kill_chip(11, 0x1234_5678_9ABC_DEF0_u128);
+            let decoded = decode_line(&code, &burst, layout).unwrap();
+            assert_eq!(&decoded[..], &line[..], "layout {layout:?}");
+        }
+    }
+
+    #[test]
+    fn decode_line_fails_for_gather_layout() {
+        let code = SscCode::new();
+        assert!(decode_line(&code, &Burst::new(), CodewordLayout::GatherNoEcc).is_err());
+    }
+}

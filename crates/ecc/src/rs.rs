@@ -1,0 +1,398 @@
+//! General Reed–Solomon codes over GF(2^8) with Berlekamp–Massey decoding.
+//!
+//! Section 2.3 notes that prior work (\[26\], Bamboo ECC) extends the
+//! SSC-variant layout into a large 512-bit codeword of 72 8-bit symbols (one
+//! per DQ) correcting multiple symbol errors "at the expense of decoding
+//! complexity and latency". This module implements that extension for real:
+//! a systematic RS(n, k) codec with syndrome computation, Berlekamp–Massey
+//! error-locator synthesis, Chien search, and Forney's value formula —
+//! correcting up to `(n - k) / 2` symbol errors. [`bamboo`] constructs the
+//! RS(72, 64) instance from the paper's reference, which corrects up to
+//! four dead DQs (a whole failed chip).
+
+use crate::gf::Gf256;
+use crate::EccError;
+
+/// A systematic Reed–Solomon code over GF(2^8).
+#[derive(Debug, Clone)]
+pub struct ReedSolomon {
+    field: Gf256,
+    n: usize,
+    k: usize,
+    /// Generator polynomial, lowest degree first; degree = n - k.
+    generator: Vec<u8>,
+}
+
+impl ReedSolomon {
+    /// Creates an RS(n, k) code.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `k < n <= 255` and `n - k >= 2`.
+    pub fn new(n: usize, k: usize) -> Self {
+        assert!(k < n && n <= 255, "RS requires k < n <= 255");
+        let parity = n - k;
+        assert!(parity >= 2, "need at least two parity symbols");
+        let field = Gf256::new();
+        // generator = prod_{i=0}^{parity-1} (x - alpha^i)
+        let mut generator = vec![1u8];
+        for i in 0..parity {
+            let root = field.alpha_pow(i);
+            let mut next = vec![0u8; generator.len() + 1];
+            for (d, &c) in generator.iter().enumerate() {
+                // (x + root) * c*x^d  ->  c*x^{d+1} + (c*root)*x^d
+                next[d + 1] ^= c;
+                next[d] ^= field.mul(c, root);
+            }
+            generator = next;
+        }
+        Self {
+            field,
+            n,
+            k,
+            generator,
+        }
+    }
+
+    /// Codeword length in symbols.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Data symbols per codeword.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Maximum correctable symbol errors, `(n - k) / 2`.
+    pub fn t(&self) -> usize {
+        (self.n - self.k) / 2
+    }
+
+    /// Encodes `data` (length `k`) into a systematic codeword of length `n`
+    /// (data first, parity appended).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != k`.
+    pub fn encode(&self, data: &[u8]) -> Vec<u8> {
+        assert_eq!(
+            data.len(),
+            self.k,
+            "RS({},{}) encodes {} symbols",
+            self.n,
+            self.k,
+            self.k
+        );
+        let f = &self.field;
+        let parity_len = self.n - self.k;
+        // Long division of data * x^parity by the generator; the remainder
+        // is the parity. Work with the message highest-degree-first.
+        let mut rem = vec![0u8; parity_len];
+        for &d in data {
+            let feedback = f.add(d, rem[parity_len - 1]);
+            // Shift left by one and add feedback * generator.
+            for j in (1..parity_len).rev() {
+                rem[j] = f.add(rem[j - 1], f.mul(feedback, self.generator[j]));
+            }
+            rem[0] = f.mul(feedback, self.generator[0]);
+        }
+        let mut cw = data.to_vec();
+        // Parity stored highest degree first to match the division order.
+        cw.extend(rem.iter().rev());
+        cw
+    }
+
+    /// Evaluates the received word's syndromes; all-zero means clean.
+    fn syndromes(&self, received: &[u8]) -> Vec<u8> {
+        let f = &self.field;
+        let parity = self.n - self.k;
+        // The codeword as a polynomial: first symbol = highest degree.
+        (0..parity)
+            .map(|i| {
+                let x = f.alpha_pow(i);
+                received.iter().fold(0u8, |acc, &c| f.add(f.mul(acc, x), c))
+            })
+            .collect()
+    }
+
+    /// Decodes a codeword, correcting up to [`Self::t`] symbol errors.
+    /// Returns the data symbols and the corrected positions.
+    ///
+    /// # Errors
+    ///
+    /// [`EccError::LengthMismatch`] for wrong-sized input;
+    /// [`EccError::Uncorrectable`] when more than `t` errors are present
+    /// (detected via locator/syndrome inconsistency).
+    pub fn decode(&self, received: &[u8]) -> Result<(Vec<u8>, Vec<usize>), EccError> {
+        if received.len() != self.n {
+            return Err(EccError::LengthMismatch {
+                expected: self.n,
+                actual: received.len(),
+            });
+        }
+        let f = &self.field;
+        let synd = self.syndromes(received);
+        if synd.iter().all(|&s| s == 0) {
+            return Ok((received[..self.k].to_vec(), Vec::new()));
+        }
+
+        // Berlekamp–Massey: find the minimal error-locator polynomial.
+        let mut sigma = vec![1u8]; // current locator
+        let mut prev = vec![1u8];
+        let mut l = 0usize;
+        let mut m = 1usize;
+        let mut b = 1u8;
+        for n_iter in 0..synd.len() {
+            // Discrepancy.
+            let mut delta = synd[n_iter];
+            for i in 1..=l {
+                if i < sigma.len() {
+                    delta = f.add(delta, f.mul(sigma[i], synd[n_iter - i]));
+                }
+            }
+            if delta == 0 {
+                m += 1;
+            } else if 2 * l <= n_iter {
+                let t_poly = sigma.clone();
+                let coef = f.div(delta, b);
+                // sigma = sigma - coef * x^m * prev
+                if sigma.len() < prev.len() + m {
+                    sigma.resize(prev.len() + m, 0);
+                }
+                for (i, &p) in prev.iter().enumerate() {
+                    sigma[i + m] = f.add(sigma[i + m], f.mul(coef, p));
+                }
+                l = n_iter + 1 - l;
+                prev = t_poly;
+                b = delta;
+                m = 1;
+            } else {
+                let coef = f.div(delta, b);
+                if sigma.len() < prev.len() + m {
+                    sigma.resize(prev.len() + m, 0);
+                }
+                for (i, &p) in prev.iter().enumerate() {
+                    sigma[i + m] = f.add(sigma[i + m], f.mul(coef, p));
+                }
+                m += 1;
+            }
+        }
+        while sigma.last() == Some(&0) {
+            sigma.pop();
+        }
+        let num_errors = sigma.len() - 1;
+        if num_errors > self.t() || num_errors == 0 {
+            return Err(EccError::Uncorrectable);
+        }
+
+        // Chien search: roots of sigma give error locations. With the
+        // first symbol at degree n-1, position p corresponds to locator
+        // alpha^{n-1-p}; sigma(alpha^{-j}) = 0 marks location j.
+        let mut positions = Vec::new();
+        for j in 0..self.n {
+            // Evaluate sigma at x = alpha^{-j}.
+            let x = f.alpha_pow((255 - j % 255) % 255);
+            let mut v = 0u8;
+            for (i, &c) in sigma.iter().enumerate() {
+                // c * x^i
+                let xi = pow(f, x, i);
+                v = f.add(v, f.mul(c, xi));
+            }
+            if v == 0 {
+                positions.push(self.n - 1 - j);
+            }
+        }
+        if positions.len() != num_errors {
+            return Err(EccError::Uncorrectable);
+        }
+
+        // Forney: error values. Error evaluator omega = (synd * sigma) mod x^{2t}.
+        let parity = self.n - self.k;
+        let mut omega = vec![0u8; parity];
+        for (i, o) in omega.iter_mut().enumerate() {
+            let mut v = 0u8;
+            for j in 0..=i {
+                if j < sigma.len() {
+                    v = f.add(v, f.mul(sigma[j], synd[i - j]));
+                }
+            }
+            *o = v;
+        }
+        // Formal derivative of sigma: odd-degree terms shift down.
+        let mut corrected = received.to_vec();
+        for &pos in &positions {
+            let j = self.n - 1 - pos;
+            let x_inv = f.alpha_pow((255 - j % 255) % 255);
+            // omega(x_inv)
+            let mut num = 0u8;
+            for (i, &c) in omega.iter().enumerate() {
+                num = f.add(num, f.mul(c, pow(f, x_inv, i)));
+            }
+            // sigma'(x_inv): sum over odd i of sigma[i] * x^{i-1}
+            let mut den = 0u8;
+            let mut i = 1;
+            while i < sigma.len() {
+                den = f.add(den, f.mul(sigma[i], pow(f, x_inv, i - 1)));
+                i += 2;
+            }
+            if den == 0 {
+                return Err(EccError::Uncorrectable);
+            }
+            // e = x^{1} * omega(x^-1) / sigma'(x^-1) with b0=1 convention:
+            let x_j = f.alpha_pow(j % 255);
+            let magnitude = f.mul(x_j, f.div(num, den));
+            corrected[pos] = f.add(corrected[pos], magnitude);
+        }
+        // Verify: recompute syndromes; a miscorrection beyond t shows here.
+        if self.syndromes(&corrected).iter().any(|&s| s != 0) {
+            return Err(EccError::Uncorrectable);
+        }
+        Ok((corrected[..self.k].to_vec(), positions))
+    }
+}
+
+fn pow(f: &Gf256, x: u8, e: usize) -> u8 {
+    if e == 0 {
+        return 1;
+    }
+    if x == 0 {
+        return 0;
+    }
+    f.alpha_pow((f.log(x) as usize * e) % 255)
+}
+
+/// The Bamboo-style strong codeword of \[26\]: RS(72, 64) over 8-bit
+/// symbols — one symbol per DQ of the 18-chip rank across a burst,
+/// correcting up to 4 symbol errors (all four DQs of a failed chip).
+pub fn bamboo() -> ReedSolomon {
+    ReedSolomon::new(72, 64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sam_util::rng::Xoshiro256StarStar;
+
+    fn data(rng: &mut Xoshiro256StarStar, k: usize) -> Vec<u8> {
+        (0..k).map(|_| rng.next_below(256) as u8).collect()
+    }
+
+    #[test]
+    fn roundtrip_clean() {
+        let rs = ReedSolomon::new(72, 64);
+        let mut rng = Xoshiro256StarStar::new(1);
+        for _ in 0..20 {
+            let d = data(&mut rng, 64);
+            let cw = rs.encode(&d);
+            assert_eq!(cw.len(), 72);
+            let (out, fixed) = rs.decode(&cw).unwrap();
+            assert_eq!(out, d);
+            assert!(fixed.is_empty());
+        }
+    }
+
+    #[test]
+    fn corrects_up_to_t_errors() {
+        let rs = bamboo();
+        assert_eq!(rs.t(), 4);
+        let mut rng = Xoshiro256StarStar::new(2);
+        let d = data(&mut rng, 64);
+        let cw = rs.encode(&d);
+        for errors in 1..=4usize {
+            for _ in 0..25 {
+                let mut bad = cw.clone();
+                let positions = rng.sample_indices(72, errors);
+                for &p in &positions {
+                    bad[p] ^= (rng.next_below(255) + 1) as u8;
+                }
+                let (out, mut fixed) = rs
+                    .decode(&bad)
+                    .unwrap_or_else(|e| panic!("{errors} errors: {e}"));
+                assert_eq!(out, d, "{errors} errors at {positions:?}");
+                fixed.sort_unstable();
+                assert_eq!(fixed, positions);
+            }
+        }
+    }
+
+    #[test]
+    fn corrects_whole_chip_failure() {
+        // A dead chip kills 4 adjacent DQ symbols: exactly t for RS(72,64).
+        let rs = bamboo();
+        let mut rng = Xoshiro256StarStar::new(3);
+        let d = data(&mut rng, 64);
+        let cw = rs.encode(&d);
+        for chip in 0..18 {
+            let mut bad = cw.clone();
+            for dq in 0..4 {
+                bad[chip * 4 + dq] ^= (rng.next_below(255) + 1) as u8;
+            }
+            let (out, _) = rs
+                .decode(&bad)
+                .unwrap_or_else(|e| panic!("chip {chip}: {e}"));
+            assert_eq!(out, d, "chip {chip}");
+        }
+    }
+
+    #[test]
+    fn detects_more_than_t_errors() {
+        let rs = bamboo();
+        let mut rng = Xoshiro256StarStar::new(4);
+        let d = data(&mut rng, 64);
+        let cw = rs.encode(&d);
+        let mut silent = 0;
+        let trials = 200;
+        for _ in 0..trials {
+            let mut bad = cw.clone();
+            for p in rng.sample_indices(72, 6) {
+                bad[p] ^= (rng.next_below(255) + 1) as u8;
+            }
+            if let Ok((out, _)) = rs.decode(&bad) {
+                if out != d {
+                    silent += 1;
+                }
+            }
+        }
+        // Beyond-t errors occasionally alias into a different codeword, but
+        // the post-correction syndrome check keeps silent corruption rare.
+        assert!(
+            silent * 20 < trials,
+            "silent corruption in {silent}/{trials}"
+        );
+    }
+
+    #[test]
+    fn small_code_exhaustive_single_errors() {
+        let rs = ReedSolomon::new(15, 11); // classic RS(15,11), t=2
+        let d: Vec<u8> = (1..=11).collect();
+        let cw = rs.encode(&d);
+        for pos in 0..15 {
+            for e in [1u8, 0x55, 0xFF] {
+                let mut bad = cw.clone();
+                bad[pos] ^= e;
+                let (out, fixed) = rs.decode(&bad).unwrap();
+                assert_eq!(out, d, "pos {pos} e {e:#x}");
+                assert_eq!(fixed, vec![pos]);
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_length_rejected() {
+        let rs = ReedSolomon::new(20, 16);
+        assert!(matches!(
+            rs.decode(&vec![0u8; 19]),
+            Err(EccError::LengthMismatch {
+                expected: 20,
+                actual: 19
+            })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "k < n")]
+    fn invalid_parameters_panic() {
+        ReedSolomon::new(10, 10);
+    }
+}

@@ -1,0 +1,200 @@
+//! The benchmark query set (Table 3).
+
+/// A benchmark query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Query {
+    /// `SELECT f3, f4 FROM Ta WHERE f10 > x`
+    Q1,
+    /// `SELECT * FROM Tb WHERE f10 > x` (predicate mostly false)
+    Q2,
+    /// `SELECT SUM(f9) FROM Ta WHERE f10 > x`
+    Q3,
+    /// `SELECT SUM(f9) FROM Tb WHERE f10 > x`
+    Q4,
+    /// `SELECT AVG(f1) FROM Ta WHERE f10 > x`
+    Q5,
+    /// `SELECT AVG(f1) FROM Tb WHERE f10 > x`
+    Q6,
+    /// `SELECT Ta.f3, Tb.f4 FROM Ta, Tb WHERE Ta.f1 > Tb.f1 AND Ta.f9 = Tb.f9`
+    Q7,
+    /// `SELECT Ta.f3, Tb.f4 FROM Ta, Tb WHERE Ta.f9 = Tb.f9`
+    Q8,
+    /// `SELECT f3, f4 FROM Ta WHERE f1 > x AND f9 < y`
+    Q9,
+    /// `SELECT f3, f4 FROM Ta WHERE f1 > x AND f2 < y`
+    Q10,
+    /// `UPDATE Tb SET f3 = x, f4 = y WHERE f10 = z`
+    Q11,
+    /// `UPDATE Tb SET f9 = x WHERE f10 = y`
+    Q12,
+    /// `SELECT * FROM Ta LIMIT 1024`
+    Qs1,
+    /// `SELECT * FROM Tb LIMIT 1024`
+    Qs2,
+    /// `SELECT * FROM Ta WHERE f10 > x`
+    Qs3,
+    /// `SELECT * FROM Tb WHERE f10 > x`
+    Qs4,
+    /// `INSERT INTO Ta VALUES (f0, f1, ..., fp)`
+    Qs5,
+    /// `INSERT INTO Tb VALUES (f0, f1, ..., fp)`
+    Qs6,
+    /// `SELECT fi + fj + ... + fk FROM Ta WHERE f0 < x` — record-at-a-time
+    /// processing, parameterized by projectivity and selectivity (Fig 15).
+    Arithmetic {
+        /// Number of fields projected.
+        projectivity: u32,
+        /// Fraction of records selected.
+        selectivity: f64,
+    },
+    /// `SELECT AVG(fi), ..., AVG(fj) FROM Ta WHERE f0 < x` — field-at-a-time
+    /// processing (each field scanned independently), parameterized as above.
+    Aggregate {
+        /// Number of fields projected (averaged).
+        projectivity: u32,
+        /// Fraction of records selected.
+        selectivity: f64,
+    },
+}
+
+impl Query {
+    /// The twelve column-store-preferring queries.
+    pub fn q_set() -> [Query; 12] {
+        use Query::*;
+        [Q1, Q2, Q3, Q4, Q5, Q6, Q7, Q8, Q9, Q10, Q11, Q12]
+    }
+
+    /// The six row-store-preferring supplemental queries.
+    pub fn qs_set() -> [Query; 6] {
+        use Query::*;
+        [Qs1, Qs2, Qs3, Qs4, Qs5, Qs6]
+    }
+
+    /// Short display name ("Q1", "Qs5", ...).
+    pub fn name(&self) -> String {
+        use Query::*;
+        match self {
+            Q1 => "Q1".into(),
+            Q2 => "Q2".into(),
+            Q3 => "Q3".into(),
+            Q4 => "Q4".into(),
+            Q5 => "Q5".into(),
+            Q6 => "Q6".into(),
+            Q7 => "Q7".into(),
+            Q8 => "Q8".into(),
+            Q9 => "Q9".into(),
+            Q10 => "Q10".into(),
+            Q11 => "Q11".into(),
+            Q12 => "Q12".into(),
+            Qs1 => "Qs1".into(),
+            Qs2 => "Qs2".into(),
+            Qs3 => "Qs3".into(),
+            Qs4 => "Qs4".into(),
+            Qs5 => "Qs5".into(),
+            Qs6 => "Qs6".into(),
+            Arithmetic {
+                projectivity,
+                selectivity,
+            } => {
+                format!("Arith(p={projectivity},s={selectivity})")
+            }
+            Aggregate {
+                projectivity,
+                selectivity,
+            } => {
+                format!("Aggr(p={projectivity},s={selectivity})")
+            }
+        }
+    }
+
+    /// The SQL statement of Table 3.
+    pub fn sql(&self) -> String {
+        use Query::*;
+        match self {
+            Q1 => "SELECT f3, f4 FROM Ta WHERE f10 > x".into(),
+            Q2 => "SELECT * FROM Tb WHERE f10 > x".into(),
+            Q3 => "SELECT SUM(f9) FROM Ta WHERE f10 > x".into(),
+            Q4 => "SELECT SUM(f9) FROM Tb WHERE f10 > x".into(),
+            Q5 => "SELECT AVG(f1) FROM Ta WHERE f10 > x".into(),
+            Q6 => "SELECT AVG(f1) FROM Tb WHERE f10 > x".into(),
+            Q7 => "SELECT Ta.f3, Tb.f4 FROM Ta, Tb WHERE Ta.f1 > Tb.f1 AND Ta.f9 = Tb.f9".into(),
+            Q8 => "SELECT Ta.f3, Tb.f4 FROM Ta, Tb WHERE Ta.f9 = Tb.f9".into(),
+            Q9 => "SELECT f3, f4 FROM Ta WHERE f1 > x AND f9 < y".into(),
+            Q10 => "SELECT f3, f4 FROM Ta WHERE f1 > x AND f2 < y".into(),
+            Q11 => "UPDATE Tb SET f3 = x, f4 = y WHERE f10 = z".into(),
+            Q12 => "UPDATE Tb SET f9 = x WHERE f10 = y".into(),
+            Qs1 => "SELECT * FROM Ta LIMIT 1024".into(),
+            Qs2 => "SELECT * FROM Tb LIMIT 1024".into(),
+            Qs3 => "SELECT * FROM Ta WHERE f10 > x".into(),
+            Qs4 => "SELECT * FROM Tb WHERE f10 > x".into(),
+            Qs5 => "INSERT INTO Ta VALUES (f0, f1, ..., fp)".into(),
+            Qs6 => "INSERT INTO Tb VALUES (f0, f1, ..., fp)".into(),
+            Arithmetic { .. } => "SELECT fi + fj + ... + fk FROM Ta WHERE f0 < x".into(),
+            Aggregate { .. } => "SELECT AVG(fi), ..., AVG(fj) FROM Ta WHERE f0 < x".into(),
+        }
+    }
+
+    /// Whether this query modifies the database.
+    pub fn is_write(&self) -> bool {
+        matches!(self, Query::Q11 | Query::Q12 | Query::Qs5 | Query::Qs6)
+    }
+
+    /// Whether this is one of the supplemental row-store-preferring queries.
+    pub fn prefers_row_store(&self) -> bool {
+        matches!(
+            self,
+            Query::Qs1 | Query::Qs2 | Query::Qs3 | Query::Qs4 | Query::Qs5 | Query::Qs6
+        )
+    }
+}
+
+impl std::fmt::Display for Query {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sets_have_expected_sizes() {
+        assert_eq!(Query::q_set().len(), 12);
+        assert_eq!(Query::qs_set().len(), 6);
+    }
+
+    #[test]
+    fn write_classification_matches_table3() {
+        let writes: Vec<String> = Query::q_set()
+            .iter()
+            .chain(Query::qs_set().iter())
+            .filter(|q| q.is_write())
+            .map(|q| q.name())
+            .collect();
+        assert_eq!(writes, ["Q11", "Q12", "Qs5", "Qs6"]);
+    }
+
+    #[test]
+    fn qs_queries_prefer_row_store() {
+        assert!(Query::qs_set().iter().all(|q| q.prefers_row_store()));
+        assert!(Query::q_set().iter().all(|q| !q.prefers_row_store()));
+    }
+
+    #[test]
+    fn sql_statements_reference_their_table() {
+        assert!(Query::Q3.sql().contains("Ta"));
+        assert!(Query::Q4.sql().contains("Tb"));
+        assert!(Query::Qs6.sql().contains("Tb"));
+    }
+
+    #[test]
+    fn parametric_names_embed_parameters() {
+        let q = Query::Arithmetic {
+            projectivity: 8,
+            selectivity: 0.5,
+        };
+        assert_eq!(q.name(), "Arith(p=8,s=0.5)");
+        assert!(!q.is_write());
+    }
+}

@@ -1,0 +1,152 @@
+//! Value-carrying tables: the functional half of the database.
+//!
+//! The timing simulation works on traces, but a credible database substrate
+//! must also *compute*. [`Table`] materializes the deterministic synthetic
+//! values of [`crate::data`] so the reference executor ([`crate::values`])
+//! can produce real query answers — and tests can verify that the traces
+//! the planner emits touch exactly the records whose values satisfy the
+//! predicates.
+
+use crate::data::field_value;
+use sam::layout::TableSpec;
+
+/// An in-memory table of `records x fields` u64 values, row-major.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    fields: u32,
+    records: u64,
+    data: Vec<u64>,
+}
+
+impl Table {
+    /// Materializes the synthetic table `table_id` at `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table would exceed `isize::MAX` bytes (absurd scales).
+    pub fn generate(seed: u64, table_id: u8, fields: u32, records: u64) -> Self {
+        assert!(
+            fields > 0 && records > 0,
+            "table must have fields and records"
+        );
+        let mut data = Vec::with_capacity((records * fields as u64) as usize);
+        for r in 0..records {
+            for f in 0..fields as u16 {
+                data.push(field_value(seed, table_id, r, f));
+            }
+        }
+        Self {
+            fields,
+            records,
+            data,
+        }
+    }
+
+    /// Materializes the table matching a [`TableSpec`].
+    pub fn from_spec(seed: u64, table_id: u8, spec: &TableSpec) -> Self {
+        Self::generate(seed, table_id, spec.fields, spec.records)
+    }
+
+    /// Number of fields per record.
+    pub fn fields(&self) -> u32 {
+        self.fields
+    }
+
+    /// Number of records.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Reads one field.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn get(&self, record: u64, field: u16) -> u64 {
+        assert!(
+            record < self.records && (field as u32) < self.fields,
+            "out of range"
+        );
+        self.data[(record * self.fields as u64 + field as u64) as usize]
+    }
+
+    /// Writes one field (UPDATE queries).
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn set(&mut self, record: u64, field: u16, value: u64) {
+        assert!(
+            record < self.records && (field as u32) < self.fields,
+            "out of range"
+        );
+        self.data[(record * self.fields as u64 + field as u64) as usize] = value;
+    }
+
+    /// One whole record as a slice.
+    pub fn record(&self, record: u64) -> &[u64] {
+        assert!(record < self.records, "out of range");
+        let start = (record * self.fields as u64) as usize;
+        &self.data[start..start + self.fields as usize]
+    }
+
+    /// Iterates `(record_index, record_slice)`.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &[u64])> {
+        (0..self.records).map(move |r| (r, self.record(r)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_matches_field_value() {
+        let t = Table::generate(11, 0, 16, 64);
+        for r in [0u64, 13, 63] {
+            for f in [0u16, 7, 15] {
+                assert_eq!(t.get(r, f), field_value(11, 0, r, f));
+            }
+        }
+    }
+
+    #[test]
+    fn set_then_get_roundtrips() {
+        let mut t = Table::generate(1, 1, 8, 8);
+        t.set(3, 5, 42);
+        assert_eq!(t.get(3, 5), 42);
+        assert_ne!(t.get(3, 4), 42);
+    }
+
+    #[test]
+    fn record_slice_matches_gets() {
+        let t = Table::generate(2, 0, 4, 10);
+        let rec = t.record(7);
+        assert_eq!(rec.len(), 4);
+        for f in 0..4u16 {
+            assert_eq!(rec[f as usize], t.get(7, f));
+        }
+    }
+
+    #[test]
+    fn iter_covers_all_records() {
+        let t = Table::generate(3, 0, 2, 5);
+        assert_eq!(t.iter().count(), 5);
+        let ids: Vec<u64> = t.iter().map(|(r, _)| r).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn from_spec_matches_dimensions() {
+        let spec = TableSpec::tb(0, 32);
+        let t = Table::from_spec(5, 1, &spec);
+        assert_eq!(t.fields(), 16);
+        assert_eq!(t.records(), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_bounds_checked() {
+        Table::generate(1, 0, 4, 4).get(4, 0);
+    }
+}

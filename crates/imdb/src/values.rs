@@ -1,0 +1,361 @@
+//! Value-level reference executor: computes the actual answers of the
+//! Table 3 queries against materialized [`crate::table::Table`]s.
+//!
+//! The timing simulator never needs these values, but the reproduction
+//! does: the reference answers pin down *which* records each query touches,
+//! and tests cross-validate that the planner's traces access exactly those
+//! records (`tests/` in this crate). Updates (Q11/Q12) and inserts
+//! (Qs5/Qs6) mutate the tables, so repeated execution is observable.
+
+use crate::data::{selected, threshold, PRED_FIELD};
+use crate::plan::PlanConfig;
+use crate::query::Query;
+use crate::table::Table;
+
+/// The answer a query produces.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Answer {
+    /// Projected rows (record id plus the projected field values).
+    Rows(Vec<(u64, Vec<u64>)>),
+    /// A single aggregate (SUM -> wrapping sum; AVG -> mean).
+    Sum(u64),
+    /// Averages, one per aggregated field.
+    Avgs(Vec<f64>),
+    /// Number of records modified (UPDATE / INSERT).
+    Modified(u64),
+}
+
+impl Answer {
+    /// Row count for `Rows`, length for `Avgs`, count for `Modified`,
+    /// 1 for `Sum` — a size usable in assertions.
+    pub fn cardinality(&self) -> usize {
+        match self {
+            Answer::Rows(r) => r.len(),
+            Answer::Avgs(a) => a.len(),
+            Answer::Modified(n) => *n as usize,
+            Answer::Sum(_) => 1,
+        }
+    }
+}
+
+/// A materialized database: Ta and Tb.
+#[derive(Debug, Clone)]
+pub struct Database {
+    /// The wide table (id 0).
+    pub ta: Table,
+    /// The narrow table (id 1).
+    pub tb: Table,
+    seed: u64,
+}
+
+impl Database {
+    /// Materializes both tables for `cfg`.
+    pub fn generate(cfg: &PlanConfig) -> Self {
+        Self {
+            ta: Table::generate(cfg.seed, 0, cfg.ta_fields, cfg.ta_records),
+            tb: Table::generate(cfg.seed, 1, 16, cfg.tb_records),
+            seed: cfg.seed,
+        }
+    }
+
+    fn table(&self, id: u8) -> &Table {
+        if id == 0 {
+            &self.ta
+        } else {
+            &self.tb
+        }
+    }
+
+    /// Evaluates `query`, mutating the database for write queries.
+    ///
+    /// The predicate selectivities mirror the plan compiler exactly (same
+    /// hash-derived thresholds), so the records a trace touches are the
+    /// records this executor reads.
+    pub fn execute(&mut self, query: Query) -> Answer {
+        let seed = self.seed;
+        match query {
+            Query::Q1 => self.filter_project(0, 0.25, &[3, 4]),
+            Query::Q2 => {
+                let ids: Vec<u64> = self.matching(1, 0.01);
+                Answer::Rows(
+                    ids.into_iter()
+                        .map(|r| (r, self.tb.record(r).to_vec()))
+                        .collect(),
+                )
+            }
+            Query::Q3 => self.filter_sum(0, 0.25, 9),
+            Query::Q4 => self.filter_sum(1, 0.25, 9),
+            Query::Q5 => self.filter_avg(0, 0.25, &[1]),
+            Query::Q6 => self.filter_avg(1, 0.25, &[1]),
+            Query::Q7 | Query::Q8 => {
+                // Hash join on f9 (modelled as the planner does: ~25% of Ta
+                // probes match); project Ta.f3 of matching probes.
+                let rows = (0..self.ta.records())
+                    .filter(|&r| selected(seed, 0, r, 0.25))
+                    .map(|r| (r, vec![self.ta.get(r, 3)]))
+                    .collect();
+                Answer::Rows(rows)
+            }
+            Query::Q9 | Query::Q10 => {
+                let rows = (0..self.ta.records())
+                    .filter(|&r| selected(seed, 0, r, 0.5) && selected(seed ^ 1, 0, r, 0.5))
+                    .map(|r| (r, vec![self.ta.get(r, 3), self.ta.get(r, 4)]))
+                    .collect();
+                Answer::Rows(rows)
+            }
+            Query::Q11 => {
+                let ids = self.matching(1, 0.25);
+                for &r in &ids {
+                    self.tb.set(r, 3, 0xFACE);
+                    self.tb.set(r, 4, 0xCAFE);
+                }
+                Answer::Modified(ids.len() as u64)
+            }
+            Query::Q12 => {
+                let ids = self.matching(1, 0.25);
+                for &r in &ids {
+                    self.tb.set(r, 9, 0xBEEF);
+                }
+                Answer::Modified(ids.len() as u64)
+            }
+            Query::Qs1 | Query::Qs2 => {
+                let (t, id) = if query == Query::Qs1 {
+                    (&self.ta, 0)
+                } else {
+                    (&self.tb, 1)
+                };
+                let _ = id;
+                let limit = (t.records() / 8).max(1024).min(t.records());
+                Answer::Rows((0..limit).map(|r| (r, t.record(r).to_vec())).collect())
+            }
+            Query::Qs3 => self.select_star(0, 0.25),
+            Query::Qs4 => self.select_star(1, 0.25),
+            Query::Qs5 | Query::Qs6 => {
+                // Appends overwrite the reserved tail eighth of the table.
+                let t = if query == Query::Qs5 {
+                    &mut self.ta
+                } else {
+                    &mut self.tb
+                };
+                let records = t.records();
+                let inserts = (records / 8).max(1024).min(records);
+                for i in 0..inserts {
+                    let r = records - inserts + i;
+                    for f in 0..t.fields() as u16 {
+                        t.set(r, f, r ^ f as u64);
+                    }
+                }
+                Answer::Modified(inserts)
+            }
+            Query::Arithmetic {
+                projectivity,
+                selectivity,
+            } => {
+                let proj = crate::plan::projected_field_list(seed, self.ta.fields(), projectivity);
+                let rows = (0..self.ta.records())
+                    .filter(|&r| selected(seed, 0, r, selectivity))
+                    .map(|r| {
+                        let sum: u64 = proj
+                            .iter()
+                            .map(|&f| self.ta.get(r, f))
+                            .fold(0, u64::wrapping_add);
+                        (r, vec![sum])
+                    })
+                    .collect();
+                Answer::Rows(rows)
+            }
+            Query::Aggregate {
+                projectivity,
+                selectivity,
+            } => {
+                let proj = crate::plan::projected_field_list(seed, self.ta.fields(), projectivity);
+                let ids: Vec<u64> = (0..self.ta.records())
+                    .filter(|&r| selected(seed, 0, r, selectivity))
+                    .collect();
+                let avgs = proj
+                    .iter()
+                    .map(|&f| {
+                        if ids.is_empty() {
+                            0.0
+                        } else {
+                            // Average in the value domain / 2^32 to stay finite.
+                            ids.iter()
+                                .map(|&r| (self.ta.get(r, f) >> 32) as f64)
+                                .sum::<f64>()
+                                / ids.len() as f64
+                        }
+                    })
+                    .collect();
+                Answer::Avgs(avgs)
+            }
+        }
+    }
+
+    /// Record ids of `table` whose predicate field exceeds the threshold.
+    pub fn matching(&self, table: u8, selectivity: f64) -> Vec<u64> {
+        let t = self.table(table);
+        let x = threshold(selectivity);
+        (0..t.records())
+            .filter(|&r| t.get(r, PRED_FIELD) > x)
+            .collect()
+    }
+
+    fn filter_project(&self, table: u8, sel: f64, fields: &[u16]) -> Answer {
+        let t = self.table(table);
+        Answer::Rows(
+            self.matching(table, sel)
+                .into_iter()
+                .map(|r| (r, fields.iter().map(|&f| t.get(r, f)).collect()))
+                .collect(),
+        )
+    }
+
+    fn filter_sum(&self, table: u8, sel: f64, field: u16) -> Answer {
+        let t = self.table(table);
+        Answer::Sum(
+            self.matching(table, sel)
+                .into_iter()
+                .map(|r| t.get(r, field))
+                .fold(0u64, u64::wrapping_add),
+        )
+    }
+
+    fn filter_avg(&self, table: u8, sel: f64, fields: &[u16]) -> Answer {
+        let t = self.table(table);
+        let ids = self.matching(table, sel);
+        Answer::Avgs(
+            fields
+                .iter()
+                .map(|&f| {
+                    if ids.is_empty() {
+                        0.0
+                    } else {
+                        ids.iter().map(|&r| (t.get(r, f) >> 32) as f64).sum::<f64>()
+                            / ids.len() as f64
+                    }
+                })
+                .collect(),
+        )
+    }
+
+    fn select_star(&self, table: u8, sel: f64) -> Answer {
+        let t = self.table(table);
+        Answer::Rows(
+            self.matching(table, sel)
+                .into_iter()
+                .map(|r| (r, t.record(r).to_vec()))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> Database {
+        let mut cfg = PlanConfig::tiny();
+        cfg.ta_records = 256;
+        cfg.tb_records = 1024;
+        Database::generate(&cfg)
+    }
+
+    #[test]
+    fn matching_agrees_with_plan_selection() {
+        let d = db();
+        let by_value: Vec<u64> = d.matching(1, 0.25);
+        let by_hash: Vec<u64> = (0..d.tb.records())
+            .filter(|&r| selected(d.seed, 1, r, 0.25))
+            .collect();
+        assert_eq!(by_value, by_hash);
+        assert!(!by_value.is_empty());
+    }
+
+    #[test]
+    fn q3_sum_matches_manual_fold() {
+        let mut d = db();
+        let expected = d
+            .matching(0, 0.25)
+            .into_iter()
+            .map(|r| d.ta.get(r, 9))
+            .fold(0u64, u64::wrapping_add);
+        assert_eq!(d.execute(Query::Q3), Answer::Sum(expected));
+    }
+
+    #[test]
+    fn q11_update_is_observable() {
+        let mut d = db();
+        let ids = d.matching(1, 0.25);
+        let before = d.tb.get(ids[0], 3);
+        let answer = d.execute(Query::Q11);
+        assert_eq!(answer, Answer::Modified(ids.len() as u64));
+        assert_eq!(d.tb.get(ids[0], 3), 0xFACE);
+        assert_ne!(before, 0xFACE);
+    }
+
+    #[test]
+    fn q2_is_sparse() {
+        let mut d = db();
+        if let Answer::Rows(rows) = d.execute(Query::Q2) {
+            assert!(rows.len() < d.tb.records() as usize / 20);
+            for (_, values) in &rows {
+                assert_eq!(values.len(), 16, "SELECT * returns whole tuples");
+            }
+        } else {
+            panic!("Q2 returns rows");
+        }
+    }
+
+    #[test]
+    fn qs1_limit_returns_prefix() {
+        let mut d = db();
+        if let Answer::Rows(rows) = d.execute(Query::Qs1) {
+            assert_eq!(rows[0].0, 0);
+            assert!(rows.len() as u64 <= d.ta.records());
+        } else {
+            panic!("Qs1 returns rows");
+        }
+    }
+
+    #[test]
+    fn arithmetic_rows_scale_with_selectivity() {
+        let mut d = db();
+        let small = d
+            .execute(Query::Arithmetic {
+                projectivity: 4,
+                selectivity: 0.1,
+            })
+            .cardinality();
+        let large = d
+            .execute(Query::Arithmetic {
+                projectivity: 4,
+                selectivity: 0.9,
+            })
+            .cardinality();
+        assert!(small < large);
+    }
+
+    #[test]
+    fn aggregate_returns_one_avg_per_field() {
+        let mut d = db();
+        let a = d.execute(Query::Aggregate {
+            projectivity: 6,
+            selectivity: 0.5,
+        });
+        assert_eq!(a.cardinality(), 6);
+    }
+
+    #[test]
+    fn inserts_modify_tail_records() {
+        let mut d = db();
+        let records = d.tb.records();
+        let n = d.execute(Query::Qs6);
+        let modified = match n {
+            Answer::Modified(n) => n,
+            _ => panic!(),
+        };
+        let last = records - 1;
+        assert_eq!(d.tb.get(last, 0), last);
+        assert!(modified >= 1024.min(records));
+    }
+}

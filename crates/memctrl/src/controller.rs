@@ -1,0 +1,607 @@
+//! The FR-FCFS open-page memory controller (Table 2).
+//!
+//! Scheduling model: among all queued requests, the controller estimates the
+//! earliest cycle each could perform its column access (row hits need no
+//! PRE/ACT and thus sort first — the "first-ready" half of FR-FCFS), breaking
+//! ties by arrival order ("FCFS"). The chosen request's command sequence
+//! (optional MRS mode switch, PRE on conflict, ACT, then RD/WR) is issued at
+//! the earliest legal cycles against the device's timing state machines.
+//!
+//! Writes collect in a 32-entry write queue and drain in batches between the
+//! high and low watermarks, as in real controllers; reads otherwise have
+//! priority. Refresh is issued per rank every tREFI.
+
+use std::collections::VecDeque;
+
+use sam_dram::command::Command;
+use sam_dram::device::{DeviceConfig, DeviceStats, MemoryDevice};
+use sam_dram::Cycle;
+
+use crate::mapping::{AddressMapper, Location};
+use crate::request::{Completion, MemRequest};
+use sam_util::hist::Histogram;
+
+/// Controller configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ControllerConfig {
+    /// Device geometry and timing.
+    pub device: DeviceConfig,
+    /// Write queue capacity (Table 2: 32).
+    pub write_queue_capacity: usize,
+    /// Start draining writes at this occupancy.
+    pub write_high_watermark: usize,
+    /// Stop draining at this occupancy.
+    pub write_low_watermark: usize,
+    /// Read queue capacity.
+    pub read_queue_capacity: usize,
+    /// Whether periodic refresh is issued (DRAM yes, RRAM no).
+    pub refresh_enabled: bool,
+}
+
+impl ControllerConfig {
+    /// Table 2 defaults over the given device.
+    pub fn with_device(device: DeviceConfig) -> Self {
+        let refresh_enabled = device.timing.needs_refresh();
+        Self {
+            device,
+            write_queue_capacity: 32,
+            write_high_watermark: 28,
+            write_low_watermark: 8,
+            read_queue_capacity: 96,
+            refresh_enabled,
+        }
+    }
+}
+
+impl Default for ControllerConfig {
+    fn default() -> Self {
+        Self::with_device(DeviceConfig::ddr4_server())
+    }
+}
+
+/// Why an `enqueue` was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct QueueFull {
+    /// Whether it was the write queue (else the read queue).
+    pub write_queue: bool,
+}
+
+impl std::fmt::Display for QueueFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} queue full",
+            if self.write_queue { "write" } else { "read" }
+        )
+    }
+}
+
+impl std::error::Error for QueueFull {}
+
+/// Row-buffer outcome counters and latency accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ControllerStats {
+    /// Column accesses that hit the open row.
+    pub row_hits: u64,
+    /// Column accesses to a closed bank.
+    pub row_misses: u64,
+    /// Column accesses that required closing another row first.
+    pub row_conflicts: u64,
+    /// Completed reads (regular + stride).
+    pub reads_done: u64,
+    /// Completed writes (regular + stride).
+    pub writes_done: u64,
+    /// Sum over completions of (finish - arrival), for average latency.
+    pub total_latency: u64,
+    /// Refreshes issued.
+    pub refreshes: u64,
+}
+
+impl ControllerStats {
+    /// Average request latency in cycles, if anything completed.
+    pub fn avg_latency(&self) -> Option<f64> {
+        let n = self.reads_done + self.writes_done;
+        (n > 0).then(|| self.total_latency as f64 / n as f64)
+    }
+
+    /// Row-hit rate over all column accesses.
+    pub fn row_hit_rate(&self) -> Option<f64> {
+        let n = self.row_hits + self.row_misses + self.row_conflicts;
+        (n > 0).then(|| self.row_hits as f64 / n as f64)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    req: MemRequest,
+    loc: Location,
+    arrival: Cycle,
+}
+
+/// The memory controller: queues, FR-FCFS scheduler, refresh state, and the
+/// owned [`MemoryDevice`].
+#[derive(Debug, Clone)]
+pub struct Controller {
+    cfg: ControllerConfig,
+    device: MemoryDevice,
+    mapper: AddressMapper,
+    readq: VecDeque<Pending>,
+    writeq: VecDeque<Pending>,
+    draining_writes: bool,
+    next_refresh: Vec<Cycle>,
+    clock: Cycle,
+    stats: ControllerStats,
+    latency_hist: Histogram,
+}
+
+impl Controller {
+    /// Creates an idle controller.
+    pub fn new(cfg: ControllerConfig) -> Self {
+        let device = MemoryDevice::new(cfg.device);
+        let mapper = AddressMapper::new(&cfg.device);
+        let refi = cfg.device.timing.refi;
+        let next_refresh = (0..cfg.device.ranks)
+            .map(|r| {
+                if cfg.refresh_enabled {
+                    refi + (r as u64 * refi / cfg.device.ranks as u64)
+                } else {
+                    u64::MAX
+                }
+            })
+            .collect();
+        Self {
+            cfg,
+            device,
+            mapper,
+            readq: VecDeque::new(),
+            writeq: VecDeque::new(),
+            draining_writes: false,
+            next_refresh,
+            clock: 0,
+            stats: ControllerStats::default(),
+            latency_hist: Histogram::new(),
+        }
+    }
+
+    /// Per-request latency histogram (arrival to last data beat).
+    pub fn latency_histogram(&self) -> &Histogram {
+        &self.latency_hist
+    }
+
+    /// Controller statistics.
+    pub fn stats(&self) -> &ControllerStats {
+        &self.stats
+    }
+
+    /// Device command counters (input of the power model).
+    pub fn device_stats(&self) -> &DeviceStats {
+        self.device.stats()
+    }
+
+    /// The owned device (e.g. for bus-utilization stats).
+    pub fn device(&self) -> &MemoryDevice {
+        &self.device
+    }
+
+    /// The address mapper in use.
+    pub fn mapper(&self) -> &AddressMapper {
+        &self.mapper
+    }
+
+    /// Internal scheduler clock (last command issue time).
+    pub fn clock(&self) -> Cycle {
+        self.clock
+    }
+
+    /// Number of queued requests (reads + writes).
+    pub fn queued(&self) -> usize {
+        self.readq.len() + self.writeq.len()
+    }
+
+    /// Whether a read (or write) can currently be accepted.
+    pub fn can_accept(&self, is_write: bool) -> bool {
+        if is_write {
+            self.writeq.len() < self.cfg.write_queue_capacity
+        } else {
+            self.readq.len() < self.cfg.read_queue_capacity
+        }
+    }
+
+    /// Enqueues `req` arriving at cycle `arrival`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueFull`] if the corresponding queue is at capacity; the
+    /// caller should schedule work and retry.
+    pub fn enqueue(&mut self, req: MemRequest, arrival: Cycle) -> Result<(), QueueFull> {
+        if !self.can_accept(req.is_write) {
+            return Err(QueueFull {
+                write_queue: req.is_write,
+            });
+        }
+        let loc = self.mapper.decode(req.addr);
+        let pending = Pending { req, loc, arrival };
+        if req.is_write {
+            self.writeq.push_back(pending);
+        } else {
+            self.readq.push_back(pending);
+        }
+        Ok(())
+    }
+
+    /// Issues due refreshes for every rank relative to `now`.
+    fn service_refresh(&mut self, now: Cycle) {
+        if !self.cfg.refresh_enabled {
+            return;
+        }
+        let refi = self.cfg.device.timing.refi;
+        for rank in 0..self.cfg.device.ranks {
+            while self.next_refresh[rank] <= now {
+                let cmd = Command::refresh(rank);
+                let at = self.device.earliest_issue(&cmd, self.next_refresh[rank]);
+                self.device
+                    .issue(&cmd, at)
+                    .expect("refresh issue follows earliest_issue");
+                self.stats.refreshes += 1;
+                self.next_refresh[rank] += refi;
+            }
+        }
+    }
+
+    /// Picks the FR-FCFS winner within `queue`: requests are ranked by the
+    /// estimated earliest column-issue cycle (row hits first by
+    /// construction), with arrival order breaking ties. Requests that would
+    /// force an I/O mode switch are charged tRTR in the estimate, which
+    /// makes the scheduler batch same-mode requests and amortize switches
+    /// (the controller behaviour Section 5.3 assumes).
+    fn select(&self, queue: &VecDeque<Pending>, now: Cycle) -> Option<usize> {
+        let trtr = self.cfg.device.timing.rtr;
+        let mut best: Option<(Cycle, Cycle, usize)> = None;
+        for (i, p) in queue.iter().enumerate() {
+            let base = now.max(p.arrival);
+            let mut est = self.device.earliest_column_for_row(
+                p.loc.rank,
+                p.loc.bank_group,
+                p.loc.bank,
+                p.loc.row,
+                base,
+            );
+            if self.device.io_mode(p.loc.rank) != p.req.required_mode() {
+                est += trtr;
+            }
+            let key = (est, p.arrival, i);
+            if best.is_none_or(|(be, ba, _)| (est, p.arrival) < (be, ba)) {
+                best = Some(key);
+            }
+        }
+        best.map(|(_, _, i)| i)
+    }
+
+    /// Executes the full command sequence for `p`, returning its completion.
+    fn execute(&mut self, p: Pending) -> Completion {
+        self.service_refresh(self.clock.max(p.arrival));
+        let t = self.cfg.device.timing;
+        let loc = p.loc;
+        // Start from the request's own arrival: per-bank state machines and
+        // the shared data bus already serialize where physics requires, so
+        // a later-selected request's PRE/ACT may overlap earlier requests'
+        // column phases (bank-level parallelism).
+        let mut cursor = p.arrival;
+
+        // I/O mode switch if needed (MRS; tRTR charged by the rank state).
+        let want = p.req.required_mode();
+        if self.device.io_mode(loc.rank) != want {
+            let mrs = Command::mrs(loc.rank, want);
+            let at = self.device.earliest_issue(&mrs, cursor);
+            self.device.issue(&mrs, at).expect("MRS always issuable");
+            cursor = at;
+        }
+
+        // Row state handling (open-page policy).
+        let open = self.device.open_row(loc.rank, loc.bank_group, loc.bank);
+        match open {
+            Some(row) if row == loc.row => {
+                self.stats.row_hits += 1;
+            }
+            Some(_) => {
+                self.stats.row_conflicts += 1;
+                let pre = Command::pre(loc.rank, loc.bank_group, loc.bank);
+                let at = self.device.earliest_issue(&pre, cursor);
+                self.device
+                    .issue(&pre, at)
+                    .expect("PRE follows earliest_issue");
+                cursor = at;
+                let act = Command::act(loc.rank, loc.bank_group, loc.bank, loc.row);
+                let at = self.device.earliest_issue(&act, cursor);
+                self.device
+                    .issue(&act, at)
+                    .expect("ACT follows earliest_issue");
+                cursor = at;
+            }
+            None => {
+                self.stats.row_misses += 1;
+                let act = Command::act(loc.rank, loc.bank_group, loc.bank, loc.row);
+                let at = self.device.earliest_issue(&act, cursor);
+                self.device
+                    .issue(&act, at)
+                    .expect("ACT follows earliest_issue");
+                cursor = at;
+            }
+        }
+
+        // The column access itself.
+        let stride = p.req.stride.is_some();
+        let col_cmd = match (p.req.narrow, p.req.is_write) {
+            (true, false) => Command::read_narrow(
+                loc.rank,
+                loc.bank_group,
+                loc.bank,
+                loc.row,
+                loc.col,
+                p.req.sub_lane(),
+            ),
+            (true, true) => Command::write_narrow(
+                loc.rank,
+                loc.bank_group,
+                loc.bank,
+                loc.row,
+                loc.col,
+                p.req.sub_lane(),
+            ),
+            (false, true) => {
+                Command::write(loc.rank, loc.bank_group, loc.bank, loc.row, loc.col, stride)
+            }
+            (false, false) => {
+                Command::read(loc.rank, loc.bank_group, loc.bank, loc.row, loc.col, stride)
+            }
+        };
+        let at = self.device.earliest_issue(&col_cmd, cursor);
+        let finish = self
+            .device
+            .issue(&col_cmd, at)
+            .expect("column command follows earliest_issue");
+        self.clock = self.clock.max(at);
+
+        if p.req.is_write {
+            self.stats.writes_done += 1;
+        } else {
+            self.stats.reads_done += 1;
+        }
+        self.stats.total_latency += finish.saturating_sub(p.arrival);
+        self.latency_hist.add(finish.saturating_sub(p.arrival));
+        let _ = t;
+        Completion {
+            id: p.req.id,
+            issue: at,
+            finish,
+            row_hit: matches!(open, Some(r) if r == loc.row),
+        }
+    }
+
+    /// Schedules and fully executes one request, FR-FCFS order, honouring
+    /// the write-drain watermarks. Returns `None` when both queues are empty.
+    pub fn schedule_one(&mut self, now: Cycle) -> Option<Completion> {
+        // Watermark policy.
+        if self.writeq.len() >= self.cfg.write_high_watermark {
+            self.draining_writes = true;
+        }
+        if self.writeq.len() <= self.cfg.write_low_watermark {
+            self.draining_writes = false;
+        }
+        let serve_writes = if self.readq.is_empty() {
+            !self.writeq.is_empty()
+        } else if self.writeq.is_empty() {
+            false
+        } else {
+            self.draining_writes
+        };
+        let (queue_is_write, idx) = if serve_writes {
+            (true, self.select(&self.writeq, now)?)
+        } else {
+            (false, self.select(&self.readq, now)?)
+        };
+        let pending = if queue_is_write {
+            self.writeq.remove(idx).expect("index from select")
+        } else {
+            self.readq.remove(idx).expect("index from select")
+        };
+        Some(self.execute(pending))
+    }
+
+    /// Schedules until both queues are empty, returning all completions in
+    /// execution order.
+    pub fn drain(&mut self, now: Cycle) -> Vec<Completion> {
+        let mut done = Vec::with_capacity(self.queued());
+        while let Some(c) = self.schedule_one(now.max(self.clock)) {
+            done.push(c);
+        }
+        done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::StrideSpec;
+    use sam_dram::timing::TimingParams;
+
+    fn ctrl() -> Controller {
+        Controller::new(ControllerConfig::default())
+    }
+
+    fn t() -> TimingParams {
+        TimingParams::ddr4_2400()
+    }
+
+    #[test]
+    fn single_read_latency_is_rcd_plus_cl_plus_burst() {
+        let mut c = ctrl();
+        c.enqueue(MemRequest::read(1, 0), 0).unwrap();
+        let done = c.drain(0);
+        assert_eq!(done.len(), 1);
+        let t = t();
+        assert_eq!(done[0].finish, t.rcd + t.cl + t.burst);
+        assert!(!done[0].row_hit);
+        assert_eq!(c.stats().row_misses, 1);
+    }
+
+    #[test]
+    fn same_row_requests_hit() {
+        let mut c = ctrl();
+        c.enqueue(MemRequest::read(1, 0), 0).unwrap();
+        c.enqueue(MemRequest::read(2, 64), 0).unwrap();
+        c.enqueue(MemRequest::read(3, 128), 0).unwrap();
+        let done = c.drain(0);
+        assert_eq!(done.len(), 3);
+        assert_eq!(c.stats().row_hits, 2);
+        assert_eq!(c.stats().row_misses, 1);
+        // Streaming reads pipeline at tCCD_L (same bank group): gaps of
+        // ccd_l between column commands.
+        let t = t();
+        assert_eq!(done[1].issue - done[0].issue, t.ccd_l);
+    }
+
+    #[test]
+    fn frfcfs_prefers_row_hit_over_older_conflict() {
+        let mut c = ctrl();
+        // First open row 0 (addr 0)..
+        c.enqueue(MemRequest::read(1, 0), 0).unwrap();
+        let _ = c.schedule_one(0).unwrap();
+        // ..then queue an older conflicting request (row 1 of the same
+        // physical bank: +256KB moves to row 1, and the +8KB bank-field
+        // increment cancels the XOR permutation) and a newer row hit.
+        let conflict_addr = 256 * 1024 + 8 * 1024;
+        c.enqueue(MemRequest::read(2, conflict_addr), 1).unwrap();
+        c.enqueue(MemRequest::read(3, 64), 2).unwrap();
+        let first = c.schedule_one(0).unwrap();
+        assert_eq!(first.id, 3, "row hit scheduled before older conflict");
+        assert!(first.row_hit);
+        let second = c.schedule_one(0).unwrap();
+        assert_eq!(second.id, 2);
+        assert_eq!(c.stats().row_conflicts, 1);
+    }
+
+    #[test]
+    fn write_queue_capacity_enforced() {
+        let mut c = ctrl();
+        for i in 0..32 {
+            c.enqueue(MemRequest::write(i, i * 64), 0).unwrap();
+        }
+        assert_eq!(
+            c.enqueue(MemRequest::write(99, 0), 0),
+            Err(QueueFull { write_queue: true })
+        );
+        assert!(c.can_accept(false));
+        assert!(!c.can_accept(true));
+    }
+
+    #[test]
+    fn reads_prioritized_until_write_watermark() {
+        let mut c = ctrl();
+        // 10 writes (below high watermark) + 1 read: read goes first.
+        for i in 0..10 {
+            c.enqueue(MemRequest::write(i, i * 64), 0).unwrap();
+        }
+        c.enqueue(MemRequest::read(100, 0x100000), 0).unwrap();
+        let first = c.schedule_one(0).unwrap();
+        assert_eq!(first.id, 100);
+    }
+
+    #[test]
+    fn write_drain_kicks_in_at_high_watermark() {
+        let mut c = ctrl();
+        for i in 0..28 {
+            c.enqueue(MemRequest::write(i, i * 64), 0).unwrap();
+        }
+        c.enqueue(MemRequest::read(100, 0x100000), 0).unwrap();
+        let first = c.schedule_one(0).unwrap();
+        assert_ne!(first.id, 100, "writes drain once above the high watermark");
+    }
+
+    #[test]
+    fn stride_request_switches_mode_once() {
+        let mut c = ctrl();
+        let spec = StrideSpec::ssc();
+        c.enqueue(MemRequest::stride_read(1, 0, spec), 0).unwrap();
+        c.enqueue(MemRequest::stride_read(2, 4 * 64, spec), 0)
+            .unwrap();
+        let done = c.drain(0);
+        assert_eq!(done.len(), 2);
+        assert_eq!(c.device_stats().stride_reads, 2);
+        assert_eq!(
+            c.device_stats().mode_switches,
+            1,
+            "second request reuses the mode"
+        );
+    }
+
+    #[test]
+    fn mode_switch_costs_trtr() {
+        let mut c = ctrl();
+        let t = t();
+        c.enqueue(MemRequest::stride_read(1, 0, StrideSpec::ssc()), 0)
+            .unwrap();
+        let done = c.drain(0);
+        // MRS at 0, ACT at 0 (parallel on C/A in our model), column waits
+        // for both tRCD and the mode-ready time; with tRCD > tRTR the RCD
+        // dominates, so finish matches a regular read here.
+        assert_eq!(done[0].finish, t.rcd.max(t.rtr) + t.cl + t.burst);
+        // Switching back for a regular read pays tRTR again.
+        c.enqueue(MemRequest::read(2, 64), done[0].finish).unwrap();
+        let d2 = c.drain(done[0].finish);
+        assert_eq!(c.device_stats().mode_switches, 2);
+        assert!(d2[0].row_hit);
+    }
+
+    #[test]
+    fn refresh_happens_every_trefi() {
+        let mut c = ctrl();
+        let t = t();
+        // Schedule a read far past several refresh intervals.
+        c.enqueue(MemRequest::read(1, 0), 4 * t.refi).unwrap();
+        let _ = c.drain(4 * t.refi);
+        assert!(
+            c.stats().refreshes >= 4,
+            "refreshes {} < 4",
+            c.stats().refreshes
+        );
+    }
+
+    #[test]
+    fn rram_controller_skips_refresh() {
+        let cfg = ControllerConfig::with_device(DeviceConfig::rram_server());
+        assert!(!cfg.refresh_enabled);
+        let mut c = Controller::new(cfg);
+        c.enqueue(MemRequest::read(1, 0), 10_000_000).unwrap();
+        let _ = c.drain(10_000_000);
+        assert_eq!(c.stats().refreshes, 0);
+    }
+
+    #[test]
+    fn stats_average_latency() {
+        let mut c = ctrl();
+        c.enqueue(MemRequest::read(1, 0), 0).unwrap();
+        c.enqueue(MemRequest::read(2, 64), 0).unwrap();
+        let done = c.drain(0);
+        let expect: u64 = done.iter().map(|d| d.finish).sum();
+        assert_eq!(c.stats().total_latency, expect);
+        assert!(c.stats().avg_latency().unwrap() > 0.0);
+        assert_eq!(c.stats().row_hit_rate().unwrap(), 0.5);
+    }
+
+    #[test]
+    fn bank_parallelism_overlaps_activates() {
+        let mut c = ctrl();
+        let t = t();
+        // Two reads to different banks: the second should not wait for the
+        // first's full row cycle, only tRRD + bus serialization.
+        c.enqueue(MemRequest::read(1, 0), 0).unwrap();
+        c.enqueue(MemRequest::read(2, 8192), 0).unwrap(); // next bank
+        let done = c.drain(0);
+        let gap = done[1].finish - done[0].finish;
+        assert!(
+            gap <= t.ccd_s.max(t.burst) + t.rrd_s,
+            "banks overlap, gap {gap}"
+        );
+    }
+}

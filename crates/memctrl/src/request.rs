@@ -1,0 +1,176 @@
+//! Memory requests as seen by the controller.
+//!
+//! A request is one burst on the channel: either a regular 64B line access
+//! or a stride-mode access that gathers/scatters `gather` 16B (or 8B) units
+//! from `gather` consecutive cachelines in one burst (Sections 4.2–4.4).
+//! Multi-burst operations (e.g. GS-DRAM-ecc's extra ECC access) are issued
+//! by the design lowering as multiple requests.
+
+use sam_dram::moderegs::IoMode;
+use sam_dram::Cycle;
+
+/// Strided-access parameters attached to a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StrideSpec {
+    /// How many consecutive cachelines the burst gathers from (4 at 8-bit
+    /// per-chip granularity, 8 at 4-bit granularity — Section 4.4).
+    pub gather: u8,
+    /// Which stride I/O mode the rank must be in (lane select).
+    pub mode: IoMode,
+}
+
+impl StrideSpec {
+    /// The standard SSC (8-bit granularity) spec: gather 4, lane 0.
+    pub fn ssc() -> Self {
+        Self {
+            gather: 4,
+            mode: IoMode::Sx4(0),
+        }
+    }
+
+    /// The SSC-DSD (4-bit granularity) spec of Section 4.4: gather 8.
+    pub fn ssc_dsd() -> Self {
+        Self {
+            gather: 8,
+            mode: IoMode::Sx4(0),
+        }
+    }
+}
+
+/// One memory request (one burst).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemRequest {
+    /// Caller-assigned identifier, echoed in the completion.
+    pub id: u64,
+    /// Physical byte address (of the first gathered line for strides).
+    pub addr: u64,
+    /// Write (true) or read (false).
+    pub is_write: bool,
+    /// Stride parameters; `None` for a regular access.
+    pub stride: Option<StrideSpec>,
+    /// Narrow (sub-ranked, 16B) burst: occupies one channel sub-lane,
+    /// selected by address bits [4, 6) (the AGMS/DGMS baselines).
+    pub narrow: bool,
+}
+
+impl MemRequest {
+    /// A regular 64B read.
+    pub fn read(id: u64, addr: u64) -> Self {
+        Self {
+            id,
+            addr,
+            is_write: false,
+            stride: None,
+            narrow: false,
+        }
+    }
+
+    /// A regular 64B write.
+    pub fn write(id: u64, addr: u64) -> Self {
+        Self {
+            id,
+            addr,
+            is_write: true,
+            stride: None,
+            narrow: false,
+        }
+    }
+
+    /// A stride-mode read.
+    pub fn stride_read(id: u64, addr: u64, spec: StrideSpec) -> Self {
+        Self {
+            id,
+            addr,
+            is_write: false,
+            stride: Some(spec),
+            narrow: false,
+        }
+    }
+
+    /// A stride-mode write.
+    pub fn stride_write(id: u64, addr: u64, spec: StrideSpec) -> Self {
+        Self {
+            id,
+            addr,
+            is_write: true,
+            stride: Some(spec),
+            narrow: false,
+        }
+    }
+
+    /// A narrow (sub-ranked) 16B read of the sector containing `addr`.
+    pub fn narrow_read(id: u64, addr: u64) -> Self {
+        Self {
+            id,
+            addr,
+            is_write: false,
+            stride: None,
+            narrow: true,
+        }
+    }
+
+    /// A narrow (sub-ranked) 16B write of the sector containing `addr`.
+    pub fn narrow_write(id: u64, addr: u64) -> Self {
+        Self {
+            id,
+            addr,
+            is_write: true,
+            stride: None,
+            narrow: true,
+        }
+    }
+
+    /// The channel sub-lane a narrow request uses (address bits [4, 6)).
+    pub fn sub_lane(&self) -> u8 {
+        ((self.addr >> 4) & 3) as u8
+    }
+
+    /// The I/O mode this request requires of its rank.
+    pub fn required_mode(&self) -> IoMode {
+        self.stride.map_or(IoMode::X4, |s| s.mode)
+    }
+}
+
+/// A finished request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Completion {
+    /// The request's id.
+    pub id: u64,
+    /// Cycle the request's command issued.
+    pub issue: Cycle,
+    /// Cycle the last data beat finished on the bus.
+    pub finish: Cycle,
+    /// Whether the column access hit the open row.
+    pub row_hit: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let r = MemRequest::read(1, 0x40);
+        assert!(!r.is_write && r.stride.is_none());
+        assert_eq!(r.required_mode(), IoMode::X4);
+        let w = MemRequest::stride_write(2, 0x80, StrideSpec::ssc());
+        assert!(w.is_write);
+        assert_eq!(w.stride.unwrap().gather, 4);
+        assert!(w.required_mode().is_stride());
+    }
+
+    #[test]
+    fn granularity_specs() {
+        assert_eq!(StrideSpec::ssc().gather, 4);
+        assert_eq!(StrideSpec::ssc_dsd().gather, 8);
+    }
+
+    #[test]
+    fn narrow_requests_pick_their_sub_lane_from_the_address() {
+        assert!(MemRequest::narrow_read(1, 0x30).narrow);
+        assert_eq!(MemRequest::narrow_read(1, 0x00).sub_lane(), 0);
+        assert_eq!(MemRequest::narrow_read(1, 0x10).sub_lane(), 1);
+        assert_eq!(MemRequest::narrow_write(1, 0x20).sub_lane(), 2);
+        assert_eq!(MemRequest::narrow_read(1, 0x75).sub_lane(), 3);
+    }
+}

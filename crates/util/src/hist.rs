@@ -1,0 +1,159 @@
+//! Power-of-two latency histograms for controller/bus statistics.
+
+/// A histogram with power-of-two buckets: bucket `i` counts samples in
+/// `[2^i, 2^(i+1))` (bucket 0 also takes zero).
+///
+/// # Example
+///
+/// ```
+/// use sam_util::hist::Histogram;
+///
+/// let mut h = Histogram::new();
+/// h.add(5);
+/// h.add(100);
+/// assert_eq!(h.count(), 2);
+/// assert!(h.percentile(0.5) >= 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; 64],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: [0; 64],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn add(&mut self, value: u64) {
+        let bucket = 64 - value.leading_zeros() as usize;
+        self.buckets[bucket.saturating_sub(1).min(63)] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean sample, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Largest sample seen.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// An upper bound on the `p`-quantile (the top of the bucket containing
+    /// it). `p` is clamped to `[0, 1]`.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (p.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= target.max(1) {
+                return 1u64 << (i + 1);
+            }
+        }
+        self.max
+    }
+
+    /// Non-empty buckets as `(lower_bound, count)` pairs.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (if i == 0 { 0 } else { 1u64 << i }, c))
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for i in 0..64 {
+            self.buckets[i] += other.buckets[i];
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 2, 3, 4, 7, 8, 1024] {
+            h.add(v);
+        }
+        assert_eq!(h.count(), 8);
+        let buckets: Vec<(u64, u64)> = h.buckets().collect();
+        // 0 and 1 share bucket 0; 2..4 bucket 1; 4..8 bucket 2; 8..16
+        // bucket 3; 1024 bucket 10.
+        assert_eq!(buckets, vec![(0, 2), (2, 2), (4, 2), (8, 1), (1024, 1)]);
+    }
+
+    #[test]
+    fn mean_and_max() {
+        let mut h = Histogram::new();
+        h.add(10);
+        h.add(30);
+        assert_eq!(h.mean(), Some(20.0));
+        assert_eq!(h.max(), 30);
+        assert_eq!(Histogram::new().mean(), None);
+    }
+
+    #[test]
+    fn percentile_bounds_are_monotone() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.add(v);
+        }
+        let p50 = h.percentile(0.5);
+        let p99 = h.percentile(0.99);
+        assert!(p50 <= p99);
+        assert!((256..=1024).contains(&p50), "p50 bound {p50}");
+        assert!(p99 >= 512);
+    }
+
+    #[test]
+    fn empty_percentile_is_zero() {
+        assert_eq!(Histogram::new().percentile(0.9), 0);
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = Histogram::new();
+        a.add(4);
+        let mut b = Histogram::new();
+        b.add(100);
+        b.add(200);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.max(), 200);
+    }
+}

@@ -1,0 +1,206 @@
+//! Summary statistics used throughout the evaluation harness.
+//!
+//! The paper reports per-query speedups plus their geometric mean ("Gmean"
+//! columns in Figure 12), and the power/energy figures use arithmetic means.
+//! This module provides exactly those reductions, with careful handling of
+//! empty inputs.
+
+/// Arithmetic mean of `values`, or `None` if empty.
+///
+/// # Example
+///
+/// ```
+/// use sam_util::stats::mean;
+/// assert_eq!(mean(&[1.0, 2.0, 3.0]), Some(2.0));
+/// assert_eq!(mean(&[]), None);
+/// ```
+pub fn mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        None
+    } else {
+        Some(values.iter().sum::<f64>() / values.len() as f64)
+    }
+}
+
+/// Geometric mean of strictly positive `values`.
+///
+/// This is the reduction the paper uses for speedup columns. Computed in
+/// log-space for numerical robustness.
+///
+/// # Panics
+///
+/// Panics if `values` is empty or contains a non-positive entry — a
+/// non-positive "speedup" always indicates a harness bug, and silently
+/// producing `NaN` would corrupt downstream tables.
+///
+/// # Example
+///
+/// ```
+/// use sam_util::stats::geometric_mean;
+/// assert_eq!(geometric_mean(&[1.0, 4.0]), 2.0);
+/// ```
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geometric mean of an empty slice");
+    let log_sum: f64 = values
+        .iter()
+        .map(|&v| {
+            assert!(v > 0.0, "geometric mean requires positive values, got {v}");
+            v.ln()
+        })
+        .sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Minimum of `values`, or `None` if empty. `NaN` entries are ignored.
+pub fn min(values: &[f64]) -> Option<f64> {
+    values
+        .iter()
+        .copied()
+        .filter(|v| !v.is_nan())
+        .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.min(v))))
+}
+
+/// Maximum of `values`, or `None` if empty. `NaN` entries are ignored.
+pub fn max(values: &[f64]) -> Option<f64> {
+    values
+        .iter()
+        .copied()
+        .filter(|v| !v.is_nan())
+        .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
+}
+
+/// Population standard deviation, or `None` for fewer than one element.
+pub fn std_dev(values: &[f64]) -> Option<f64> {
+    let m = mean(values)?;
+    let var = values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / values.len() as f64;
+    Some(var.sqrt())
+}
+
+/// A running accumulator for mean/min/max without storing samples.
+///
+/// # Example
+///
+/// ```
+/// use sam_util::stats::Accumulator;
+///
+/// let mut acc = Accumulator::new();
+/// acc.add(1.0);
+/// acc.add(3.0);
+/// assert_eq!(acc.mean(), Some(2.0));
+/// assert_eq!(acc.count(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Accumulator {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Accumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one sample.
+    pub fn add(&mut self, value: f64) {
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples added so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean, or `None` if no samples were added.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// Smallest sample, or `None` if empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample, or `None` if empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_basic() {
+        assert_eq!(mean(&[2.0, 4.0]), Some(3.0));
+        assert_eq!(mean(&[]), None);
+    }
+
+    #[test]
+    fn gmean_matches_log_identity() {
+        let v = [1.5, 2.5, 3.5, 10.0];
+        let g = geometric_mean(&v);
+        let direct = v.iter().product::<f64>().powf(0.25);
+        assert!((g - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gmean_single_element() {
+        assert!((geometric_mean(&[7.0]) - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "geometric mean of an empty slice")]
+    fn gmean_empty_panics() {
+        geometric_mean(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires positive values")]
+    fn gmean_nonpositive_panics() {
+        geometric_mean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn min_max_ignore_nan() {
+        let v = [3.0, f64::NAN, 1.0, 2.0];
+        assert_eq!(min(&v), Some(1.0));
+        assert_eq!(max(&v), Some(3.0));
+        assert_eq!(min(&[f64::NAN]), None);
+    }
+
+    #[test]
+    fn std_dev_of_constant_is_zero() {
+        assert_eq!(std_dev(&[4.0, 4.0, 4.0]), Some(0.0));
+    }
+
+    #[test]
+    fn accumulator_tracks_all() {
+        let mut acc = Accumulator::new();
+        assert_eq!(acc.mean(), None);
+        for v in [5.0, 1.0, 3.0] {
+            acc.add(v);
+        }
+        assert_eq!(acc.count(), 3);
+        assert_eq!(acc.mean(), Some(3.0));
+        assert_eq!(acc.min(), Some(1.0));
+        assert_eq!(acc.max(), Some(5.0));
+        assert_eq!(acc.sum(), 9.0);
+    }
+}

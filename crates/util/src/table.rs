@@ -1,0 +1,185 @@
+//! Plain-text table rendering for the experiment harness.
+//!
+//! The `fig*` and `table*` binaries in `sam-bench` print their results as
+//! aligned ASCII tables so that the rows/series the paper reports can be read
+//! directly off the terminal (and diffed between runs). [`TextTable`] is a
+//! tiny non-consuming builder (per C-BUILDER).
+
+use std::fmt;
+
+/// Column alignment inside a [`TextTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Align {
+    /// Left-aligned (default; used for label columns).
+    #[default]
+    Left,
+    /// Right-aligned (used for numeric columns).
+    Right,
+}
+
+/// An aligned plain-text table.
+///
+/// # Example
+///
+/// ```
+/// use sam_util::table::TextTable;
+///
+/// let mut t = TextTable::new(vec!["query", "speedup"]);
+/// t.row(vec!["Q1".into(), "4.10".into()]);
+/// let s = t.to_string();
+/// assert!(s.contains("Q1"));
+/// assert!(s.contains("4.10"));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+    aligns: Vec<Align>,
+}
+
+impl TextTable {
+    /// Creates a table with the given header cells. All columns default to
+    /// left alignment; numeric columns can be switched with [`Self::align`].
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        let header: Vec<String> = header.into_iter().map(Into::into).collect();
+        let aligns = vec![Align::Left; header.len()];
+        Self {
+            header,
+            rows: Vec::new(),
+            aligns,
+        }
+    }
+
+    /// Sets the alignment of column `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds.
+    pub fn align(&mut self, idx: usize, align: Align) -> &mut Self {
+        self.aligns[idx] = align;
+        self
+    }
+
+    /// Right-aligns every column except the first (the usual layout for a
+    /// label column followed by numbers).
+    pub fn numeric(&mut self) -> &mut Self {
+        for a in self.aligns.iter_mut().skip(1) {
+            *a = Align::Right;
+        }
+        self
+    }
+
+    /// Appends a data row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row width {} does not match header width {}",
+            cells.len(),
+            self.header.len()
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Convenience: appends a row of a label plus formatted `f64` values.
+    pub fn row_f64(
+        &mut self,
+        label: impl Into<String>,
+        values: &[f64],
+        precision: usize,
+    ) -> &mut Self {
+        let mut cells = vec![label.into()];
+        cells.extend(values.iter().map(|v| format!("{v:.precision$}")));
+        self.row(cells)
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for TextTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for i in 0..cols {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                let w = widths[i];
+                match self.aligns[i] {
+                    Align::Left => write!(f, "{:<w$}", cells[i])?,
+                    Align::Right => write!(f, "{:>w$}", cells[i])?,
+                }
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.header)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(vec!["name", "value"]);
+        t.numeric();
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["longer".into(), "22".into()]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4); // header, rule, two rows
+                                    // Right-aligned numeric column: "1" and "22" end at the same offset.
+        assert!(lines[2].ends_with(" 1"));
+        assert!(lines[3].ends_with("22"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = TextTable::new(vec!["one"]);
+        t.row(vec!["a".into(), "b".into()]);
+    }
+
+    #[test]
+    fn row_f64_formats_precision() {
+        let mut t = TextTable::new(vec!["q", "x", "y"]);
+        t.row_f64("Q1", &[1.23456, 2.0], 2);
+        let s = t.to_string();
+        assert!(s.contains("1.23"));
+        assert!(s.contains("2.00"));
+    }
+
+    #[test]
+    fn empty_table_displays_header() {
+        let t = TextTable::new(vec!["h1", "h2"]);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert!(t.to_string().contains("h1"));
+    }
+}

@@ -1,0 +1,65 @@
+//! Property-based tests of the utility crate.
+
+use proptest::prelude::*;
+use sam_util::rng::{SplitMix64, Xoshiro256StarStar};
+use sam_util::stats::{geometric_mean, max, mean, min, Accumulator};
+
+proptest! {
+    #[test]
+    fn bounded_sampling_stays_in_bounds(seed in any::<u64>(), bound in 1u64..) {
+        let mut rng = Xoshiro256StarStar::new(seed);
+        for _ in 0..32 {
+            prop_assert!(rng.next_below(bound) < bound);
+        }
+    }
+
+    #[test]
+    fn streams_are_deterministic(seed in any::<u64>()) {
+        let mut a = SplitMix64::new(seed);
+        let mut b = SplitMix64::new(seed);
+        for _ in 0..16 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn shuffle_preserves_multiset(seed in any::<u64>(), mut v in proptest::collection::vec(any::<u32>(), 0..64)) {
+        let mut rng = Xoshiro256StarStar::new(seed);
+        let mut original = v.clone();
+        rng.shuffle(&mut v);
+        original.sort_unstable();
+        v.sort_unstable();
+        prop_assert_eq!(v, original);
+    }
+
+    #[test]
+    fn sample_indices_properties(seed in any::<u64>(), n in 1usize..200, frac in 0usize..=100) {
+        let k = n * frac / 100;
+        let mut rng = Xoshiro256StarStar::new(seed);
+        let s = rng.sample_indices(n, k);
+        prop_assert_eq!(s.len(), k);
+        prop_assert!(s.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(s.iter().all(|&i| i < n));
+    }
+
+    #[test]
+    fn gmean_bounded_by_min_and_max(v in proptest::collection::vec(0.001f64..1000.0, 1..32)) {
+        let g = geometric_mean(&v);
+        let lo = min(&v).unwrap();
+        let hi = max(&v).unwrap();
+        prop_assert!(g >= lo * 0.999999 && g <= hi * 1.000001, "g={g}, [{lo},{hi}]");
+    }
+
+    #[test]
+    fn accumulator_agrees_with_slice_stats(v in proptest::collection::vec(-1e6f64..1e6, 1..64)) {
+        let mut acc = Accumulator::new();
+        for &x in &v {
+            acc.add(x);
+        }
+        prop_assert_eq!(acc.count() as usize, v.len());
+        let m = mean(&v).unwrap();
+        prop_assert!((acc.mean().unwrap() - m).abs() < 1e-6);
+        prop_assert_eq!(acc.min(), min(&v));
+        prop_assert_eq!(acc.max(), max(&v));
+    }
+}

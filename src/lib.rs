@@ -1,0 +1,25 @@
+//! Umbrella crate for the SAM (MICRO 2021) reproduction workspace.
+//!
+//! This crate re-exports the member crates so that the workspace-level
+//! examples under `examples/` and the integration tests under `tests/` can
+//! exercise the full public API from one place. Library users should depend
+//! on the individual crates (`sam`, `sam-imdb`, `sam-dram`, ...) directly.
+//!
+//! # Example
+//!
+//! ```
+//! use sam_repro::sam::designs::all_designs;
+//!
+//! // Every design the paper evaluates is constructible from here.
+//! assert!(all_designs().len() >= 8);
+//! ```
+
+pub use sam;
+pub use sam_area;
+pub use sam_cache;
+pub use sam_dram;
+pub use sam_ecc;
+pub use sam_imdb;
+pub use sam_memctrl;
+pub use sam_power;
+pub use sam_util;
