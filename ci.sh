@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Repo CI gate: formatting, lints, build, tests, and a sam-check smoke run.
+# Everything here must pass before a change merges.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test"
+cargo test --workspace -q
+
+echo "==> sam-check selftest"
+cargo run --release -p sam-bench --bin sam-check -- selftest
+
+echo "==> sam-check record/replay smoke"
+trace="$(mktemp /tmp/sam-check.XXXXXX.trace)"
+trap 'rm -f "$trace"' EXIT
+cargo run --release -p sam-bench --bin sam-check -- record "$trace"
+cargo run --release -p sam-bench --bin sam-check -- replay "$trace"
+
+echo "CI: all gates passed"

@@ -92,8 +92,10 @@ fn bench_fig14(c: &mut Criterion) {
             BenchmarkId::new("granularity", format!("{gran}")),
             &gran,
             |b, &g| {
-                let mut sys = SystemConfig::default();
-                sys.granularity = g;
+                let sys = SystemConfig {
+                    granularity: g,
+                    ..Default::default()
+                };
                 let w = Workload::new(Query::Q3, plan).with_system(sys);
                 let d = sam_en();
                 b.iter(|| black_box(run_query(&w, &d, Store::Row).result.cycles));

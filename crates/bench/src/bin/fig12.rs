@@ -2,11 +2,15 @@
 //! every design on the Q and Qs query sets, with geometric means.
 //!
 //! ```text
-//! cargo run --release -p sam-bench --bin fig12 [-- --rows N --tb-rows N]
+//! cargo run --release -p sam-bench --bin fig12 [-- --rows N --tb-rows N --checked]
 //! ```
+//!
+//! With `--checked`, every constituent run is shadowed by the `sam-check`
+//! protocol oracle and cache invariant probe; the binary exits non-zero if
+//! any run violates a check.
 
 use sam::system::SystemConfig;
-use sam_bench::{gmean, plan_from_args, speedup_row};
+use sam_bench::{gmean, plan_from_args, speedup_row, SpeedupRow};
 use sam_imdb::plan::PlanConfig;
 use sam_imdb::query::Query;
 use sam_util::table::TextTable;
@@ -14,11 +18,22 @@ use sam_util::table::TextTable;
 fn main() {
     let plan = plan_from_args(PlanConfig::default_scale());
     let system = SystemConfig::default();
+    let checked = std::env::args().any(|a| a == "--checked");
+    if checked && !cfg!(feature = "check") {
+        eprintln!(
+            "fig12: --checked requires the `check` feature \
+             (on by default; rebuild without --no-default-features)"
+        );
+        std::process::exit(2);
+    }
     println!(
-        "Figure 12: speedup vs row-store baseline (Ta rows = {}, Tb rows = {}, SSC-DSD 4-bit granularity)\n",
-        plan.ta_records, plan.tb_records
+        "Figure 12: speedup vs row-store baseline (Ta rows = {}, Tb rows = {}, SSC-DSD 4-bit granularity){}\n",
+        plan.ta_records,
+        plan.tb_records,
+        if checked { " [checked]" } else { "" }
     );
 
+    let mut audit = Audit::default();
     for (label, queries) in [
         ("Q queries (prefer column store)", Query::q_set().to_vec()),
         ("Qs queries (prefer row store)", Query::qs_set().to_vec()),
@@ -27,7 +42,11 @@ fn main() {
         let mut rows = Vec::new();
         let mut columns: Vec<Vec<f64>> = Vec::new();
         for (qi, q) in queries.iter().enumerate() {
-            let row = speedup_row(*q, plan, system);
+            let row = if checked {
+                audit.checked_row(*q, plan, system)
+            } else {
+                speedup_row(*q, plan, system)
+            };
             if qi == 0 {
                 header.extend(row.speedups.iter().map(|(n, _)| n.clone()));
                 header.push("ideal".into());
@@ -49,4 +68,54 @@ fn main() {
         table.row_f64("Gmean", &gmeans, 2);
         println!("{label}\n{table}");
     }
+    if checked {
+        audit.summarize_and_exit();
+    }
+}
+
+/// Accumulates per-run check reports across the whole figure.
+#[derive(Default)]
+struct Audit {
+    #[cfg(feature = "check")]
+    reports: Vec<sam_bench::checked::CheckReport>,
+}
+
+#[cfg(feature = "check")]
+impl Audit {
+    fn checked_row(&mut self, q: Query, plan: PlanConfig, system: SystemConfig) -> SpeedupRow {
+        let (row, reports) = sam_bench::checked::speedup_row_checked(q, plan, system);
+        self.reports.extend(reports);
+        row
+    }
+
+    fn summarize_and_exit(self) {
+        let runs = self.reports.len();
+        let commands: usize = self.reports.iter().map(|r| r.commands).sum();
+        let dirty: Vec<_> = self.reports.iter().filter(|r| !r.clean()).collect();
+        println!(
+            "Verification: {runs} runs, {commands} DRAM commands shadowed, {} dirty",
+            dirty.len()
+        );
+        for report in &dirty {
+            println!("  {} ({:?}):", report.design, report.store);
+            for v in report.violations.iter().take(10) {
+                println!("    protocol: {v}");
+            }
+            for v in report.cache_violations.iter().take(10) {
+                println!("    cache: {v}");
+            }
+        }
+        if !dirty.is_empty() {
+            std::process::exit(1);
+        }
+    }
+}
+
+#[cfg(not(feature = "check"))]
+impl Audit {
+    fn checked_row(&mut self, _q: Query, _plan: PlanConfig, _system: SystemConfig) -> SpeedupRow {
+        unreachable!("--checked exits early without the `check` feature")
+    }
+
+    fn summarize_and_exit(self) {}
 }

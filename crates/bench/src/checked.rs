@@ -1,0 +1,149 @@
+//! Checked runs: the Figure 12 harness with the `sam-check` verification
+//! layer attached.
+//!
+//! Every DRAM command the device accepts is shadowed by an independent
+//! [`ProtocolOracle`] configured from the same [`DeviceConfig`], and the
+//! cache hierarchy is probed periodically for model invariants. A clean
+//! [`CheckReport`] means the design obeyed every JEDEC timing window and
+//! the cache never reached an inconsistent state during that workload.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use sam::design::Design;
+use sam::designs;
+use sam::layout::Store;
+use sam::system::{Instrumentation, SystemConfig};
+use sam_cache::hierarchy::Hierarchy;
+use sam_check::invariants::{check_hierarchy, CacheViolation};
+use sam_check::oracle::{OracleConfig, ProtocolOracle};
+use sam_check::Violation;
+use sam_imdb::exec::{run_query_instrumented, speedup, QueryRun, Workload};
+use sam_imdb::plan::PlanConfig;
+use sam_imdb::query::Query;
+
+use crate::{figure12_designs, SpeedupRow};
+
+/// Cache touches between invariant probes.
+const PROBE_PERIOD: u64 = 4096;
+
+/// The verification outcome of one design's run.
+#[derive(Debug, Clone)]
+pub struct CheckReport {
+    /// Design name.
+    pub design: String,
+    /// Store layout the run used.
+    pub store: Store,
+    /// Commands the oracle shadowed.
+    pub commands: usize,
+    /// Protocol violations (empty on a conforming run).
+    pub violations: Vec<Violation>,
+    /// Cache invariant violations (empty on a conforming run).
+    pub cache_violations: Vec<CacheViolation>,
+}
+
+impl CheckReport {
+    /// True when the run passed every check.
+    pub fn clean(&self) -> bool {
+        self.violations.is_empty() && self.cache_violations.is_empty()
+    }
+}
+
+/// Runs `workload` on `design` with the oracle and the cache invariant
+/// probe attached.
+pub fn run_query_checked(
+    workload: &Workload,
+    design: &Design,
+    store: Store,
+) -> (QueryRun, CheckReport) {
+    let oracle = Rc::new(RefCell::new(ProtocolOracle::new(
+        OracleConfig::from_device(&design.device_config()),
+    )));
+    let cache_violations = RefCell::new(Vec::new());
+    let run = {
+        let mut probe = |h: &Hierarchy| {
+            cache_violations.borrow_mut().extend(check_hierarchy(h));
+        };
+        let mut instr = Instrumentation {
+            observer: Some(oracle.clone()),
+            cache_probe: Some(&mut probe),
+            cache_probe_period: PROBE_PERIOD,
+        };
+        run_query_instrumented(workload, design, store, &mut instr)
+    };
+    let oracle = Rc::try_unwrap(oracle)
+        .expect("system dropped, oracle is sole owner")
+        .into_inner();
+    let report = CheckReport {
+        design: design.name.to_string(),
+        store,
+        commands: oracle.command_count(),
+        violations: oracle.finish(),
+        cache_violations: cache_violations.into_inner(),
+    };
+    (run, report)
+}
+
+/// [`crate::speedup_row`] with every constituent run checked: the
+/// row-store baseline, all seven Figure 12 designs, and the column-store
+/// commodity run behind the ideal reference.
+pub fn speedup_row_checked(
+    query: Query,
+    plan: PlanConfig,
+    system: SystemConfig,
+) -> (SpeedupRow, Vec<CheckReport>) {
+    let workload = Workload::new(query, plan).with_system(system);
+    let mut reports = Vec::new();
+
+    let (base, report) = run_query_checked(&workload, &designs::commodity(), Store::Row);
+    reports.push(report);
+
+    let mut speedups = Vec::new();
+    for design in figure12_designs() {
+        let (run, report) = run_query_checked(&workload, &design, Store::Row);
+        speedups.push((design.name.to_string(), speedup(&base, &run)));
+        reports.push(report);
+    }
+
+    let (col, report) = run_query_checked(&workload, &designs::commodity(), Store::Column);
+    reports.push(report);
+    let ideal = if base.result.cycles <= col.result.cycles {
+        speedup(&base, &base)
+    } else {
+        speedup(&base, &col)
+    };
+
+    let row = SpeedupRow {
+        query: query.name(),
+        speedups,
+        ideal,
+    };
+    (row, reports)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_checked_run_is_clean_and_counts_commands() {
+        let workload = Workload::new(Query::Q3, PlanConfig::tiny());
+        let (_, report) = run_query_checked(&workload, &designs::sam_en(), Store::Row);
+        assert!(report.commands > 0);
+        assert!(report.clean(), "{:#?}", report.violations);
+    }
+
+    #[test]
+    fn checked_row_matches_unchecked_speedups() {
+        let plan = PlanConfig::tiny();
+        let system = SystemConfig::default();
+        let (row, reports) = speedup_row_checked(Query::Q4, plan, system);
+        assert_eq!(reports.len(), 9); // baseline + 7 designs + column run
+        assert!(reports.iter().all(CheckReport::clean));
+        let plain = crate::speedup_row(Query::Q4, plan, system);
+        for ((n, s), (pn, ps)) in row.speedups.iter().zip(plain.speedups.iter()) {
+            assert_eq!(n, pn);
+            assert!((s - ps).abs() < 1e-12, "{n}: {s} vs {ps}");
+        }
+    }
+}

@@ -8,6 +8,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+#[cfg(feature = "check")]
+pub mod checked;
+
 use sam::design::Design;
 use sam::designs;
 use sam::layout::Store;

@@ -139,6 +139,21 @@ impl Hierarchy {
         &self.cfg
     }
 
+    /// Read-only view of the L1 (for external invariant checking).
+    pub fn l1(&self) -> &SetAssocCache {
+        &self.l1
+    }
+
+    /// Read-only view of the L2.
+    pub fn l2(&self) -> &SetAssocCache {
+        &self.l2
+    }
+
+    /// Read-only view of the LLC.
+    pub fn llc(&self) -> &SetAssocCache {
+        &self.llc
+    }
+
     /// Accesses the 16B sector containing `addr`.
     ///
     /// On a hit below L1, the sector is promoted into the upper levels.

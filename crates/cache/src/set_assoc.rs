@@ -66,6 +66,22 @@ pub enum Probe {
     LineMiss,
 }
 
+/// A read-only snapshot of one resident cache line, as enumerated by
+/// [`SetAssocCache::lines`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LineView {
+    /// Set index the line resides in.
+    pub set: usize,
+    /// Way index within the set.
+    pub way: usize,
+    /// Reconstructed byte address of the line.
+    pub line_addr: u64,
+    /// Stored tag.
+    pub tag: u64,
+    /// Per-sector valid/dirty state.
+    pub sectors: SectorState,
+}
+
 /// One level of set-associative, write-back, write-allocate sector cache.
 #[derive(Debug, Clone)]
 pub struct SetAssocCache {
@@ -85,7 +101,10 @@ impl SetAssocCache {
     pub fn new(capacity_bytes: u64, ways: usize) -> Self {
         assert!(ways > 0, "associativity must be positive");
         let lines = capacity_bytes / LINE_BYTES;
-        assert!(lines % ways as u64 == 0, "capacity must divide into ways");
+        assert!(
+            lines.is_multiple_of(ways as u64),
+            "capacity must divide into ways"
+        );
         let sets = (lines / ways as u64) as usize;
         assert!(
             sets.is_power_of_two(),
@@ -253,6 +272,27 @@ impl SetAssocCache {
             }
         }
         out
+    }
+
+    /// Enumerates the valid lines currently resident, for external invariant
+    /// checking (see the `sam-check` crate). Read-only; no LRU side effects.
+    pub fn lines(&self) -> impl Iterator<Item = LineView> + '_ {
+        let sets_bits = self.sets.trailing_zeros();
+        let ways = self.ways;
+        self.data
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| w.valid)
+            .map(move |(i, w)| {
+                let set = i / ways;
+                LineView {
+                    set,
+                    way: i % ways,
+                    line_addr: ((w.tag << sets_bits) | set as u64) * LINE_BYTES,
+                    tag: w.tag,
+                    sectors: w.sectors,
+                }
+            })
     }
 
     /// Invalidates a line if present, returning its state (for inclusive-

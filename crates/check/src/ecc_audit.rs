@@ -1,0 +1,211 @@
+//! Audits the chipkill codeword layouts of `sam-ecc`.
+//!
+//! Section 4's reliability argument rests on a structural property of the
+//! burst layouts: every symbol bit of every codeword occupies **exactly
+//! one** (beat, pin) slot, that slot belongs to the symbol's own chip, and
+//! the four codewords together cover the 576-bit burst exactly once. A
+//! layout violating any of these silently breaks the "chip failure = one
+//! symbol per codeword" guarantee the decoders rely on.
+//!
+//! The auditor probes the scatter function bit by bit — it never inspects
+//! the layout's implementation.
+
+use sam_ecc::layout::{
+    scatter_codewords, Burst, CodewordLayout, BEATS, CHIPS, CODEWORDS_PER_BURST, PINS,
+    PINS_PER_CHIP,
+};
+use std::collections::HashMap;
+
+/// One layout defect found by the auditor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EccFault {
+    /// Name of the audited layout.
+    pub layout: &'static str,
+    /// What went wrong.
+    pub detail: String,
+}
+
+impl std::fmt::Display for EccFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.layout, self.detail)
+    }
+}
+
+/// Bits per codeword symbol.
+const SYMBOL_BITS: usize = 8;
+
+/// Audits an arbitrary scatter function by probing one symbol bit at a
+/// time and recording which (beat, pin) slots light up.
+///
+/// Checks, for every (codeword, chip, bit):
+/// 1. exactly one burst slot carries the bit;
+/// 2. the slot's pin belongs to the symbol's chip;
+/// 3. across all probes, each of the `BEATS x PINS` slots is used exactly
+///    once.
+pub fn audit_scatter_fn<F>(name: &'static str, scatter: F) -> Vec<EccFault>
+where
+    F: Fn(&[[u8; CHIPS]; CODEWORDS_PER_BURST]) -> Burst,
+{
+    let mut faults = Vec::new();
+    let mut slot_users: HashMap<(usize, usize), (usize, usize, usize)> = HashMap::new();
+    for w in 0..CODEWORDS_PER_BURST {
+        for chip in 0..CHIPS {
+            for bit in 0..SYMBOL_BITS {
+                let mut cws = [[0u8; CHIPS]; CODEWORDS_PER_BURST];
+                cws[w][chip] = 1 << bit;
+                let burst = scatter(&cws);
+                let mut slots = Vec::new();
+                for beat in 0..BEATS {
+                    for pin in 0..PINS {
+                        if burst.bit(beat, pin) {
+                            slots.push((beat, pin));
+                        }
+                    }
+                }
+                if slots.len() != 1 {
+                    faults.push(EccFault {
+                        layout: name,
+                        detail: format!(
+                            "codeword {w} chip {chip} bit {bit} maps to {} slots, expected 1",
+                            slots.len()
+                        ),
+                    });
+                    continue;
+                }
+                let (beat, pin) = slots[0];
+                if pin / PINS_PER_CHIP != chip {
+                    faults.push(EccFault {
+                        layout: name,
+                        detail: format!(
+                            "codeword {w} chip {chip} bit {bit} lands on pin {pin} \
+                             (chip {}), crossing devices",
+                            pin / PINS_PER_CHIP
+                        ),
+                    });
+                }
+                if let Some((pw, pc, pb)) = slot_users.insert((beat, pin), (w, chip, bit)) {
+                    faults.push(EccFault {
+                        layout: name,
+                        detail: format!(
+                            "slot (beat {beat}, pin {pin}) carries codeword {w} chip {chip} \
+                             bit {bit} and codeword {pw} chip {pc} bit {pb}"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    let expected = BEATS * PINS;
+    if slot_users.len() != expected {
+        faults.push(EccFault {
+            layout: name,
+            detail: format!(
+                "burst coverage incomplete: {} of {expected} slots used",
+                slot_users.len()
+            ),
+        });
+    }
+    faults
+}
+
+/// Audits one layout of `sam-ecc`.
+///
+/// `GatherNoEcc` has no complete-codeword representation, which the audit
+/// reports as its defining fault (this is the point of Figure 4: the
+/// GS-DRAM gather cannot co-fetch its parity symbols).
+pub fn audit_layout(layout: CodewordLayout) -> Vec<EccFault> {
+    match layout {
+        CodewordLayout::BeatSpread => {
+            audit_scatter_fn("BeatSpread", |cws| scatter_codewords(cws, layout))
+        }
+        CodewordLayout::Transposed => {
+            audit_scatter_fn("Transposed", |cws| scatter_codewords(cws, layout))
+        }
+        CodewordLayout::GatherNoEcc => vec![EccFault {
+            layout: "GatherNoEcc",
+            detail: "parity symbols cannot be co-fetched; codewords are incomplete".into(),
+        }],
+    }
+}
+
+/// Audits both chipkill-capable layouts; an empty result means every data
+/// and check symbol maps to exactly one device slot with no overlap.
+pub fn audit_chipkill_layouts() -> Vec<EccFault> {
+    let mut faults = audit_layout(CodewordLayout::BeatSpread);
+    faults.extend(audit_layout(CodewordLayout::Transposed));
+    faults
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shipped_chipkill_layouts_are_clean() {
+        let faults = audit_chipkill_layouts();
+        assert!(faults.is_empty(), "{faults:?}");
+    }
+
+    #[test]
+    fn gather_layout_reports_incompleteness() {
+        let faults = audit_layout(CodewordLayout::GatherNoEcc);
+        assert_eq!(faults.len(), 1);
+        assert!(faults[0].detail.contains("incomplete"));
+    }
+
+    #[test]
+    fn detects_bit_mapped_to_two_slots() {
+        // A broken scatter that mirrors each BeatSpread bit onto beat 7.
+        let faults = audit_scatter_fn("broken-dup", |cws| {
+            let mut b = scatter_codewords(cws, CodewordLayout::BeatSpread);
+            for pin in 0..PINS {
+                if (0..BEATS - 1).any(|beat| b.bit(beat, pin)) {
+                    b.set_bit(BEATS - 1, pin, true);
+                }
+            }
+            b
+        });
+        assert!(
+            faults.iter().any(|f| f.detail.contains("expected 1")),
+            "{faults:?}"
+        );
+    }
+
+    #[test]
+    fn detects_cross_device_symbol() {
+        // A broken scatter that shifts every bit one whole chip over,
+        // so symbols land on the wrong device.
+        let faults = audit_scatter_fn("broken-shift", |cws| {
+            let clean = scatter_codewords(cws, CodewordLayout::BeatSpread);
+            let mut b = Burst::new();
+            for beat in 0..BEATS {
+                for pin in 0..PINS {
+                    if clean.bit(beat, pin) {
+                        b.set_bit(beat, (pin + PINS_PER_CHIP) % PINS, true);
+                    }
+                }
+            }
+            b
+        });
+        assert!(
+            faults.iter().any(|f| f.detail.contains("crossing devices")),
+            "{faults:?}"
+        );
+    }
+
+    #[test]
+    fn detects_incomplete_coverage() {
+        // A broken scatter that drops codeword 3 entirely.
+        let faults = audit_scatter_fn("broken-drop", |cws| {
+            let mut reduced = *cws;
+            reduced[3] = [0; CHIPS];
+            scatter_codewords(&reduced, CodewordLayout::BeatSpread)
+        });
+        assert!(
+            faults
+                .iter()
+                .any(|f| f.detail.contains("0 slots") || f.detail.contains("coverage incomplete")),
+            "{faults:?}"
+        );
+    }
+}

@@ -1,0 +1,218 @@
+//! Structural invariants of the sectored cache model.
+//!
+//! These are properties every reachable state of `sam-cache` must satisfy,
+//! checked from the outside through [`SetAssocCache::lines`]:
+//!
+//! * **dirty implies valid** — a dirty sector that was never filled would
+//!   write back garbage;
+//! * **no duplicate tags** — two ways of one set holding the same tag means
+//!   lookups are ambiguous;
+//! * **no empty valid line** — a valid line must carry at least one valid
+//!   sector, otherwise it is dead occupancy the replacement policy can
+//!   never justify.
+//!
+//! Inclusion is *not* an invariant of this hierarchy (fills bypass levels
+//! and flushes are per-level), so [`check_hierarchy`] checks each level
+//! independently; [`check_inclusion`] exists separately for inclusive
+//! configurations and is expected to fire on this one.
+
+use sam_cache::hierarchy::Hierarchy;
+use sam_cache::set_assoc::{LineView, SetAssocCache};
+use sam_cache::SECTORS_PER_LINE;
+use std::collections::{HashMap, HashSet};
+
+/// A cache invariant the checker can find violated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CacheInvariant {
+    /// A sector is dirty but not valid.
+    DirtyNotValid,
+    /// Two ways of the same set hold the same tag.
+    DuplicateTag,
+    /// A valid line with zero valid sectors.
+    EmptyValidLine,
+    /// A line cached in an upper level is absent from the level below
+    /// (meaningful only for inclusive hierarchies).
+    Inclusion,
+}
+
+impl CacheInvariant {
+    /// Short name of the invariant.
+    pub fn name(self) -> &'static str {
+        match self {
+            CacheInvariant::DirtyNotValid => "dirty-not-valid",
+            CacheInvariant::DuplicateTag => "duplicate-tag",
+            CacheInvariant::EmptyValidLine => "empty-valid-line",
+            CacheInvariant::Inclusion => "inclusion",
+        }
+    }
+}
+
+/// One invariant violation, with enough context to locate the line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheViolation {
+    /// Cache level the violation was found in ("L1", "L2", "LLC").
+    pub level: &'static str,
+    /// The violated invariant.
+    pub invariant: CacheInvariant,
+    /// Byte address of the offending line.
+    pub line_addr: u64,
+    /// Human-readable specifics.
+    pub detail: String,
+}
+
+impl std::fmt::Display for CacheViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} {}: line {:#x}: {}",
+            self.level,
+            self.invariant.name(),
+            self.line_addr,
+            self.detail
+        )
+    }
+}
+
+/// Checks the per-line invariants over an explicit line set (the unit the
+/// tests drive with synthetic [`LineView`]s).
+pub fn check_lines(
+    level: &'static str,
+    lines: impl Iterator<Item = LineView>,
+) -> Vec<CacheViolation> {
+    let mut violations = Vec::new();
+    let mut tags_by_set: HashMap<usize, HashSet<u64>> = HashMap::new();
+    for line in lines {
+        if !tags_by_set.entry(line.set).or_default().insert(line.tag) {
+            violations.push(CacheViolation {
+                level,
+                invariant: CacheInvariant::DuplicateTag,
+                line_addr: line.line_addr,
+                detail: format!("tag {:#x} appears twice in set {}", line.tag, line.set),
+            });
+        }
+        if line.sectors.valid_count() == 0 {
+            violations.push(CacheViolation {
+                level,
+                invariant: CacheInvariant::EmptyValidLine,
+                line_addr: line.line_addr,
+                detail: format!(
+                    "valid line in set {} way {} has no valid sector",
+                    line.set, line.way
+                ),
+            });
+        }
+        for sector in 0..SECTORS_PER_LINE {
+            if line.sectors.is_dirty(sector) && !line.sectors.is_valid(sector) {
+                violations.push(CacheViolation {
+                    level,
+                    invariant: CacheInvariant::DirtyNotValid,
+                    line_addr: line.line_addr,
+                    detail: format!("sector {sector} dirty but invalid"),
+                });
+            }
+        }
+    }
+    violations
+}
+
+/// Checks one cache level.
+pub fn check_cache(level: &'static str, cache: &SetAssocCache) -> Vec<CacheViolation> {
+    check_lines(level, cache.lines())
+}
+
+/// Checks every level of the hierarchy (per-level invariants only — this
+/// hierarchy is non-inclusive by design).
+pub fn check_hierarchy(h: &Hierarchy) -> Vec<CacheViolation> {
+    let mut v = check_cache("L1", h.l1());
+    v.extend(check_cache("L2", h.l2()));
+    v.extend(check_cache("LLC", h.llc()));
+    v
+}
+
+/// Checks inclusion: every L1 line in L2, every L2 line in the LLC.
+///
+/// The SAM hierarchy is **non-inclusive**, so this is not part of
+/// [`check_hierarchy`]; it is provided for inclusive configurations and as
+/// a negative control in the tests.
+pub fn check_inclusion(h: &Hierarchy) -> Vec<CacheViolation> {
+    let mut violations = Vec::new();
+    for (upper_name, upper, lower_name, lower) in
+        [("L1", h.l1(), "L2", h.l2()), ("L2", h.l2(), "LLC", h.llc())]
+    {
+        let lower_lines: HashSet<u64> = lower.lines().map(|l| l.line_addr).collect();
+        for line in upper.lines() {
+            if !lower_lines.contains(&line.line_addr) {
+                violations.push(CacheViolation {
+                    level: upper_name,
+                    invariant: CacheInvariant::Inclusion,
+                    line_addr: line.line_addr,
+                    detail: format!("line cached in {upper_name} but not in {lower_name}"),
+                });
+            }
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sam_cache::sector::SectorState;
+
+    fn view(set: usize, way: usize, tag: u64, sectors: SectorState) -> LineView {
+        LineView {
+            set,
+            way,
+            line_addr: (tag << 10) | (set as u64 * 64),
+            tag,
+            sectors,
+        }
+    }
+
+    #[test]
+    fn clean_lines_pass() {
+        let lines = vec![
+            view(0, 0, 1, SectorState::full()),
+            view(0, 1, 2, SectorState::single(3)),
+            view(1, 0, 1, SectorState::single(0)),
+        ];
+        assert!(check_lines("L1", lines.into_iter()).is_empty());
+    }
+
+    #[test]
+    fn duplicate_tag_in_one_set_flagged() {
+        let lines = vec![
+            view(4, 0, 7, SectorState::full()),
+            view(4, 1, 7, SectorState::full()),
+        ];
+        let v = check_lines("L2", lines.into_iter());
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].invariant, CacheInvariant::DuplicateTag);
+        assert_eq!(v[0].level, "L2");
+    }
+
+    #[test]
+    fn same_tag_in_different_sets_is_fine() {
+        let lines = vec![
+            view(0, 0, 7, SectorState::full()),
+            view(1, 0, 7, SectorState::full()),
+        ];
+        assert!(check_lines("L1", lines.into_iter()).is_empty());
+    }
+
+    #[test]
+    fn empty_valid_line_flagged() {
+        let v = check_lines("LLC", vec![view(0, 0, 3, SectorState::empty())].into_iter());
+        assert!(v
+            .iter()
+            .any(|c| c.invariant == CacheInvariant::EmptyValidLine));
+    }
+
+    #[test]
+    fn violation_display_is_informative() {
+        let v = check_lines("L1", vec![view(2, 1, 9, SectorState::empty())].into_iter());
+        let s = v[0].to_string();
+        assert!(s.contains("L1"), "{s}");
+        assert!(s.contains("empty-valid-line"), "{s}");
+    }
+}

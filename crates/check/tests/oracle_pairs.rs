@@ -1,0 +1,440 @@
+//! Minimally illegal command pairs: for every timing constraint, a schedule
+//! that violates it by exactly one cycle (and its one-cycle-later twin that
+//! is legal), checked with DDR4-2400 numbers (cl=17 cwl=12 rcd=17 rp=17
+//! ras=39 rc=56 rtp=9 wr=18 wtr_s=3 wtr_l=9 ccd_s=4 ccd_l=6 rrd_s=4
+//! rrd_l=6 faw=26 rtr=2 burst=4 refi=9360 rfc=420) and RRAM for tWTW.
+
+use sam_check::oracle::{replay, OracleConfig};
+use sam_check::Constraint;
+use sam_dram::command::Command;
+use sam_dram::device::DeviceConfig;
+use sam_dram::moderegs::IoMode;
+use sam_dram::Cycle;
+
+fn ddr4() -> OracleConfig {
+    OracleConfig::ddr4_server().with_refresh_checking(false)
+}
+
+fn rram() -> OracleConfig {
+    OracleConfig::from_device(&DeviceConfig::rram_server())
+}
+
+fn constraints(cfg: OracleConfig, cmds: &[(Command, Cycle)]) -> Vec<Constraint> {
+    replay(cfg, cmds)
+        .into_iter()
+        .map(|v| v.constraint)
+        .collect()
+}
+
+/// Asserts `bad` triggers `expected` and `good` is fully clean.
+fn check_pair(
+    cfg: OracleConfig,
+    expected: Constraint,
+    bad: &[(Command, Cycle)],
+    good: &[(Command, Cycle)],
+) {
+    let found = constraints(cfg.clone(), bad);
+    assert!(
+        found.contains(&expected),
+        "expected {expected:?} in {found:?}"
+    );
+    let clean = replay(cfg, good);
+    assert!(clean.is_empty(), "legal twin flagged: {clean:?}");
+}
+
+#[test]
+fn trcd_column_too_soon_after_act() {
+    let act = (Command::act(0, 0, 0, 7), 0);
+    let rd = |at| (Command::read(0, 0, 0, 7, 0, false), at);
+    check_pair(ddr4(), Constraint::TRcd, &[act, rd(16)], &[act, rd(17)]);
+}
+
+#[test]
+fn tras_precharge_too_soon_after_act() {
+    let act = (Command::act(0, 0, 0, 7), 0);
+    let pre = |at| (Command::pre(0, 0, 0), at);
+    check_pair(ddr4(), Constraint::TRas, &[act, pre(38)], &[act, pre(39)]);
+}
+
+#[test]
+fn trp_act_too_soon_after_precharge() {
+    let seq = |t_act2| {
+        vec![
+            (Command::act(0, 0, 0, 7), 0),
+            (Command::pre(0, 0, 0), 49),
+            (Command::act(0, 0, 0, 8), t_act2),
+        ]
+    };
+    // tRC would require >= 56, so 65 isolates tRP (49 + 17 = 66).
+    check_pair(ddr4(), Constraint::TRp, &seq(65), &seq(66));
+}
+
+#[test]
+fn trc_act_to_act_on_one_bank() {
+    let seq = |t_act2| {
+        vec![
+            (Command::act(0, 0, 0, 7), 0),
+            (Command::pre(0, 0, 0), 39),
+            (Command::act(0, 0, 0, 8), t_act2),
+        ]
+    };
+    // At 55 both tRC (56) and tRP (39+17=56) are short; tRC must be among
+    // the findings — with ras + rp = rc they are inseparable on this part.
+    check_pair(ddr4(), Constraint::TRc, &seq(55), &seq(56));
+}
+
+#[test]
+fn trtp_precharge_too_soon_after_read() {
+    let seq = |t_pre| {
+        vec![
+            (Command::act(0, 0, 0, 7), 0),
+            (Command::read(0, 0, 0, 7, 0, false), 40),
+            (Command::pre(0, 0, 0), t_pre),
+        ]
+    };
+    check_pair(ddr4(), Constraint::TRtp, &seq(48), &seq(49));
+}
+
+#[test]
+fn twr_precharge_too_soon_after_write() {
+    let seq = |t_pre| {
+        vec![
+            (Command::act(0, 0, 0, 7), 0),
+            (Command::write(0, 0, 0, 7, 0, false), 17),
+            (Command::pre(0, 0, 0), t_pre),
+        ]
+    };
+    // Write recovery counts from the end of the burst: 17+12+4+18 = 51.
+    check_pair(ddr4(), Constraint::TWr, &seq(50), &seq(51));
+}
+
+#[test]
+fn tccd_s_columns_across_bank_groups() {
+    // Narrow reads on distinct lanes isolate tCCD_S from the data bus
+    // (full-width bursts of length 4 hit bus-overlap at the same cycle).
+    let seq = |t_rd2| {
+        vec![
+            (Command::act(0, 0, 0, 7), 0),
+            (Command::act(0, 1, 0, 7), 4),
+            (Command::read_narrow(0, 0, 0, 7, 0, 0), 30),
+            (Command::read_narrow(0, 1, 0, 7, 0, 1), t_rd2),
+        ]
+    };
+    check_pair(ddr4(), Constraint::TCcdS, &seq(33), &seq(34));
+}
+
+#[test]
+fn tccd_l_columns_within_a_bank_group() {
+    let seq = |t_rd2| {
+        vec![
+            (Command::act(0, 0, 0, 7), 0),
+            (Command::read_narrow(0, 0, 0, 7, 0, 0), 30),
+            (Command::read_narrow(0, 0, 0, 7, 1, 1), t_rd2),
+        ]
+    };
+    check_pair(ddr4(), Constraint::TCcdL, &seq(35), &seq(36));
+}
+
+#[test]
+fn trrd_s_acts_across_bank_groups() {
+    let seq = |t2| {
+        vec![
+            (Command::act(0, 0, 0, 7), 0),
+            (Command::act(0, 1, 0, 7), t2),
+        ]
+    };
+    check_pair(ddr4(), Constraint::TRrdS, &seq(3), &seq(4));
+}
+
+#[test]
+fn trrd_l_acts_within_a_bank_group() {
+    let seq = |t2| {
+        vec![
+            (Command::act(0, 0, 0, 7), 0),
+            (Command::act(0, 0, 1, 7), t2),
+        ]
+    };
+    check_pair(ddr4(), Constraint::TRrdL, &seq(5), &seq(6));
+}
+
+#[test]
+fn tfaw_fifth_act_in_window() {
+    let seq = |t5| {
+        vec![
+            (Command::act(0, 0, 0, 7), 0),
+            (Command::act(0, 1, 0, 7), 7),
+            (Command::act(0, 2, 0, 7), 14),
+            (Command::act(0, 3, 0, 7), 21),
+            (Command::act(0, 0, 1, 7), t5),
+        ]
+    };
+    let violations = replay(ddr4(), &seq(25));
+    let faw: Vec<_> = violations
+        .iter()
+        .filter(|v| v.constraint == Constraint::TFaw)
+        .collect();
+    assert_eq!(faw.len(), 1, "{violations:?}");
+    // The report names the window-opening ACT and the legal cycle.
+    assert_eq!(faw[0].constraint.name(), "tFAW");
+    assert_eq!(faw[0].earliest, 26);
+    let (prior, prior_at) = faw[0].prior.expect("window anchor");
+    assert_eq!(prior_at, 0);
+    assert_eq!(prior, Command::act(0, 0, 0, 7));
+    assert!(replay(ddr4(), &seq(26)).is_empty());
+}
+
+#[test]
+fn twtr_s_read_after_write_across_bank_groups() {
+    let seq = |t_rd| {
+        vec![
+            (Command::act(0, 0, 0, 7), 0),
+            (Command::act(0, 1, 0, 7), 10),
+            (Command::write(0, 0, 0, 7, 0, false), 30),
+            (Command::read(0, 1, 0, 7, 0, false), t_rd),
+        ]
+    };
+    // 30 + cwl(12) + burst(4) + wtr_s(3) = 49.
+    check_pair(ddr4(), Constraint::TWtrS, &seq(48), &seq(49));
+}
+
+#[test]
+fn twtr_l_read_after_write_within_a_bank_group() {
+    let seq = |t_rd| {
+        vec![
+            (Command::act(0, 0, 0, 7), 0),
+            (Command::act(0, 0, 1, 7), 6),
+            (Command::write(0, 0, 0, 7, 0, false), 30),
+            (Command::read(0, 0, 1, 7, 0, false), t_rd),
+        ]
+    };
+    // 30 + 12 + 4 + wtr_l(9) = 55.
+    check_pair(ddr4(), Constraint::TWtrL, &seq(54), &seq(55));
+}
+
+#[test]
+fn trtr_rank_switch_on_the_bus() {
+    let seq = |t_rd2| {
+        vec![
+            (Command::act(0, 0, 0, 7), 0),
+            (Command::act(1, 0, 0, 7), 4),
+            (Command::read(0, 0, 0, 7, 0, false), 17),
+            (Command::read(1, 0, 0, 7, 0, false), t_rd2),
+        ]
+    };
+    // Rank 0 data occupies [34, 38); the switch adds tRTR: data may start
+    // at 40, i.e. the command at 23.
+    check_pair(ddr4(), Constraint::TRtr, &seq(22), &seq(23));
+}
+
+#[test]
+fn bus_overlap_same_lane() {
+    let seq = |t_rd2| {
+        vec![
+            (Command::act(0, 0, 0, 7), 0),
+            (Command::act(1, 0, 0, 7), 4),
+            (Command::read(0, 0, 0, 7, 0, false), 17),
+            (Command::read(1, 0, 0, 7, 0, false), t_rd2),
+        ]
+    };
+    // At 20 the second burst would start at 37 < 38: raw overlap, reported
+    // as bus-overlap rather than tRTR.
+    let found = constraints(ddr4(), &seq(20));
+    assert!(found.contains(&Constraint::BusOverlap), "{found:?}");
+    assert!(!found.contains(&Constraint::TRtr), "{found:?}");
+}
+
+#[test]
+fn trtr_data_too_soon_after_mode_switch() {
+    let seq = |t_rd| {
+        vec![
+            (Command::act(0, 0, 0, 7), 0),
+            (Command::mrs(0, IoMode::Sx4(0)), 17),
+            (Command::read(0, 0, 0, 7, 0, true), t_rd),
+        ]
+    };
+    check_pair(ddr4(), Constraint::TRtr, &seq(18), &seq(19));
+}
+
+#[test]
+fn io_mode_stride_read_without_mode_switch() {
+    let bad = vec![
+        (Command::act(0, 0, 0, 7), 0),
+        (Command::read(0, 0, 0, 7, 0, true), 17),
+    ];
+    let found = constraints(ddr4(), &bad);
+    assert!(found.contains(&Constraint::IoMode), "{found:?}");
+}
+
+#[test]
+fn io_mode_regular_read_under_stride_mode() {
+    let bad = vec![
+        (Command::act(0, 0, 0, 7), 0),
+        (Command::mrs(0, IoMode::Sx4(1)), 1),
+        (Command::read(0, 0, 0, 7, 0, false), 17),
+    ];
+    let found = constraints(ddr4(), &bad);
+    assert!(found.contains(&Constraint::IoMode), "{found:?}");
+}
+
+#[test]
+fn twtw_rram_write_recovery() {
+    // RRAM: rcd=35, wtw=60 gates the next column command on the bank.
+    let seq = |t_wr2| {
+        vec![
+            (Command::act(0, 0, 0, 7), 0),
+            (Command::write(0, 0, 0, 7, 0, false), 35),
+            (Command::write(0, 0, 0, 7, 1, false), t_wr2),
+        ]
+    };
+    check_pair(rram(), Constraint::TWtw, &seq(94), &seq(95));
+}
+
+#[test]
+fn trfc_act_during_refresh_lockout() {
+    let cfg = OracleConfig::ddr4_server();
+    let seq = |t_act| vec![(Command::refresh(0), 0), (Command::act(0, 0, 0, 7), t_act)];
+    let found = constraints(cfg.clone(), &seq(419));
+    assert!(found.contains(&Constraint::TRfc), "{found:?}");
+    let clean: Vec<_> = replay(cfg, &seq(420))
+        .into_iter()
+        .filter(|v| v.constraint != Constraint::TRefi)
+        .collect();
+    assert!(clean.is_empty(), "{clean:?}");
+}
+
+#[test]
+fn trefi_refresh_deadline_missed() {
+    let cfg = OracleConfig::ddr4_server();
+    // JEDEC allows postponing eight refreshes: 9 x 9360 = 84240.
+    let seq = |t_ref2| vec![(Command::refresh(0), 0), (Command::refresh(0), t_ref2)];
+    let found = constraints(cfg.clone(), &seq(84241));
+    assert!(found.contains(&Constraint::TRefi), "{found:?}");
+    let clean: Vec<_> = replay(cfg, &seq(84240))
+        .into_iter()
+        // Rank 1 never refreshes in this artificial stream.
+        .filter(|v| v.cmd.rank == 0)
+        .collect();
+    assert!(clean.is_empty(), "{clean:?}");
+}
+
+#[test]
+fn trefi_silent_rank_flagged_at_finish() {
+    let cfg = OracleConfig::ddr4_server();
+    // A run that lasts past the deadline with rank 1 never refreshed.
+    let cmds = vec![
+        (Command::refresh(0), 0),
+        (Command::refresh(0), 9000),
+        (Command::act(0, 0, 0, 7), 90000),
+    ];
+    let violations = replay(cfg, &cmds);
+    assert!(
+        violations
+            .iter()
+            .any(|v| v.constraint == Constraint::TRefi && v.cmd.rank == 1),
+        "{violations:?}"
+    );
+}
+
+#[test]
+fn bank_state_double_activate() {
+    let bad = vec![
+        (Command::act(0, 0, 0, 7), 0),
+        (Command::act(0, 0, 0, 8), 100),
+    ];
+    let found = constraints(ddr4(), &bad);
+    assert_eq!(found, vec![Constraint::BankState]);
+}
+
+#[test]
+fn bank_state_column_to_closed_bank() {
+    let found = constraints(ddr4(), &[(Command::read(0, 0, 0, 7, 0, false), 0)]);
+    assert_eq!(found, vec![Constraint::BankState]);
+}
+
+#[test]
+fn bank_state_row_mismatch() {
+    let bad = vec![
+        (Command::act(0, 0, 0, 7), 0),
+        (Command::read(0, 0, 0, 8, 0, false), 17),
+    ];
+    let found = constraints(ddr4(), &bad);
+    assert_eq!(found, vec![Constraint::BankState]);
+}
+
+#[test]
+fn geometry_out_of_range() {
+    let found = constraints(ddr4(), &[(Command::act(9, 0, 0, 7), 0)]);
+    assert_eq!(found, vec![Constraint::Geometry]);
+}
+
+#[test]
+fn precharge_to_idle_bank_is_a_legal_noop() {
+    assert!(replay(ddr4(), &[(Command::pre(0, 0, 0), 0)]).is_empty());
+}
+
+#[test]
+fn refresh_closes_rows_and_gates_reopen() {
+    let cfg = OracleConfig::ddr4_server();
+    // ACT @0, REF @56 (= ras + rp, the earliest legal instant for an open
+    // bank), reopen exactly at the end of the lockout.
+    let cmds = vec![
+        (Command::act(0, 0, 0, 7), 0),
+        (Command::refresh(0), 56),
+        (Command::act(0, 0, 0, 7), 56 + 420),
+    ];
+    assert!(replay(cfg.clone(), &cmds).is_empty());
+    // One cycle earlier on the REF breaks the implicit precharge (tRAS+tRP).
+    let mut early = cmds.clone();
+    early[1].1 = 55;
+    let found: Vec<_> = replay(cfg, &early)
+        .into_iter()
+        .map(|v| v.constraint)
+        .collect();
+    assert!(found.contains(&Constraint::TRas), "{found:?}");
+}
+
+#[test]
+fn back_dated_commands_are_sorted_before_checking() {
+    // Issue order is not cycle order: the observer may see a later-queued
+    // command with an earlier cycle. The oracle must still see the ACT
+    // before the RD it enables.
+    let cmds = vec![
+        (Command::read(0, 0, 0, 7, 0, false), 17),
+        (Command::act(0, 0, 0, 7), 0),
+    ];
+    assert!(replay(ddr4(), &cmds).is_empty());
+}
+
+#[test]
+fn back_dated_mrs_keeps_issue_order_mode_semantics() {
+    // A long-queued stride request can issue its MRS with a cycle stamp
+    // older than regular-mode commands that issued before it. Mode checks
+    // run in issue order, so the earlier commands stay legal.
+    let cmds = vec![
+        (Command::act(0, 0, 0, 7), 0),
+        (Command::read(0, 0, 0, 7, 0, false), 17),
+        (Command::read(0, 0, 0, 7, 1, false), 23),
+        // Issued later, stamped earlier: switches the rank to stride mode.
+        (Command::mrs(0, IoMode::Sx4(0)), 10),
+        (Command::read(0, 0, 0, 7, 2, true), 29),
+    ];
+    assert!(replay(ddr4(), &cmds).is_empty());
+}
+
+#[test]
+fn violation_reports_carry_both_commands() {
+    let bad = vec![
+        (Command::act(0, 0, 0, 7), 0),
+        (Command::read(0, 0, 0, 7, 3, false), 16),
+    ];
+    let violations = replay(ddr4(), &bad);
+    assert_eq!(violations.len(), 1);
+    let v = &violations[0];
+    assert_eq!(v.constraint, Constraint::TRcd);
+    assert_eq!(v.at, 16);
+    assert_eq!(v.earliest, 17);
+    assert_eq!(v.prior, Some((Command::act(0, 0, 0, 7), 0)));
+    let s = v.to_string();
+    assert!(s.contains("tRCD"), "{s}");
+    assert!(s.contains("needs >= 17"), "{s}");
+}

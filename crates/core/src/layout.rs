@@ -476,7 +476,7 @@ mod tests {
         }
         // Block `depth` moves to physical bank 1, row 0.
         let a = vertical_stack(depth * 8192, depth);
-        assert_eq!((a / 8192) % 32 ^ (a / 8192) / 32, 1);
+        assert_eq!(((a / 8192) % 32) ^ ((a / 8192) / 32), 1);
         assert_eq!((a / 8192) / 32, 0);
     }
 

@@ -99,7 +99,7 @@ impl AddressSpace {
         stride_mode: bool,
     ) -> Result<(), OsError> {
         let page = if huge { HUGE_PAGE_BYTES } else { PAGE_BYTES };
-        if vaddr % page != 0 || len == 0 {
+        if !vaddr.is_multiple_of(page) || len == 0 {
             return Err(OsError::Misaligned);
         }
         let len = len.next_multiple_of(page);

@@ -219,6 +219,25 @@ struct FillRecord {
     kind: FillKind,
 }
 
+/// Hooks for the external verification layer (the `sam-check` crate).
+///
+/// A default-constructed value is fully inert; [`System::run`] uses one
+/// internally. The command `observer` field only exists when the `check`
+/// cargo feature is enabled — without it the simulator carries no
+/// observation plumbing at all.
+#[derive(Default)]
+pub struct Instrumentation<'a> {
+    /// Sink for every DRAM command the device accepts, in issue order.
+    #[cfg(feature = "check")]
+    pub observer: Option<std::rc::Rc<std::cell::RefCell<dyn sam_dram::observe::CommandObserver>>>,
+    /// Called with the cache hierarchy every `cache_probe_period` touches
+    /// (and once at the end of the run), e.g. to check model invariants.
+    pub cache_probe: Option<&'a mut (dyn FnMut(&Hierarchy) + 'a)>,
+    /// Touch interval between `cache_probe` calls; 0 disables the periodic
+    /// calls (the final end-of-run call still happens if a probe is set).
+    pub cache_probe_period: u64,
+}
+
 /// A configured system ready to run traces.
 #[derive(Debug, Clone)]
 pub struct System {
@@ -245,12 +264,39 @@ impl System {
     /// Panics if `traces.len()` exceeds the configured core count or if an
     /// op references a missing table.
     pub fn run(&self, tables: &[TableSpec], traces: &[Trace]) -> RunResult {
+        let mut instr = Instrumentation::default();
+        self.run_instrumented(tables, traces, &mut instr)
+    }
+
+    /// Like [`Self::run`], with verification hooks attached (see
+    /// [`Instrumentation`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `traces.len()` exceeds the configured core count or if an
+    /// op references a missing table.
+    pub fn run_instrumented(
+        &self,
+        tables: &[TableSpec],
+        traces: &[Trace],
+        instr: &mut Instrumentation<'_>,
+    ) -> RunResult {
         assert!(traces.len() <= self.cfg.cores, "more traces than cores");
         let placements: Vec<Placement> = tables
             .iter()
             .map(|t| Placement::new(*t, self.store, &self.design, self.cfg.granularity))
             .collect();
-        Engine::new(&self.cfg, &self.design, placements, traces).run()
+        let mut engine = Engine::new(&self.cfg, &self.design, placements, traces);
+        #[cfg(feature = "check")]
+        if let Some(obs) = &instr.observer {
+            engine.ctrl.attach_observer(obs.clone());
+        }
+        engine.probe = match &mut instr.cache_probe {
+            Some(p) => Some(&mut **p),
+            None => None,
+        };
+        engine.probe_period = instr.cache_probe_period;
+        engine.run()
     }
 }
 
@@ -287,6 +333,10 @@ struct Engine<'t> {
     ecc_bursts: u64,
     writeback_bursts: u64,
     last_finish: Cycle,
+    /// Invariant probe over the cache hierarchy (verification layer).
+    probe: Option<&'t mut (dyn FnMut(&Hierarchy) + 't)>,
+    probe_period: u64,
+    probe_ticks: u64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -328,6 +378,22 @@ impl<'t> Engine<'t> {
             ecc_bursts: 0,
             writeback_bursts: 0,
             last_finish: 0,
+            probe: None,
+            probe_period: 0,
+            probe_ticks: 0,
+        }
+    }
+
+    /// Runs the periodic cache-invariant probe if one is attached.
+    fn probe_tick(&mut self) {
+        if self.probe_period == 0 {
+            return;
+        }
+        self.probe_ticks += 1;
+        if self.probe_ticks.is_multiple_of(self.probe_period) {
+            if let Some(p) = &mut self.probe {
+                p(&self.hierarchy);
+            }
         }
     }
 
@@ -462,6 +528,7 @@ impl<'t> Engine<'t> {
 
     /// Performs one 16B touch; `Stalled` means MLP or queue pressure.
     fn touch(&mut self, ci: usize, t: SectorTouch) -> Step {
+        self.probe_tick();
         self.cores[ci].time_cpu += self.cfg.touch_cost_cpu;
         let kind = if t.write {
             AccessKind::Write
@@ -940,6 +1007,9 @@ impl<'t> Engine<'t> {
                 self.cores.iter().map(|c| c.issued).collect::<Vec<_>>()
             );
         }
+        if let Some(p) = &mut self.probe {
+            p(&self.hierarchy);
+        }
         let (l1, l2, llc) = self.hierarchy.stats();
         let hist = self.ctrl.latency_histogram();
         RunResult {
@@ -1162,8 +1232,10 @@ mod tests {
     fn prefetch_never_changes_traffic_correctness() {
         // Prefetching may add fills but never drops any: the same sectors
         // end up resident and the run completes.
-        let mut cfg = SystemConfig::default();
-        cfg.prefetch_degree = 4;
+        let cfg = SystemConfig {
+            prefetch_degree: 4,
+            ..Default::default()
+        };
         let sys = System::new(cfg, commodity(), Store::Row);
         let traces = whole_trace(256, 2);
         let r = sys.run(&[table()], &traces);
@@ -1173,8 +1245,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "more traces than cores")]
     fn too_many_traces_rejected() {
-        let mut cfg = SystemConfig::default();
-        cfg.cores = 1;
+        let cfg = SystemConfig {
+            cores: 1,
+            ..Default::default()
+        };
         let sys = System::new(cfg, commodity(), Store::Row);
         let _ = sys.run(&[table()], &[vec![], vec![]]);
     }

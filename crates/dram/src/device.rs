@@ -5,6 +5,7 @@ use crate::bank::BankState;
 use crate::channel::ChannelState;
 use crate::command::{CmdKind, Command};
 use crate::moderegs::IoMode;
+use crate::observe::ObserverSlot;
 use crate::rank::RankState;
 use crate::timing::TimingParams;
 use crate::{Cycle, DeviceError};
@@ -126,6 +127,7 @@ pub struct MemoryDevice {
     banks: Vec<Vec<BankState>>,
     channel: ChannelState,
     stats: DeviceStats,
+    observers: ObserverSlot,
 }
 
 impl MemoryDevice {
@@ -143,7 +145,18 @@ impl MemoryDevice {
             banks,
             channel: ChannelState::new(),
             stats: DeviceStats::default(),
+            observers: ObserverSlot::default(),
         }
+    }
+
+    /// Attaches a command observer; every subsequently *accepted* command is
+    /// reported to it (see [`crate::observe`]).
+    #[cfg(feature = "check")]
+    pub fn attach_observer(
+        &mut self,
+        observer: std::rc::Rc<std::cell::RefCell<dyn crate::observe::CommandObserver>>,
+    ) {
+        self.observers.attach(observer);
     }
 
     /// The device geometry/timing.
@@ -244,6 +257,13 @@ impl MemoryDevice {
         if at < earliest {
             return Err(DeviceError::TimingViolation { at, earliest });
         }
+        let done = self.apply(cmd, at)?;
+        self.observers.notify(cmd, at);
+        Ok(done)
+    }
+
+    /// State update for a validated, timing-legal command.
+    fn apply(&mut self, cmd: &Command, at: Cycle) -> Result<Cycle, DeviceError> {
         let t = self.config.timing;
         let bank_idx = self.bank_index(cmd);
         match cmd.kind {
@@ -336,7 +356,7 @@ mod tests {
     #[test]
     fn act_read_pre_sequence() {
         let mut d = dev();
-        let t = *(&d.config().timing);
+        let t = d.config().timing;
         let act = Command::act(0, 1, 2, 99);
         d.issue(&act, 0).unwrap();
         let rd = Command::read(0, 1, 2, 99, 5, false);
@@ -395,7 +415,7 @@ mod tests {
     #[test]
     fn mode_switch_delays_next_column() {
         let mut d = dev();
-        let t = *(&d.config().timing);
+        let t = d.config().timing;
         d.issue(&Command::act(0, 0, 0, 1), 0).unwrap();
         d.issue(&Command::mrs(0, IoMode::Sx4(3)), t.rcd).unwrap();
         let srd = Command::read(0, 0, 0, 1, 0, true);
@@ -405,7 +425,7 @@ mod tests {
     #[test]
     fn rank_switch_penalty_on_data_bus() {
         let mut d = dev();
-        let t = *(&d.config().timing);
+        let t = d.config().timing;
         d.issue(&Command::act(0, 0, 0, 1), 0).unwrap();
         d.issue(&Command::act(1, 0, 0, 1), t.rrd_s.max(1)).unwrap();
         let rd0 = Command::read(0, 0, 0, 1, 0, false);
@@ -421,7 +441,7 @@ mod tests {
     #[test]
     fn refresh_blocks_rank() {
         let mut d = dev();
-        let t = *(&d.config().timing);
+        let t = d.config().timing;
         d.issue(&Command::refresh(0), 0).unwrap();
         let act = Command::act(0, 0, 0, 1);
         assert_eq!(d.earliest_issue(&act, 0), t.rfc);
@@ -431,7 +451,7 @@ mod tests {
     #[test]
     fn refresh_waits_for_open_rows() {
         let mut d = dev();
-        let t = *(&d.config().timing);
+        let t = d.config().timing;
         d.issue(&Command::act(0, 0, 0, 1), 0).unwrap();
         let r = Command::refresh(0);
         // Must wait tRAS (precharge legality) + tRP.
@@ -464,9 +484,11 @@ mod tests {
 
     #[test]
     fn stats_column_totals() {
-        let mut s = DeviceStats::default();
-        s.reads = 2;
-        s.stride_writes = 3;
+        let s = DeviceStats {
+            reads: 2,
+            stride_writes: 3,
+            ..Default::default()
+        };
         assert_eq!(s.column_commands(), 5);
     }
 }

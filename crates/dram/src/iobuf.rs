@@ -338,8 +338,8 @@ mod tests {
         // The high nibble (nibble=1) reads the 0x5s.
         let beats_hi = buf.read_fine_stride(1, 1);
         let mut h0 = 0u8;
-        for t in 0..4 {
-            h0 |= (beats_hi[t] & 1) << t;
+        for (t, &beat) in beats_hi.iter().enumerate().take(4) {
+            h0 |= (beat & 1) << t;
         }
         assert_eq!(h0, 5);
     }

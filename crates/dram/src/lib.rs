@@ -48,6 +48,7 @@ pub mod command;
 pub mod device;
 pub mod iobuf;
 pub mod moderegs;
+pub mod observe;
 pub mod rank;
 pub mod subarray;
 pub mod timing;

@@ -1,0 +1,100 @@
+//! Command-stream observation hook for external conformance checkers.
+//!
+//! The device model exposes a single narrow tap: every command that
+//! [`crate::device::MemoryDevice::issue`] *accepts* is reported to an
+//! attached [`CommandObserver`] together with its issue cycle. Rejected
+//! commands (timing/state/geometry errors) are never reported — the
+//! observer sees exactly the command stream the device executed.
+//!
+//! The hook is compiled out entirely unless the `check` cargo feature is
+//! enabled: without it, [`ObserverSlot`] is a zero-sized struct and
+//! `notify` is an empty inline function, so the production simulator pays
+//! nothing for the existence of the verification layer.
+
+use crate::command::Command;
+use crate::Cycle;
+
+#[cfg(feature = "check")]
+use std::cell::RefCell;
+#[cfg(feature = "check")]
+use std::rc::Rc;
+
+/// A sink for the accepted command stream of one memory channel.
+///
+/// Implementors (e.g. the `sam-check` protocol oracle or trace recorder)
+/// receive every command in issue order, which for this controller is not
+/// necessarily cycle order: the scheduler back-dates commands to request
+/// arrival times, so observers must be prepared to reorder by cycle.
+pub trait CommandObserver {
+    /// Called once per accepted command, after the device state update.
+    fn on_command(&mut self, cmd: &Command, at: Cycle);
+}
+
+/// Storage for an optional attached observer.
+///
+/// With the `check` feature off this is a zero-sized no-op; `Clone` on the
+/// device then produces an identical (empty) slot. With the feature on, a
+/// cloned device shares the same observer — clones are used by the bench
+/// harness to fork pre-warmed systems, and a shared sink keeps the full
+/// stream visible.
+#[derive(Clone, Default)]
+pub struct ObserverSlot {
+    #[cfg(feature = "check")]
+    observer: Option<Rc<RefCell<dyn CommandObserver>>>,
+}
+
+impl std::fmt::Debug for ObserverSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut d = f.debug_struct("ObserverSlot");
+        #[cfg(feature = "check")]
+        d.field("attached", &self.observer.is_some());
+        d.finish()
+    }
+}
+
+impl ObserverSlot {
+    /// Reports an accepted command to the attached observer, if any.
+    #[inline]
+    pub(crate) fn notify(&mut self, _cmd: &Command, _at: Cycle) {
+        #[cfg(feature = "check")]
+        if let Some(obs) = &self.observer {
+            obs.borrow_mut().on_command(_cmd, _at);
+        }
+    }
+
+    /// Attaches `observer`, replacing any previous one.
+    #[cfg(feature = "check")]
+    pub fn attach(&mut self, observer: Rc<RefCell<dyn CommandObserver>>) {
+        self.observer = Some(observer);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_debug_and_default() {
+        let slot = ObserverSlot::default();
+        let s = format!("{slot:?}");
+        assert!(s.contains("ObserverSlot"));
+    }
+
+    #[cfg(feature = "check")]
+    #[test]
+    fn notify_reaches_attached_observer() {
+        struct Counter(usize);
+        impl CommandObserver for Counter {
+            fn on_command(&mut self, _cmd: &Command, _at: Cycle) {
+                self.0 += 1;
+            }
+        }
+        let counter = Rc::new(RefCell::new(Counter(0)));
+        let mut slot = ObserverSlot::default();
+        slot.attach(counter.clone());
+        let cmd = Command::act(0, 0, 0, 1);
+        slot.notify(&cmd, 5);
+        slot.notify(&cmd, 6);
+        assert_eq!(counter.borrow().0, 2);
+    }
+}

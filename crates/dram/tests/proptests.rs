@@ -144,17 +144,17 @@ proptest! {
         let mut recovered = [[0u8; 4]; 4]; // [buffer][lane]
         for col in 0..4 {
             let beats = buf.read_en_stride(col);
-            for b in 0..4 {
-                for l in 0..4 {
+            for (b, row) in recovered.iter_mut().enumerate() {
+                for (l, slot) in row.iter_mut().enumerate() {
                     let bit0 = (beats[2 * b] >> l) & 1;
                     let bit1 = (beats[2 * b + 1] >> l) & 1;
-                    recovered[b][l] |= (bit0 | (bit1 << 1)) << (2 * col);
+                    *slot |= (bit0 | (bit1 << 1)) << (2 * col);
                 }
             }
         }
-        for b in 0..4 {
-            for l in 0..4 {
-                prop_assert_eq!(recovered[b][l], buf.lane(b, l));
+        for (b, row) in recovered.iter().enumerate() {
+            for (l, &got) in row.iter().enumerate() {
+                prop_assert_eq!(got, buf.lane(b, l));
             }
         }
     }

@@ -265,15 +265,15 @@ impl SscDsdCode {
         // Syndrome contribution of the data part.
         let mut s = [0u8; 4];
         for (j, &d) in data.iter().enumerate() {
-            for r in 0..4 {
-                s[r] = f.add(s[r], f.mul(d, self.h[r][j]));
+            for (r, sr) in s.iter_mut().enumerate() {
+                *sr = f.add(*sr, f.mul(d, self.h[r][j]));
             }
         }
         // Parity p solves Hp * p = s  =>  p = Hp^-1 * s.
         let mut p = [0u8; 4];
-        for r in 0..4 {
-            for c in 0..4 {
-                p[r] = f.add(p[r], f.mul(self.hp_inv[r][c], s[c]));
+        for (r, pr) in p.iter_mut().enumerate() {
+            for (c, &sc) in s.iter().enumerate() {
+                *pr = f.add(*pr, f.mul(self.hp_inv[r][c], sc));
             }
         }
         let mut cw = data.to_vec();
@@ -299,8 +299,8 @@ impl SscDsdCode {
         let mut s = [0u8; 4];
         for (j, &c) in codeword.iter().enumerate() {
             debug_assert!(c < 16);
-            for r in 0..4 {
-                s[r] = f.add(s[r], f.mul(c, self.h[r][j]));
+            for (r, sr) in s.iter_mut().enumerate() {
+                *sr = f.add(*sr, f.mul(c, self.h[r][j]));
             }
         }
         if s == [0, 0, 0, 0] {
@@ -475,7 +475,7 @@ impl SecDed {
                 syndrome |= p;
             }
         }
-        let overall_even = cw.count_ones() % 2 == 0;
+        let overall_even = cw.count_ones().is_multiple_of(2);
         let (fixed, corrected) = match (syndrome, overall_even) {
             (0, true) => (cw, None),
             (0, false) => (cw ^ 1, Some(0)), // overall parity bit itself flipped

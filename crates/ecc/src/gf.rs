@@ -22,8 +22,8 @@ impl Gf256 {
         let mut log = [0u8; 256];
         let mut exp = [0u8; 512];
         let mut x: u16 = 1;
-        for i in 0..255 {
-            exp[i] = x as u8;
+        for (i, e) in exp.iter_mut().enumerate().take(255) {
+            *e = x as u8;
             log[x as usize] = i as u8;
             x <<= 1;
             if x & 0x100 != 0 {
@@ -115,8 +115,8 @@ impl Gf16 {
         let mut log = [0u8; 16];
         let mut exp = [0u8; 32];
         let mut x: u8 = 1;
-        for i in 0..15 {
-            exp[i] = x;
+        for (i, e) in exp.iter_mut().enumerate().take(15) {
+            *e = x;
             log[x as usize] = i as u8;
             x <<= 1;
             if x & 0x10 != 0 {

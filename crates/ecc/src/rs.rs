@@ -382,7 +382,7 @@ mod tests {
     fn wrong_length_rejected() {
         let rs = ReedSolomon::new(20, 16);
         assert!(matches!(
-            rs.decode(&vec![0u8; 19]),
+            rs.decode(&[0u8; 19]),
             Err(EccError::LengthMismatch {
                 expected: 20,
                 actual: 19

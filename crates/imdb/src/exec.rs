@@ -69,6 +69,25 @@ pub fn run_query(workload: &Workload, design: &Design, store: Store) -> QueryRun
     }
 }
 
+/// Like [`run_query`], with verification hooks attached (see
+/// [`sam::system::Instrumentation`]).
+pub fn run_query_instrumented(
+    workload: &Workload,
+    design: &Design,
+    store: Store,
+    instr: &mut sam::system::Instrumentation<'_>,
+) -> QueryRun {
+    let plan = workload.compile();
+    let system = System::new(workload.system, design.clone(), store);
+    let result = system.run_instrumented(&plan.tables, &plan.traces, instr);
+    QueryRun {
+        query: workload.query,
+        design: design.name,
+        store,
+        result,
+    }
+}
+
 /// Runs the row-store commodity baseline (the denominator of every speedup
 /// in Figures 12, 14, and 15).
 pub fn run_baseline(workload: &Workload) -> QueryRun {

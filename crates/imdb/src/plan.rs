@@ -481,7 +481,7 @@ mod tests {
         let p = projected_field_list(9, 128, 64);
         assert_eq!(p.len(), 64);
         assert!(p.windows(2).all(|w| w[0] < w[1]));
-        assert!(p.iter().all(|&f| f >= 1 && f < 128));
+        assert!(p.iter().all(|&f| (1..128).contains(&f)));
     }
 
     #[test]

@@ -183,6 +183,16 @@ impl Controller {
         &self.device
     }
 
+    /// Attaches a command observer to the underlying device; every accepted
+    /// command is reported to it (see [`sam_dram::observe`]).
+    #[cfg(feature = "check")]
+    pub fn attach_observer(
+        &mut self,
+        observer: std::rc::Rc<std::cell::RefCell<dyn sam_dram::observe::CommandObserver>>,
+    ) {
+        self.device.attach_observer(observer);
+    }
+
     /// The address mapper in use.
     pub fn mapper(&self) -> &AddressMapper {
         &self.mapper

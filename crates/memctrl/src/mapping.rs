@@ -269,6 +269,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::unusual_byte_groupings)] // grouped by remap segment, not nibble
     fn stride_remap_swaps_expected_bits() {
         // addr with segment A = 0b11 at bits [4,6) and B = 0b00 at [6,8).
         let addr = 0b0011_0000u64;

@@ -28,8 +28,10 @@ fn main() {
 
     println!("Granularity sweep on Q3 (Figure 14(b))\n");
     for gran in [Granularity::Bits16, Granularity::Bits8, Granularity::Bits4] {
-        let mut sys = SystemConfig::default();
-        sys.granularity = gran;
+        let sys = SystemConfig {
+            granularity: gran,
+            ..Default::default()
+        };
         let w = Workload::new(Query::Q3, plan).with_system(sys);
         let base = run_baseline(&w);
         let run = run_query(&w, &sam_en(), Store::Row);

@@ -1,0 +1,190 @@
+//! A minimal, offline subset of the `criterion` benchmarking API.
+//!
+//! The build environment has no crates.io access, so the real `criterion`
+//! cannot be resolved. This vendored crate provides just enough of the API
+//! for the workspace's `harness = false` benches to compile and produce
+//! useful wall-clock numbers: [`Criterion`], benchmark groups,
+//! [`BenchmarkId`], [`Bencher::iter`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. There is no statistical analysis, outlier
+//! rejection, or HTML report — each benchmark is timed over a fixed number
+//! of iterations and the mean is printed.
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver (a registry of groups).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group: {name}");
+        BenchmarkGroup {
+            _parent: self,
+            name,
+            sample_size: 20,
+        }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function(&mut self, id: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        run_one(&id.into(), 20, f);
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Times `f` under the given identifier.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        run_one(&format!("{}/{}", self.name, id.label), self.sample_size, f);
+        self
+    }
+
+    /// Times `f`, passing it a borrowed input value.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let id = id.into();
+        run_one(
+            &format!("{}/{}", self.name, id.label),
+            self.sample_size,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// A function/parameter benchmark identifier.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An identifier of the form `function/parameter`.
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { label: s.into() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { label: s }
+    }
+}
+
+/// Timing harness handed to each benchmark closure.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    budget: usize,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured number of iterations.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // One untimed warm-up iteration.
+        let _ = routine();
+        for _ in 0..self.budget {
+            let start = Instant::now();
+            let _ = routine();
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn run_one(label: &str, sample_size: usize, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        samples: Vec::new(),
+        budget: sample_size,
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("  {label}: no samples");
+        return;
+    }
+    let total: Duration = b.samples.iter().sum();
+    let mean = total / b.samples.len() as u32;
+    let min = b.samples.iter().min().unwrap();
+    println!(
+        "  {label}: mean {mean:?}, min {min:?} ({} iterations)",
+        b.samples.len()
+    );
+}
+
+/// Declares a benchmark group function (criterion-compatible signature).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench `main` function running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.bench_function("plain", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::new("with_input", 7), &7, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}
