@@ -25,4 +25,18 @@ trap 'rm -f "$trace"' EXIT
 cargo run --release -p sam-bench --bin sam-check -- record "$trace"
 cargo run --release -p sam-bench --bin sam-check -- replay "$trace"
 
+echo "==> fig12 parallel checked smoke + JSON lint"
+# Reduced scale: exercises the sweep workers, the oracle under --jobs,
+# and the results/fig12.json emission end to end.
+rm -f results/fig12.json
+cargo run --release -p sam-bench --bin fig12 -- \
+  --rows 2048 --tb-rows 8192 --jobs 2 --checked
+[ -f results/fig12.json ] || { echo "results/fig12.json was not written"; exit 1; }
+cargo run --release -p sam-bench --bin sam-check -- lint-json results/fig12.json
+
+echo "==> misspelled flags must be rejected"
+if cargo run --release -p sam-bench --bin fig12 -- --cheked >/dev/null 2>&1; then
+  echo "fig12 accepted the misspelled flag --cheked"; exit 1
+fi
+
 echo "CI: all gates passed"

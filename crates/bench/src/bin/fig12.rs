@@ -2,24 +2,29 @@
 //! every design on the Q and Qs query sets, with geometric means.
 //!
 //! ```text
-//! cargo run --release -p sam-bench --bin fig12 [-- --rows N --tb-rows N --checked]
+//! cargo run --release -p sam-bench --bin fig12 [-- --rows N --tb-rows N --jobs N --checked]
 //! ```
 //!
-//! With `--checked`, every constituent run is shadowed by the `sam-check`
-//! protocol oracle and cache invariant probe; the binary exits non-zero if
-//! any run violates a check.
+//! The 18 × 9 = 162 constituent simulations fan out over `--jobs` sweep
+//! workers; the tables (and `results/fig12.json`) are byte-identical at
+//! any job count. With `--checked`, every run is shadowed by the
+//! `sam-check` protocol oracle and cache invariant probe; the binary
+//! exits non-zero if any run violates a check.
 
 use sam::system::SystemConfig;
-use sam_bench::{gmean, plan_from_args, speedup_row, SpeedupRow};
+use sam_bench::cli::{parse_args, ArgSpec};
+use sam_bench::metrics::MetricsReport;
+use sam_bench::{figure12_designs, gmean, grid_rows, SpeedupRow};
 use sam_imdb::plan::PlanConfig;
 use sam_imdb::query::Query;
 use sam_util::table::TextTable;
 
 fn main() {
-    let plan = plan_from_args(PlanConfig::default_scale());
+    let spec = ArgSpec::new("fig12").with_checked();
+    let args = parse_args(&spec, PlanConfig::default_scale());
+    let plan = args.plan;
     let system = SystemConfig::default();
-    let checked = std::env::args().any(|a| a == "--checked");
-    if checked && !cfg!(feature = "check") {
+    if args.checked && !cfg!(feature = "check") {
         eprintln!(
             "fig12: --checked requires the `check` feature \
              (on by default; rebuild without --no-default-features)"
@@ -30,23 +35,30 @@ fn main() {
         "Figure 12: speedup vs row-store baseline (Ta rows = {}, Tb rows = {}, SSC-DSD 4-bit granularity){}\n",
         plan.ta_records,
         plan.tb_records,
-        if checked { " [checked]" } else { "" }
+        if args.checked { " [checked]" } else { "" }
     );
 
+    let mut report = MetricsReport::new("fig12", plan, args.jobs, args.checked);
     let mut audit = Audit::default();
     for (label, queries) in [
         ("Q queries (prefer column store)", Query::q_set().to_vec()),
         ("Qs queries (prefer row store)", Query::qs_set().to_vec()),
     ] {
+        let rows: Vec<SpeedupRow> = if args.checked {
+            audit.checked_rows(&queries, plan, system, args.jobs, &mut report)
+        } else {
+            grid_rows(&queries, plan, system, &figure12_designs(), args.jobs)
+                .into_iter()
+                .map(|(row, metrics)| {
+                    report.runs.extend(metrics);
+                    row
+                })
+                .collect()
+        };
         let mut header = vec!["query".to_string()];
-        let mut rows = Vec::new();
+        let mut table_rows = Vec::new();
         let mut columns: Vec<Vec<f64>> = Vec::new();
-        for (qi, q) in queries.iter().enumerate() {
-            let row = if checked {
-                audit.checked_row(*q, plan, system)
-            } else {
-                speedup_row(*q, plan, system)
-            };
+        for (qi, row) in rows.into_iter().enumerate() {
             if qi == 0 {
                 header.extend(row.speedups.iter().map(|(n, _)| n.clone()));
                 header.push("ideal".into());
@@ -57,18 +69,19 @@ fn main() {
             for (ci, v) in values.iter().enumerate() {
                 columns[ci].push(*v);
             }
-            rows.push((row.query, values));
+            table_rows.push((row.query, values));
         }
         let mut table = TextTable::new(header);
         table.numeric();
-        for (name, values) in rows {
+        for (name, values) in table_rows {
             table.row_f64(name, &values, 2);
         }
         let gmeans: Vec<f64> = columns.iter().map(|c| gmean(c)).collect();
         table.row_f64("Gmean", &gmeans, 2);
         println!("{label}\n{table}");
     }
-    if checked {
+    report.write_or_die(&args.out);
+    if args.checked {
         audit.summarize_and_exit();
     }
 }
@@ -82,10 +95,22 @@ struct Audit {
 
 #[cfg(feature = "check")]
 impl Audit {
-    fn checked_row(&mut self, q: Query, plan: PlanConfig, system: SystemConfig) -> SpeedupRow {
-        let (row, reports) = sam_bench::checked::speedup_row_checked(q, plan, system);
-        self.reports.extend(reports);
-        row
+    fn checked_rows(
+        &mut self,
+        queries: &[Query],
+        plan: PlanConfig,
+        system: SystemConfig,
+        jobs: usize,
+        report: &mut MetricsReport,
+    ) -> Vec<SpeedupRow> {
+        sam_bench::checked::grid_rows_checked(queries, plan, system, jobs)
+            .into_iter()
+            .map(|q| {
+                report.runs.extend(q.metrics);
+                self.reports.extend(q.reports);
+                q.row
+            })
+            .collect()
     }
 
     fn summarize_and_exit(self) {
@@ -113,7 +138,14 @@ impl Audit {
 
 #[cfg(not(feature = "check"))]
 impl Audit {
-    fn checked_row(&mut self, _q: Query, _plan: PlanConfig, _system: SystemConfig) -> SpeedupRow {
+    fn checked_rows(
+        &mut self,
+        _queries: &[Query],
+        _plan: PlanConfig,
+        _system: SystemConfig,
+        _jobs: usize,
+        _report: &mut MetricsReport,
+    ) -> Vec<SpeedupRow> {
         unreachable!("--checked exits early without the `check` feature")
     }
 

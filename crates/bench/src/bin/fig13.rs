@@ -2,21 +2,25 @@
 //! energy efficiency per design, grouped by query class.
 //!
 //! ```text
-//! cargo run --release -p sam-bench --bin fig13 [-- --rows N --tb-rows N]
+//! cargo run --release -p sam-bench --bin fig13 [-- --rows N --tb-rows N --jobs N]
 //! ```
 
 use sam::designs::commodity;
 use sam::layout::Store;
 use sam::system::SystemConfig;
-use sam_bench::{figure12_designs, plan_from_args};
-use sam_imdb::exec::{run_query, Workload};
+use sam_bench::cli::{parse_args, ArgSpec};
+use sam_bench::figure12_designs;
+use sam_bench::metrics::{MetricsReport, RunMetrics};
+use sam_bench::sweep::{run_sweep_strict, SweepTask};
+use sam_imdb::exec::{run_query, QueryRun, Workload};
 use sam_imdb::plan::PlanConfig;
 use sam_imdb::query::Query;
 use sam_power::{breakdown, energy_uj, ActivityCounts, PowerParams};
 use sam_util::table::TextTable;
 
 fn main() {
-    let plan = plan_from_args(PlanConfig::default_scale());
+    let args = parse_args(&ArgSpec::new("fig13"), PlanConfig::default_scale());
+    let plan = args.plan;
     let system = SystemConfig::default();
     let gather = system.granularity.gather() as u64;
 
@@ -53,27 +57,58 @@ fn main() {
     let mut designs = vec![commodity()];
     designs.extend(figure12_designs());
 
-    for (label, queries) in groups {
+    // One flat sweep over every (group, design, query) simulation; the
+    // per-group/per-design aggregation below walks the results in the
+    // same deterministic order the tasks were submitted in.
+    let mut tasks: Vec<SweepTask<QueryRun>> = Vec::new();
+    for (_, queries) in &groups {
+        for design in &designs {
+            for q in queries {
+                let w = Workload::new(*q, plan).with_system(system);
+                let design = design.clone();
+                tasks.push(SweepTask::new(
+                    format!("{}/{}/Row", q.name(), design.name),
+                    move || run_query(&w, &design, Store::Row),
+                ));
+            }
+        }
+    }
+    let runs = run_sweep_strict(args.jobs, tasks);
+
+    let mut report = MetricsReport::new("fig13", plan, args.jobs, false);
+    let mut next = 0usize;
+    for (label, queries) in &groups {
+        // The commodity baseline is the first design, so its runs lead
+        // the group's block — remember them for speedup metrics.
+        let group_runs = &runs[next..next + designs.len() * queries.len()];
+        next += group_runs.len();
+        let baseline_runs = &group_runs[..queries.len()];
+
         let mut power_table = TextTable::new(vec!["design", "background", "ACT", "RD/WR", "total"]);
         power_table.numeric();
         let mut eff_table = TextTable::new(vec!["design", "energy-efficiency"]);
         eff_table.numeric();
         let mut baseline_energy = 0.0;
-        for design in &designs {
+        for (di, design) in designs.iter().enumerate() {
             let params = PowerParams::for_design(design);
             let mut bg = 0.0;
             let mut act = 0.0;
             let mut rdwr = 0.0;
             let mut energy = 0.0;
-            for q in &queries {
-                let w = Workload::new(*q, plan).with_system(system);
-                let run = run_query(&w, design, Store::Row);
+            for (qi, run) in group_runs[di * queries.len()..(di + 1) * queries.len()]
+                .iter()
+                .enumerate()
+            {
                 let activity = ActivityCounts::from_run(&run.result, gather);
                 let b = breakdown(&params, design, &activity);
                 bg += b.background_mw;
                 act += b.act_mw;
                 rdwr += b.rdwr_mw;
                 energy += energy_uj(&params, design, &activity);
+                let speedup = baseline_runs[qi].result.cycles as f64 / run.result.cycles as f64;
+                report
+                    .runs
+                    .push(RunMetrics::from_run(run, design, speedup, gather));
             }
             let n = queries.len() as f64;
             let name = if design.name == "commodity" {
@@ -90,4 +125,5 @@ fn main() {
         println!("{label}: power breakdown (mW)\n{power_table}");
         println!("{label}: energy efficiency (baseline energy / design energy)\n{eff_table}");
     }
+    report.write_or_die(&args.out);
 }

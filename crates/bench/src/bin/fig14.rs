@@ -2,14 +2,16 @@
 //! (c) area/storage overhead.
 //!
 //! ```text
-//! cargo run --release -p sam-bench --bin fig14 [-- a b c] [--rows N]
+//! cargo run --release -p sam-bench --bin fig14 [-- a b c] [--rows N --jobs N]
 //! ```
 //! With no panel arguments, all three panels run.
 
 use sam::design::Granularity;
 use sam::designs::{gs_dram_ecc, rc_nvm_wd, sam_en, sam_io, sam_sub};
 use sam::system::SystemConfig;
-use sam_bench::{gmean, plan_from_args, speedup_subset};
+use sam_bench::cli::{parse_args, ArgSpec};
+use sam_bench::metrics::MetricsReport;
+use sam_bench::{gmean, grid_rows};
 use sam_dram::timing::Substrate;
 use sam_imdb::plan::PlanConfig;
 use sam_imdb::query::Query;
@@ -21,7 +23,7 @@ fn all_queries() -> Vec<Query> {
     qs
 }
 
-fn panel_a(plan: PlanConfig, system: SystemConfig) {
+fn panel_a(plan: PlanConfig, system: SystemConfig, jobs: usize, report: &mut MetricsReport) {
     println!("Figure 14(a): all-query gmean speedup under each substrate\n");
     let mut table = TextTable::new(vec!["design", "NVM", "DRAM"]);
     table.numeric();
@@ -30,9 +32,15 @@ fn panel_a(plan: PlanConfig, system: SystemConfig) {
         for substrate in [Substrate::Rram, Substrate::Dram] {
             let design = base.clone().with_substrate(substrate);
             let mut speedups = Vec::new();
-            for q in all_queries() {
-                let r = speedup_subset(q, plan, system, std::slice::from_ref(&design));
+            for (r, metrics) in grid_rows(
+                &all_queries(),
+                plan,
+                system,
+                std::slice::from_ref(&design),
+                jobs,
+            ) {
                 speedups.push(r.speedups[0].1);
+                report.runs.extend(metrics);
             }
             row.push(gmean(&speedups));
         }
@@ -41,7 +49,7 @@ fn panel_a(plan: PlanConfig, system: SystemConfig) {
     println!("{table}");
 }
 
-fn panel_b(plan: PlanConfig, system: SystemConfig) {
+fn panel_b(plan: PlanConfig, system: SystemConfig, jobs: usize, report: &mut MetricsReport) {
     println!("Figure 14(b): Q-query gmean speedup vs strided granularity\n");
     let designs = [rc_nvm_wd(), gs_dram_ecc(), sam_en()];
     let mut table = TextTable::new(vec!["design", "16-bit", "8-bit", "4-bit"]);
@@ -52,9 +60,15 @@ fn panel_b(plan: PlanConfig, system: SystemConfig) {
             let mut sys = system;
             sys.granularity = gran;
             let mut speedups = Vec::new();
-            for q in Query::q_set() {
-                let r = speedup_subset(q, plan, sys, std::slice::from_ref(design));
+            for (r, metrics) in grid_rows(
+                &Query::q_set(),
+                plan,
+                sys,
+                std::slice::from_ref(design),
+                jobs,
+            ) {
                 speedups.push(r.speedups[0].1);
+                report.runs.extend(metrics);
             }
             row.push(gmean(&speedups));
         }
@@ -79,25 +93,23 @@ fn panel_c() {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let panels: Vec<&str> = args
-        .iter()
-        .filter(|a| matches!(a.as_str(), "a" | "b" | "c"))
-        .map(String::as_str)
-        .collect();
-    let panels = if panels.is_empty() {
+    let spec = ArgSpec::new("fig14").with_panels(&["a", "b", "c"]);
+    let args = parse_args(&spec, PlanConfig::default_scale());
+    let panels: Vec<&str> = if args.panels.is_empty() {
         vec!["a", "b", "c"]
     } else {
-        panels
+        args.panels.iter().map(String::as_str).collect()
     };
-    let plan = plan_from_args(PlanConfig::default_scale());
+    let plan = args.plan;
     let system = SystemConfig::default();
+    let mut report = MetricsReport::new("fig14", plan, args.jobs, false);
     for p in panels {
         match p {
-            "a" => panel_a(plan, system),
-            "b" => panel_b(plan, system),
+            "a" => panel_a(plan, system, args.jobs, &mut report),
+            "b" => panel_b(plan, system, args.jobs, &mut report),
             "c" => panel_c(),
             _ => unreachable!(),
         }
     }
+    report.write_or_die(&args.out);
 }

@@ -3,14 +3,16 @@
 //! SAM-en, and the ideal store.
 //!
 //! ```text
-//! cargo run --release -p sam-bench --bin fig15 [-- a b c d e f g h i] [--rows N]
+//! cargo run --release -p sam-bench --bin fig15 [-- a b c d e f g h i] [--rows N --jobs N]
 //! ```
 //! With no panel arguments, all nine panels run.
 
 use sam::design::Design;
 use sam::designs::{gs_dram_ecc, rc_nvm_wd, sam_en};
 use sam::system::SystemConfig;
-use sam_bench::{plan_from_args, speedup_subset};
+use sam_bench::cli::{parse_args, ArgSpec};
+use sam_bench::grid_rows_with_plans;
+use sam_bench::metrics::MetricsReport;
 use sam_imdb::plan::PlanConfig;
 use sam_imdb::query::Query;
 use sam_util::table::TextTable;
@@ -22,26 +24,49 @@ fn designs() -> Vec<Design> {
 const SELECTIVITIES: [f64; 7] = [0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 1.0];
 const PROJECTIVITIES: [u32; 7] = [4, 8, 16, 32, 64, 96, 128];
 
-fn sweep_selectivity(
-    label: &str,
-    projectivity: u32,
-    aggregate: bool,
-    plan: PlanConfig,
+/// Runs one panel's cases on the sweep workers and prints its table.
+fn panel_table(
+    labels: Vec<String>,
+    cases: Vec<(Query, PlanConfig)>,
+    first_column: &'static str,
     system: SystemConfig,
+    jobs: usize,
+    report: &mut MetricsReport,
 ) {
-    println!(
-        "Figure 15({label}): speedup vs selectivity ({projectivity} fields projected{})\n",
-        if aggregate { ", aggregate" } else { "" }
-    );
     let ds = designs();
     let mut table = TextTable::new(vec![
-        "selectivity",
+        first_column,
         "RC-NVM-wd",
         "GS-DRAM-ecc",
         "SAM-en",
         "ideal",
     ]);
     table.numeric();
+    let rows = grid_rows_with_plans(&cases, system, &ds, jobs);
+    for (label, (row, metrics)) in labels.into_iter().zip(rows) {
+        let mut values: Vec<f64> = row.speedups.iter().map(|(_, s)| *s).collect();
+        values.push(row.ideal);
+        table.row_f64(label, &values, 2);
+        report.runs.extend(metrics);
+    }
+    println!("{table}");
+}
+
+fn sweep_selectivity(
+    label: &str,
+    projectivity: u32,
+    aggregate: bool,
+    plan: PlanConfig,
+    system: SystemConfig,
+    jobs: usize,
+    report: &mut MetricsReport,
+) {
+    println!(
+        "Figure 15({label}): speedup vs selectivity ({projectivity} fields projected{})\n",
+        if aggregate { ", aggregate" } else { "" }
+    );
+    let mut labels = Vec::new();
+    let mut cases = Vec::new();
     for sel in SELECTIVITIES {
         let q = if aggregate {
             Query::Aggregate {
@@ -54,12 +79,10 @@ fn sweep_selectivity(
                 selectivity: sel,
             }
         };
-        let row = speedup_subset(q, plan, system, &ds);
-        let mut values: Vec<f64> = row.speedups.iter().map(|(_, s)| *s).collect();
-        values.push(row.ideal);
-        table.row_f64(format!("{:.0}%", sel * 100.0), &values, 2);
+        labels.push(format!("{:.0}%", sel * 100.0));
+        cases.push((q, plan));
     }
-    println!("{table}");
+    panel_table(labels, cases, "selectivity", system, jobs, report);
 }
 
 fn sweep_projectivity(
@@ -68,21 +91,16 @@ fn sweep_projectivity(
     aggregate: bool,
     plan: PlanConfig,
     system: SystemConfig,
+    jobs: usize,
+    report: &mut MetricsReport,
 ) {
     println!(
         "Figure 15({label}): speedup vs projectivity ({:.0}% records selected{})\n",
         selectivity * 100.0,
         if aggregate { ", aggregate" } else { "" }
     );
-    let ds = designs();
-    let mut table = TextTable::new(vec![
-        "fields",
-        "RC-NVM-wd",
-        "GS-DRAM-ecc",
-        "SAM-en",
-        "ideal",
-    ]);
-    table.numeric();
+    let mut labels = Vec::new();
+    let mut cases = Vec::new();
     for proj in PROJECTIVITIES {
         let q = if aggregate {
             Query::Aggregate {
@@ -95,25 +113,21 @@ fn sweep_projectivity(
                 selectivity,
             }
         };
-        let row = speedup_subset(q, plan, system, &ds);
-        let mut values: Vec<f64> = row.speedups.iter().map(|(_, s)| *s).collect();
-        values.push(row.ideal);
-        table.row_f64(proj.to_string(), &values, 2);
+        labels.push(proj.to_string());
+        cases.push((q, plan));
     }
-    println!("{table}");
+    panel_table(labels, cases, "fields", system, jobs, report);
 }
 
-fn sweep_record_size(plan: PlanConfig, system: SystemConfig) {
+fn sweep_record_size(
+    plan: PlanConfig,
+    system: SystemConfig,
+    jobs: usize,
+    report: &mut MetricsReport,
+) {
     println!("Figure 15(i): speedup vs record size (100% selected, all fields projected)\n");
-    let ds = designs();
-    let mut table = TextTable::new(vec![
-        "record",
-        "RC-NVM-wd",
-        "GS-DRAM-ecc",
-        "SAM-en",
-        "ideal",
-    ]);
-    table.numeric();
+    let mut labels = Vec::new();
+    let mut cases = Vec::new();
     for fields in [2u32, 4, 8, 16, 32, 64, 128, 256] {
         let mut p = plan;
         p.ta_fields = fields;
@@ -123,45 +137,38 @@ fn sweep_record_size(plan: PlanConfig, system: SystemConfig) {
             projectivity: fields,
             selectivity: 1.0,
         };
-        let row = speedup_subset(q, p, system, &ds);
-        let mut values: Vec<f64> = row.speedups.iter().map(|(_, s)| *s).collect();
-        values.push(row.ideal);
-        table.row_f64(format!("{}B", fields as u64 * 8), &values, 2);
+        labels.push(format!("{}B", fields as u64 * 8));
+        cases.push((q, p));
     }
-    println!("{table}");
+    panel_table(labels, cases, "record", system, jobs, report);
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let panels: Vec<&str> = args
-        .iter()
-        .filter(|a| {
-            matches!(
-                a.as_str(),
-                "a" | "b" | "c" | "d" | "e" | "f" | "g" | "h" | "i"
-            )
-        })
-        .map(String::as_str)
-        .collect();
-    let panels = if panels.is_empty() {
+    let spec = ArgSpec::new("fig15").with_panels(&["a", "b", "c", "d", "e", "f", "g", "h", "i"]);
+    let args = parse_args(&spec, PlanConfig::default_scale());
+    let panels: Vec<&str> = if args.panels.is_empty() {
         vec!["a", "b", "c", "d", "e", "f", "g", "h", "i"]
     } else {
-        panels
+        args.panels.iter().map(String::as_str).collect()
     };
-    let plan = plan_from_args(PlanConfig::default_scale());
+    let plan = args.plan;
     let system = SystemConfig::default();
+    let jobs = args.jobs;
+    let mut report = MetricsReport::new("fig15", plan, jobs, false);
     for p in panels {
+        let r = &mut report;
         match p {
-            "a" => sweep_selectivity("a", 8, false, plan, system),
-            "b" => sweep_selectivity("b", 64, false, plan, system),
-            "c" => sweep_selectivity("c", 128, false, plan, system),
-            "d" => sweep_projectivity("d", 0.1, false, plan, system),
-            "e" => sweep_projectivity("e", 0.5, false, plan, system),
-            "f" => sweep_projectivity("f", 1.0, false, plan, system),
-            "g" => sweep_selectivity("g", 8, true, plan, system),
-            "h" => sweep_projectivity("h", 1.0, true, plan, system),
-            "i" => sweep_record_size(plan, system),
+            "a" => sweep_selectivity("a", 8, false, plan, system, jobs, r),
+            "b" => sweep_selectivity("b", 64, false, plan, system, jobs, r),
+            "c" => sweep_selectivity("c", 128, false, plan, system, jobs, r),
+            "d" => sweep_projectivity("d", 0.1, false, plan, system, jobs, r),
+            "e" => sweep_projectivity("e", 0.5, false, plan, system, jobs, r),
+            "f" => sweep_projectivity("f", 1.0, false, plan, system, jobs, r),
+            "g" => sweep_selectivity("g", 8, true, plan, system, jobs, r),
+            "h" => sweep_projectivity("h", 1.0, true, plan, system, jobs, r),
+            "i" => sweep_record_size(plan, system, jobs, r),
             _ => unreachable!(),
         }
     }
+    report.write_or_die(&args.out);
 }

@@ -24,10 +24,15 @@ fn main() {
         .iter()
         .enumerate()
         .filter(|(i, a)| {
-            matches!(a.as_str(), "--rows" | "--ta-rows" | "--tb-rows" | "--seed")
-                || args.get(i.wrapping_sub(1)).is_some_and(|p| {
-                    matches!(p.as_str(), "--rows" | "--ta-rows" | "--tb-rows" | "--seed")
-                })
+            matches!(
+                a.as_str(),
+                "--rows" | "--ta-rows" | "--tb-rows" | "--seed" | "--jobs"
+            ) || args.get(i.wrapping_sub(1)).is_some_and(|p| {
+                matches!(
+                    p.as_str(),
+                    "--rows" | "--ta-rows" | "--tb-rows" | "--seed" | "--jobs"
+                )
+            })
         })
         .map(|(_, a)| a.clone())
         .collect();

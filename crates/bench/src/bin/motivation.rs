@@ -4,14 +4,16 @@
 //! sub-rank" — while SAM accelerates exactly those strided accesses.
 //!
 //! ```text
-//! cargo run --release -p sam-bench --bin motivation [-- --rows N]
+//! cargo run --release -p sam-bench --bin motivation [-- --rows N --jobs N]
 //! ```
 
 use sam::designs::{commodity, dgms, sam_en};
 use sam::layout::{Store, TableSpec};
 use sam::ops::TraceOp;
-use sam::system::{System, SystemConfig};
-use sam_bench::plan_from_args;
+use sam::system::{RunResult, System, SystemConfig};
+use sam_bench::cli::{parse_args, ArgSpec};
+use sam_bench::metrics::{MetricsReport, RunMetrics};
+use sam_bench::sweep::{run_sweep_strict, SweepTask};
 use sam_imdb::plan::{PlanConfig, TA_BASE};
 use sam_util::rng::Xoshiro256StarStar;
 use sam_util::table::TextTable;
@@ -40,10 +42,11 @@ fn strided_scan(records: u64, cores: usize) -> Vec<Vec<TraceOp>> {
 }
 
 fn main() {
-    let plan = plan_from_args(PlanConfig::default_scale());
-    let records = plan.ta_records;
+    let args = parse_args(&ArgSpec::new("motivation"), PlanConfig::default_scale());
+    let records = args.plan.ta_records;
     let table = TableSpec::ta(TA_BASE, records);
     let sys = SystemConfig::default();
+    let gather = sys.granularity.gather() as u64;
 
     println!(
         "Section 1 motivation: sub-ranking vs SAM on random and strided accesses\n\
@@ -52,28 +55,49 @@ fn main() {
     let mut out = TextTable::new(vec!["workload", "commodity", "DGMS (sub-ranked)", "SAM-en"]);
     out.numeric();
 
-    for (label, traces) in [
+    let workloads = [
         (
             "random point reads",
             random_point_reads(records, records as usize, 4, 0xD1CE),
         ),
         ("strided field scan", strided_scan(records, 4)),
-    ] {
-        let base = System::new(sys, commodity(), Store::Row).run(&[table], &traces);
-        let sub = System::new(sys, dgms(), Store::Row).run(&[table], &traces);
-        let sam = System::new(sys, sam_en(), Store::Row).run(&[table], &traces);
-        out.row_f64(
-            label,
-            &[
-                1.0,
-                base.cycles as f64 / sub.cycles as f64,
-                base.cycles as f64 / sam.cycles as f64,
-            ],
-            2,
-        );
+    ];
+    let designs = [commodity(), dgms(), sam_en()];
+    let tasks: Vec<SweepTask<RunResult>> = workloads
+        .iter()
+        .flat_map(|(label, traces)| {
+            designs.iter().map(move |design| {
+                let design = design.clone();
+                SweepTask::new(format!("{label}/{}", design.name), move || {
+                    System::new(sys, design, Store::Row).run(&[table], traces)
+                })
+            })
+        })
+        .collect();
+    let runs = run_sweep_strict(args.jobs, tasks);
+
+    let mut report = MetricsReport::new("motivation", args.plan, args.jobs, false);
+    for (wi, (label, _)) in workloads.iter().enumerate() {
+        let chunk = &runs[wi * designs.len()..(wi + 1) * designs.len()];
+        let base = &chunk[0];
+        let mut row = Vec::new();
+        for (design, result) in designs.iter().zip(chunk) {
+            let speedup = base.cycles as f64 / result.cycles as f64;
+            row.push(speedup);
+            report.runs.push(RunMetrics::from_result(
+                *label,
+                design,
+                Store::Row,
+                result,
+                speedup,
+                gather,
+            ));
+        }
+        out.row_f64(*label, &row, 2);
     }
     println!("{out}");
     println!("Sub-ranking helps when accesses scatter across sub-ranks (random");
     println!("reads) but a strided scan hits one word offset — one sub-rank —");
     println!("so DGMS stays near 1x while SAM gathers 8 records per burst.");
+    report.write_or_die(&args.out);
 }

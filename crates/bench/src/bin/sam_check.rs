@@ -3,31 +3,88 @@
 //! ```text
 //! cargo run --release -p sam-bench --bin sam-check -- <command>
 //!
-//!   record <file>   run a small workload and write its command trace
-//!   replay <file>   re-check a recorded trace; exit 1 on violations
-//!   audit           audit the chipkill ECC layouts
-//!   selftest        end-to-end sanity: clean record/replay, injected
-//!                   tFAW bug caught by name, ECC layouts clean
+//!   record <file>     run a small workload and write its command trace
+//!   replay <file>     re-check a recorded trace; exit 1 on violations
+//!   audit             audit the chipkill ECC layouts
+//!   selftest          end-to-end sanity: clean record/replay, injected
+//!                     tFAW bug caught by name, ECC layouts clean
+//!   lint-json <file>  validate a results/<bin>.json metrics report
 //! ```
+//!
+//! `lint-json` needs only the JSON parser, so it works even in a
+//! `--no-default-features` build; everything else requires the `check`
+//! feature (on by default).
 
-#[cfg(not(feature = "check"))]
+use sam_util::json::Json;
+
 fn main() {
-    eprintln!(
-        "sam-check requires the `check` feature \
-         (on by default; rebuild without --no-default-features)"
-    );
-    std::process::exit(2);
+    let args: Vec<String> = std::env::args().collect();
+    if args.get(1).map(String::as_str) == Some("lint-json") {
+        let code = match args.get(2) {
+            Some(path) => lint_json(path),
+            None => usage(),
+        };
+        std::process::exit(code);
+    }
+    #[cfg(feature = "check")]
+    real::main();
+    #[cfg(not(feature = "check"))]
+    {
+        if args.len() > 1 {
+            eprintln!(
+                "sam-check: only lint-json is available without the `check` \
+                 feature (on by default; rebuild without --no-default-features)"
+            );
+        }
+        std::process::exit(usage());
+    }
 }
 
-#[cfg(feature = "check")]
-fn main() {
-    real::main()
+fn usage() -> i32 {
+    eprintln!(
+        "usage: sam-check record <file> | replay <file> | audit | selftest | lint-json <file>"
+    );
+    2
+}
+
+/// Parses and schema-checks an emitted metrics report (the CI gate for
+/// `results/fig12.json`).
+fn lint_json(path: &str) -> i32 {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("sam-check: cannot read {path}: {e}");
+            return 2;
+        }
+    };
+    let doc = match Json::parse(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("sam-check: {path}: {e}");
+            return 1;
+        }
+    };
+    match sam_bench::metrics::lint_metrics_json(&doc) {
+        Ok(()) => {
+            let runs = doc
+                .get("runs")
+                .and_then(Json::as_array)
+                .map_or(0, <[Json]>::len);
+            println!("{path}: valid metrics report ({runs} runs)");
+            0
+        }
+        Err(e) => {
+            eprintln!("sam-check: {path}: schema violation: {e}");
+            1
+        }
+    }
 }
 
 #[cfg(feature = "check")]
 mod real {
-    use std::cell::RefCell;
-    use std::rc::Rc;
+    use std::sync::{Arc, Mutex};
+
+    use super::usage;
 
     use sam::designs;
     use sam::layout::Store;
@@ -61,16 +118,11 @@ mod real {
         std::process::exit(code);
     }
 
-    fn usage() -> i32 {
-        eprintln!("usage: sam-check record <file> | replay <file> | audit | selftest");
-        2
-    }
-
     /// Records the reference workload's command trace as text.
     fn record_trace() -> String {
         let workload = Workload::new(Query::Q3, PlanConfig::tiny());
         let design = designs::sam_en();
-        let recorder = Rc::new(RefCell::new(TraceRecorder::new(OracleConfig::from_device(
+        let recorder = Arc::new(Mutex::new(TraceRecorder::new(OracleConfig::from_device(
             &design.device_config(),
         ))));
         {
@@ -80,9 +132,10 @@ mod real {
             };
             run_query_instrumented(&workload, &design, Store::Row, &mut instr);
         }
-        let recorder = Rc::try_unwrap(recorder)
+        let recorder = Arc::try_unwrap(recorder)
             .expect("system dropped, recorder is sole owner")
-            .into_inner();
+            .into_inner()
+            .expect("recorder lock poisoned");
         recorder.to_text()
     }
 
@@ -146,9 +199,9 @@ mod real {
         let truth = DeviceConfig::ddr4_server();
         let mut buggy = truth;
         buggy.timing.faw = 8;
-        let oracle = Rc::new(RefCell::new(ProtocolOracle::new(
-            OracleConfig::from_device(&truth),
-        )));
+        let oracle = Arc::new(Mutex::new(ProtocolOracle::new(OracleConfig::from_device(
+            &truth,
+        ))));
         let mut ctrl = Controller::new(ControllerConfig::with_device(buggy));
         ctrl.attach_observer(oracle.clone());
         let mapper = *ctrl.mapper();
@@ -166,7 +219,10 @@ mod real {
         }
         ctrl.drain(0);
         drop(ctrl);
-        let oracle = Rc::try_unwrap(oracle).expect("sole owner").into_inner();
+        let oracle = Arc::try_unwrap(oracle)
+            .expect("sole owner")
+            .into_inner()
+            .expect("oracle lock poisoned");
         oracle
             .finish()
             .iter()

@@ -8,7 +8,7 @@
 //! the cache never reached an inconsistent state during that workload.
 
 use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use sam::design::Design;
 use sam::designs;
@@ -22,7 +22,9 @@ use sam_imdb::exec::{run_query_instrumented, speedup, QueryRun, Workload};
 use sam_imdb::plan::PlanConfig;
 use sam_imdb::query::Query;
 
-use crate::{figure12_designs, SpeedupRow};
+use crate::metrics::RunMetrics;
+use crate::sweep::{run_sweep_strict, SweepTask};
+use crate::{assemble_grid_chunk, figure12_designs, grid_chunk_len, SpeedupRow};
 
 /// Cache touches between invariant probes.
 const PROBE_PERIOD: u64 = 4096;
@@ -56,9 +58,9 @@ pub fn run_query_checked(
     design: &Design,
     store: Store,
 ) -> (QueryRun, CheckReport) {
-    let oracle = Rc::new(RefCell::new(ProtocolOracle::new(
-        OracleConfig::from_device(&design.device_config()),
-    )));
+    let oracle = Arc::new(Mutex::new(ProtocolOracle::new(OracleConfig::from_device(
+        &design.device_config(),
+    ))));
     let cache_violations = RefCell::new(Vec::new());
     let run = {
         let mut probe = |h: &Hierarchy| {
@@ -71,9 +73,10 @@ pub fn run_query_checked(
         };
         run_query_instrumented(workload, design, store, &mut instr)
     };
-    let oracle = Rc::try_unwrap(oracle)
+    let oracle = Arc::try_unwrap(oracle)
         .expect("system dropped, oracle is sole owner")
-        .into_inner();
+        .into_inner()
+        .expect("oracle lock poisoned");
     let report = CheckReport {
         design: design.name.to_string(),
         store,
@@ -121,6 +124,82 @@ pub fn speedup_row_checked(
     (row, reports)
 }
 
+/// One query's outcome from the checked parallel grid.
+#[derive(Debug, Clone)]
+pub struct CheckedGridRow {
+    /// The speedup row for the printed table.
+    pub row: SpeedupRow,
+    /// Per-run metrics (violation counts filled in) for the JSON report.
+    pub metrics: Vec<RunMetrics>,
+    /// Per-run verification reports, in grid order.
+    pub reports: Vec<CheckReport>,
+}
+
+/// Builds one query's grid chunk of **checked** sweep tasks, mirroring
+/// [`crate::grid_tasks`]: each task constructs its own oracle, so the
+/// chunks fan out over sweep workers like the unchecked grid.
+fn grid_tasks_checked(
+    query: Query,
+    plan: PlanConfig,
+    system: SystemConfig,
+    designs: &[Design],
+) -> Vec<SweepTask<'static, (QueryRun, CheckReport)>> {
+    let workload = Workload::new(query, plan).with_system(system);
+    let name = query.name();
+    let mut tasks = Vec::with_capacity(grid_chunk_len(designs));
+    tasks.push(SweepTask::new(
+        format!("{name}/commodity/Row [checked]"),
+        move || run_query_checked(&workload, &designs::commodity(), Store::Row),
+    ));
+    for design in designs {
+        let design = design.clone();
+        tasks.push(SweepTask::new(
+            format!("{name}/{}/Row [checked]", design.name),
+            move || run_query_checked(&workload, &design, Store::Row),
+        ));
+    }
+    tasks.push(SweepTask::new(
+        format!("{name}/commodity/Column [checked]"),
+        move || run_query_checked(&workload, &designs::commodity(), Store::Column),
+    ));
+    tasks
+}
+
+/// The Figure 12 grid with every run shadowed by the oracle, fanned out
+/// over `jobs` sweep workers. Speedups are identical to the unchecked
+/// [`crate::grid_rows`]; each metric's `check_violations` counts that
+/// run's protocol plus cache violations.
+pub fn grid_rows_checked(
+    queries: &[Query],
+    plan: PlanConfig,
+    system: SystemConfig,
+    jobs: usize,
+) -> Vec<CheckedGridRow> {
+    let designs = figure12_designs();
+    let tasks = queries
+        .iter()
+        .flat_map(|q| grid_tasks_checked(*q, plan, system, &designs))
+        .collect();
+    let outcomes = run_sweep_strict(jobs, tasks);
+    let gather = system.granularity.gather() as u64;
+    outcomes
+        .chunks(grid_chunk_len(&designs))
+        .map(|chunk| {
+            let runs: Vec<QueryRun> = chunk.iter().map(|(run, _)| run.clone()).collect();
+            let reports: Vec<CheckReport> = chunk.iter().map(|(_, rep)| rep.clone()).collect();
+            let (row, mut metrics) = assemble_grid_chunk(&runs, &designs, gather);
+            for (m, rep) in metrics.iter_mut().zip(&reports) {
+                m.check_violations = (rep.violations.len() + rep.cache_violations.len()) as u64;
+            }
+            CheckedGridRow {
+                row,
+                metrics,
+                reports,
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -144,6 +223,24 @@ mod tests {
         for ((n, s), (pn, ps)) in row.speedups.iter().zip(plain.speedups.iter()) {
             assert_eq!(n, pn);
             assert!((s - ps).abs() < 1e-12, "{n}: {s} vs {ps}");
+        }
+    }
+
+    #[test]
+    fn parallel_checked_grid_is_clean_and_matches_serial() {
+        let plan = PlanConfig::tiny();
+        let system = SystemConfig::default();
+        let grid = grid_rows_checked(&[Query::Q4], plan, system, 4);
+        assert_eq!(grid.len(), 1);
+        let q = &grid[0];
+        assert_eq!(q.reports.len(), 9); // baseline + 7 designs + column run
+        assert!(q.reports.iter().all(CheckReport::clean));
+        assert!(q.metrics.iter().all(|m| m.check_violations == 0));
+        let serial = crate::speedup_row(Query::Q4, plan, system);
+        assert!(q.row.ideal.to_bits() == serial.ideal.to_bits());
+        for ((n, s), (sn, ss)) in q.row.speedups.iter().zip(&serial.speedups) {
+            assert_eq!(n, sn);
+            assert!(s.to_bits() == ss.to_bits(), "{n}: {s} vs {ss}");
         }
     }
 }

@@ -1,0 +1,289 @@
+//! Centralized, strict CLI parsing for the bench binaries.
+//!
+//! The old per-binary `args().any(..)` parsing silently ignored unknown
+//! flags — `--cheked` ran a full figure *unchecked* with no warning. Every
+//! flag is now matched against an explicit per-binary [`ArgSpec`], and
+//! anything unrecognized is a hard error with the binary's usage string.
+//!
+//! Shared flags:
+//!
+//! * `--rows N` / `--ta-rows N` — Ta record count override
+//! * `--tb-rows N` — Tb record count override
+//! * `--seed N` — selection-hash seed
+//! * `--jobs N` — sweep worker threads (default: available parallelism)
+//! * `--out PATH` — where to write the JSON metrics report
+//! * `--checked` — only on binaries that support the verification oracle
+//! * bare panel names (e.g. `a b c`) — only on the panel binaries
+
+use std::path::PathBuf;
+
+use sam_imdb::plan::PlanConfig;
+
+use crate::sweep::default_jobs;
+
+/// What a specific binary accepts beyond the shared flags.
+#[derive(Debug, Clone, Copy)]
+pub struct ArgSpec {
+    /// Binary name for usage/error messages (also the default JSON stem).
+    pub bin: &'static str,
+    /// Whether `--checked` is accepted.
+    pub accepts_checked: bool,
+    /// Bare arguments accepted as panel selectors (empty: none).
+    pub panels: &'static [&'static str],
+}
+
+impl ArgSpec {
+    /// A spec with only the shared flags.
+    pub fn new(bin: &'static str) -> Self {
+        Self {
+            bin,
+            accepts_checked: false,
+            panels: &[],
+        }
+    }
+
+    /// Accepts `--checked`.
+    pub fn with_checked(mut self) -> Self {
+        self.accepts_checked = true;
+        self
+    }
+
+    /// Accepts the given bare panel names.
+    pub fn with_panels(mut self, panels: &'static [&'static str]) -> Self {
+        self.panels = panels;
+        self
+    }
+
+    fn usage(&self) -> String {
+        let mut u = format!(
+            "usage: {} [--rows N] [--tb-rows N] [--seed N] [--jobs N] [--out PATH]",
+            self.bin
+        );
+        if self.accepts_checked {
+            u.push_str(" [--checked]");
+        }
+        if !self.panels.is_empty() {
+            u.push_str(&format!(" [{}]", self.panels.join(" ")));
+        }
+        u
+    }
+}
+
+/// Parsed arguments for one bench binary.
+#[derive(Debug, Clone)]
+pub struct BenchArgs {
+    /// Plan with CLI overrides applied.
+    pub plan: PlanConfig,
+    /// Sweep worker count (>= 1).
+    pub jobs: usize,
+    /// Whether `--checked` was given.
+    pub checked: bool,
+    /// Selected panels, in the order given (empty: run all).
+    pub panels: Vec<String>,
+    /// JSON metrics output path; defaults to `results/<bin>.json`.
+    pub out: PathBuf,
+}
+
+/// A rejected command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// A flag (or bare argument) the binary does not know.
+    UnknownArg(String),
+    /// A flag that requires a value came last.
+    MissingValue(String),
+    /// A value that failed to parse.
+    BadValue(String, String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::UnknownArg(a) => write!(f, "unknown argument '{a}'"),
+            CliError::MissingValue(flag) => write!(f, "flag '{flag}' requires a value"),
+            CliError::BadValue(flag, v) => write!(f, "bad value '{v}' for '{flag}'"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Parses `argv` (without the program name) against `spec`.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] for unknown arguments, missing values, or
+/// unparsable numbers. Misspelled flags (`--cheked`) are errors, never
+/// silently ignored.
+pub fn try_parse_args(
+    spec: &ArgSpec,
+    mut plan: PlanConfig,
+    argv: &[String],
+) -> Result<BenchArgs, CliError> {
+    let mut jobs = default_jobs();
+    let mut checked = false;
+    let mut panels = Vec::new();
+    let mut out: Option<PathBuf> = None;
+
+    let mut i = 0;
+    while i < argv.len() {
+        let arg = argv[i].as_str();
+        let value_of = |i: &mut usize| -> Result<String, CliError> {
+            *i += 1;
+            argv.get(*i)
+                .cloned()
+                .ok_or_else(|| CliError::MissingValue(arg.to_string()))
+        };
+        match arg {
+            "--rows" | "--ta-rows" => {
+                let v = value_of(&mut i)?;
+                plan.ta_records = parse_num(arg, &v)?;
+            }
+            "--tb-rows" => {
+                let v = value_of(&mut i)?;
+                plan.tb_records = parse_num(arg, &v)?;
+            }
+            "--seed" => {
+                let v = value_of(&mut i)?;
+                plan.seed = parse_num(arg, &v)?;
+            }
+            "--jobs" => {
+                let v = value_of(&mut i)?;
+                let n: usize = v
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| CliError::BadValue(arg.to_string(), v.clone()))?;
+                jobs = n;
+            }
+            "--out" => {
+                let v = value_of(&mut i)?;
+                out = Some(PathBuf::from(v));
+            }
+            "--checked" if spec.accepts_checked => checked = true,
+            bare if spec.panels.contains(&bare) => panels.push(bare.to_string()),
+            other => return Err(CliError::UnknownArg(other.to_string())),
+        }
+        i += 1;
+    }
+
+    Ok(BenchArgs {
+        plan,
+        jobs,
+        checked,
+        panels,
+        out: out.unwrap_or_else(|| PathBuf::from(format!("results/{}.json", spec.bin))),
+    })
+}
+
+fn parse_num(flag: &str, v: &str) -> Result<u64, CliError> {
+    v.parse()
+        .map_err(|_| CliError::BadValue(flag.to_string(), v.to_string()))
+}
+
+/// Parses the process arguments; prints usage and exits on error (`2`) or
+/// on `--help`/`-h` (`0`).
+pub fn parse_args(spec: &ArgSpec, plan: PlanConfig) -> BenchArgs {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{}", spec.usage());
+        std::process::exit(0);
+    }
+    match try_parse_args(spec, plan, &argv) {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("{}: {e}", spec.bin);
+            eprintln!("{}", spec.usage());
+            std::process::exit(2);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn spec() -> ArgSpec {
+        ArgSpec::new("fig12").with_checked()
+    }
+
+    #[test]
+    fn defaults_when_no_args() {
+        let a = try_parse_args(&spec(), PlanConfig::tiny(), &[]).unwrap();
+        assert_eq!(a.plan, PlanConfig::tiny());
+        assert!(a.jobs >= 1);
+        assert!(!a.checked);
+        assert_eq!(a.out, PathBuf::from("results/fig12.json"));
+    }
+
+    #[test]
+    fn parses_shared_flags() {
+        let a = try_parse_args(
+            &spec(),
+            PlanConfig::tiny(),
+            &argv(&[
+                "--rows",
+                "1024",
+                "--tb-rows",
+                "4096",
+                "--seed",
+                "9",
+                "--jobs",
+                "3",
+                "--checked",
+                "--out",
+                "x.json",
+            ]),
+        )
+        .unwrap();
+        assert_eq!(a.plan.ta_records, 1024);
+        assert_eq!(a.plan.tb_records, 4096);
+        assert_eq!(a.plan.seed, 9);
+        assert_eq!(a.jobs, 3);
+        assert!(a.checked);
+        assert_eq!(a.out, PathBuf::from("x.json"));
+    }
+
+    /// The motivating bug: misspelled flags used to be silently ignored,
+    /// so `--cheked` ran a whole figure unchecked.
+    #[test]
+    fn misspelled_flag_is_an_error() {
+        let e = try_parse_args(&spec(), PlanConfig::tiny(), &argv(&["--cheked"])).unwrap_err();
+        assert_eq!(e, CliError::UnknownArg("--cheked".to_string()));
+    }
+
+    #[test]
+    fn checked_rejected_where_unsupported() {
+        let plain = ArgSpec::new("fig13");
+        let e = try_parse_args(&plain, PlanConfig::tiny(), &argv(&["--checked"])).unwrap_err();
+        assert_eq!(e, CliError::UnknownArg("--checked".to_string()));
+    }
+
+    #[test]
+    fn panels_validated_against_spec() {
+        let s = ArgSpec::new("fig14").with_panels(&["a", "b", "c"]);
+        let a = try_parse_args(&s, PlanConfig::tiny(), &argv(&["c", "a"])).unwrap();
+        assert_eq!(a.panels, vec!["c", "a"]);
+        let e = try_parse_args(&s, PlanConfig::tiny(), &argv(&["d"])).unwrap_err();
+        assert_eq!(e, CliError::UnknownArg("d".to_string()));
+    }
+
+    #[test]
+    fn missing_and_bad_values_are_errors() {
+        assert_eq!(
+            try_parse_args(&spec(), PlanConfig::tiny(), &argv(&["--rows"])).unwrap_err(),
+            CliError::MissingValue("--rows".to_string())
+        );
+        assert_eq!(
+            try_parse_args(&spec(), PlanConfig::tiny(), &argv(&["--jobs", "0"])).unwrap_err(),
+            CliError::BadValue("--jobs".to_string(), "0".to_string())
+        );
+        assert_eq!(
+            try_parse_args(&spec(), PlanConfig::tiny(), &argv(&["--seed", "pi"])).unwrap_err(),
+            CliError::BadValue("--seed".to_string(), "pi".to_string())
+        );
+    }
+}

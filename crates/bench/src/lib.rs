@@ -3,13 +3,23 @@
 //!
 //! Every binary prints an aligned text table whose rows/series correspond
 //! one-to-one with what the paper reports; `EXPERIMENTS.md` records a
-//! captured copy next to the paper's numbers.
+//! captured copy next to the paper's numbers. Alongside the tables, each
+//! binary emits a machine-readable [`metrics::MetricsReport`] to
+//! `results/<bin>.json`.
+//!
+//! The simulations behind a figure are fully independent, so the binaries
+//! fan them out over the [`sweep`] runner (`--jobs N`, parsed by [`cli`]);
+//! results come back in submission order, keeping the output
+//! byte-identical to a serial run.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 #[cfg(feature = "check")]
 pub mod checked;
+pub mod cli;
+pub mod metrics;
+pub mod sweep;
 
 use sam::design::Design;
 use sam::designs;
@@ -18,6 +28,9 @@ use sam::system::SystemConfig;
 use sam_imdb::exec::{run_baseline, run_ideal, run_query, speedup, QueryRun, Workload};
 use sam_imdb::plan::PlanConfig;
 use sam_imdb::query::Query;
+
+use crate::metrics::RunMetrics;
+use crate::sweep::{run_sweep_strict, SweepTask};
 
 /// The evaluated designs in Figure 12's legend order.
 pub fn figure12_designs() -> Vec<Design> {
@@ -98,35 +111,101 @@ pub fn run_pair(
     )
 }
 
-/// Parses `--rows N` and `--tb-rows N` style CLI overrides onto a config.
-pub fn plan_from_args(mut plan: PlanConfig) -> PlanConfig {
-    let args: Vec<String> = std::env::args().collect();
-    let mut i = 0;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--rows" | "--ta-rows" => {
-                if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
-                    plan.ta_records = v;
-                    i += 1;
-                }
-            }
-            "--tb-rows" => {
-                if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
-                    plan.tb_records = v;
-                    i += 1;
-                }
-            }
-            "--seed" => {
-                if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
-                    plan.seed = v;
-                    i += 1;
-                }
-            }
-            _ => {}
-        }
-        i += 1;
+/// One query's results from a parallel grid: the speedup row for the
+/// printed table plus the per-run metrics for the JSON report.
+pub type GridRow = (SpeedupRow, Vec<RunMetrics>);
+
+/// The number of simulations in one query's grid chunk: the commodity
+/// row-store baseline, each design on the row store, and the commodity
+/// column-store run behind the ideal reference.
+pub fn grid_chunk_len(designs: &[Design]) -> usize {
+    designs.len() + 2
+}
+
+/// Builds one query's grid chunk of sweep tasks, in [`grid_chunk_len`]
+/// order (baseline, designs, column).
+pub fn grid_tasks(
+    query: Query,
+    plan: PlanConfig,
+    system: SystemConfig,
+    designs: &[Design],
+) -> Vec<SweepTask<'static, QueryRun>> {
+    let workload = Workload::new(query, plan).with_system(system);
+    let name = query.name();
+    let mut tasks = Vec::with_capacity(grid_chunk_len(designs));
+    tasks.push(SweepTask::new(format!("{name}/commodity/Row"), move || {
+        run_query(&workload, &designs::commodity(), Store::Row)
+    }));
+    for design in designs {
+        let design = design.clone();
+        tasks.push(SweepTask::new(
+            format!("{name}/{}/Row", design.name),
+            move || run_query(&workload, &design, Store::Row),
+        ));
     }
-    plan
+    tasks.push(SweepTask::new(
+        format!("{name}/commodity/Column"),
+        move || run_query(&workload, &designs::commodity(), Store::Column),
+    ));
+    tasks
+}
+
+/// Assembles one query's completed grid chunk (in [`grid_tasks`] order)
+/// into its speedup row and metrics records.
+pub fn assemble_grid_chunk(runs: &[QueryRun], designs: &[Design], gather: u64) -> GridRow {
+    assert_eq!(runs.len(), grid_chunk_len(designs));
+    let base = &runs[0];
+    let col = &runs[runs.len() - 1];
+    let commodity = designs::commodity();
+    let mut metrics = vec![RunMetrics::from_run(base, &commodity, 1.0, gather)];
+    let mut speedups = Vec::with_capacity(designs.len());
+    for (design, run) in designs.iter().zip(&runs[1..runs.len() - 1]) {
+        let s = speedup(base, run);
+        speedups.push((design.name.to_string(), s));
+        metrics.push(RunMetrics::from_run(run, design, s, gather));
+    }
+    // The ideal reference is commodity hardware on whichever store is
+    // better, so its speedup is at least 1.0 (the row-store baseline).
+    let col_speedup = speedup(base, col);
+    metrics.push(RunMetrics::from_run(col, &commodity, col_speedup, gather));
+    let row = SpeedupRow {
+        query: base.query.name(),
+        speedups,
+        ideal: col_speedup.max(1.0),
+    };
+    (row, metrics)
+}
+
+/// Runs the full (query × design) grid on `jobs` workers: per query, the
+/// baseline, every design, and the ideal reference (see [`grid_tasks`]).
+pub fn grid_rows(
+    queries: &[Query],
+    plan: PlanConfig,
+    system: SystemConfig,
+    designs: &[Design],
+    jobs: usize,
+) -> Vec<GridRow> {
+    let cases: Vec<(Query, PlanConfig)> = queries.iter().map(|q| (*q, plan)).collect();
+    grid_rows_with_plans(&cases, system, designs, jobs)
+}
+
+/// [`grid_rows`] where each query carries its own plan (the Figure 15
+/// record-size sweep rescales the table per row).
+pub fn grid_rows_with_plans(
+    cases: &[(Query, PlanConfig)],
+    system: SystemConfig,
+    designs: &[Design],
+    jobs: usize,
+) -> Vec<GridRow> {
+    let tasks = cases
+        .iter()
+        .flat_map(|(q, plan)| grid_tasks(*q, *plan, system, designs))
+        .collect();
+    let runs = run_sweep_strict(jobs, tasks);
+    let gather = system.granularity.gather() as u64;
+    runs.chunks(grid_chunk_len(designs))
+        .map(|chunk| assemble_grid_chunk(chunk, designs, gather))
+        .collect()
 }
 
 /// Geometric mean helper re-exported for the binaries.
@@ -153,5 +232,53 @@ mod tests {
             sam_en > 1.0,
             "SAM-en should beat baseline on Q4: {sam_en:.2}"
         );
+    }
+
+    /// The byte-identity guarantee in miniature: the parallel grid must
+    /// reproduce the serial helper's speedups exactly, at any job count.
+    #[test]
+    fn grid_rows_match_serial_speedup_rows_exactly() {
+        let plan = PlanConfig::tiny();
+        let system = SystemConfig::default();
+        let designs = figure12_designs();
+        let queries = [Query::Q4, Query::Qs3];
+        let serial: Vec<SpeedupRow> = queries
+            .iter()
+            .map(|q| speedup_row(*q, plan, system))
+            .collect();
+        for jobs in [1, 4] {
+            let grid = grid_rows(&queries, plan, system, &designs, jobs);
+            assert_eq!(grid.len(), serial.len());
+            for ((row, metrics), expect) in grid.iter().zip(&serial) {
+                assert_eq!(row.query, expect.query);
+                assert_eq!(metrics.len(), grid_chunk_len(&designs));
+                assert!(row.ideal.to_bits() == expect.ideal.to_bits());
+                for ((n, s), (en, es)) in row.speedups.iter().zip(&expect.speedups) {
+                    assert_eq!(n, en);
+                    assert!(s.to_bits() == es.to_bits(), "{n}: {s} vs {es}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn grid_metrics_follow_task_order() {
+        let designs = vec![designs::sam_en()];
+        let grid = grid_rows(
+            &[Query::Q4],
+            PlanConfig::tiny(),
+            SystemConfig::default(),
+            &designs,
+            2,
+        );
+        let (row, metrics) = &grid[0];
+        assert_eq!(row.speedups.len(), 1);
+        assert_eq!(metrics.len(), 3);
+        assert_eq!(metrics[0].design, "commodity");
+        assert_eq!(metrics[0].store, "Row");
+        assert!((metrics[0].speedup - 1.0).abs() < 1e-12);
+        assert_eq!(metrics[1].design, "SAM-en");
+        assert_eq!(metrics[2].design, "commodity");
+        assert_eq!(metrics[2].store, "Column");
     }
 }

@@ -1,0 +1,390 @@
+//! Structured per-run metrics and the `results/<bin>.json` report.
+//!
+//! Every sweep run is summarized as a [`RunMetrics`] record; a binary
+//! collects its records into a [`MetricsReport`] and writes it with the
+//! hand-rolled [`sam_util::json`] writer, so the figure/table numbers are
+//! machine-readable next to the printed tables. [`lint_metrics_json`]
+//! validates a report against the schema below — `sam-check lint-json`
+//! and CI call it on the emitted files.
+//!
+//! The serialized report deliberately omits the worker count: the runs
+//! are deterministic and ordered by submission index, so the same
+//! configuration must produce a byte-identical file at any `--jobs`.
+//!
+//! Schema (all keys required):
+//!
+//! ```text
+//! { "bin": str, "checked": bool,
+//!   "plan": { "ta_records": uint, "tb_records": uint, "seed": uint },
+//!   "runs": [ { "query": str, "design": str, "store": str,
+//!               "cycles": uint, "speedup": number, "row_hit_rate": number,
+//!               "read_latency_mean": number, "read_latency_p99": uint,
+//!               "write_latency_mean": number, "write_latency_p99": uint,
+//!               "refreshes": uint, "energy_uj": number,
+//!               "check_violations": uint } ] }
+//! ```
+
+use std::path::Path;
+
+use sam::design::Design;
+use sam::layout::Store;
+use sam::system::RunResult;
+use sam_imdb::exec::QueryRun;
+use sam_imdb::plan::PlanConfig;
+use sam_power::{energy_uj, ActivityCounts, PowerParams};
+use sam_util::json::Json;
+
+/// The structured outcome of one simulation run.
+#[derive(Debug, Clone)]
+pub struct RunMetrics {
+    /// Query name (e.g. `"Q3"`).
+    pub query: String,
+    /// Design name (e.g. `"SAM-en"`).
+    pub design: String,
+    /// Store layout (`"Row"` / `"Column"`).
+    pub store: String,
+    /// End-to-end memory-clock cycles.
+    pub cycles: u64,
+    /// Speedup vs the run's baseline (1.0 for the baseline itself).
+    pub speedup: f64,
+    /// Row-hit rate over all column accesses (0.0 when none).
+    pub row_hit_rate: f64,
+    /// Mean read latency in memory cycles.
+    pub read_latency_mean: f64,
+    /// p99 read-latency upper bound (power-of-two bucket).
+    pub read_latency_p99: u64,
+    /// Mean write latency in memory cycles.
+    pub write_latency_mean: f64,
+    /// p99 write-latency upper bound (power-of-two bucket).
+    pub write_latency_p99: u64,
+    /// Refreshes issued.
+    pub refreshes: u64,
+    /// Total run energy in microjoules (substrate power model).
+    pub energy_uj: f64,
+    /// Check violations (protocol + cache); 0 on unchecked runs.
+    pub check_violations: u64,
+}
+
+impl RunMetrics {
+    /// Summarizes a run. `gather` is the gather granularity in bytes
+    /// (`system.granularity.gather()`), an input to the energy model.
+    pub fn from_run(run: &QueryRun, design: &Design, speedup: f64, gather: u64) -> Self {
+        Self::from_result(
+            run.query.name(),
+            design,
+            run.store,
+            &run.result,
+            speedup,
+            gather,
+        )
+    }
+
+    /// [`Self::from_run`] for raw [`RunResult`]s whose workload is not a
+    /// named query (the motivation traces), under a free-form label.
+    pub fn from_result(
+        query: impl Into<String>,
+        design: &Design,
+        store: Store,
+        r: &RunResult,
+        speedup: f64,
+        gather: u64,
+    ) -> Self {
+        let params = PowerParams::for_design(design);
+        let activity = ActivityCounts::from_run(r, gather);
+        Self {
+            query: query.into(),
+            design: design.name.to_string(),
+            store: format!("{store:?}"),
+            cycles: r.cycles,
+            speedup,
+            row_hit_rate: r.ctrl.row_hit_rate().unwrap_or(0.0),
+            read_latency_mean: r.read_latency_mean,
+            read_latency_p99: r.read_latency_p99,
+            write_latency_mean: r.write_latency_mean,
+            write_latency_p99: r.write_latency_p99,
+            refreshes: r.ctrl.refreshes,
+            energy_uj: energy_uj(&params, design, &activity),
+            check_violations: 0,
+        }
+    }
+
+    /// Sets the check-violation count (builder-style, for checked runs).
+    pub fn with_violations(mut self, violations: u64) -> Self {
+        self.check_violations = violations;
+        self
+    }
+
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("query", Json::str(&self.query)),
+            ("design", Json::str(&self.design)),
+            ("store", Json::str(&self.store)),
+            ("cycles", Json::UInt(self.cycles)),
+            ("speedup", Json::Float(self.speedup)),
+            ("row_hit_rate", Json::Float(self.row_hit_rate)),
+            ("read_latency_mean", Json::Float(self.read_latency_mean)),
+            ("read_latency_p99", Json::UInt(self.read_latency_p99)),
+            ("write_latency_mean", Json::Float(self.write_latency_mean)),
+            ("write_latency_p99", Json::UInt(self.write_latency_p99)),
+            ("refreshes", Json::UInt(self.refreshes)),
+            ("energy_uj", Json::Float(self.energy_uj)),
+            ("check_violations", Json::UInt(self.check_violations)),
+        ])
+    }
+}
+
+/// A whole binary's metrics: configuration plus every run, in the order
+/// the runs were submitted to the sweep (deterministic across `--jobs`).
+#[derive(Debug, Clone)]
+pub struct MetricsReport {
+    /// Binary name (`"fig12"`, ...).
+    pub bin: String,
+    /// Plan scaling the runs used.
+    pub plan: PlanConfig,
+    /// Worker threads the sweep ran with.
+    pub jobs: usize,
+    /// Whether the verification oracle shadowed the runs.
+    pub checked: bool,
+    /// Per-run records.
+    pub runs: Vec<RunMetrics>,
+}
+
+impl MetricsReport {
+    /// An empty report for a binary about to run its sweeps.
+    pub fn new(bin: impl Into<String>, plan: PlanConfig, jobs: usize, checked: bool) -> Self {
+        Self {
+            bin: bin.into(),
+            plan,
+            jobs,
+            checked,
+            runs: Vec::new(),
+        }
+    }
+
+    /// The report as a JSON tree (the `results/<bin>.json` schema). The
+    /// worker count is not serialized — see the module docs.
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            ("bin", Json::str(&self.bin)),
+            ("checked", Json::Bool(self.checked)),
+            (
+                "plan",
+                Json::object([
+                    ("ta_records", Json::UInt(self.plan.ta_records)),
+                    ("tb_records", Json::UInt(self.plan.tb_records)),
+                    ("seed", Json::UInt(self.plan.seed)),
+                ]),
+            ),
+            (
+                "runs",
+                Json::Array(self.runs.iter().map(RunMetrics::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Writes the report to `path`, creating parent directories, and
+    /// prints a notice to **stderr** (stdout stays byte-identical to the
+    /// captured tables).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors from directory creation or the write.
+    pub fn write(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let mut text = self.to_json().to_string();
+        text.push('\n');
+        std::fs::write(path, text)?;
+        eprintln!(
+            "{}: wrote {} run metrics to {}",
+            self.bin,
+            self.runs.len(),
+            path.display()
+        );
+        Ok(())
+    }
+
+    /// [`Self::write`] + exit(1) on failure — binaries treat an unwritable
+    /// report as an error, not a shrug.
+    pub fn write_or_die(&self, path: &Path) {
+        if let Err(e) = self.write(path) {
+            eprintln!("{}: cannot write {}: {e}", self.bin, path.display());
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Validates a parsed `results/<bin>.json` document against the module
+/// schema.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first schema violation
+/// (missing key, wrong type, non-finite number serialized as `null`).
+pub fn lint_metrics_json(doc: &Json) -> Result<(), String> {
+    require_str(doc, "bin")?;
+    match doc.get("checked") {
+        Some(Json::Bool(_)) => {}
+        other => return Err(expected("checked", "bool", other)),
+    }
+    let plan = doc
+        .get("plan")
+        .ok_or_else(|| "missing key 'plan'".to_string())?;
+    for key in ["ta_records", "tb_records", "seed"] {
+        require_uint(plan, key).map_err(|e| format!("plan: {e}"))?;
+    }
+    let runs = doc
+        .get("runs")
+        .and_then(Json::as_array)
+        .ok_or_else(|| "missing or non-array key 'runs'".to_string())?;
+    for (i, run) in runs.iter().enumerate() {
+        lint_run(run).map_err(|e| format!("runs[{i}]: {e}"))?;
+    }
+    Ok(())
+}
+
+fn lint_run(run: &Json) -> Result<(), String> {
+    for key in ["query", "design", "store"] {
+        require_str(run, key)?;
+    }
+    for key in [
+        "cycles",
+        "read_latency_p99",
+        "write_latency_p99",
+        "refreshes",
+        "check_violations",
+    ] {
+        require_uint(run, key)?;
+    }
+    for key in [
+        "speedup",
+        "row_hit_rate",
+        "read_latency_mean",
+        "write_latency_mean",
+        "energy_uj",
+    ] {
+        match run.get(key) {
+            Some(v) if v.is_number() => {}
+            other => return Err(expected(key, "number", other)),
+        }
+    }
+    Ok(())
+}
+
+fn require_str(doc: &Json, key: &str) -> Result<(), String> {
+    match doc.get(key) {
+        Some(Json::Str(_)) => Ok(()),
+        other => Err(expected(key, "string", other)),
+    }
+}
+
+fn require_uint(doc: &Json, key: &str) -> Result<(), String> {
+    match doc.get(key) {
+        Some(Json::UInt(_)) => Ok(()),
+        other => Err(expected(key, "unsigned integer", other)),
+    }
+}
+
+fn expected(key: &str, kind: &str, got: Option<&Json>) -> String {
+    match got {
+        Some(v) => format!("key '{key}' must be a {kind}, got {v}"),
+        None => format!("missing key '{key}'"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sam::designs;
+    use sam::layout::Store;
+    use sam::system::SystemConfig;
+    use sam_imdb::exec::{run_query, Workload};
+    use sam_imdb::query::Query;
+
+    fn sample_report() -> MetricsReport {
+        let workload = Workload::new(Query::Q4, PlanConfig::tiny());
+        let design = designs::sam_en();
+        let run = run_query(&workload, &design, Store::Row);
+        let gather = SystemConfig::default().granularity.gather() as u64;
+        let mut report = MetricsReport::new("fig12", PlanConfig::tiny(), 2, false);
+        report
+            .runs
+            .push(RunMetrics::from_run(&run, &design, 1.7, gather));
+        report
+    }
+
+    #[test]
+    fn emitted_report_passes_its_own_lint() {
+        let report = sample_report();
+        let text = report.to_json().to_string();
+        let doc = Json::parse(&text).expect("writer output parses");
+        lint_metrics_json(&doc).expect("writer output passes lint");
+    }
+
+    #[test]
+    fn run_metrics_capture_simulation_state() {
+        let report = sample_report();
+        let m = &report.runs[0];
+        assert_eq!(m.query, "Q4");
+        assert_eq!(m.design, "SAM-en");
+        assert_eq!(m.store, "Row");
+        assert!(m.cycles > 0);
+        assert!(m.row_hit_rate > 0.0 && m.row_hit_rate <= 1.0);
+        assert!(m.read_latency_mean > 0.0);
+        assert!(m.read_latency_p99 >= m.read_latency_mean as u64);
+        assert!(m.energy_uj > 0.0);
+        assert_eq!(m.check_violations, 0);
+    }
+
+    #[test]
+    fn lint_rejects_missing_and_mistyped_keys() {
+        let mut doc = Json::parse(&sample_report().to_json().to_string()).unwrap();
+        lint_metrics_json(&doc).unwrap();
+
+        // Missing top-level key.
+        if let Json::Object(pairs) = &mut doc {
+            pairs.retain(|(k, _)| k != "bin");
+        }
+        let e = lint_metrics_json(&doc).unwrap_err();
+        assert!(e.contains("bin"), "{e}");
+
+        // Mistyped run field.
+        let mut doc = Json::parse(&sample_report().to_json().to_string()).unwrap();
+        if let Some(Json::Array(runs)) = match &mut doc {
+            Json::Object(pairs) => pairs.iter_mut().find(|(k, _)| k == "runs").map(|(_, v)| v),
+            _ => None,
+        } {
+            if let Json::Object(run) = &mut runs[0] {
+                for (k, v) in run.iter_mut() {
+                    if k == "cycles" {
+                        *v = Json::str("fast");
+                    }
+                }
+            }
+        }
+        let e = lint_metrics_json(&doc).unwrap_err();
+        assert!(e.contains("runs[0]") && e.contains("cycles"), "{e}");
+    }
+
+    #[test]
+    fn serialized_report_is_independent_of_jobs() {
+        let mut a = sample_report();
+        let mut b = sample_report();
+        a.jobs = 1;
+        b.jobs = 8;
+        assert_eq!(a.to_json().to_string(), b.to_json().to_string());
+    }
+
+    #[test]
+    fn write_creates_parent_directories() {
+        let dir = std::env::temp_dir().join(format!("sam-metrics-{}", std::process::id()));
+        let path = dir.join("nested").join("out.json");
+        sample_report().write(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        lint_metrics_json(&Json::parse(&text).unwrap()).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

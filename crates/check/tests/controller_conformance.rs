@@ -6,8 +6,7 @@
 //! violations, and an intentionally broken device (tFAW shrunk from 26 to
 //! 8) must be caught with the constraint named "tFAW".
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use proptest::prelude::*;
 use sam_check::oracle::{OracleConfig, ProtocolOracle};
@@ -22,20 +21,21 @@ use sam_memctrl::request::{MemRequest, StrideSpec};
 fn shadowed(
     ctrl_device: DeviceConfig,
     oracle_device: &DeviceConfig,
-) -> (Controller, Rc<RefCell<ProtocolOracle>>) {
-    let oracle = Rc::new(RefCell::new(ProtocolOracle::new(
-        OracleConfig::from_device(oracle_device),
-    )));
+) -> (Controller, Arc<Mutex<ProtocolOracle>>) {
+    let oracle = Arc::new(Mutex::new(ProtocolOracle::new(OracleConfig::from_device(
+        oracle_device,
+    ))));
     let mut ctrl = Controller::new(ControllerConfig::with_device(ctrl_device));
     ctrl.attach_observer(oracle.clone());
     (ctrl, oracle)
 }
 
-fn verdict(ctrl: Controller, oracle: Rc<RefCell<ProtocolOracle>>) -> (usize, Vec<Violation>) {
+fn verdict(ctrl: Controller, oracle: Arc<Mutex<ProtocolOracle>>) -> (usize, Vec<Violation>) {
     drop(ctrl);
-    let oracle = Rc::try_unwrap(oracle)
+    let oracle = Arc::try_unwrap(oracle)
         .expect("controller dropped, oracle is sole owner")
-        .into_inner();
+        .into_inner()
+        .expect("oracle lock poisoned");
     (oracle.command_count(), oracle.finish())
 }
 

@@ -138,6 +138,14 @@ pub struct RunResult {
     pub latency_p50: Cycle,
     /// p99 request-latency upper bound (power-of-two bucket).
     pub latency_p99: Cycle,
+    /// Mean read latency, memory cycles (0.0 when no reads completed).
+    pub read_latency_mean: f64,
+    /// p99 read-latency upper bound (power-of-two bucket).
+    pub read_latency_p99: Cycle,
+    /// Mean write latency, memory cycles (0.0 when no writes completed).
+    pub write_latency_mean: f64,
+    /// p99 write-latency upper bound (power-of-two bucket).
+    pub write_latency_p99: Cycle,
 }
 
 impl RunResult {
@@ -229,7 +237,7 @@ struct FillRecord {
 pub struct Instrumentation<'a> {
     /// Sink for every DRAM command the device accepts, in issue order.
     #[cfg(feature = "check")]
-    pub observer: Option<std::rc::Rc<std::cell::RefCell<dyn sam_dram::observe::CommandObserver>>>,
+    pub observer: Option<sam_dram::observe::SharedObserver>,
     /// Called with the cache hierarchy every `cache_probe_period` touches
     /// (and once at the end of the run), e.g. to check model invariants.
     pub cache_probe: Option<&'a mut (dyn FnMut(&Hierarchy) + 'a)>,
@@ -1012,6 +1020,8 @@ impl<'t> Engine<'t> {
         }
         let (l1, l2, llc) = self.hierarchy.stats();
         let hist = self.ctrl.latency_histogram();
+        let read_hist = self.ctrl.read_latency_histogram();
+        let write_hist = self.ctrl.write_latency_histogram();
         RunResult {
             cycles,
             ctrl: *self.ctrl.stats(),
@@ -1025,6 +1035,10 @@ impl<'t> Engine<'t> {
             latency_mean: hist.mean().unwrap_or(0.0),
             latency_p50: hist.percentile(0.5),
             latency_p99: hist.percentile(0.99),
+            read_latency_mean: read_hist.mean().unwrap_or(0.0),
+            read_latency_p99: read_hist.percentile(0.99),
+            write_latency_mean: write_hist.mean().unwrap_or(0.0),
+            write_latency_p99: write_hist.percentile(0.99),
         }
     }
 }
@@ -1226,6 +1240,21 @@ mod tests {
         assert!(r.latency_mean > 0.0);
         assert!(r.latency_p50 <= r.latency_p99);
         assert!(r.latency_p99 > 0);
+        // Read-side percentiles are populated for a read-only scan; the
+        // write-side ones stay empty.
+        assert!(r.read_latency_mean > 0.0);
+        assert!(r.read_latency_p99 > 0);
+        assert_eq!(r.write_latency_p99, 0);
+    }
+
+    /// The bench sweep runner executes whole simulations on worker
+    /// threads; the system (controller, device, caches, observer slot)
+    /// must be `Send`.
+    #[test]
+    fn system_and_result_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<System>();
+        assert_send::<RunResult>();
     }
 
     #[test]

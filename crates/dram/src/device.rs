@@ -152,10 +152,7 @@ impl MemoryDevice {
     /// Attaches a command observer; every subsequently *accepted* command is
     /// reported to it (see [`crate::observe`]).
     #[cfg(feature = "check")]
-    pub fn attach_observer(
-        &mut self,
-        observer: std::rc::Rc<std::cell::RefCell<dyn crate::observe::CommandObserver>>,
-    ) {
+    pub fn attach_observer(&mut self, observer: crate::observe::SharedObserver) {
         self.observers.attach(observer);
     }
 

@@ -15,9 +15,7 @@ use crate::command::Command;
 use crate::Cycle;
 
 #[cfg(feature = "check")]
-use std::cell::RefCell;
-#[cfg(feature = "check")]
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// A sink for the accepted command stream of one memory channel.
 ///
@@ -25,10 +23,23 @@ use std::rc::Rc;
 /// receive every command in issue order, which for this controller is not
 /// necessarily cycle order: the scheduler back-dates commands to request
 /// arrival times, so observers must be prepared to reorder by cycle.
-pub trait CommandObserver {
+///
+/// Observers are `Send` so that an instrumented device (and everything
+/// that owns one, up to a whole simulated system) stays `Send` and can be
+/// constructed and driven inside the bench harness's sweep workers.
+pub trait CommandObserver: Send {
     /// Called once per accepted command, after the device state update.
     fn on_command(&mut self, cmd: &Command, at: Cycle);
 }
+
+/// Shared handle to an attached observer.
+///
+/// `Arc<Mutex<..>>` rather than `Rc<RefCell<..>>` keeps the whole run path
+/// `Send`; the lock is uncontended (one device per worker thread) so the
+/// cost is a few nanoseconds per accepted command, paid only when the
+/// `check` feature is active *and* an observer is attached.
+#[cfg(feature = "check")]
+pub type SharedObserver = Arc<Mutex<dyn CommandObserver>>;
 
 /// Storage for an optional attached observer.
 ///
@@ -40,7 +51,7 @@ pub trait CommandObserver {
 #[derive(Clone, Default)]
 pub struct ObserverSlot {
     #[cfg(feature = "check")]
-    observer: Option<Rc<RefCell<dyn CommandObserver>>>,
+    observer: Option<SharedObserver>,
 }
 
 impl std::fmt::Debug for ObserverSlot {
@@ -58,13 +69,15 @@ impl ObserverSlot {
     pub(crate) fn notify(&mut self, _cmd: &Command, _at: Cycle) {
         #[cfg(feature = "check")]
         if let Some(obs) = &self.observer {
-            obs.borrow_mut().on_command(_cmd, _at);
+            obs.lock()
+                .expect("observer lock poisoned")
+                .on_command(_cmd, _at);
         }
     }
 
     /// Attaches `observer`, replacing any previous one.
     #[cfg(feature = "check")]
-    pub fn attach(&mut self, observer: Rc<RefCell<dyn CommandObserver>>) {
+    pub fn attach(&mut self, observer: SharedObserver) {
         self.observer = Some(observer);
     }
 }
@@ -89,12 +102,20 @@ mod tests {
                 self.0 += 1;
             }
         }
-        let counter = Rc::new(RefCell::new(Counter(0)));
+        let counter = Arc::new(Mutex::new(Counter(0)));
         let mut slot = ObserverSlot::default();
         slot.attach(counter.clone());
         let cmd = Command::act(0, 0, 0, 1);
         slot.notify(&cmd, 5);
         slot.notify(&cmd, 6);
-        assert_eq!(counter.borrow().0, 2);
+        assert_eq!(counter.lock().unwrap().0, 2);
+    }
+
+    /// The whole point of the shared-observer representation: a slot (and
+    /// thus a device/controller/system owning one) crosses thread bounds.
+    #[test]
+    fn observer_slot_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<ObserverSlot>();
     }
 }

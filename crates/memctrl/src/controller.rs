@@ -7,6 +7,13 @@
 //! (optional MRS mode switch, PRE on conflict, ACT, then RD/WR) is issued at
 //! the earliest legal cycles against the device's timing state machines.
 //!
+//! Pure first-ready ordering can starve: an unbroken stream of row-hit
+//! arrivals to an open row keeps outrunning an older request that needs a
+//! PRE/ACT. The scheduler therefore carries a starvation cap
+//! ([`ControllerConfig::starvation_cap`]): once the oldest queued request
+//! has waited longer than the cap, it is scheduled next unconditionally,
+//! bounding worst-case queueing delay at the cost of one row switch.
+//!
 //! Writes collect in a 32-entry write queue and drain in batches between the
 //! high and low watermarks, as in real controllers; reads otherwise have
 //! priority. Refresh is issued per rank every tREFI.
@@ -36,6 +43,11 @@ pub struct ControllerConfig {
     pub read_queue_capacity: usize,
     /// Whether periodic refresh is issued (DRAM yes, RRAM no).
     pub refresh_enabled: bool,
+    /// FR-FCFS starvation cap in memory cycles: once the oldest queued
+    /// request has waited longer than this, it wins the next scheduling
+    /// decision regardless of row-buffer state. Prevents an unbroken
+    /// stream of younger row hits from starving an older row miss.
+    pub starvation_cap: Cycle,
 }
 
 impl ControllerConfig {
@@ -49,6 +61,7 @@ impl ControllerConfig {
             write_low_watermark: 8,
             read_queue_capacity: 96,
             refresh_enabled,
+            starvation_cap: 4096,
         }
     }
 }
@@ -132,6 +145,8 @@ pub struct Controller {
     clock: Cycle,
     stats: ControllerStats,
     latency_hist: Histogram,
+    read_latency_hist: Histogram,
+    write_latency_hist: Histogram,
 }
 
 impl Controller {
@@ -160,12 +175,24 @@ impl Controller {
             clock: 0,
             stats: ControllerStats::default(),
             latency_hist: Histogram::new(),
+            read_latency_hist: Histogram::new(),
+            write_latency_hist: Histogram::new(),
         }
     }
 
     /// Per-request latency histogram (arrival to last data beat).
     pub fn latency_histogram(&self) -> &Histogram {
         &self.latency_hist
+    }
+
+    /// Latency histogram over completed reads only.
+    pub fn read_latency_histogram(&self) -> &Histogram {
+        &self.read_latency_hist
+    }
+
+    /// Latency histogram over completed writes only.
+    pub fn write_latency_histogram(&self) -> &Histogram {
+        &self.write_latency_hist
     }
 
     /// Controller statistics.
@@ -186,10 +213,7 @@ impl Controller {
     /// Attaches a command observer to the underlying device; every accepted
     /// command is reported to it (see [`sam_dram::observe`]).
     #[cfg(feature = "check")]
-    pub fn attach_observer(
-        &mut self,
-        observer: std::rc::Rc<std::cell::RefCell<dyn sam_dram::observe::CommandObserver>>,
-    ) {
+    pub fn attach_observer(&mut self, observer: sam_dram::observe::SharedObserver) {
         self.device.attach_observer(observer);
     }
 
@@ -264,7 +288,19 @@ impl Controller {
     /// force an I/O mode switch are charged tRTR in the estimate, which
     /// makes the scheduler batch same-mode requests and amortize switches
     /// (the controller behaviour Section 5.3 assumes).
+    ///
+    /// Starvation guard: if the oldest request has already waited more than
+    /// [`ControllerConfig::starvation_cap`] cycles at `now`, it is returned
+    /// directly — first-ready preference must not delay any request
+    /// unboundedly.
     fn select(&self, queue: &VecDeque<Pending>, now: Cycle) -> Option<usize> {
+        let oldest = queue
+            .iter()
+            .enumerate()
+            .min_by_key(|(i, p)| (p.arrival, *i))?;
+        if now.saturating_sub(oldest.1.arrival) > self.cfg.starvation_cap {
+            return Some(oldest.0);
+        }
         let trtr = self.cfg.device.timing.rtr;
         let mut best: Option<(Cycle, Cycle, usize)> = None;
         for (i, p) in queue.iter().enumerate() {
@@ -372,13 +408,28 @@ impl Controller {
             .expect("column command follows earliest_issue");
         self.clock = self.clock.max(at);
 
+        // A completion earlier than its own arrival means the scheduler (or
+        // device timing) produced an impossible ordering; fail loudly
+        // instead of silently recording a zero-cycle latency that would
+        // mask the bug and skew every latency statistic.
+        debug_assert!(
+            finish >= p.arrival,
+            "request {} completed at {finish} before its arrival {}",
+            p.req.id,
+            p.arrival
+        );
+        let latency = finish
+            .checked_sub(p.arrival)
+            .expect("completion must not precede arrival");
         if p.req.is_write {
             self.stats.writes_done += 1;
+            self.write_latency_hist.add(latency);
         } else {
             self.stats.reads_done += 1;
+            self.read_latency_hist.add(latency);
         }
-        self.stats.total_latency += finish.saturating_sub(p.arrival);
-        self.latency_hist.add(finish.saturating_sub(p.arrival));
+        self.stats.total_latency += latency;
+        self.latency_hist.add(latency);
         let _ = t;
         Completion {
             id: p.req.id,
@@ -489,6 +540,99 @@ mod tests {
         let second = c.schedule_one(0).unwrap();
         assert_eq!(second.id, 2);
         assert_eq!(c.stats().row_conflicts, 1);
+    }
+
+    /// The fixed starvation bug: an unbroken stream of younger row hits
+    /// used to outrank an older row-conflict read forever. With the cap,
+    /// the old request is forced once its wait exceeds the threshold.
+    #[test]
+    fn starvation_cap_forces_oldest_row_miss() {
+        let run = |cap: u64| -> Option<u64> {
+            let cfg = ControllerConfig {
+                starvation_cap: cap,
+                ..Default::default()
+            };
+            let mut c = Controller::new(cfg);
+            // Open row 0 of bank 0.
+            c.enqueue(MemRequest::read(1, 0), 0).unwrap();
+            let first = c.schedule_one(0).unwrap();
+            // An old request that conflicts with the open row (row 1 of the
+            // same physical bank, as in frfcfs_prefers_row_hit_over_older_conflict).
+            let conflict_addr = 256 * 1024 + 8 * 1024;
+            c.enqueue(MemRequest::read(2, conflict_addr), 1).unwrap();
+            // Unbroken row-hit stream: keep exactly one younger hit queued.
+            let mut now = first.finish;
+            for i in 0u64..200 {
+                let col = 1 + (i % 120);
+                c.enqueue(MemRequest::read(1000 + i, col * 64), now)
+                    .unwrap();
+                let done = c.schedule_one(now).unwrap();
+                now = now.max(done.finish);
+                if done.id == 2 {
+                    return Some(now);
+                }
+            }
+            None
+        };
+        // Without a cap the conflict request starves for the whole stream.
+        assert_eq!(run(u64::MAX), None, "row hits starve the conflict forever");
+        // With the cap it is served shortly after its wait crosses the cap.
+        let served_at = run(500).expect("starvation cap must force the old request");
+        assert!(
+            served_at < 1200,
+            "forced request served far too late: {served_at}"
+        );
+    }
+
+    /// Watermark hysteresis: a drain that starts at the high watermark must
+    /// continue down to the low watermark (not stop as soon as it dips
+    /// below high), and reads regain priority afterwards.
+    #[test]
+    fn write_drain_hysteresis_runs_high_to_low_watermark() {
+        let mut c = ctrl(); // high = 28, low = 8 (Table 2 defaults)
+        for i in 0..28 {
+            c.enqueue(MemRequest::write(i, i * 64), 0).unwrap();
+        }
+        c.enqueue(MemRequest::read(100, 0x100000), 0).unwrap();
+        let mut writes_before_read = 0;
+        loop {
+            let done = c.schedule_one(0).expect("requests queued");
+            if done.id == 100 {
+                break;
+            }
+            writes_before_read += 1;
+            assert!(writes_before_read <= 20, "drain overshot the low watermark");
+        }
+        assert_eq!(
+            writes_before_read, 20,
+            "drain must continue from high (28) to low (8) watermark"
+        );
+        // The remaining 8 writes complete once the read queue is empty.
+        assert_eq!(c.drain(0).len(), 8);
+        assert_eq!(c.stats().writes_done, 28);
+        assert_eq!(c.stats().reads_done, 1);
+    }
+
+    #[test]
+    fn read_and_write_latency_histograms_are_split() {
+        let mut c = ctrl();
+        c.enqueue(MemRequest::read(1, 0), 0).unwrap();
+        c.enqueue(MemRequest::read(2, 64), 0).unwrap();
+        c.enqueue(MemRequest::write(3, 128), 0).unwrap();
+        let _ = c.drain(0);
+        assert_eq!(c.read_latency_histogram().count(), 2);
+        assert_eq!(c.write_latency_histogram().count(), 1);
+        assert_eq!(c.latency_histogram().count(), 3);
+        let merged = c.read_latency_histogram().count() + c.write_latency_histogram().count();
+        assert_eq!(merged, c.latency_histogram().count());
+    }
+
+    /// The sweep runner builds controllers inside worker threads; the run
+    /// path must stay `Send` (observer hooks use `Arc<Mutex<..>>`).
+    #[test]
+    fn controller_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Controller>();
     }
 
     #[test]

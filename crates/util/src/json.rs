@@ -1,0 +1,498 @@
+//! A minimal, dependency-free JSON value type with a deterministic writer
+//! and a small strict parser.
+//!
+//! The bench harness serializes per-run metrics to `results/<bin>.json`
+//! with the writer; the `sam-check lint-json` subcommand (and CI) uses the
+//! parser to verify the emitted files are well-formed. Both halves are
+//! deliberately tiny: objects preserve insertion order, numbers are split
+//! into unsigned / signed / float variants so 64-bit cycle counters never
+//! lose precision, and output is byte-deterministic for a given value —
+//! the property the `--jobs N` reproducibility guarantee rests on.
+//!
+//! # Example
+//!
+//! ```
+//! use sam_util::json::Json;
+//!
+//! let doc = Json::object([
+//!     ("bin", Json::str("fig12")),
+//!     ("runs", Json::Array(vec![Json::UInt(162)])),
+//! ]);
+//! let text = doc.to_string();
+//! let back = Json::parse(&text).unwrap();
+//! assert_eq!(doc, back);
+//! ```
+
+use std::fmt;
+
+/// A JSON document tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null` (also produced when serializing non-finite floats).
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer (cycle counters, command counts).
+    UInt(u64),
+    /// A signed integer.
+    Int(i64),
+    /// A finite float; non-finite values serialize as `null`.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object; insertion order is preserved and duplicate keys are the
+    /// writer's responsibility to avoid.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience constructor for a string value.
+    pub fn str(s: impl Into<String>) -> Self {
+        Json::Str(s.into())
+    }
+
+    /// Convenience constructor for an object from key/value pairs.
+    pub fn object<K: Into<String>>(pairs: impl IntoIterator<Item = (K, Json)>) -> Self {
+        Json::Object(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Looks up a key in an object; `None` for non-objects/missing keys.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The elements if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string contents if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as `f64` for any of the three number variants.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::UInt(v) => Some(*v as f64),
+            Json::Int(v) => Some(*v as f64),
+            Json::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// True for any of the number variants.
+    pub fn is_number(&self) -> bool {
+        matches!(self, Json::UInt(_) | Json::Int(_) | Json::Float(_))
+    }
+
+    /// Parses a JSON text into a [`Json`] tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] with the byte offset of the first problem:
+    /// trailing garbage, unterminated strings, bad escapes, malformed
+    /// numbers, or nesting deeper than 128 levels.
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+            depth: 0,
+        };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after the top-level value"));
+        }
+        Ok(value)
+    }
+
+    fn write_indented(&self, f: &mut fmt::Formatter<'_>, indent: usize) -> fmt::Result {
+        match self {
+            Json::Null => write!(f, "null"),
+            Json::Bool(b) => write!(f, "{b}"),
+            Json::UInt(v) => write!(f, "{v}"),
+            Json::Int(v) => write!(f, "{v}"),
+            Json::Float(v) if v.is_finite() => write!(f, "{v}"),
+            Json::Float(_) => write!(f, "null"),
+            Json::Str(s) => write_escaped(f, s),
+            Json::Array(items) if items.is_empty() => write!(f, "[]"),
+            Json::Array(items) => {
+                writeln!(f, "[")?;
+                for (i, item) in items.iter().enumerate() {
+                    write!(f, "{:1$}", "", (indent + 1) * 2)?;
+                    item.write_indented(f, indent + 1)?;
+                    writeln!(f, "{}", if i + 1 < items.len() { "," } else { "" })?;
+                }
+                write!(f, "{:1$}]", "", indent * 2)
+            }
+            Json::Object(pairs) if pairs.is_empty() => write!(f, "{{}}"),
+            Json::Object(pairs) => {
+                writeln!(f, "{{")?;
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    write!(f, "{:1$}", "", (indent + 1) * 2)?;
+                    write_escaped(f, k)?;
+                    write!(f, ": ")?;
+                    v.write_indented(f, indent + 1)?;
+                    writeln!(f, "{}", if i + 1 < pairs.len() { "," } else { "" })?;
+                }
+                write!(f, "{:1$}}}", "", indent * 2)
+            }
+        }
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.write_indented(f, 0)
+    }
+}
+
+fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    write!(f, "\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => write!(f, "\\\"")?,
+            '\\' => write!(f, "\\\\")?,
+            '\n' => write!(f, "\\n")?,
+            '\r' => write!(f, "\\r")?,
+            '\t' => write!(f, "\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    write!(f, "\"")
+}
+
+/// A parse failure with the byte offset where it happened.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset into the input.
+    pub pos: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: impl Into<String>) -> JsonError {
+        JsonError {
+            pos: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("expected '{word}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        if self.depth >= MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(self.err(format!("unexpected character '{}'", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        self.depth += 1;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        self.depth += 1;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Json::Object(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Json::Object(pairs));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            // Surrogate pairs are not needed for our own
+                            // output (we only \u-escape control chars), but
+                            // reject them instead of emitting garbage.
+                            let c = char::from_u32(hex)
+                                .ok_or_else(|| self.err("\\u escape is not a scalar value"))?;
+                            out.push(c);
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(c) if c < 0x20 => return Err(self.err("raw control character in string")),
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so this is
+                    // always valid).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = s.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        if !is_float {
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(Json::UInt(v));
+            }
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(Json::Int(v));
+            }
+        }
+        text.parse::<f64>().map(Json::Float).map_err(|_| JsonError {
+            pos: start,
+            message: format!("malformed number '{text}'"),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_is_deterministic_and_pretty() {
+        let doc = Json::object([
+            ("name", Json::str("fig12")),
+            ("jobs", Json::UInt(4)),
+            ("ok", Json::Bool(true)),
+            ("ratio", Json::Float(0.5)),
+            ("empty", Json::Array(vec![])),
+        ]);
+        let a = doc.to_string();
+        let b = doc.to_string();
+        assert_eq!(a, b);
+        assert!(a.contains("\"name\": \"fig12\""));
+        assert!(a.contains("\"empty\": []"));
+    }
+
+    #[test]
+    fn round_trips_nested_documents() {
+        let doc = Json::object([
+            (
+                "runs",
+                Json::Array(vec![Json::object([
+                    ("query", Json::str("Q1")),
+                    ("cycles", Json::UInt(u64::MAX)),
+                    ("speedup", Json::Float(3.25)),
+                    ("delta", Json::Int(-7)),
+                ])]),
+            ),
+            ("note", Json::str("tabs\tand \"quotes\" and \\slashes\\")),
+            ("none", Json::Null),
+        ]);
+        let text = doc.to_string();
+        assert_eq!(Json::parse(&text).unwrap(), doc);
+    }
+
+    #[test]
+    fn u64_precision_is_preserved() {
+        let text = Json::UInt(u64::MAX).to_string();
+        assert_eq!(text, "18446744073709551615");
+        assert_eq!(Json::parse(&text).unwrap(), Json::UInt(u64::MAX));
+    }
+
+    #[test]
+    fn non_finite_floats_serialize_as_null() {
+        assert_eq!(Json::Float(f64::NAN).to_string(), "null");
+        assert_eq!(Json::Float(f64::INFINITY).to_string(), "null");
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "truth",
+            "\"unterminated",
+            "1 2",
+            "{\"a\" 1}",
+            "nul",
+            "\"bad \\q escape\"",
+        ] {
+            assert!(Json::parse(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn parse_accepts_whitespace_and_escapes() {
+        let doc = Json::parse(" { \"k\" : [ 1 , -2 , 3.5, \"\\u0041\\n\" ] } ").unwrap();
+        assert_eq!(
+            doc.get("k").unwrap().as_array().unwrap(),
+            &[
+                Json::UInt(1),
+                Json::Int(-2),
+                Json::Float(3.5),
+                Json::str("A\n"),
+            ]
+        );
+    }
+
+    #[test]
+    fn deep_nesting_is_rejected() {
+        let text = "[".repeat(200) + &"]".repeat(200);
+        assert!(Json::parse(&text).is_err());
+    }
+
+    #[test]
+    fn accessors() {
+        let doc = Json::object([("n", Json::UInt(3))]);
+        assert!(doc.get("n").unwrap().is_number());
+        assert_eq!(doc.get("n").unwrap().as_f64(), Some(3.0));
+        assert_eq!(doc.get("missing"), None);
+        assert_eq!(Json::str("x").as_str(), Some("x"));
+    }
+}

@@ -12,6 +12,8 @@
 //! * [`table`] — plain-text table rendering used by the `fig*`/`table*`
 //!   harness binaries to print paper-style rows.
 //! * [`hist`] — power-of-two histograms for latency reporting.
+//! * [`json`] — a deterministic JSON writer plus a strict parser, used for
+//!   the machine-readable `results/<bin>.json` metric files.
 //!
 //! # Example
 //!
@@ -29,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod hist;
+pub mod json;
 pub mod rng;
 pub mod stats;
 pub mod table;
