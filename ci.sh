@@ -11,7 +11,9 @@ echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> cargo build --release"
-cargo build --release
+# --workspace matters: a bare `cargo build` here only covers the root
+# package, leaving the bench binaries stale for the smokes below.
+cargo build --release --workspace
 
 echo "==> cargo test"
 cargo test --workspace -q
@@ -33,6 +35,20 @@ cargo run --release -p sam-bench --bin fig12 -- \
   --rows 2048 --tb-rows 8192 --jobs 2 --checked
 [ -f results/fig12.json ] || { echo "results/fig12.json was not written"; exit 1; }
 cargo run --release -p sam-bench --bin sam-check -- lint-json results/fig12.json
+
+echo "==> fig12 trace smoke + trace lint"
+# Reduced scale again: records every run's event stream + epoch stats,
+# then validates span nesting and timestamp monotonicity. The stdout
+# tables must be identical to an untraced run (byte-identity guarantee).
+rm -f results/fig12.trace.json
+cargo run --release -p sam-bench --bin fig12 -- \
+  --rows 2048 --tb-rows 8192 --jobs 2 --trace --epoch-len 10000 > /tmp/fig12.traced.out
+cargo run --release -p sam-bench --bin fig12 -- \
+  --rows 2048 --tb-rows 8192 --jobs 2 > /tmp/fig12.untraced.out
+cmp /tmp/fig12.traced.out /tmp/fig12.untraced.out \
+  || { echo "--trace changed fig12 stdout"; exit 1; }
+[ -f results/fig12.trace.json ] || { echo "results/fig12.trace.json was not written"; exit 1; }
+cargo run --release -p sam-bench --bin sam-check -- lint-trace results/fig12.trace.json
 
 echo "==> misspelled flags must be rejected"
 if cargo run --release -p sam-bench --bin fig12 -- --cheked >/dev/null 2>&1; then

@@ -9,26 +9,39 @@
 //! workers; the tables (and `results/fig12.json`) are byte-identical at
 //! any job count. With `--checked`, every run is shadowed by the
 //! `sam-check` protocol oracle and cache invariant probe; the binary
-//! exits non-zero if any run violates a check.
+//! exits non-zero if any run violates a check. With `--trace[=PATH]`,
+//! every run records a `sam-trace` event stream and epoch-stats rows into
+//! one Chrome trace document (default `results/fig12.trace.json`,
+//! viewable in Perfetto) without changing the tables or the metrics JSON.
 
 use sam::system::SystemConfig;
 use sam_bench::cli::{parse_args, ArgSpec};
 use sam_bench::metrics::MetricsReport;
+use sam_bench::traced::{TraceCollector, TraceOptions};
 use sam_bench::{figure12_designs, gmean, grid_rows, SpeedupRow};
 use sam_imdb::plan::PlanConfig;
 use sam_imdb::query::Query;
 use sam_util::table::TextTable;
 
 fn main() {
-    let spec = ArgSpec::new("fig12").with_checked();
+    let spec = ArgSpec::new("fig12").with_checked().with_trace();
     let args = parse_args(&spec, PlanConfig::default_scale());
     let plan = args.plan;
-    let system = SystemConfig::default();
+    let system = SystemConfig {
+        starvation_cap: args.starvation_cap,
+        ..SystemConfig::default()
+    };
     if args.checked && !cfg!(feature = "check") {
         eprintln!(
             "fig12: --checked requires the `check` feature \
              (on by default; rebuild without --no-default-features)"
         );
+        std::process::exit(2);
+    }
+    if args.checked && args.trace.is_some() {
+        // The oracle and the lane tracer both want the run's command
+        // stream; keep the two audit modes separate runs.
+        eprintln!("fig12: --trace cannot be combined with --checked");
         std::process::exit(2);
     }
     println!(
@@ -40,12 +53,25 @@ fn main() {
 
     let mut report = MetricsReport::new("fig12", plan, args.jobs, args.checked);
     let mut audit = Audit::default();
+    let mut tracer = args
+        .trace
+        .as_deref()
+        .map(|_| TraceCollector::new("fig12", TraceOptions::new(args.epoch_len)));
     for (label, queries) in [
         ("Q queries (prefer column store)", Query::q_set().to_vec()),
         ("Qs queries (prefer row store)", Query::qs_set().to_vec()),
     ] {
         let rows: Vec<SpeedupRow> = if args.checked {
             audit.checked_rows(&queries, plan, system, args.jobs, &mut report)
+        } else if let Some(tracer) = &mut tracer {
+            tracer
+                .grid_rows(&queries, plan, system, &figure12_designs(), args.jobs)
+                .into_iter()
+                .map(|(row, metrics)| {
+                    report.runs.extend(metrics);
+                    row
+                })
+                .collect()
         } else {
             grid_rows(&queries, plan, system, &figure12_designs(), args.jobs)
                 .into_iter()
@@ -81,6 +107,9 @@ fn main() {
         println!("{label}\n{table}");
     }
     report.write_or_die(&args.out);
+    if let Some(tracer) = &tracer {
+        tracer.write_or_die(args.trace.as_deref().expect("tracer implies a path"));
+    }
     if args.checked {
         audit.summarize_and_exit();
     }

@@ -2,16 +2,18 @@
 //! energy efficiency per design, grouped by query class.
 //!
 //! ```text
-//! cargo run --release -p sam-bench --bin fig13 [-- --rows N --tb-rows N --jobs N]
+//! cargo run --release -p sam-bench --bin fig13 [-- --rows N --tb-rows N --jobs N --trace]
 //! ```
 
+use sam::design::Design;
 use sam::designs::commodity;
 use sam::layout::Store;
 use sam::system::SystemConfig;
 use sam_bench::cli::{parse_args, ArgSpec};
 use sam_bench::figure12_designs;
 use sam_bench::metrics::{MetricsReport, RunMetrics};
-use sam_bench::sweep::{run_sweep_strict, SweepTask};
+use sam_bench::sweep::{run_sweep_weighted_strict, SweepTask};
+use sam_bench::traced::{TraceCollector, TraceOptions};
 use sam_imdb::exec::{run_query, QueryRun, Workload};
 use sam_imdb::plan::PlanConfig;
 use sam_imdb::query::Query;
@@ -19,9 +21,15 @@ use sam_power::{breakdown, energy_uj, ActivityCounts, PowerParams};
 use sam_util::table::TextTable;
 
 fn main() {
-    let args = parse_args(&ArgSpec::new("fig13"), PlanConfig::default_scale());
+    let args = parse_args(
+        &ArgSpec::new("fig13").with_trace(),
+        PlanConfig::default_scale(),
+    );
     let plan = args.plan;
-    let system = SystemConfig::default();
+    let system = SystemConfig {
+        starvation_cap: args.starvation_cap,
+        ..SystemConfig::default()
+    };
     let gather = system.granularity.gather() as u64;
 
     let groups: [(&str, Vec<Query>); 4] = [
@@ -57,23 +65,46 @@ fn main() {
     let mut designs = vec![commodity()];
     designs.extend(figure12_designs());
 
-    // One flat sweep over every (group, design, query) simulation; the
-    // per-group/per-design aggregation below walks the results in the
-    // same deterministic order the tasks were submitted in.
-    let mut tasks: Vec<SweepTask<QueryRun>> = Vec::new();
+    // One flat sweep over every (group, design, query) simulation,
+    // executed heaviest-first ([`Query::cost_hint`]): the per-query costs
+    // are very uneven — Q1-Q10 (and the joins in particular) dominate —
+    // so cost-ranked execution keeps a heavy pair from landing last on
+    // one worker and gating the whole sweep. Results still come back in
+    // submission order, so the per-group/per-design aggregation below
+    // (and the output bytes) are independent of the weights.
+    let mut cases: Vec<(u64, String, Workload, Design)> = Vec::new();
     for (_, queries) in &groups {
         for design in &designs {
             for q in queries {
-                let w = Workload::new(*q, plan).with_system(system);
-                let design = design.clone();
-                tasks.push(SweepTask::new(
+                cases.push((
+                    q.cost_hint(&plan),
                     format!("{}/{}/Row", q.name(), design.name),
-                    move || run_query(&w, &design, Store::Row),
+                    Workload::new(*q, plan).with_system(system),
+                    design.clone(),
                 ));
             }
         }
     }
-    let runs = run_sweep_strict(args.jobs, tasks);
+    let mut tracer = args
+        .trace
+        .as_deref()
+        .map(|_| TraceCollector::new("fig13", TraceOptions::new(args.epoch_len)));
+    let runs: Vec<QueryRun> = if let Some(tracer) = &mut tracer {
+        let tasks = cases
+            .into_iter()
+            .map(|(cost, label, w, d)| (cost, tracer.task(label, w, d, Store::Row)))
+            .collect();
+        tracer.absorb(run_sweep_weighted_strict(args.jobs, tasks))
+    } else {
+        let tasks = cases
+            .into_iter()
+            .map(|(cost, label, w, d)| {
+                let task = SweepTask::new(label, move || run_query(&w, &d, Store::Row));
+                (cost, task)
+            })
+            .collect();
+        run_sweep_weighted_strict(args.jobs, tasks)
+    };
 
     let mut report = MetricsReport::new("fig13", plan, args.jobs, false);
     let mut next = 0usize;
@@ -126,4 +157,7 @@ fn main() {
         println!("{label}: energy efficiency (baseline energy / design energy)\n{eff_table}");
     }
     report.write_or_die(&args.out);
+    if let Some(tracer) = &tracer {
+        tracer.write_or_die(args.trace.as_deref().expect("tracer implies a path"));
+    }
 }

@@ -2,7 +2,7 @@
 //! (c) area/storage overhead.
 //!
 //! ```text
-//! cargo run --release -p sam-bench --bin fig14 [-- a b c] [--rows N --jobs N]
+//! cargo run --release -p sam-bench --bin fig14 [-- a b c] [--rows N --jobs N --trace]
 //! ```
 //! With no panel arguments, all three panels run.
 
@@ -11,6 +11,7 @@ use sam::designs::{gs_dram_ecc, rc_nvm_wd, sam_en, sam_io, sam_sub};
 use sam::system::SystemConfig;
 use sam_bench::cli::{parse_args, ArgSpec};
 use sam_bench::metrics::MetricsReport;
+use sam_bench::traced::{TraceCollector, TraceOptions};
 use sam_bench::{gmean, grid_rows};
 use sam_dram::timing::Substrate;
 use sam_imdb::plan::PlanConfig;
@@ -23,7 +24,13 @@ fn all_queries() -> Vec<Query> {
     qs
 }
 
-fn panel_a(plan: PlanConfig, system: SystemConfig, jobs: usize, report: &mut MetricsReport) {
+fn panel_a(
+    plan: PlanConfig,
+    system: SystemConfig,
+    jobs: usize,
+    report: &mut MetricsReport,
+    tracer: &mut Option<TraceCollector>,
+) {
     println!("Figure 14(a): all-query gmean speedup under each substrate\n");
     let mut table = TextTable::new(vec!["design", "NVM", "DRAM"]);
     table.numeric();
@@ -31,14 +38,13 @@ fn panel_a(plan: PlanConfig, system: SystemConfig, jobs: usize, report: &mut Met
         let mut row = Vec::new();
         for substrate in [Substrate::Rram, Substrate::Dram] {
             let design = base.clone().with_substrate(substrate);
+            let designs = std::slice::from_ref(&design);
             let mut speedups = Vec::new();
-            for (r, metrics) in grid_rows(
-                &all_queries(),
-                plan,
-                system,
-                std::slice::from_ref(&design),
-                jobs,
-            ) {
+            let rows = match tracer {
+                Some(tr) => tr.grid_rows(&all_queries(), plan, system, designs, jobs),
+                None => grid_rows(&all_queries(), plan, system, designs, jobs),
+            };
+            for (r, metrics) in rows {
                 speedups.push(r.speedups[0].1);
                 report.runs.extend(metrics);
             }
@@ -49,7 +55,13 @@ fn panel_a(plan: PlanConfig, system: SystemConfig, jobs: usize, report: &mut Met
     println!("{table}");
 }
 
-fn panel_b(plan: PlanConfig, system: SystemConfig, jobs: usize, report: &mut MetricsReport) {
+fn panel_b(
+    plan: PlanConfig,
+    system: SystemConfig,
+    jobs: usize,
+    report: &mut MetricsReport,
+    tracer: &mut Option<TraceCollector>,
+) {
     println!("Figure 14(b): Q-query gmean speedup vs strided granularity\n");
     let designs = [rc_nvm_wd(), gs_dram_ecc(), sam_en()];
     let mut table = TextTable::new(vec!["design", "16-bit", "8-bit", "4-bit"]);
@@ -59,14 +71,13 @@ fn panel_b(plan: PlanConfig, system: SystemConfig, jobs: usize, report: &mut Met
         for gran in [Granularity::Bits16, Granularity::Bits8, Granularity::Bits4] {
             let mut sys = system;
             sys.granularity = gran;
+            let one = std::slice::from_ref(design);
             let mut speedups = Vec::new();
-            for (r, metrics) in grid_rows(
-                &Query::q_set(),
-                plan,
-                sys,
-                std::slice::from_ref(design),
-                jobs,
-            ) {
+            let rows = match tracer {
+                Some(tr) => tr.grid_rows(&Query::q_set(), plan, sys, one, jobs),
+                None => grid_rows(&Query::q_set(), plan, sys, one, jobs),
+            };
+            for (r, metrics) in rows {
                 speedups.push(r.speedups[0].1);
                 report.runs.extend(metrics);
             }
@@ -93,7 +104,9 @@ fn panel_c() {
 }
 
 fn main() {
-    let spec = ArgSpec::new("fig14").with_panels(&["a", "b", "c"]);
+    let spec = ArgSpec::new("fig14")
+        .with_panels(&["a", "b", "c"])
+        .with_trace();
     let args = parse_args(&spec, PlanConfig::default_scale());
     let panels: Vec<&str> = if args.panels.is_empty() {
         vec!["a", "b", "c"]
@@ -101,15 +114,25 @@ fn main() {
         args.panels.iter().map(String::as_str).collect()
     };
     let plan = args.plan;
-    let system = SystemConfig::default();
+    let system = SystemConfig {
+        starvation_cap: args.starvation_cap,
+        ..SystemConfig::default()
+    };
     let mut report = MetricsReport::new("fig14", plan, args.jobs, false);
+    let mut tracer = args
+        .trace
+        .as_deref()
+        .map(|_| TraceCollector::new("fig14", TraceOptions::new(args.epoch_len)));
     for p in panels {
         match p {
-            "a" => panel_a(plan, system, args.jobs, &mut report),
-            "b" => panel_b(plan, system, args.jobs, &mut report),
+            "a" => panel_a(plan, system, args.jobs, &mut report, &mut tracer),
+            "b" => panel_b(plan, system, args.jobs, &mut report, &mut tracer),
             "c" => panel_c(),
             _ => unreachable!(),
         }
     }
     report.write_or_die(&args.out);
+    if let Some(tracer) = &tracer {
+        tracer.write_or_die(args.trace.as_deref().expect("tracer implies a path"));
+    }
 }

@@ -3,22 +3,27 @@
 //! layout and verify chipkill correction.
 //!
 //! ```text
-//! cargo run --release -p sam-bench --bin reliability [-- --trials N]
+//! cargo run --release -p sam-bench --bin reliability [-- --trials N --out PATH]
 //! ```
+//!
+//! Fault injection is not a query simulation, so the emitted
+//! `results/reliability.json` report carries zero runs — it exists so
+//! `sam-check lint-json` can gate every binary uniformly.
 
 use sam::designs::all_designs;
+use sam_bench::cli::{parse_args, ArgSpec};
+use sam_bench::metrics::MetricsReport;
 use sam_ecc::codes::SscCode;
 use sam_ecc::inject::chipkill_campaign;
+use sam_imdb::plan::PlanConfig;
 use sam_util::table::TextTable;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let trials = args
-        .iter()
-        .position(|a| a == "--trials")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(100usize);
+    let args = parse_args(
+        &ArgSpec::new("reliability").with_trials(),
+        PlanConfig::default_scale(),
+    );
+    let trials = args.trials as usize;
 
     println!(
         "Chipkill fault-injection campaign: {trials} corruption patterns per chip x 18 chips\n"
@@ -53,4 +58,5 @@ fn main() {
     println!("GS-DRAM's strided gather cannot co-fetch ECC symbols (Section 3.3.1):");
     println!("its strided accesses run unprotected, while every SAM layout corrects");
     println!("all whole-chip failures (Sections 4.1-4.3).");
+    MetricsReport::new("reliability", args.plan, args.jobs, false).write_or_die(&args.out);
 }

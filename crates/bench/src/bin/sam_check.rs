@@ -9,11 +9,12 @@
 //!   selftest          end-to-end sanity: clean record/replay, injected
 //!                     tFAW bug caught by name, ECC layouts clean
 //!   lint-json <file>  validate a results/<bin>.json metrics report
+//!   lint-trace <file> validate a results/<bin>.trace.json Chrome trace
 //! ```
 //!
-//! `lint-json` needs only the JSON parser, so it works even in a
-//! `--no-default-features` build; everything else requires the `check`
-//! feature (on by default).
+//! `lint-json` and `lint-trace` need only the JSON parser, so they work
+//! even in a `--no-default-features` build; everything else requires the
+//! `check` feature (on by default).
 
 use sam_util::json::Json;
 
@@ -22,6 +23,13 @@ fn main() {
     if args.get(1).map(String::as_str) == Some("lint-json") {
         let code = match args.get(2) {
             Some(path) => lint_json(path),
+            None => usage(),
+        };
+        std::process::exit(code);
+    }
+    if args.get(1).map(String::as_str) == Some("lint-trace") {
+        let code = match args.get(2) {
+            Some(path) => lint_trace(path),
             None => usage(),
         };
         std::process::exit(code);
@@ -42,7 +50,8 @@ fn main() {
 
 fn usage() -> i32 {
     eprintln!(
-        "usage: sam-check record <file> | replay <file> | audit | selftest | lint-json <file>"
+        "usage: sam-check record <file> | replay <file> | audit | selftest \
+         | lint-json <file> | lint-trace <file>"
     );
     2
 }
@@ -75,6 +84,40 @@ fn lint_json(path: &str) -> i32 {
         }
         Err(e) => {
             eprintln!("sam-check: {path}: schema violation: {e}");
+            1
+        }
+    }
+}
+
+/// Parses and structurally checks an emitted Chrome trace document: span
+/// nesting, monotonic timestamps per track, and well-formed epoch rows
+/// (the CI gate for `results/fig12.trace.json`).
+fn lint_trace(path: &str) -> i32 {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("sam-check: cannot read {path}: {e}");
+            return 2;
+        }
+    };
+    let doc = match Json::parse(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("sam-check: {path}: {e}");
+            return 1;
+        }
+    };
+    match sam_trace::lint_chrome_trace(&doc) {
+        Ok(s) => {
+            println!(
+                "{path}: valid trace ({} events across {} runs: {} spans, \
+                 {} complete, {} instants, {} counter samples; {} epoch rows)",
+                s.events, s.processes, s.spans, s.complete, s.instants, s.counters, s.epoch_rows
+            );
+            0
+        }
+        Err(e) => {
+            eprintln!("sam-check: {path}: trace violation: {e}");
             1
         }
     }

@@ -1,16 +1,22 @@
 //! Table 1: qualitative comparison of designs for strided access.
 //!
 //! ```text
-//! cargo run --release -p sam-bench --bin table1
+//! cargo run --release -p sam-bench --bin table1 [-- --out PATH]
 //! ```
 //! `v` = good/unmodified, `o` = fair/slightly modified, `x` = poor/modified
-//! (same legend as the paper).
+//! (same legend as the paper). The table is qualitative (no simulations),
+//! so the emitted `results/table1.json` report carries zero runs — it
+//! exists so `sam-check lint-json` can gate every binary uniformly.
 
 use sam::designs::{gs_dram, rc_nvm_bit, rc_nvm_wd, sam_en, sam_io, sam_sub};
 use sam::properties::properties;
+use sam_bench::cli::{parse_args, ArgSpec};
+use sam_bench::metrics::MetricsReport;
+use sam_imdb::plan::PlanConfig;
 use sam_util::table::TextTable;
 
 fn main() {
+    let args = parse_args(&ArgSpec::new("table1"), PlanConfig::default_scale());
     let designs = [
         rc_nvm_bit(),
         rc_nvm_wd(),
@@ -89,4 +95,5 @@ fn main() {
     println!("Table 1: comparison of designs for strided access\n");
     println!("{table}");
     println!("v: good/unmodified   o: fair/slightly modified   x: poor/modified");
+    MetricsReport::new("table1", args.plan, args.jobs, false).write_or_die(&args.out);
 }

@@ -2,20 +2,31 @@
 //! configuration structs (so the printout cannot drift from the code).
 //!
 //! ```text
-//! cargo run --release -p sam-bench --bin table2
+//! cargo run --release -p sam-bench --bin table2 [-- --starvation-cap N --out PATH]
 //! ```
+//!
+//! The printout lists no simulation results, so the emitted
+//! `results/table2.json` report carries zero runs — it exists so
+//! `sam-check lint-json` can gate every binary uniformly.
 
 use sam::system::SystemConfig;
+use sam_bench::cli::{parse_args, ArgSpec};
+use sam_bench::metrics::MetricsReport;
 use sam_cache::hierarchy::HierarchyConfig;
 use sam_dram::device::DeviceConfig;
+use sam_imdb::plan::PlanConfig;
 use sam_memctrl::controller::ControllerConfig;
 
 fn main() {
+    let args = parse_args(&ArgSpec::new("table2"), PlanConfig::default_scale());
     let sys = SystemConfig::default();
     let h = HierarchyConfig::table2();
     let dram = DeviceConfig::ddr4_server();
     let rram = DeviceConfig::rram_server();
-    let ctrl = ControllerConfig::default();
+    let mut ctrl = ControllerConfig::default();
+    if let Some(cap) = args.starvation_cap {
+        ctrl.starvation_cap = cap;
+    }
 
     println!("Table 2: simulated system parameters\n");
     println!("Processor");
@@ -35,6 +46,15 @@ fn main() {
     println!("  Write queue capacity: {}", ctrl.write_queue_capacity);
     println!("  Address mapping: rw:rk:bk:ch:cl:offset (XOR bank permutation)");
     println!("  Page management: open-page, FR-FCFS");
+    println!(
+        "  FR-FCFS starvation cap: {} cycles{}",
+        ctrl.starvation_cap,
+        if ctrl.starvation_cap == 0 {
+            " (pure FCFS)"
+        } else {
+            ""
+        }
+    );
     for (name, cfg) in [("DRAM", dram), ("RRAM", rram)] {
         let t = cfg.timing;
         println!("{name}");
@@ -57,4 +77,5 @@ fn main() {
             println!("  write pulse (same-bank write-to-write): {} CK", t.wtw);
         }
     }
+    MetricsReport::new("table2", args.plan, args.jobs, false).write_or_die(&args.out);
 }

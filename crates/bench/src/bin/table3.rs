@@ -1,13 +1,21 @@
 //! Table 3: the benchmark query set with its SQL statements.
 //!
 //! ```text
-//! cargo run --release -p sam-bench --bin table3
+//! cargo run --release -p sam-bench --bin table3 [-- --out PATH]
 //! ```
+//!
+//! The query listing involves no simulations, so the emitted
+//! `results/table3.json` report carries zero runs — it exists so
+//! `sam-check lint-json` can gate every binary uniformly.
 
+use sam_bench::cli::{parse_args, ArgSpec};
+use sam_bench::metrics::MetricsReport;
+use sam_imdb::plan::PlanConfig;
 use sam_imdb::query::Query;
 use sam_util::table::TextTable;
 
 fn main() {
+    let args = parse_args(&ArgSpec::new("table3"), PlanConfig::default_scale());
     println!("Table 3: benchmark queries\n");
     let mut table = TextTable::new(vec!["No.", "SQL statement"]);
     for q in Query::q_set() {
@@ -39,4 +47,5 @@ fn main() {
         .sql(),
     ]);
     println!("Parametric queries (prefer row or column store)\n{table}");
+    MetricsReport::new("table3", args.plan, args.jobs, false).write_or_die(&args.out);
 }

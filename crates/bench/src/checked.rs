@@ -70,6 +70,7 @@ pub fn run_query_checked(
             observer: Some(oracle.clone()),
             cache_probe: Some(&mut probe),
             cache_probe_period: PROBE_PERIOD,
+            ..Default::default()
         };
         run_query_instrumented(workload, design, store, &mut instr)
     };

@@ -12,7 +12,14 @@
 //! * `--seed N` — selection-hash seed
 //! * `--jobs N` — sweep worker threads (default: available parallelism)
 //! * `--out PATH` — where to write the JSON metrics report
+//! * `--starvation-cap N` — FR-FCFS starvation cap override in memory
+//!   cycles (`0` forces pure FCFS); ignored by binaries that do not
+//!   simulate
 //! * `--checked` — only on binaries that support the verification oracle
+//! * `--trace[=PATH]` / `--epoch-len N` — only on binaries that support
+//!   the `sam-trace` recorder (default trace path:
+//!   `results/<bin>.trace.json`; default epoch length: 10000 cycles)
+//! * `--trials N` — only on the fault-injection binaries
 //! * bare panel names (e.g. `a b c`) — only on the panel binaries
 
 use std::path::PathBuf;
@@ -21,6 +28,12 @@ use sam_imdb::plan::PlanConfig;
 
 use crate::sweep::default_jobs;
 
+/// Default epoch length for the trace stats engine, in memory cycles.
+pub const DEFAULT_EPOCH_LEN: u64 = 10_000;
+
+/// Default fault-injection trial count (`--trials`).
+pub const DEFAULT_TRIALS: u64 = 100;
+
 /// What a specific binary accepts beyond the shared flags.
 #[derive(Debug, Clone, Copy)]
 pub struct ArgSpec {
@@ -28,6 +41,10 @@ pub struct ArgSpec {
     pub bin: &'static str,
     /// Whether `--checked` is accepted.
     pub accepts_checked: bool,
+    /// Whether `--trace[=PATH]` / `--epoch-len N` are accepted.
+    pub accepts_trace: bool,
+    /// Whether `--trials N` is accepted.
+    pub accepts_trials: bool,
     /// Bare arguments accepted as panel selectors (empty: none).
     pub panels: &'static [&'static str],
 }
@@ -38,6 +55,8 @@ impl ArgSpec {
         Self {
             bin,
             accepts_checked: false,
+            accepts_trace: false,
+            accepts_trials: false,
             panels: &[],
         }
     }
@@ -45,6 +64,18 @@ impl ArgSpec {
     /// Accepts `--checked`.
     pub fn with_checked(mut self) -> Self {
         self.accepts_checked = true;
+        self
+    }
+
+    /// Accepts `--trace[=PATH]` and `--epoch-len N`.
+    pub fn with_trace(mut self) -> Self {
+        self.accepts_trace = true;
+        self
+    }
+
+    /// Accepts `--trials N`.
+    pub fn with_trials(mut self) -> Self {
+        self.accepts_trials = true;
         self
     }
 
@@ -56,11 +87,18 @@ impl ArgSpec {
 
     fn usage(&self) -> String {
         let mut u = format!(
-            "usage: {} [--rows N] [--tb-rows N] [--seed N] [--jobs N] [--out PATH]",
+            "usage: {} [--rows N] [--tb-rows N] [--seed N] [--jobs N] [--out PATH] \
+             [--starvation-cap N]",
             self.bin
         );
         if self.accepts_checked {
             u.push_str(" [--checked]");
+        }
+        if self.accepts_trace {
+            u.push_str(" [--trace[=PATH]] [--epoch-len N]");
+        }
+        if self.accepts_trials {
+            u.push_str(" [--trials N]");
         }
         if !self.panels.is_empty() {
             u.push_str(&format!(" [{}]", self.panels.join(" ")));
@@ -78,6 +116,16 @@ pub struct BenchArgs {
     pub jobs: usize,
     /// Whether `--checked` was given.
     pub checked: bool,
+    /// Trace output path when `--trace[=PATH]` was given; `None` disables
+    /// all recording (the zero-cost default).
+    pub trace: Option<PathBuf>,
+    /// Epoch length in memory cycles for the trace's stats engine.
+    pub epoch_len: u64,
+    /// FR-FCFS starvation-cap override in memory cycles (`Some(0)` forces
+    /// pure FCFS); `None` keeps the design/controller default.
+    pub starvation_cap: Option<u64>,
+    /// Fault-injection trials (`--trials N`; binaries that accept it).
+    pub trials: u64,
     /// Selected panels, in the order given (empty: run all).
     pub panels: Vec<String>,
     /// JSON metrics output path; defaults to `results/<bin>.json`.
@@ -121,6 +169,10 @@ pub fn try_parse_args(
 ) -> Result<BenchArgs, CliError> {
     let mut jobs = default_jobs();
     let mut checked = false;
+    let mut trace: Option<PathBuf> = None;
+    let mut epoch_len = DEFAULT_EPOCH_LEN;
+    let mut starvation_cap = None;
+    let mut trials = DEFAULT_TRIALS;
     let mut panels = Vec::new();
     let mut out: Option<PathBuf> = None;
 
@@ -159,7 +211,35 @@ pub fn try_parse_args(
                 let v = value_of(&mut i)?;
                 out = Some(PathBuf::from(v));
             }
+            "--starvation-cap" => {
+                let v = value_of(&mut i)?;
+                starvation_cap = Some(parse_num(arg, &v)?);
+            }
             "--checked" if spec.accepts_checked => checked = true,
+            "--trace" if spec.accepts_trace => {
+                trace = Some(PathBuf::from(format!("results/{}.trace.json", spec.bin)));
+            }
+            t if spec.accepts_trace && t.starts_with("--trace=") => {
+                let path = &t["--trace=".len()..];
+                if path.is_empty() {
+                    return Err(CliError::BadValue("--trace".to_string(), String::new()));
+                }
+                trace = Some(PathBuf::from(path));
+            }
+            "--epoch-len" if spec.accepts_trace => {
+                let v = value_of(&mut i)?;
+                epoch_len = parse_num(arg, &v)?;
+                if epoch_len == 0 {
+                    return Err(CliError::BadValue(arg.to_string(), v));
+                }
+            }
+            "--trials" if spec.accepts_trials => {
+                let v = value_of(&mut i)?;
+                trials = parse_num(arg, &v)?;
+                if trials == 0 {
+                    return Err(CliError::BadValue(arg.to_string(), v));
+                }
+            }
             bare if spec.panels.contains(&bare) => panels.push(bare.to_string()),
             other => return Err(CliError::UnknownArg(other.to_string())),
         }
@@ -170,6 +250,10 @@ pub fn try_parse_args(
         plan,
         jobs,
         checked,
+        trace,
+        epoch_len,
+        starvation_cap,
+        trials,
         panels,
         out: out.unwrap_or_else(|| PathBuf::from(format!("results/{}.json", spec.bin))),
     })
@@ -216,7 +300,70 @@ mod tests {
         assert_eq!(a.plan, PlanConfig::tiny());
         assert!(a.jobs >= 1);
         assert!(!a.checked);
+        assert_eq!(a.trace, None);
+        assert_eq!(a.epoch_len, DEFAULT_EPOCH_LEN);
+        assert_eq!(a.starvation_cap, None);
+        assert_eq!(a.trials, DEFAULT_TRIALS);
         assert_eq!(a.out, PathBuf::from("results/fig12.json"));
+    }
+
+    #[test]
+    fn trace_flag_forms_and_gating() {
+        let s = ArgSpec::new("fig12").with_trace();
+        let a = try_parse_args(&s, PlanConfig::tiny(), &argv(&["--trace"])).unwrap();
+        assert_eq!(a.trace, Some(PathBuf::from("results/fig12.trace.json")));
+        let a = try_parse_args(
+            &s,
+            PlanConfig::tiny(),
+            &argv(&["--trace=/tmp/t.json", "--epoch-len", "512"]),
+        )
+        .unwrap();
+        assert_eq!(a.trace, Some(PathBuf::from("/tmp/t.json")));
+        assert_eq!(a.epoch_len, 512);
+        // An empty path and a zero epoch are rejected, not defaulted.
+        assert_eq!(
+            try_parse_args(&s, PlanConfig::tiny(), &argv(&["--trace="])).unwrap_err(),
+            CliError::BadValue("--trace".to_string(), String::new())
+        );
+        assert_eq!(
+            try_parse_args(&s, PlanConfig::tiny(), &argv(&["--epoch-len", "0"])).unwrap_err(),
+            CliError::BadValue("--epoch-len".to_string(), "0".to_string())
+        );
+        // Binaries that never record reject the flags outright.
+        let plain = ArgSpec::new("table1");
+        let e = try_parse_args(&plain, PlanConfig::tiny(), &argv(&["--trace"])).unwrap_err();
+        assert_eq!(e, CliError::UnknownArg("--trace".to_string()));
+    }
+
+    #[test]
+    fn starvation_cap_is_shared_and_zero_is_legal() {
+        let a = try_parse_args(
+            &spec(),
+            PlanConfig::tiny(),
+            &argv(&["--starvation-cap", "0"]),
+        )
+        .unwrap();
+        assert_eq!(a.starvation_cap, Some(0));
+        let a = try_parse_args(
+            &ArgSpec::new("table2"),
+            PlanConfig::tiny(),
+            &argv(&["--starvation-cap", "512"]),
+        )
+        .unwrap();
+        assert_eq!(a.starvation_cap, Some(512));
+    }
+
+    #[test]
+    fn trials_gated_and_validated() {
+        let s = ArgSpec::new("reliability").with_trials();
+        let a = try_parse_args(&s, PlanConfig::tiny(), &argv(&["--trials", "7"])).unwrap();
+        assert_eq!(a.trials, 7);
+        assert_eq!(
+            try_parse_args(&s, PlanConfig::tiny(), &argv(&["--trials", "0"])).unwrap_err(),
+            CliError::BadValue("--trials".to_string(), "0".to_string())
+        );
+        let e = try_parse_args(&spec(), PlanConfig::tiny(), &argv(&["--trials", "7"])).unwrap_err();
+        assert_eq!(e, CliError::UnknownArg("--trials".to_string()));
     }
 
     #[test]

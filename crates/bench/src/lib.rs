@@ -20,6 +20,7 @@ pub mod checked;
 pub mod cli;
 pub mod metrics;
 pub mod sweep;
+pub mod traced;
 
 use sam::design::Design;
 use sam::designs;

@@ -63,6 +63,12 @@ pub struct RunMetrics {
     pub energy_uj: f64,
     /// Check violations (protocol + cache); 0 on unchecked runs.
     pub check_violations: u64,
+    /// FR-FCFS starvation-cap firings (forced oldest-first decisions).
+    ///
+    /// Deliberately **not** serialized: the `results/<bin>.json` schema is
+    /// byte-stable across this field's introduction. The per-run value is
+    /// exported through the trace file's `sam` summary instead.
+    pub starvation_events: u64,
 }
 
 impl RunMetrics {
@@ -105,6 +111,7 @@ impl RunMetrics {
             refreshes: r.ctrl.refreshes,
             energy_uj: energy_uj(&params, design, &activity),
             check_violations: 0,
+            starvation_events: r.ctrl.starvation_forced,
         }
     }
 
@@ -367,6 +374,17 @@ mod tests {
         }
         let e = lint_metrics_json(&doc).unwrap_err();
         assert!(e.contains("runs[0]") && e.contains("cycles"), "{e}");
+    }
+
+    /// The schema promise in the field's doc comment: adding the
+    /// starvation counter must not change `results/<bin>.json` bytes.
+    #[test]
+    fn starvation_events_stay_out_of_the_serialized_schema() {
+        let mut report = sample_report();
+        let with = report.to_json().to_string();
+        assert!(!with.contains("starvation"), "{with}");
+        report.runs[0].starvation_events = 41;
+        assert_eq!(report.to_json().to_string(), with);
     }
 
     #[test]

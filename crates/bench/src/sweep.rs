@@ -88,7 +88,21 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 /// byte-identity guarantee is kept trivially honest. A panicking task
 /// yields `Err(SweepPanic)` in its slot; all other tasks still run.
 pub fn run_sweep<T: Send>(jobs: usize, tasks: Vec<SweepTask<'_, T>>) -> Vec<Result<T, SweepPanic>> {
+    let order: Vec<usize> = (0..tasks.len()).collect();
+    run_sweep_in_order(jobs, tasks, &order)
+}
+
+/// [`run_sweep`] with an explicit execution order: workers pull tasks in
+/// `order` (a permutation of the task indices), but results still land in
+/// **submission** order, so reordering only affects wall-clock, never
+/// output bytes.
+fn run_sweep_in_order<T: Send>(
+    jobs: usize,
+    tasks: Vec<SweepTask<'_, T>>,
+    order: &[usize],
+) -> Vec<Result<T, SweepPanic>> {
     let n = tasks.len();
+    debug_assert_eq!(order.len(), n);
     let workers = jobs.max(1).min(n.max(1));
     // Each task sits in its own slot so a worker can take it without
     // holding any lock while it runs; each result lands at the same index.
@@ -101,10 +115,11 @@ pub fn run_sweep<T: Send>(jobs: usize, tasks: Vec<SweepTask<'_, T>>) -> Vec<Resu
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
+                let k = cursor.fetch_add(1, Ordering::Relaxed);
+                if k >= n {
                     break;
                 }
+                let i = order[k];
                 let task = slots[i]
                     .lock()
                     .expect("task slot poisoned")
@@ -136,6 +151,34 @@ pub fn run_sweep<T: Send>(jobs: usize, tasks: Vec<SweepTask<'_, T>>) -> Vec<Resu
 /// failing label if any task panicked.
 pub fn run_sweep_strict<T: Send>(jobs: usize, tasks: Vec<SweepTask<'_, T>>) -> Vec<T> {
     run_sweep(jobs, tasks)
+        .into_iter()
+        .map(|r| r.unwrap_or_else(|p| panic!("{p}")))
+        .collect()
+}
+
+/// Runs `(weight, task)` pairs with the heaviest tasks **executed first**
+/// (stable by submission index on ties), which keeps a long task from
+/// landing last and gating the whole sweep on one worker. Results come
+/// back in submission order like [`run_sweep`], so the byte-identity
+/// guarantee is untouched — weights are purely a scheduling hint.
+pub fn run_sweep_weighted<T: Send>(
+    jobs: usize,
+    tasks: Vec<(u64, SweepTask<'_, T>)>,
+) -> Vec<Result<T, SweepPanic>> {
+    let mut order: Vec<usize> = (0..tasks.len()).collect();
+    // Descending weight; sort_by_key is stable, so equal weights keep
+    // submission order.
+    order.sort_by_key(|&i| std::cmp::Reverse(tasks[i].0));
+    let tasks: Vec<SweepTask<'_, T>> = tasks.into_iter().map(|(_, t)| t).collect();
+    run_sweep_in_order(jobs, tasks, &order)
+}
+
+/// [`run_sweep_weighted`] for sweeps that must not fail.
+pub fn run_sweep_weighted_strict<T: Send>(
+    jobs: usize,
+    tasks: Vec<(u64, SweepTask<'_, T>)>,
+) -> Vec<T> {
+    run_sweep_weighted(jobs, tasks)
         .into_iter()
         .map(|r| r.unwrap_or_else(|p| panic!("{p}")))
         .collect()
@@ -209,5 +252,59 @@ mod tests {
     #[test]
     fn default_jobs_is_positive() {
         assert!(default_jobs() >= 1);
+    }
+
+    /// Weights reorder execution (heaviest first), never results.
+    #[test]
+    fn weighted_results_stay_in_submission_order() {
+        for jobs in [1, 3] {
+            let started = std::sync::Arc::new(Mutex::new(Vec::new()));
+            let tasks: Vec<(u64, SweepTask<usize>)> = (0..8)
+                .map(|i| {
+                    let started = started.clone();
+                    // Weight ramps upward, so execution order must be the
+                    // reverse of submission order at jobs = 1.
+                    (
+                        i as u64,
+                        SweepTask::new(format!("w{i}"), move || {
+                            started.lock().unwrap().push(i);
+                            i * 10
+                        }),
+                    )
+                })
+                .collect();
+            let out = run_sweep_weighted_strict(jobs, tasks);
+            assert_eq!(out, (0..8).map(|i| i * 10).collect::<Vec<_>>());
+            if jobs == 1 {
+                assert_eq!(*started.lock().unwrap(), (0..8).rev().collect::<Vec<_>>());
+            }
+        }
+    }
+
+    /// Equal weights must not perturb the heavy-first sort (stability).
+    #[test]
+    fn weighted_ties_keep_submission_order() {
+        let tasks: Vec<(u64, SweepTask<usize>)> = (0..6)
+            .map(|i| (7, SweepTask::new(format!("t{i}"), move || i)))
+            .collect();
+        assert_eq!(run_sweep_weighted_strict(1, tasks), vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn weighted_panics_are_captured_per_task() {
+        let tasks: Vec<(u64, SweepTask<u32>)> = (0..4)
+            .map(|i| {
+                (
+                    4 - i as u64,
+                    SweepTask::new(format!("cfg{i}"), move || {
+                        assert!(i != 2, "boom in cfg{i}");
+                        i
+                    }),
+                )
+            })
+            .collect();
+        let out = run_sweep_weighted(2, tasks);
+        assert_eq!(out[2].as_ref().unwrap_err().label, "cfg2");
+        assert_eq!(*out[3].as_ref().unwrap(), 3);
     }
 }

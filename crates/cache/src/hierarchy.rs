@@ -116,6 +116,11 @@ pub struct Hierarchy {
     l1: SetAssocCache,
     l2: SetAssocCache,
     llc: SetAssocCache,
+    /// Optional trace sink (miss/fill/promote instants). The hierarchy has
+    /// no clock of its own, so the driving engine supplies timestamps via
+    /// [`Self::set_trace_clock`].
+    trace: sam_trace::SinkSlot,
+    trace_now: u64,
 }
 
 impl Hierarchy {
@@ -126,7 +131,37 @@ impl Hierarchy {
             l1: SetAssocCache::new(cfg.l1_bytes, cfg.ways),
             l2: SetAssocCache::new(cfg.l2_bytes, cfg.ways),
             llc: SetAssocCache::new(cfg.llc_bytes, cfg.ways),
+            trace: sam_trace::SinkSlot::default(),
+            trace_now: 0,
         }
+    }
+
+    /// Attaches a trace sink; miss/fill/sector-promote instants are
+    /// emitted on the cache lane from now on.
+    pub fn attach_trace(&mut self, sink: sam_trace::SharedSink) {
+        self.trace.attach(sink);
+    }
+
+    /// Whether a trace sink is attached (drivers skip clock upkeep
+    /// otherwise).
+    pub fn trace_attached(&self) -> bool {
+        self.trace.is_attached()
+    }
+
+    /// Sets the memory-cycle timestamp stamped on subsequent trace events.
+    pub fn set_trace_clock(&mut self, now: u64) {
+        self.trace_now = now;
+    }
+
+    #[inline]
+    fn trace_instant(&self, name: &'static str, addr: u64) {
+        self.trace.emit(sam_trace::TraceEvent::instant(
+            sam_trace::event::track::CACHE,
+            sam_trace::Category::Cache,
+            name,
+            self.trace_now,
+            addr,
+        ));
     }
 
     /// Per-level statistics: (L1, L2, LLC).
@@ -200,21 +235,26 @@ impl Hierarchy {
             }
             Probe::SectorMiss => {
                 sector_miss = true;
+                self.trace_instant("miss", addr);
                 AccessResult {
                     level: HitLevel::Memory,
                     latency: self.cfg.llc_latency,
                     sector_miss,
                 }
             }
-            Probe::LineMiss => AccessResult {
-                level: HitLevel::Memory,
-                latency: self.cfg.llc_latency,
-                sector_miss,
-            },
+            Probe::LineMiss => {
+                self.trace_instant("miss", addr);
+                AccessResult {
+                    level: HitLevel::Memory,
+                    latency: self.cfg.llc_latency,
+                    sector_miss,
+                }
+            }
         }
     }
 
     fn promote_to_l1(&mut self, line: u64, sector: usize, write: bool) {
+        self.trace_instant("promote-l1", line + 16 * sector as u64);
         if let Some(victim) = self.l1.fill(line, SectorState::single(sector)) {
             if victim.needs_writeback() {
                 self.l2.fill(victim.line_addr, victim.sectors);
@@ -227,6 +267,7 @@ impl Hierarchy {
     }
 
     fn promote_to_l2(&mut self, line: u64, sector: usize) {
+        self.trace_instant("promote-l2", line + 16 * sector as u64);
         if let Some(victim) = self.l2.fill(line, SectorState::single(sector)) {
             if victim.needs_writeback() {
                 self.llc.fill(victim.line_addr, victim.sectors);
@@ -248,12 +289,14 @@ impl Hierarchy {
     /// Installs a full line (a regular 64B memory fill) at every level.
     /// Returns memory writebacks caused by LLC evictions.
     pub fn fill_line(&mut self, addr: u64) -> Vec<Writeback> {
+        self.trace_instant("fill-line", addr);
         self.fill(addr, SectorState::full())
     }
 
     /// Installs a single 16B sector (a stride fill) at every level.
     /// Returns memory writebacks caused by LLC evictions.
     pub fn fill_sector(&mut self, addr: u64) -> Vec<Writeback> {
+        self.trace_instant("fill-sector", addr);
         let (_, sector) = split_sector(addr);
         self.fill(addr, SectorState::single(sector))
     }

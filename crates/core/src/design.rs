@@ -156,6 +156,10 @@ pub struct Design {
     pub critical_word_first: bool,
     /// Power-model traits.
     pub power: PowerTraits,
+    /// FR-FCFS starvation-cap override in memory cycles (`None` keeps the
+    /// controller default). Designs with slower substrates or heavier
+    /// row-switch costs may want a different fairness/locality trade-off.
+    pub starvation_cap: Option<u64>,
 }
 
 impl Design {

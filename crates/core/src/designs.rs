@@ -25,6 +25,7 @@ pub fn commodity() -> Design {
         codeword_layout: CodewordLayout::BeatSpread,
         critical_word_first: true,
         power: PowerTraits::commodity(),
+        starvation_cap: None,
     }
 }
 
@@ -47,6 +48,7 @@ pub fn dgms() -> Design {
         codeword_layout: CodewordLayout::BeatSpread,
         critical_word_first: true,
         power: PowerTraits::commodity(),
+        starvation_cap: None,
     }
 }
 
@@ -77,6 +79,7 @@ pub fn sam_sub() -> Design {
             background_extra: 0.02, // extra decoding and SA logic
             fine_grained_activation: false,
         },
+        starvation_cap: None,
     }
 }
 
@@ -105,6 +108,7 @@ pub fn sam_io() -> Design {
             background_extra: 0.0,
             fine_grained_activation: false,
         },
+        starvation_cap: None,
     }
 }
 
@@ -132,6 +136,7 @@ pub fn sam_en() -> Design {
             background_extra: 0.0,
             fine_grained_activation: true,
         },
+        starvation_cap: None,
     }
 }
 
@@ -175,6 +180,7 @@ pub fn gs_dram() -> Design {
         codeword_layout: CodewordLayout::GatherNoEcc,
         critical_word_first: false,
         power: PowerTraits::commodity(),
+        starvation_cap: None,
     }
 }
 
@@ -200,6 +206,7 @@ pub fn gs_dram_ecc() -> Design {
         codeword_layout: CodewordLayout::BeatSpread,
         critical_word_first: false,
         power: PowerTraits::commodity(),
+        starvation_cap: None,
     }
 }
 
@@ -225,6 +232,7 @@ pub fn rc_nvm_bit() -> Design {
         codeword_layout: CodewordLayout::BeatSpread,
         critical_word_first: true,
         power: PowerTraits::commodity(),
+        starvation_cap: None,
     }
 }
 
@@ -248,6 +256,7 @@ pub fn rc_nvm_wd() -> Design {
         codeword_layout: CodewordLayout::BeatSpread,
         critical_word_first: true,
         power: PowerTraits::commodity(),
+        starvation_cap: None,
     }
 }
 

@@ -73,6 +73,11 @@ pub struct SystemConfig {
     /// Next-line stream prefetch degree for regular line fills (0 = off,
     /// the Table 2 configuration; the ablation harness sweeps it).
     pub prefetch_degree: u32,
+    /// FR-FCFS starvation-cap override in memory cycles. `None` uses the
+    /// design's preference, falling back to the controller default (4096).
+    /// A `Some` here (e.g. from the `--starvation-cap` CLI flag) wins over
+    /// both.
+    pub starvation_cap: Option<Cycle>,
 }
 
 impl SystemConfig {
@@ -92,6 +97,7 @@ impl SystemConfig {
             ecc_seq_period: 8,
             ecc_write_extra: 4,
             prefetch_degree: 0,
+            starvation_cap: None,
         }
     }
 
@@ -244,6 +250,13 @@ pub struct Instrumentation<'a> {
     /// Touch interval between `cache_probe` calls; 0 disables the periodic
     /// calls (the final end-of-run call still happens if a probe is set).
     pub cache_probe_period: u64,
+    /// Trace sink receiving controller, cache, and (with the `check`
+    /// feature, via the device command observer) per-bank DRAM events.
+    /// Purely observational — attaching one never changes the simulation.
+    pub trace: Option<sam_trace::SharedSink>,
+    /// Epoch recorder sampling cumulative controller/device counters into
+    /// fixed-length-epoch delta rows, plus an end-of-round MLP gauge.
+    pub epochs: Option<sam_trace::SharedEpochs>,
 }
 
 /// A configured system ready to run traces.
@@ -295,9 +308,38 @@ impl System {
             .map(|t| Placement::new(*t, self.store, &self.design, self.cfg.granularity))
             .collect();
         let mut engine = Engine::new(&self.cfg, &self.design, placements, traces);
+        if let Some(sink) = &instr.trace {
+            engine.ctrl.attach_trace(sink.clone());
+            engine.hierarchy.attach_trace(sink.clone());
+        }
+        if let Some(ep) = &instr.epochs {
+            engine.ctrl.attach_epochs(ep.clone());
+            engine.epochs = Some(ep.clone());
+        }
         #[cfg(feature = "check")]
-        if let Some(obs) = &instr.observer {
-            engine.ctrl.attach_observer(obs.clone());
+        {
+            use std::sync::{Arc, Mutex};
+            // The device-level tap holds one observer; fan out when both the
+            // conformance checker and the trace lane recorder want it.
+            let mut taps: Vec<sam_dram::observe::SharedObserver> = Vec::new();
+            if let Some(obs) = &instr.observer {
+                taps.push(obs.clone());
+            }
+            if let Some(sink) = &instr.trace {
+                let timing = self.design.device_config().timing;
+                taps.push(Arc::new(Mutex::new(
+                    sam_dram::lanes::CommandLaneTracer::new(sink.clone(), timing),
+                )));
+            }
+            if taps.len() == 1 {
+                engine.ctrl.attach_observer(taps.pop().expect("one tap"));
+            } else if taps.len() > 1 {
+                let mut fan = sam_dram::observe::FanoutObserver::new();
+                for tap in taps {
+                    fan.push(tap);
+                }
+                engine.ctrl.attach_observer(Arc::new(Mutex::new(fan)));
+            }
         }
         engine.probe = match &mut instr.cache_probe {
             Some(p) => Some(&mut **p),
@@ -345,6 +387,9 @@ struct Engine<'t> {
     probe: Option<&'t mut (dyn FnMut(&Hierarchy) + 't)>,
     probe_period: u64,
     probe_ticks: u64,
+    /// Epoch recorder shared with the controller; the engine contributes
+    /// the MLP gauge (outstanding misses across cores).
+    epochs: Option<sam_trace::SharedEpochs>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -361,7 +406,14 @@ impl<'t> Engine<'t> {
         placements: Vec<Placement>,
         traces: &'t [Trace],
     ) -> Self {
-        let ctrl = Controller::new(ControllerConfig::with_device(design.device_config()));
+        let mut ctrl_cfg = ControllerConfig::with_device(design.device_config());
+        if let Some(cap) = design.starvation_cap {
+            ctrl_cfg.starvation_cap = cap;
+        }
+        if let Some(cap) = cfg.starvation_cap {
+            ctrl_cfg.starvation_cap = cap;
+        }
+        let ctrl = Controller::new(ctrl_cfg);
         Self {
             cfg,
             design,
@@ -389,6 +441,7 @@ impl<'t> Engine<'t> {
             probe: None,
             probe_period: 0,
             probe_ticks: 0,
+            epochs: None,
         }
     }
 
@@ -543,6 +596,10 @@ impl<'t> Engine<'t> {
         } else {
             AccessKind::Read
         };
+        if self.hierarchy.trace_attached() {
+            self.hierarchy
+                .set_trace_clock(self.cfg.cpu_to_mem(self.cores[ci].time_cpu));
+        }
         let result = self.hierarchy.access(t.cache_sector, kind);
         match result.level {
             HitLevel::L1 => Step::Progress,
@@ -887,6 +944,9 @@ impl<'t> Engine<'t> {
 
     fn handle_completion(&mut self, c: sam_memctrl::request::Completion) {
         self.last_finish = self.last_finish.max(c.finish);
+        if self.hierarchy.trace_attached() {
+            self.hierarchy.set_trace_clock(c.finish);
+        }
         let Some(record) = self.fills.remove(&c.id) else {
             return;
         };
@@ -963,6 +1023,12 @@ impl<'t> Engine<'t> {
                     break;
                 }
             }
+            if let Some(ep) = &self.epochs {
+                let outstanding: u64 = self.cores.iter().map(|c| c.outstanding as u64).sum();
+                ep.lock()
+                    .expect("epoch recorder lock poisoned")
+                    .observe_mlp(outstanding);
+            }
             self.flush_backlog();
             let all_done = self.cores.iter().all(|c| c.done);
             if all_done && self.ctrl.queued() == 0 && self.wb_backlog.is_empty() {
@@ -1003,6 +1069,7 @@ impl<'t> Engine<'t> {
             .max()
             .unwrap_or(0);
         let cycles = core_mem.max(self.last_finish).max(1);
+        self.ctrl.finish_epochs(cycles);
         if std::env::var_os("SAM_DEBUG").is_some() {
             let times: Vec<Cycle> = self
                 .cores
@@ -1269,6 +1336,75 @@ mod tests {
         let traces = whole_trace(256, 2);
         let r = sys.run(&[table()], &traces);
         assert!(r.line_bursts >= 256 * 16, "at least the demand fills");
+    }
+
+    /// Tracing and epoch recording are observational: a traced run returns
+    /// exactly the untraced RunResult, while producing events and epoch
+    /// rows whose sums match the end-of-run counters.
+    #[test]
+    fn traced_run_matches_untraced_run() {
+        use std::sync::{Arc, Mutex};
+        let sys = System::new(SystemConfig::default(), sam_en(), Store::Row);
+        let tables = [table()];
+        let traces = scan_trace(1024, vec![9], 4);
+        let plain = sys.run(&tables, &traces);
+
+        let ring = Arc::new(Mutex::new(sam_trace::RingRecorder::new(1 << 16)));
+        let epochs = Arc::new(Mutex::new(sam_trace::EpochRecorder::new(5_000)));
+        let mut instr = Instrumentation {
+            trace: Some(ring.clone()),
+            epochs: Some(epochs.clone()),
+            ..Default::default()
+        };
+        let traced = sys.run_instrumented(&tables, &traces, &mut instr);
+        assert_eq!(traced, plain, "tracing must not perturb the simulation");
+
+        let ring = ring.lock().unwrap();
+        assert!(!ring.is_empty(), "an active run must produce events");
+        assert!(
+            ring.events().any(|e| e.name == "miss"),
+            "cache misses must be traced"
+        );
+        #[cfg(feature = "check")]
+        assert!(
+            ring.events().any(|e| e.name == "SRD"),
+            "stride reads must appear on bank lanes via the observer"
+        );
+        let epochs = epochs.lock().unwrap();
+        let sum = epochs.sum();
+        assert_eq!(sum.reads, traced.ctrl.reads_done);
+        assert_eq!(sum.writes, traced.ctrl.writes_done);
+        assert_eq!(sum.latency, traced.ctrl.total_latency);
+        assert_eq!(sum.bus_busy, traced.bus_busy);
+        assert!(
+            epochs.rows().iter().any(|r| r.mlp_peak > 0),
+            "MLP gauge must observe outstanding misses"
+        );
+    }
+
+    /// The starvation-cap override chain: CLI/system config wins over the
+    /// design preference; both reach the controller.
+    #[test]
+    fn starvation_cap_override_reaches_controller() {
+        let traces = scan_trace(1024, vec![9], 4);
+        let tables = [table()];
+        let base =
+            System::new(SystemConfig::default(), commodity(), Store::Row).run(&tables, &traces);
+        // A zero cap forces pure FCFS: every decision with any queued
+        // request older than `now` fires the guard.
+        let cfg = SystemConfig {
+            starvation_cap: Some(0),
+            ..Default::default()
+        };
+        let fcfs = System::new(cfg, commodity(), Store::Row).run(&tables, &traces);
+        assert_eq!(
+            base.ctrl.starvation_forced, 0,
+            "default cap never fires here"
+        );
+        assert!(
+            fcfs.ctrl.starvation_forced > 0,
+            "zero cap must force FCFS decisions"
+        );
     }
 
     #[test]

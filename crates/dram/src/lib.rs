@@ -47,6 +47,7 @@ pub mod channel;
 pub mod command;
 pub mod device;
 pub mod iobuf;
+pub mod lanes;
 pub mod moderegs;
 pub mod observe;
 pub mod rank;

@@ -82,6 +82,60 @@ impl ObserverSlot {
     }
 }
 
+/// Broadcasts each command to several observers in attachment order.
+///
+/// The device slot holds exactly one observer; when a run wants both the
+/// protocol oracle (`--checked`) and the trace lane recorder, wrap them in
+/// a fanout and attach that.
+#[cfg(feature = "check")]
+#[derive(Default)]
+pub struct FanoutObserver {
+    observers: Vec<SharedObserver>,
+}
+
+#[cfg(feature = "check")]
+impl FanoutObserver {
+    /// An empty fanout; harmless to attach, reports to nobody.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `observer` to the broadcast list.
+    pub fn push(&mut self, observer: SharedObserver) {
+        self.observers.push(observer);
+    }
+
+    /// Number of attached observers.
+    pub fn len(&self) -> usize {
+        self.observers.len()
+    }
+
+    /// Whether the broadcast list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.observers.is_empty()
+    }
+}
+
+#[cfg(feature = "check")]
+impl std::fmt::Debug for FanoutObserver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FanoutObserver")
+            .field("observers", &self.observers.len())
+            .finish()
+    }
+}
+
+#[cfg(feature = "check")]
+impl CommandObserver for FanoutObserver {
+    fn on_command(&mut self, cmd: &Command, at: Cycle) {
+        for obs in &self.observers {
+            obs.lock()
+                .expect("observer lock poisoned")
+                .on_command(cmd, at);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -117,5 +171,26 @@ mod tests {
     fn observer_slot_is_send() {
         fn assert_send<T: Send>() {}
         assert_send::<ObserverSlot>();
+    }
+
+    #[cfg(feature = "check")]
+    #[test]
+    fn fanout_broadcasts_in_order() {
+        struct Tag(Arc<Mutex<Vec<u8>>>, u8);
+        impl CommandObserver for Tag {
+            fn on_command(&mut self, _cmd: &Command, _at: Cycle) {
+                self.0.lock().unwrap().push(self.1);
+            }
+        }
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let mut fan = FanoutObserver::new();
+        assert!(fan.is_empty());
+        fan.push(Arc::new(Mutex::new(Tag(order.clone(), 1))));
+        fan.push(Arc::new(Mutex::new(Tag(order.clone(), 2))));
+        assert_eq!(fan.len(), 2);
+        let cmd = Command::act(0, 0, 0, 1);
+        fan.on_command(&cmd, 3);
+        fan.on_command(&cmd, 4);
+        assert_eq!(*order.lock().unwrap(), vec![1, 2, 1, 2]);
     }
 }

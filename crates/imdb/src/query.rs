@@ -146,6 +146,44 @@ impl Query {
             Query::Qs1 | Query::Qs2 | Query::Qs3 | Query::Qs4 | Query::Qs5 | Query::Qs6
         )
     }
+
+    /// A relative simulation-cost estimate under `plan`, proportional to
+    /// the fields x records the query touches. Only the *ordering* of the
+    /// hints matters: the sweep runner uses them to execute heavy runs
+    /// first so one long (query, design) pair cannot land last and gate
+    /// the whole sweep (the fig13 wall-clock tail). Tb carries the fixed
+    /// ten-field schema of Table 3.
+    pub fn cost_hint(&self, plan: &crate::plan::PlanConfig) -> u64 {
+        use Query::*;
+        const TB_FIELDS: u64 = 10;
+        let ta = plan.ta_records;
+        let tb = plan.tb_records;
+        let ta_fields = plan.ta_fields as u64;
+        match self {
+            // Field scans: predicate plus the projected/aggregated fields.
+            Q1 | Q9 | Q10 => ta * 3,
+            Q3 | Q5 => ta * 2,
+            Q4 | Q6 => tb * 2,
+            // Full-record scans.
+            Q2 => tb * TB_FIELDS,
+            Qs3 => ta * ta_fields,
+            Qs4 => tb * TB_FIELDS,
+            // Joins walk both tables and materialize pairs — the dominant
+            // Q-set runs.
+            Q7 | Q8 => (ta + tb) * 4,
+            // Updates: predicate scan plus write-back traffic.
+            Q11 => tb * 3,
+            Q12 => tb * 2,
+            // LIMIT scans touch a fixed prefix regardless of table scale.
+            Qs1 | Qs2 => 1024 * TB_FIELDS,
+            // Inserts append whole records.
+            Qs5 => ta * ta_fields,
+            Qs6 => tb * TB_FIELDS,
+            Arithmetic { projectivity, .. } | Aggregate { projectivity, .. } => {
+                ta * (*projectivity as u64 + 1)
+            }
+        }
+    }
 }
 
 impl std::fmt::Display for Query {
@@ -186,6 +224,23 @@ mod tests {
         assert!(Query::Q3.sql().contains("Ta"));
         assert!(Query::Q4.sql().contains("Tb"));
         assert!(Query::Qs6.sql().contains("Tb"));
+    }
+
+    #[test]
+    fn cost_hints_rank_joins_and_full_scans_heaviest() {
+        let plan = crate::plan::PlanConfig::tiny();
+        let join = Query::Q7.cost_hint(&plan);
+        let agg = Query::Q3.cost_hint(&plan);
+        let limit = Query::Qs1.cost_hint(&plan);
+        assert!(join > agg, "joins dominate field scans: {join} vs {agg}");
+        for q in Query::q_set().iter().chain(Query::qs_set().iter()) {
+            assert!(q.cost_hint(&plan) > 0, "{q} hint must be positive");
+        }
+        // LIMIT queries must not scale with table size.
+        let mut big = plan;
+        big.ta_records *= 64;
+        big.tb_records *= 64;
+        assert_eq!(Query::Qs1.cost_hint(&big), limit);
     }
 
     #[test]

@@ -26,6 +26,8 @@ use sam_dram::Cycle;
 
 use crate::mapping::{AddressMapper, Location};
 use crate::request::{Completion, MemRequest};
+use sam_trace::event::track;
+use sam_trace::{Category, EpochCounters, SharedEpochs, SinkSlot, TraceEvent};
 use sam_util::hist::Histogram;
 
 /// Controller configuration.
@@ -108,6 +110,10 @@ pub struct ControllerStats {
     pub total_latency: u64,
     /// Refreshes issued.
     pub refreshes: u64,
+    /// Scheduling decisions forced by the starvation cap: the oldest queued
+    /// request had waited longer than [`ControllerConfig::starvation_cap`]
+    /// and was served regardless of row-buffer state.
+    pub starvation_forced: u64,
 }
 
 impl ControllerStats {
@@ -147,6 +153,8 @@ pub struct Controller {
     latency_hist: Histogram,
     read_latency_hist: Histogram,
     write_latency_hist: Histogram,
+    trace: SinkSlot,
+    epochs: Option<SharedEpochs>,
 }
 
 impl Controller {
@@ -177,6 +185,8 @@ impl Controller {
             latency_hist: Histogram::new(),
             read_latency_hist: Histogram::new(),
             write_latency_hist: Histogram::new(),
+            trace: SinkSlot::default(),
+            epochs: None,
         }
     }
 
@@ -215,6 +225,69 @@ impl Controller {
     #[cfg(feature = "check")]
     pub fn attach_observer(&mut self, observer: sam_dram::observe::SharedObserver) {
         self.device.attach_observer(observer);
+    }
+
+    /// Attaches a trace sink; scheduling decisions (enqueues, write-drain
+    /// windows, starvation firings, refresh windows, per-request service
+    /// spans) are recorded as [`TraceEvent`]s. Purely observational: the
+    /// schedule is identical with or without a sink.
+    pub fn attach_trace(&mut self, sink: sam_trace::SharedSink) {
+        self.trace.attach(sink);
+    }
+
+    /// Whether a trace sink is attached.
+    pub fn trace_attached(&self) -> bool {
+        self.trace.is_attached()
+    }
+
+    /// Attaches an epoch recorder; cumulative counters are sampled at every
+    /// completion and folded into per-epoch delta rows.
+    pub fn attach_epochs(&mut self, epochs: SharedEpochs) {
+        self.epochs = Some(epochs);
+    }
+
+    /// Closes the final (partial) epoch at `now`. Call once at end of run;
+    /// harmless when no epoch recorder is attached.
+    pub fn finish_epochs(&mut self, now: Cycle) {
+        if let Some(ep) = &self.epochs {
+            let snap = self.epoch_snapshot();
+            ep.lock()
+                .expect("epoch recorder lock poisoned")
+                .finish(now.max(self.clock), snap);
+        }
+    }
+
+    /// Cumulative counter snapshot across controller, device, and data bus.
+    fn epoch_snapshot(&self) -> EpochCounters {
+        let s = &self.stats;
+        let d = self.device.stats();
+        EpochCounters {
+            reads: s.reads_done,
+            writes: s.writes_done,
+            row_hits: s.row_hits,
+            row_misses: s.row_misses,
+            row_conflicts: s.row_conflicts,
+            refreshes: s.refreshes,
+            starved: s.starvation_forced,
+            latency: s.total_latency,
+            acts: d.acts,
+            pres: d.pres,
+            mode_switches: d.mode_switches,
+            bus_busy: self.device.channel().busy_cycles,
+        }
+    }
+
+    /// Samples cumulative counters into the epoch recorder at `now`.
+    fn note_epoch(&mut self, now: Cycle) {
+        if let Some(ep) = &self.epochs {
+            let snap = self.epoch_snapshot();
+            ep.lock().expect("epoch recorder lock poisoned").tick(
+                now,
+                snap,
+                self.readq.len() as u64,
+                self.writeq.len() as u64,
+            );
+        }
     }
 
     /// The address mapper in use.
@@ -260,6 +333,27 @@ impl Controller {
         } else {
             self.readq.push_back(pending);
         }
+        if self.trace.is_attached() {
+            let (name, lane, depth) = if req.is_write {
+                ("enq-write", track::WRITEQ, self.writeq.len())
+            } else {
+                ("enq-read", track::READQ, self.readq.len())
+            };
+            self.trace.emit(TraceEvent::instant(
+                track::CTRL,
+                Category::Ctrl,
+                name,
+                arrival,
+                req.id,
+            ));
+            self.trace.emit(TraceEvent::counter(
+                lane,
+                Category::Ctrl,
+                "depth",
+                arrival,
+                depth as u64,
+            ));
+        }
         Ok(())
     }
 
@@ -269,6 +363,7 @@ impl Controller {
             return;
         }
         let refi = self.cfg.device.timing.refi;
+        let rfc = self.cfg.device.timing.rfc;
         for rank in 0..self.cfg.device.ranks {
             while self.next_refresh[rank] <= now {
                 let cmd = Command::refresh(rank);
@@ -277,6 +372,14 @@ impl Controller {
                     .issue(&cmd, at)
                     .expect("refresh issue follows earliest_issue");
                 self.stats.refreshes += 1;
+                self.trace.emit(TraceEvent::complete(
+                    track::rank(rank),
+                    Category::Ctrl,
+                    "REF",
+                    at,
+                    rfc,
+                    rank as u64,
+                ));
                 self.next_refresh[rank] += refi;
             }
         }
@@ -292,14 +395,15 @@ impl Controller {
     /// Starvation guard: if the oldest request has already waited more than
     /// [`ControllerConfig::starvation_cap`] cycles at `now`, it is returned
     /// directly — first-ready preference must not delay any request
-    /// unboundedly.
-    fn select(&self, queue: &VecDeque<Pending>, now: Cycle) -> Option<usize> {
+    /// unboundedly. The second tuple element reports whether the guard
+    /// fired, so the caller can count and trace cap firings.
+    fn select(&self, queue: &VecDeque<Pending>, now: Cycle) -> Option<(usize, bool)> {
         let oldest = queue
             .iter()
             .enumerate()
             .min_by_key(|(i, p)| (p.arrival, *i))?;
         if now.saturating_sub(oldest.1.arrival) > self.cfg.starvation_cap {
-            return Some(oldest.0);
+            return Some((oldest.0, true));
         }
         let trtr = self.cfg.device.timing.rtr;
         let mut best: Option<(Cycle, Cycle, usize)> = None;
@@ -320,7 +424,7 @@ impl Controller {
                 best = Some(key);
             }
         }
-        best.map(|(_, _, i)| i)
+        best.map(|(_, _, i)| (i, false))
     }
 
     /// Executes the full command sequence for `p`, returning its completion.
@@ -431,6 +535,15 @@ impl Controller {
         self.stats.total_latency += latency;
         self.latency_hist.add(latency);
         let _ = t;
+        self.trace.emit(TraceEvent::complete(
+            track::REQUESTS,
+            Category::Ctrl,
+            if p.req.is_write { "write" } else { "read" },
+            at,
+            finish.saturating_sub(at),
+            p.req.id,
+        ));
+        self.note_epoch(finish);
         Completion {
             id: p.req.id,
             issue: at,
@@ -443,11 +556,20 @@ impl Controller {
     /// the write-drain watermarks. Returns `None` when both queues are empty.
     pub fn schedule_one(&mut self, now: Cycle) -> Option<Completion> {
         // Watermark policy.
+        let was_draining = self.draining_writes;
         if self.writeq.len() >= self.cfg.write_high_watermark {
             self.draining_writes = true;
         }
         if self.writeq.len() <= self.cfg.write_low_watermark {
             self.draining_writes = false;
+        }
+        if self.draining_writes != was_draining {
+            let ev = if self.draining_writes {
+                TraceEvent::begin(track::CTRL, Category::Ctrl, "write-drain", now)
+            } else {
+                TraceEvent::end(track::CTRL, Category::Ctrl, "write-drain", now)
+            };
+            self.trace.emit(ev);
         }
         let serve_writes = if self.readq.is_empty() {
             !self.writeq.is_empty()
@@ -456,7 +578,7 @@ impl Controller {
         } else {
             self.draining_writes
         };
-        let (queue_is_write, idx) = if serve_writes {
+        let (queue_is_write, (idx, starved)) = if serve_writes {
             (true, self.select(&self.writeq, now)?)
         } else {
             (false, self.select(&self.readq, now)?)
@@ -466,6 +588,16 @@ impl Controller {
         } else {
             self.readq.remove(idx).expect("index from select")
         };
+        if starved {
+            self.stats.starvation_forced += 1;
+            self.trace.emit(TraceEvent::instant(
+                track::CTRL,
+                Category::Ctrl,
+                "starved",
+                now,
+                pending.req.id,
+            ));
+        }
         Some(self.execute(pending))
     }
 
@@ -741,6 +873,118 @@ mod tests {
         assert_eq!(c.stats().total_latency, expect);
         assert!(c.stats().avg_latency().unwrap() > 0.0);
         assert_eq!(c.stats().row_hit_rate().unwrap(), 0.5);
+    }
+
+    /// A starvation-cap firing must be counted, and the traced schedule
+    /// must equal the untraced one (hooks are observational).
+    #[test]
+    fn starvation_firings_are_counted_and_traced() {
+        use std::sync::{Arc, Mutex};
+        let run = |trace: bool| -> (Vec<u64>, u64, Vec<sam_trace::TraceEvent>) {
+            let cfg = ControllerConfig {
+                starvation_cap: 500,
+                ..Default::default()
+            };
+            let mut c = Controller::new(cfg);
+            let ring = Arc::new(Mutex::new(sam_trace::RingRecorder::new(4096)));
+            if trace {
+                c.attach_trace(ring.clone());
+                assert!(c.trace_attached());
+            }
+            c.enqueue(MemRequest::read(1, 0), 0).unwrap();
+            let first = c.schedule_one(0).unwrap();
+            let conflict_addr = 256 * 1024 + 8 * 1024;
+            c.enqueue(MemRequest::read(2, conflict_addr), 1).unwrap();
+            let mut order = Vec::new();
+            let mut now = first.finish;
+            for i in 0u64..50 {
+                let col = 1 + (i % 120);
+                c.enqueue(MemRequest::read(1000 + i, col * 64), now)
+                    .unwrap();
+                let done = c.schedule_one(now).unwrap();
+                order.push(done.id);
+                now = now.max(done.finish);
+            }
+            let starved = c.stats().starvation_forced;
+            drop(c);
+            let events = Arc::try_unwrap(ring)
+                .expect("sole owner")
+                .into_inner()
+                .unwrap()
+                .into_events()
+                .0;
+            (order, starved, events)
+        };
+        let (traced_order, starved, events) = run(true);
+        let (plain_order, plain_starved, plain_events) = run(false);
+        assert_eq!(traced_order, plain_order, "tracing must not alter schedule");
+        assert_eq!(starved, plain_starved);
+        assert!(starved >= 1, "cap at 500 must fire in this stream");
+        assert!(plain_events.is_empty());
+        let fired = events.iter().filter(|e| e.name == "starved").count() as u64;
+        assert_eq!(fired, starved, "one instant per counted firing");
+        assert!(events.iter().any(|e| e.name == "enq-read"));
+        assert!(events.iter().any(|e| e.name == "read"));
+    }
+
+    /// Write-drain windows trace as balanced begin/end pairs in occurrence
+    /// order (the exporter closes a final dangling begin, but a finished
+    /// drain must close itself).
+    #[test]
+    fn write_drain_windows_trace_balanced() {
+        use std::sync::{Arc, Mutex};
+        let mut c = ctrl();
+        let ring = Arc::new(Mutex::new(sam_trace::RingRecorder::new(4096)));
+        c.attach_trace(ring.clone());
+        for i in 0..28 {
+            c.enqueue(MemRequest::write(i, i * 64), 0).unwrap();
+        }
+        c.enqueue(MemRequest::read(100, 0x100000), 0).unwrap();
+        let _ = c.drain(0);
+        drop(c);
+        let events = Arc::try_unwrap(ring)
+            .expect("sole owner")
+            .into_inner()
+            .unwrap()
+            .into_events()
+            .0;
+        let drains: Vec<_> = events.iter().filter(|e| e.name == "write-drain").collect();
+        assert_eq!(drains.len(), 2, "one drain window: begin + end");
+        assert_eq!(drains[0].kind, sam_trace::EventKind::Begin);
+        assert_eq!(drains[1].kind, sam_trace::EventKind::End);
+        let refs: Vec<_> = events.iter().filter(|e| e.name == "REF").collect();
+        for r in &refs {
+            assert!(r.track >= sam_trace::event::track::RANK0);
+        }
+    }
+
+    /// Epoch rows telescope: summed deltas equal the end-of-run snapshot.
+    #[test]
+    fn epoch_rows_sum_to_final_stats() {
+        use std::sync::{Arc, Mutex};
+        let mut c = ctrl();
+        let epochs = Arc::new(Mutex::new(sam_trace::EpochRecorder::new(200)));
+        c.attach_epochs(epochs.clone());
+        for i in 0..40 {
+            c.enqueue(MemRequest::read(i, i * 256), 0).unwrap();
+        }
+        for i in 0..24 {
+            c.enqueue(MemRequest::write(100 + i, 0x40000 + i * 64), 0)
+                .unwrap();
+        }
+        let done = c.drain(0);
+        assert_eq!(done.len(), 64);
+        let end = done.iter().map(|d| d.finish).max().unwrap();
+        c.finish_epochs(end);
+        let rec = epochs.lock().unwrap();
+        let sum = rec.sum();
+        assert!(rec.rows().len() > 1, "run spans several 200-cycle epochs");
+        assert_eq!(sum.reads, c.stats().reads_done);
+        assert_eq!(sum.writes, c.stats().writes_done);
+        assert_eq!(sum.row_hits, c.stats().row_hits);
+        assert_eq!(sum.latency, c.stats().total_latency);
+        assert_eq!(sum.acts, c.device_stats().acts);
+        assert_eq!(sum.bus_busy, c.device().channel().busy_cycles);
     }
 
     #[test]

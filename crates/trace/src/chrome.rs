@@ -1,0 +1,565 @@
+//! Chrome `trace_event` JSON export and linting.
+//!
+//! [`chrome_trace`] renders recorded runs into the JSON Object Format
+//! understood by Perfetto and `chrome://tracing`: a `traceEvents` array of
+//! phase-tagged events, with one *process* (`pid`) per swept run and one
+//! *thread* (`tid`) per simulator lane (see [`crate::event::track`]).
+//! Timestamps are memory-clock cycles emitted in the `ts` microsecond
+//! field (1 cycle renders as 1 us — the viewer's absolute unit is
+//! irrelevant for a simulator; relative spacing is what matters).
+//!
+//! The exporter is tolerant of what a bounded ring does to a stream:
+//! events are re-sorted by cycle (the scheduler back-dates, so emission
+//! order is not cycle order), `End` events whose `Begin` was dropped are
+//! discarded, and `Begin` events left open at the end of the recording are
+//! closed at the last observed cycle. [`lint_chrome_trace`] then verifies
+//! the exported document *strictly*: balanced nesting per lane, per-run
+//! monotonic timestamps, well-formed phases — the `sam-check lint-trace`
+//! subcommand and CI smoke run exactly this check.
+//!
+//! Alongside the standard fields the exporter appends a `sam` object with
+//! the per-run epoch-statistics rows ([`crate::epoch::EpochRow`]) and ring
+//! drop counts; Chrome/Perfetto ignore unknown top-level keys.
+
+use std::collections::HashMap;
+
+use sam_util::json::Json;
+
+use crate::epoch::EpochRow;
+use crate::event::{EventKind, TraceEvent};
+use crate::{event::track, Cycle};
+
+/// Everything recorded about one simulated run: the (ring-bounded) event
+/// stream plus the epoch-statistics rows.
+#[derive(Debug, Clone)]
+pub struct RunTrace {
+    /// Sweep label identifying the run (query/design/store).
+    pub label: String,
+    /// Recorded events, in emission order.
+    pub events: Vec<TraceEvent>,
+    /// Events lost to the bounded ring.
+    pub dropped: u64,
+    /// Epoch length the stats engine used (cycles).
+    pub epoch_len: Cycle,
+    /// Closed epoch rows.
+    pub epochs: Vec<EpochRow>,
+}
+
+fn meta_event(pid: u64, tid: u64, kind: &str, name: &str) -> Json {
+    Json::object([
+        ("name", Json::str(kind)),
+        ("ph", Json::str("M")),
+        ("pid", Json::UInt(pid)),
+        ("tid", Json::UInt(tid)),
+        ("args", Json::object([("name", Json::str(name))])),
+    ])
+}
+
+fn base_fields(ev: &TraceEvent, ph: &str, pid: u64) -> Vec<(String, Json)> {
+    vec![
+        ("name".into(), Json::str(ev.name)),
+        ("cat".into(), Json::str(ev.cat.as_str())),
+        ("ph".into(), Json::str(ph)),
+        ("ts".into(), Json::UInt(ev.at)),
+        ("pid".into(), Json::UInt(pid)),
+        ("tid".into(), Json::UInt(ev.track as u64)),
+    ]
+}
+
+fn epoch_row_json(row: &EpochRow) -> Json {
+    let d = &row.delta;
+    let mut pairs = vec![
+        ("index", Json::UInt(row.index)),
+        ("start", Json::UInt(row.start)),
+        ("end", Json::UInt(row.end)),
+        ("reads", Json::UInt(d.reads)),
+        ("writes", Json::UInt(d.writes)),
+        ("row_hits", Json::UInt(d.row_hits)),
+        ("row_misses", Json::UInt(d.row_misses)),
+        ("row_conflicts", Json::UInt(d.row_conflicts)),
+        ("refreshes", Json::UInt(d.refreshes)),
+        ("starved", Json::UInt(d.starved)),
+        ("latency", Json::UInt(d.latency)),
+        ("acts", Json::UInt(d.acts)),
+        ("pres", Json::UInt(d.pres)),
+        ("mode_switches", Json::UInt(d.mode_switches)),
+        ("bus_busy", Json::UInt(d.bus_busy)),
+        ("readq_peak", Json::UInt(row.readq_peak)),
+        ("writeq_peak", Json::UInt(row.writeq_peak)),
+        ("mlp_peak", Json::UInt(row.mlp_peak)),
+        ("bus_util", Json::Float(row.bus_utilization())),
+    ];
+    if let Some(rate) = row.row_hit_rate() {
+        pairs.push(("row_hit_rate", Json::Float(rate)));
+    }
+    Json::object(pairs)
+}
+
+/// Renders `runs` as a Chrome trace document: one `pid` per run (named by
+/// its label), one `tid` per lane, events sorted by cycle and sanitized so
+/// the result always passes [`lint_chrome_trace`].
+pub fn chrome_trace(bin: &str, runs: &[RunTrace]) -> Json {
+    let mut trace_events: Vec<Json> = Vec::new();
+    let mut sam_runs: Vec<Json> = Vec::new();
+    for (i, run) in runs.iter().enumerate() {
+        let pid = (i + 1) as u64;
+        trace_events.push(meta_event(pid, 0, "process_name", &run.label));
+
+        let mut events = run.events.clone();
+        // Stable: equal-cycle events keep emission order, so a Begin
+        // emitted before an End at the same cycle stays balanced.
+        events.sort_by_key(|e| e.at);
+
+        let mut tracks: Vec<u32> = events.iter().map(|e| e.track).collect();
+        tracks.sort_unstable();
+        tracks.dedup();
+        for t in &tracks {
+            trace_events.push(meta_event(pid, *t as u64, "thread_name", &track::name(*t)));
+        }
+
+        let mut open: HashMap<u32, Vec<&'static str>> = HashMap::new();
+        let mut last_ts: Cycle = 0;
+        for ev in &events {
+            last_ts = last_ts.max(ev.at);
+            match ev.kind {
+                EventKind::Begin => {
+                    open.entry(ev.track).or_default().push(ev.name);
+                    trace_events.push(Json::Object(base_fields(ev, "B", pid)));
+                }
+                EventKind::End => {
+                    // An End whose Begin the ring dropped cannot nest.
+                    match open.get_mut(&ev.track).and_then(|s| s.pop()) {
+                        Some(_) => trace_events.push(Json::Object(base_fields(ev, "E", pid))),
+                        None => continue,
+                    }
+                }
+                EventKind::Complete => {
+                    let mut fields = base_fields(ev, "X", pid);
+                    fields.push(("dur".into(), Json::UInt(ev.dur)));
+                    fields.push(("args".into(), Json::object([("value", Json::UInt(ev.arg))])));
+                    trace_events.push(Json::Object(fields));
+                }
+                EventKind::Instant => {
+                    let mut fields = base_fields(ev, "i", pid);
+                    fields.push(("s".into(), Json::str("t")));
+                    fields.push(("args".into(), Json::object([("value", Json::UInt(ev.arg))])));
+                    trace_events.push(Json::Object(fields));
+                }
+                EventKind::Counter => {
+                    let mut fields = base_fields(ev, "C", pid);
+                    fields.push(("args".into(), Json::object([("value", Json::UInt(ev.arg))])));
+                    trace_events.push(Json::Object(fields));
+                }
+            }
+        }
+        // Close windows the ring truncated (or the run left open) at the
+        // last observed cycle so nesting stays balanced.
+        let mut dangling: Vec<u32> = open
+            .iter()
+            .filter(|(_, stack)| !stack.is_empty())
+            .map(|(t, _)| *t)
+            .collect();
+        dangling.sort_unstable();
+        for t in dangling {
+            let stack = open.get_mut(&t).expect("collected from map");
+            while let Some(name) = stack.pop() {
+                let ev = TraceEvent::end(t, crate::event::Category::Ctrl, name, last_ts);
+                trace_events.push(Json::Object(base_fields(&ev, "E", pid)));
+            }
+        }
+
+        sam_runs.push(Json::object([
+            ("pid", Json::UInt(pid)),
+            ("label", Json::str(&run.label)),
+            ("events", Json::UInt(run.events.len() as u64)),
+            ("dropped", Json::UInt(run.dropped)),
+            ("epoch_len", Json::UInt(run.epoch_len)),
+            (
+                "epochs",
+                Json::Array(run.epochs.iter().map(epoch_row_json).collect()),
+            ),
+        ]))
+    }
+    Json::object([
+        ("traceEvents", Json::Array(trace_events)),
+        ("displayTimeUnit", Json::str("ns")),
+        (
+            "sam",
+            Json::object([("bin", Json::str(bin)), ("runs", Json::Array(sam_runs))]),
+        ),
+    ])
+}
+
+/// What a lint pass found in a structurally valid trace.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Total events (including metadata).
+    pub events: usize,
+    /// Distinct processes (runs).
+    pub processes: usize,
+    /// Begin/End span pairs.
+    pub spans: usize,
+    /// Complete (`X`) events.
+    pub complete: usize,
+    /// Instant events.
+    pub instants: usize,
+    /// Counter samples.
+    pub counters: usize,
+    /// Epoch rows in the `sam` section.
+    pub epoch_rows: usize,
+}
+
+fn require_uint(ev: &Json, key: &str, what: &str) -> Result<u64, String> {
+    let v = ev
+        .get(key)
+        .ok_or_else(|| format!("{what}: missing \"{key}\""))?;
+    let f = v
+        .as_f64()
+        .ok_or_else(|| format!("{what}: \"{key}\" is not a number"))?;
+    if f < 0.0 || f.fract() != 0.0 {
+        return Err(format!(
+            "{what}: \"{key}\" = {f} is not a non-negative integer"
+        ));
+    }
+    Ok(f as u64)
+}
+
+/// Validates a Chrome trace document: non-empty `traceEvents`, well-formed
+/// phases, per-process monotonic timestamps, balanced Begin/End nesting
+/// per lane, and (when present) well-ordered `sam` epoch rows.
+///
+/// # Errors
+///
+/// Returns a description of the first violation found.
+pub fn lint_chrome_trace(doc: &Json) -> Result<TraceSummary, String> {
+    let events = doc
+        .get("traceEvents")
+        .ok_or("missing \"traceEvents\"")?
+        .as_array()
+        .ok_or("\"traceEvents\" is not an array")?;
+    if events.is_empty() {
+        return Err("\"traceEvents\" is empty: nothing was recorded".into());
+    }
+    let mut summary = TraceSummary {
+        events: events.len(),
+        ..Default::default()
+    };
+    let mut last_ts: HashMap<u64, (Cycle, usize)> = HashMap::new();
+    let mut open: HashMap<(u64, u64), Vec<String>> = HashMap::new();
+    for (i, ev) in events.iter().enumerate() {
+        let what = format!("traceEvents[{i}]");
+        let name = ev
+            .get("name")
+            .and_then(|n| n.as_str())
+            .ok_or_else(|| format!("{what}: missing string \"name\""))?
+            .to_string();
+        let ph = ev
+            .get("ph")
+            .and_then(|p| p.as_str())
+            .ok_or_else(|| format!("{what}: missing string \"ph\""))?;
+        let pid = require_uint(ev, "pid", &what)?;
+        let tid = require_uint(ev, "tid", &what)?;
+        if ph == "M" {
+            continue;
+        }
+        let ts = require_uint(ev, "ts", &what)?;
+        match last_ts.entry(pid) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                let (prev, at) = *e.get();
+                if ts < prev {
+                    return Err(format!(
+                        "{what}: ts {ts} moves backwards (pid {pid} was at {prev} in traceEvents[{at}])"
+                    ));
+                }
+                e.insert((ts, i));
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert((ts, i));
+            }
+        }
+        match ph {
+            "B" => {
+                open.entry((pid, tid)).or_default().push(name);
+            }
+            "E" => {
+                let stack = open.entry((pid, tid)).or_default();
+                match stack.pop() {
+                    Some(opened) if opened == name => summary.spans += 1,
+                    Some(opened) => {
+                        return Err(format!(
+                            "{what}: E \"{name}\" closes B \"{opened}\" (pid {pid} tid {tid})"
+                        ))
+                    }
+                    None => {
+                        return Err(format!(
+                            "{what}: E \"{name}\" with no open B (pid {pid} tid {tid})"
+                        ))
+                    }
+                }
+            }
+            "X" => {
+                require_uint(ev, "dur", &what)?;
+                summary.complete += 1;
+            }
+            "i" | "I" => summary.instants += 1,
+            "C" => summary.counters += 1,
+            other => return Err(format!("{what}: unknown phase \"{other}\"")),
+        }
+    }
+    for ((pid, tid), stack) in &open {
+        if let Some(name) = stack.last() {
+            return Err(format!(
+                "unclosed B \"{name}\" at end of trace (pid {pid} tid {tid})"
+            ));
+        }
+    }
+    summary.processes = last_ts.len();
+
+    if let Some(sam) = doc.get("sam") {
+        let runs = sam
+            .get("runs")
+            .ok_or("\"sam\" section missing \"runs\"")?
+            .as_array()
+            .ok_or("\"sam\".\"runs\" is not an array")?;
+        for (r, run) in runs.iter().enumerate() {
+            let what = format!("sam.runs[{r}]");
+            let epochs = run
+                .get("epochs")
+                .ok_or_else(|| format!("{what}: missing \"epochs\""))?
+                .as_array()
+                .ok_or_else(|| format!("{what}: \"epochs\" is not an array"))?;
+            let mut prev_end: Option<Cycle> = None;
+            let mut prev_index: Option<u64> = None;
+            for (e, row) in epochs.iter().enumerate() {
+                let what = format!("{what}.epochs[{e}]");
+                let index = require_uint(row, "index", &what)?;
+                let start = require_uint(row, "start", &what)?;
+                let end = require_uint(row, "end", &what)?;
+                if end < start {
+                    return Err(format!("{what}: end {end} < start {start}"));
+                }
+                if let Some(p) = prev_end {
+                    if start < p {
+                        return Err(format!("{what}: start {start} overlaps previous end {p}"));
+                    }
+                }
+                if let Some(p) = prev_index {
+                    if index <= p {
+                        return Err(format!("{what}: index {index} not increasing after {p}"));
+                    }
+                }
+                prev_end = Some(end);
+                prev_index = Some(index);
+                summary.epoch_rows += 1;
+            }
+        }
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::epoch::EpochCounters;
+    use crate::event::{Category, TraceEvent};
+
+    fn run_with(events: Vec<TraceEvent>) -> RunTrace {
+        RunTrace {
+            label: "Q1/SAM-en/Row".into(),
+            events,
+            dropped: 0,
+            epoch_len: 1000,
+            epochs: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn export_passes_lint() {
+        let events = vec![
+            TraceEvent::begin(track::CTRL, Category::Ctrl, "write-drain", 10),
+            TraceEvent::complete(track::REQUESTS, Category::Ctrl, "write", 12, 30, 7),
+            TraceEvent::counter(track::WRITEQ, Category::Ctrl, "writeq", 15, 20),
+            TraceEvent::end(track::CTRL, Category::Ctrl, "write-drain", 50),
+            TraceEvent::instant(track::CACHE, Category::Cache, "miss", 60, 0x1000),
+        ];
+        let doc = chrome_trace("fig12", &[run_with(events)]);
+        let summary = lint_chrome_trace(&doc).expect("clean export");
+        assert_eq!(summary.spans, 1);
+        assert_eq!(summary.complete, 1);
+        assert_eq!(summary.counters, 1);
+        assert_eq!(summary.instants, 1);
+        assert_eq!(summary.processes, 1);
+    }
+
+    #[test]
+    fn out_of_order_emission_is_sorted() {
+        // The scheduler back-dates: emission order is not cycle order.
+        let events = vec![
+            TraceEvent::complete(track::REQUESTS, Category::Ctrl, "read", 100, 10, 1),
+            TraceEvent::complete(track::REQUESTS, Category::Ctrl, "read", 20, 10, 2),
+        ];
+        let doc = chrome_trace("fig12", &[run_with(events)]);
+        lint_chrome_trace(&doc).expect("sorted before export");
+    }
+
+    #[test]
+    fn dangling_begin_is_closed() {
+        let events = vec![
+            TraceEvent::begin(track::CTRL, Category::Ctrl, "write-drain", 10),
+            TraceEvent::complete(track::REQUESTS, Category::Ctrl, "write", 12, 5, 1),
+        ];
+        let doc = chrome_trace("fig12", &[run_with(events)]);
+        let summary = lint_chrome_trace(&doc).expect("synthesized E");
+        assert_eq!(summary.spans, 1);
+    }
+
+    #[test]
+    fn orphan_end_is_dropped() {
+        // A ring that overflowed can lose the B but keep the E.
+        let events = vec![
+            TraceEvent::end(track::CTRL, Category::Ctrl, "write-drain", 10),
+            TraceEvent::instant(track::CACHE, Category::Cache, "miss", 12, 0),
+        ];
+        let doc = chrome_trace("fig12", &[run_with(events)]);
+        let summary = lint_chrome_trace(&doc).expect("orphan E dropped");
+        assert_eq!(summary.spans, 0);
+    }
+
+    #[test]
+    fn multiple_runs_get_distinct_pids() {
+        let a = run_with(vec![TraceEvent::instant(
+            track::CTRL,
+            Category::Ctrl,
+            "starved",
+            5,
+            1,
+        )]);
+        let b = run_with(vec![TraceEvent::instant(
+            track::CTRL,
+            Category::Ctrl,
+            "starved",
+            3,
+            2,
+        )]);
+        let doc = chrome_trace("fig12", &[a, b]);
+        let summary = lint_chrome_trace(&doc).expect("per-pid monotonicity");
+        assert_eq!(summary.processes, 2);
+    }
+
+    #[test]
+    fn epochs_are_exported_and_linted() {
+        let mut run = run_with(vec![TraceEvent::instant(
+            track::CTRL,
+            Category::Ctrl,
+            "starved",
+            5,
+            1,
+        )]);
+        run.epochs = vec![
+            EpochRow {
+                index: 0,
+                start: 0,
+                end: 1000,
+                delta: EpochCounters {
+                    reads: 5,
+                    row_hits: 3,
+                    row_misses: 2,
+                    ..Default::default()
+                },
+                readq_peak: 4,
+                writeq_peak: 0,
+                mlp_peak: 9,
+            },
+            EpochRow {
+                index: 2,
+                start: 2000,
+                end: 3000,
+                delta: EpochCounters {
+                    reads: 1,
+                    ..Default::default()
+                },
+                readq_peak: 1,
+                writeq_peak: 0,
+                mlp_peak: 1,
+            },
+        ];
+        let doc = chrome_trace("fig12", &[run]);
+        let summary = lint_chrome_trace(&doc).expect("epoch rows valid");
+        assert_eq!(summary.epoch_rows, 2);
+        let text = doc.to_string();
+        let reparsed = Json::parse(&text).expect("writer output parses");
+        assert_eq!(lint_chrome_trace(&reparsed).unwrap().epoch_rows, 2);
+    }
+
+    #[test]
+    fn lint_rejects_empty_trace() {
+        let doc = Json::object([("traceEvents", Json::Array(Vec::new()))]);
+        assert!(lint_chrome_trace(&doc).unwrap_err().contains("empty"));
+    }
+
+    #[test]
+    fn lint_rejects_backwards_time() {
+        let doc = Json::parse(
+            r#"{"traceEvents":[
+                {"name":"a","ph":"i","ts":100,"pid":1,"tid":0,"s":"t"},
+                {"name":"b","ph":"i","ts":50,"pid":1,"tid":0,"s":"t"}
+            ]}"#,
+        )
+        .unwrap();
+        assert!(lint_chrome_trace(&doc).unwrap_err().contains("backwards"));
+    }
+
+    #[test]
+    fn lint_rejects_unbalanced_nesting() {
+        let doc = Json::parse(
+            r#"{"traceEvents":[
+                {"name":"w","ph":"B","ts":1,"pid":1,"tid":0}
+            ]}"#,
+        )
+        .unwrap();
+        assert!(lint_chrome_trace(&doc).unwrap_err().contains("unclosed"));
+        let doc = Json::parse(
+            r#"{"traceEvents":[
+                {"name":"w","ph":"E","ts":1,"pid":1,"tid":0}
+            ]}"#,
+        )
+        .unwrap();
+        assert!(lint_chrome_trace(&doc).unwrap_err().contains("no open B"));
+    }
+
+    #[test]
+    fn lint_rejects_mismatched_span_names() {
+        let doc = Json::parse(
+            r#"{"traceEvents":[
+                {"name":"a","ph":"B","ts":1,"pid":1,"tid":0},
+                {"name":"b","ph":"E","ts":2,"pid":1,"tid":0}
+            ]}"#,
+        )
+        .unwrap();
+        assert!(lint_chrome_trace(&doc).unwrap_err().contains("closes"));
+    }
+
+    #[test]
+    fn lint_rejects_malformed_events() {
+        let doc = Json::parse(r#"{"traceEvents":[{"ph":"i","ts":1,"pid":1,"tid":0}]}"#).unwrap();
+        assert!(lint_chrome_trace(&doc).unwrap_err().contains("name"));
+        let doc = Json::parse(r#"{"traceEvents":[{"name":"x","ph":"X","ts":1,"pid":1,"tid":0}]}"#)
+            .unwrap();
+        assert!(lint_chrome_trace(&doc).unwrap_err().contains("dur"));
+        let doc = Json::parse(r#"{"traceEvents":[{"name":"x","ph":"?","ts":1,"pid":1,"tid":0}]}"#)
+            .unwrap();
+        assert!(lint_chrome_trace(&doc).unwrap_err().contains("phase"));
+    }
+
+    #[test]
+    fn lint_rejects_bad_epoch_rows() {
+        let doc = Json::parse(
+            r#"{"traceEvents":[{"name":"a","ph":"i","ts":1,"pid":1,"tid":0}],
+                "sam":{"runs":[{"epochs":[
+                    {"index":0,"start":100,"end":50}
+                ]}]}}"#,
+        )
+        .unwrap();
+        assert!(lint_chrome_trace(&doc).unwrap_err().contains("end"));
+    }
+}

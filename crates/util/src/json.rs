@@ -353,13 +353,23 @@ impl Parser<'_> {
                 }
                 Some(c) if c < 0x20 => return Err(self.err("raw control character in string")),
                 Some(_) => {
-                    // Consume one UTF-8 scalar (input is a &str, so this is
-                    // always valid).
-                    let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid UTF-8"))?;
-                    let c = s.chars().next().expect("non-empty");
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    // Consume the maximal run of plain bytes in one step.
+                    // Runs only ever end at ASCII delimiters (quote,
+                    // backslash, control), never inside a multi-byte
+                    // sequence, so each chunk is valid UTF-8 on its own —
+                    // and the validation cost stays linear in the input
+                    // (re-validating from `pos` to EOF per character made
+                    // large documents quadratic to parse).
+                    let start = self.pos;
+                    while let Some(&b) = self.bytes.get(self.pos) {
+                        if b == b'"' || b == b'\\' || b < 0x20 {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    let chunk = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    out.push_str(chunk);
                 }
             }
         }
