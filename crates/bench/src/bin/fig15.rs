@@ -147,6 +147,8 @@ fn main() {
     let plan = args.plan;
     let system = SystemConfig {
         starvation_cap: args.starvation_cap,
+        drain_hi: args.drain_hi,
+        drain_lo: args.drain_lo,
         ..SystemConfig::default()
     };
     let mut report = MetricsReport::new("fig15", plan, args.jobs, false);

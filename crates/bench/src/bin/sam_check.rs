@@ -5,6 +5,9 @@
 //!
 //!   record <file>     run a small workload and write its command trace
 //!   replay <file>     re-check a recorded trace; exit 1 on violations
+//!                     (stress streams written by the `stress` binary's
+//!                     shrinker are autodetected by header and replayed
+//!                     through the sam-stress invariant driver)
 //!   audit             audit the chipkill ECC layouts
 //!   selftest          end-to-end sanity: clean record/replay, injected
 //!                     tFAW bug caught by name, ECC layouts clean
@@ -26,6 +29,17 @@ fn main() {
             None => usage(),
         };
         std::process::exit(code);
+    }
+    if args.get(1).map(String::as_str) == Some("replay") {
+        // Stress streams replay through sam-stress regardless of the
+        // `check` feature; protocol traces fall through to `real::main`.
+        if let Some(path) = args.get(2) {
+            if let Ok(text) = std::fs::read_to_string(path) {
+                if sam_stress::is_stress_trace(&text) {
+                    std::process::exit(replay_stress(path, &text));
+                }
+            }
+        }
     }
     if args.get(1).map(String::as_str) == Some("lint-trace") {
         let code = match args.get(2) {
@@ -56,8 +70,45 @@ fn usage() -> i32 {
     2
 }
 
+/// Replays a shrinker-written stress stream through the sam-stress
+/// invariant driver: the minimal repro must reproduce its violation
+/// anywhere, or the shrinker is lying.
+fn replay_stress(path: &str, text: &str) -> i32 {
+    match sam_stress::replay_text(text) {
+        Err(e) => {
+            eprintln!("sam-check: {path}: {e}");
+            2
+        }
+        Ok((cfg, outcome)) => {
+            let knobs = format!(
+                "device={} cap={} hi={} lo={}",
+                cfg.device.token(),
+                cfg.starvation_cap,
+                cfg.drain_hi,
+                cfg.drain_lo
+            );
+            if outcome.violations.is_empty() {
+                println!("{path}: stress stream clean under {knobs}");
+                return 0;
+            }
+            println!(
+                "{path}: {} behavioural violation(s) under {knobs}",
+                outcome.violations.len()
+            );
+            for v in outcome.violations.iter().take(20) {
+                println!("  {v}");
+            }
+            if outcome.violations.len() > 20 {
+                println!("  ... and {} more", outcome.violations.len() - 20);
+            }
+            1
+        }
+    }
+}
+
 /// Parses and schema-checks an emitted metrics report (the CI gate for
-/// `results/fig12.json`).
+/// `results/fig12.json`). Stress reports carry their own schema and are
+/// dispatched by the top-level `"bin"` value.
 fn lint_json(path: &str) -> i32 {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
@@ -73,6 +124,21 @@ fn lint_json(path: &str) -> i32 {
             return 1;
         }
     };
+    if matches!(doc.get("bin"), Some(Json::Str(s)) if s == "stress") {
+        return match sam_stress::lint_stress_json(&doc) {
+            Ok(s) => {
+                println!(
+                    "{path}: valid stress report ({} patterns, {} runs, {} violations)",
+                    s.patterns, s.runs, s.total_violations
+                );
+                0
+            }
+            Err(e) => {
+                eprintln!("sam-check: {path}: schema violation: {e}");
+                1
+            }
+        };
+    }
     match sam_bench::metrics::lint_metrics_json(&doc) {
         Ok(()) => {
             let runs = doc

@@ -27,6 +27,12 @@ fn main() {
     if let Some(cap) = args.starvation_cap {
         ctrl.starvation_cap = cap;
     }
+    if let Some(hi) = args.drain_hi {
+        ctrl.write_high_watermark = hi;
+    }
+    if let Some(lo) = args.drain_lo {
+        ctrl.write_low_watermark = lo;
+    }
 
     println!("Table 2: simulated system parameters\n");
     println!("Processor");

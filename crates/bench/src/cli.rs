@@ -15,6 +15,9 @@
 //! * `--starvation-cap N` — FR-FCFS starvation cap override in memory
 //!   cycles (`0` forces pure FCFS); ignored by binaries that do not
 //!   simulate
+//! * `--drain-hi N` / `--drain-lo N` — write-drain hysteresis watermark
+//!   overrides; the pair (after filling in controller defaults) must
+//!   satisfy `lo < hi <= 32` (the Table 2 write-queue depth)
 //! * `--checked` — only on binaries that support the verification oracle
 //! * `--trace[=PATH]` / `--epoch-len N` — only on binaries that support
 //!   the `sam-trace` recorder (default trace path:
@@ -34,6 +37,17 @@ pub const DEFAULT_EPOCH_LEN: u64 = 10_000;
 /// Default fault-injection trial count (`--trials`).
 pub const DEFAULT_TRIALS: u64 = 100;
 
+/// Table 2 write-queue depth; `--drain-hi` may not exceed it. Mirrors
+/// `ControllerConfig::with_device` (asserted by a test below).
+pub const WRITE_QUEUE_DEPTH: usize = 32;
+
+/// Controller-default write-drain high watermark, used to validate a lone
+/// `--drain-lo` against the effective pair.
+pub const DEFAULT_DRAIN_HI: usize = 28;
+
+/// Controller-default write-drain low watermark.
+pub const DEFAULT_DRAIN_LO: usize = 8;
+
 /// What a specific binary accepts beyond the shared flags.
 #[derive(Debug, Clone, Copy)]
 pub struct ArgSpec {
@@ -47,6 +61,9 @@ pub struct ArgSpec {
     pub accepts_trials: bool,
     /// Bare arguments accepted as panel selectors (empty: none).
     pub panels: &'static [&'static str],
+    /// Extra binary-specific boolean flags (e.g. `--shrink-selftest`);
+    /// matched literally, surfaced in [`BenchArgs::flags`].
+    pub extra_flags: &'static [&'static str],
 }
 
 impl ArgSpec {
@@ -58,6 +75,7 @@ impl ArgSpec {
             accepts_trace: false,
             accepts_trials: false,
             panels: &[],
+            extra_flags: &[],
         }
     }
 
@@ -85,10 +103,16 @@ impl ArgSpec {
         self
     }
 
+    /// Accepts the given extra boolean flags.
+    pub fn with_flags(mut self, flags: &'static [&'static str]) -> Self {
+        self.extra_flags = flags;
+        self
+    }
+
     fn usage(&self) -> String {
         let mut u = format!(
             "usage: {} [--rows N] [--tb-rows N] [--seed N] [--jobs N] [--out PATH] \
-             [--starvation-cap N]",
+             [--starvation-cap N] [--drain-hi N] [--drain-lo N]",
             self.bin
         );
         if self.accepts_checked {
@@ -99,6 +123,9 @@ impl ArgSpec {
         }
         if self.accepts_trials {
             u.push_str(" [--trials N]");
+        }
+        for flag in self.extra_flags {
+            u.push_str(&format!(" [{flag}]"));
         }
         if !self.panels.is_empty() {
             u.push_str(&format!(" [{}]", self.panels.join(" ")));
@@ -124,12 +151,26 @@ pub struct BenchArgs {
     /// FR-FCFS starvation-cap override in memory cycles (`Some(0)` forces
     /// pure FCFS); `None` keeps the design/controller default.
     pub starvation_cap: Option<u64>,
+    /// Write-drain high-watermark override (`--drain-hi N`).
+    pub drain_hi: Option<usize>,
+    /// Write-drain low-watermark override (`--drain-lo N`).
+    pub drain_lo: Option<usize>,
+    /// Extra boolean flags that were given, in spec order semantics
+    /// (each at most once; see [`ArgSpec::extra_flags`]).
+    pub flags: Vec<String>,
     /// Fault-injection trials (`--trials N`; binaries that accept it).
     pub trials: u64,
     /// Selected panels, in the order given (empty: run all).
     pub panels: Vec<String>,
     /// JSON metrics output path; defaults to `results/<bin>.json`.
     pub out: PathBuf,
+}
+
+impl BenchArgs {
+    /// Whether the given extra boolean flag was present.
+    pub fn has_flag(&self, flag: &str) -> bool {
+        self.flags.iter().any(|f| f == flag)
+    }
 }
 
 /// A rejected command line.
@@ -172,8 +213,11 @@ pub fn try_parse_args(
     let mut trace: Option<PathBuf> = None;
     let mut epoch_len = DEFAULT_EPOCH_LEN;
     let mut starvation_cap = None;
+    let mut drain_hi: Option<usize> = None;
+    let mut drain_lo: Option<usize> = None;
     let mut trials = DEFAULT_TRIALS;
     let mut panels = Vec::new();
+    let mut flags = Vec::new();
     let mut out: Option<PathBuf> = None;
 
     let mut i = 0;
@@ -215,6 +259,14 @@ pub fn try_parse_args(
                 let v = value_of(&mut i)?;
                 starvation_cap = Some(parse_num(arg, &v)?);
             }
+            "--drain-hi" => {
+                let v = value_of(&mut i)?;
+                drain_hi = Some(parse_num(arg, &v)? as usize);
+            }
+            "--drain-lo" => {
+                let v = value_of(&mut i)?;
+                drain_lo = Some(parse_num(arg, &v)? as usize);
+            }
             "--checked" if spec.accepts_checked => checked = true,
             "--trace" if spec.accepts_trace => {
                 trace = Some(PathBuf::from(format!("results/{}.trace.json", spec.bin)));
@@ -240,10 +292,33 @@ pub fn try_parse_args(
                     return Err(CliError::BadValue(arg.to_string(), v));
                 }
             }
+            flag if spec.extra_flags.contains(&flag) => {
+                if !flags.iter().any(|f| f == flag) {
+                    flags.push(flag.to_string());
+                }
+            }
             bare if spec.panels.contains(&bare) => panels.push(bare.to_string()),
             other => return Err(CliError::UnknownArg(other.to_string())),
         }
         i += 1;
+    }
+
+    if drain_hi.is_some() || drain_lo.is_some() {
+        // Validate the *effective* pair: a lone override combines with the
+        // controller default for the other watermark.
+        let hi = drain_hi.unwrap_or(DEFAULT_DRAIN_HI);
+        let lo = drain_lo.unwrap_or(DEFAULT_DRAIN_LO);
+        if lo >= hi || hi > WRITE_QUEUE_DEPTH {
+            let flag = if drain_hi.is_some() {
+                "--drain-hi"
+            } else {
+                "--drain-lo"
+            };
+            return Err(CliError::BadValue(
+                flag.to_string(),
+                format!("lo={lo} hi={hi} (need lo < hi <= {WRITE_QUEUE_DEPTH})"),
+            ));
+        }
     }
 
     Ok(BenchArgs {
@@ -253,8 +328,11 @@ pub fn try_parse_args(
         trace,
         epoch_len,
         starvation_cap,
+        drain_hi,
+        drain_lo,
         trials,
         panels,
+        flags,
         out: out.unwrap_or_else(|| PathBuf::from(format!("results/{}.json", spec.bin))),
     })
 }
@@ -351,6 +429,53 @@ mod tests {
         )
         .unwrap();
         assert_eq!(a.starvation_cap, Some(512));
+    }
+
+    #[test]
+    fn drain_watermarks_shared_and_validated() {
+        let a = try_parse_args(
+            &spec(),
+            PlanConfig::tiny(),
+            &argv(&["--drain-hi", "20", "--drain-lo", "4"]),
+        )
+        .unwrap();
+        assert_eq!(a.drain_hi, Some(20));
+        assert_eq!(a.drain_lo, Some(4));
+        // A lone override is validated against the default for the other
+        // watermark: lo=30 >= default hi=28 is rejected.
+        let e =
+            try_parse_args(&spec(), PlanConfig::tiny(), &argv(&["--drain-lo", "30"])).unwrap_err();
+        assert!(matches!(e, CliError::BadValue(f, _) if f == "--drain-lo"));
+        // Inverted margins and hi beyond the queue depth are rejected.
+        for bad in [
+            &["--drain-hi", "8", "--drain-lo", "28"][..],
+            &["--drain-hi", "33"][..],
+            &["--drain-hi", "10", "--drain-lo", "10"][..],
+        ] {
+            assert!(try_parse_args(&spec(), PlanConfig::tiny(), &argv(bad)).is_err());
+        }
+        // Defaults here must mirror the controller's Table 2 values.
+        let ctrl = sam_memctrl::controller::ControllerConfig::default();
+        assert_eq!(DEFAULT_DRAIN_HI, ctrl.write_high_watermark);
+        assert_eq!(DEFAULT_DRAIN_LO, ctrl.write_low_watermark);
+        assert_eq!(WRITE_QUEUE_DEPTH, ctrl.write_queue_capacity);
+    }
+
+    #[test]
+    fn extra_flags_gated_and_deduped() {
+        let s = ArgSpec::new("stress").with_flags(&["--shrink-selftest"]);
+        let a = try_parse_args(
+            &s,
+            PlanConfig::tiny(),
+            &argv(&["--shrink-selftest", "--shrink-selftest"]),
+        )
+        .unwrap();
+        assert_eq!(a.flags, vec!["--shrink-selftest"]);
+        assert!(a.has_flag("--shrink-selftest"));
+        assert!(!a.has_flag("--other"));
+        let e =
+            try_parse_args(&spec(), PlanConfig::tiny(), &argv(&["--shrink-selftest"])).unwrap_err();
+        assert_eq!(e, CliError::UnknownArg("--shrink-selftest".to_string()));
     }
 
     #[test]

@@ -19,6 +19,7 @@
 pub mod checked;
 pub mod cli;
 pub mod metrics;
+pub mod stressrun;
 pub mod sweep;
 pub mod traced;
 

@@ -1,0 +1,367 @@
+//! The adversarial stress harness behind the `stress` binary.
+//!
+//! One invocation is a (pattern × case) grid of fully independent stream
+//! executions, so the harness fans them out over the [`crate::sweep`]
+//! runner exactly like the figure binaries: each cell becomes a
+//! [`SweepTask`], results come back in submission order, and the printed
+//! table, the `results/stress.json` document, and the optional trace
+//! document are all byte-identical at any `--jobs` count. Cross-run
+//! differential checks ([`sam_stress::diff::cross_check`]) are applied to
+//! each pattern's completed case row after the sweep, on the reassembled
+//! submission-order runs.
+//!
+//! The case matrix pairs the commodity DDR4 baseline with knob variants
+//! (pure FCFS, a tight starvation cap, deeper drain hysteresis, an
+//! explicit spelling of the defaults) and the RC-NVM-style RRAM device,
+//! so one run exercises both the per-run invariants and the cross-run
+//! oracles (cap monotonicity, semantic identity) on every named pattern.
+
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+use sam_stress::diff::{cross_check, DiffCase, DiffReport, DiffRun};
+use sam_stress::driver::{run_stream, run_stream_instrumented};
+use sam_stress::pattern::{Pattern, PatternParams};
+use sam_stress::report::PatternReport;
+use sam_stress::stream::{DeviceKind, StressConfig};
+use sam_trace::{EpochRecorder, RingRecorder, RunTrace};
+use sam_util::json::Json;
+
+use crate::sweep::{run_sweep_strict, SweepTask};
+use crate::traced::TraceOptions;
+
+/// Builds the standard differential case matrix. CLI overrides replace
+/// the *base* (commodity) knobs — the variant cases keep their fixed
+/// settings so the differential axes survive an override.
+pub fn standard_cases(
+    cap: Option<u64>,
+    drain_hi: Option<usize>,
+    drain_lo: Option<usize>,
+) -> Vec<DiffCase> {
+    let mut base = StressConfig::ddr4_default();
+    if let Some(cap) = cap {
+        base.starvation_cap = cap;
+    }
+    if let Some(hi) = drain_hi {
+        base.drain_hi = hi;
+    }
+    if let Some(lo) = drain_lo {
+        base.drain_lo = lo;
+    }
+    let case = |label: &str, config: StressConfig| DiffCase {
+        label: label.into(),
+        config,
+    };
+    vec![
+        case("commodity", base),
+        // Spelled the same way on purpose: the semantic-identity oracle
+        // demands byte-identical stats from these two rows.
+        case("commodity-twin", base),
+        case(
+            "fcfs",
+            StressConfig {
+                starvation_cap: 0,
+                ..base
+            },
+        ),
+        case(
+            "tight-cap",
+            StressConfig {
+                starvation_cap: 256,
+                ..base
+            },
+        ),
+        case(
+            "deep-drain",
+            StressConfig {
+                drain_hi: 20,
+                drain_lo: 4,
+                ..base
+            },
+        ),
+        case(
+            "rc-nvm",
+            StressConfig::new(
+                DeviceKind::Rram,
+                base.starvation_cap,
+                base.drain_hi,
+                base.drain_lo,
+            )
+            .expect("base margins were validated by the CLI"),
+        ),
+    ]
+}
+
+/// Runs the (pattern × case) grid on `jobs` workers. With `trace`
+/// options, every cell records through its own ring/epoch recorders
+/// ([`crate::traced`] idiom) and the collected [`RunTrace`]s come back in
+/// submission order; the outcomes are identical either way.
+pub fn run_stress(
+    patterns: &[Pattern],
+    params: &PatternParams,
+    cases: &[DiffCase],
+    jobs: usize,
+    trace: Option<TraceOptions>,
+) -> (Vec<PatternReport>, Vec<RunTrace>) {
+    let mut tasks: Vec<SweepTask<'static, (sam_stress::StressOutcome, Option<RunTrace>)>> =
+        Vec::with_capacity(patterns.len() * cases.len());
+    for pattern in patterns {
+        for case in cases {
+            let label = format!("{}/{}", pattern.name(), case.label);
+            let config = case.config;
+            let pattern = *pattern;
+            let params = *params;
+            tasks.push(SweepTask::new(label.clone(), move || {
+                let stream = pattern.generate(&params);
+                match trace {
+                    None => (run_stream(&config, &stream), None),
+                    Some(opts) => {
+                        let ring = Arc::new(Mutex::new(RingRecorder::new(opts.ring_capacity)));
+                        let epochs = Arc::new(Mutex::new(EpochRecorder::new(opts.epoch_len)));
+                        let outcome = run_stream_instrumented(
+                            &config,
+                            &stream,
+                            Some(ring.clone()),
+                            Some(epochs.clone()),
+                        );
+                        let (events, dropped) = Arc::try_unwrap(ring)
+                            .expect("controller dropped, ring is sole owner")
+                            .into_inner()
+                            .expect("ring lock poisoned")
+                            .into_events();
+                        let recorder = Arc::try_unwrap(epochs)
+                            .expect("controller dropped, epoch recorder is sole owner")
+                            .into_inner()
+                            .expect("epoch recorder lock poisoned");
+                        let run_trace = RunTrace {
+                            label,
+                            events,
+                            dropped,
+                            epoch_len: opts.epoch_len,
+                            epochs: recorder.into_rows(),
+                        };
+                        (outcome, Some(run_trace))
+                    }
+                }
+            }));
+        }
+    }
+
+    let outcomes = run_sweep_strict(jobs, tasks);
+    let mut reports = Vec::with_capacity(patterns.len());
+    let mut traces = Vec::new();
+    let mut it = outcomes.into_iter();
+    for pattern in patterns {
+        let mut runs = Vec::with_capacity(cases.len());
+        for case in cases {
+            let (outcome, run_trace) = it.next().expect("one outcome per task");
+            if let Some(t) = run_trace {
+                traces.push(t);
+            }
+            runs.push(DiffRun {
+                case: case.clone(),
+                outcome,
+            });
+        }
+        let cross_findings = cross_check(&runs);
+        reports.push(PatternReport {
+            pattern: pattern.name().into(),
+            report: DiffReport {
+                runs,
+                cross_findings,
+            },
+        });
+    }
+    (reports, traces)
+}
+
+/// Renders the grid as the binary's stdout body: one aligned row per
+/// (pattern, case) cell, then per-run violation details and cross-run
+/// findings, then a one-line verdict. Pure function of the reports, so
+/// the bytes are `--jobs`- and `--trace`-independent by construction.
+pub fn render_report(reports: &[PatternReport]) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "{:<16} {:<15} {:<6} {:>5} {:>3} {:>3} {:>6} {:>7} {:>9} {:>8} {:>8} {:>9} {:>5}\n",
+        "pattern",
+        "case",
+        "device",
+        "cap",
+        "hi",
+        "lo",
+        "reads",
+        "writes",
+        "row-hits",
+        "starved",
+        "max-res",
+        "bound",
+        "viol"
+    ));
+    for p in reports {
+        for run in &p.report.runs {
+            let c = &run.case.config;
+            let o = &run.outcome;
+            s.push_str(&format!(
+                "{:<16} {:<15} {:<6} {:>5} {:>3} {:>3} {:>6} {:>7} {:>9} {:>8} {:>8} {:>9} {:>5}\n",
+                p.pattern,
+                run.case.label,
+                c.device.token(),
+                c.starvation_cap,
+                c.drain_hi,
+                c.drain_lo,
+                o.reads,
+                o.writes,
+                o.row_hits,
+                o.starved,
+                o.max_read_residency,
+                o.residency_bound,
+                o.violations.len()
+            ));
+        }
+    }
+    let mut total = 0usize;
+    for p in reports {
+        for run in &p.report.runs {
+            for v in run.outcome.violations.iter().take(5) {
+                s.push_str(&format!("  {}/{}: {v}\n", p.pattern, run.case.label));
+            }
+            if run.outcome.violations.len() > 5 {
+                s.push_str(&format!(
+                    "  {}/{}: ... and {} more\n",
+                    p.pattern,
+                    run.case.label,
+                    run.outcome.violations.len() - 5
+                ));
+            }
+            total += run.outcome.violations.len();
+        }
+        for f in &p.report.cross_findings {
+            s.push_str(&format!("  {} [cross-run]: {f}\n", p.pattern));
+            total += 1;
+        }
+    }
+    s.push_str(&format!(
+        "\nbehavioural invariants: {}\n",
+        if total == 0 {
+            "all held".to_string()
+        } else {
+            format!("{total} violation(s)")
+        }
+    ));
+    s
+}
+
+/// Writes a JSON document with a trailing newline, creating parent
+/// directories, with the same stderr notice style as the metrics report.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from directory creation or the write.
+pub fn write_json(bin: &str, doc: &Json, path: &Path) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let mut text = doc.to_string();
+    text.push('\n');
+    std::fs::write(path, text)?;
+    eprintln!("{bin}: wrote stress report to {}", path.display());
+    Ok(())
+}
+
+/// [`write_json`] + exit(1) on failure.
+pub fn write_json_or_die(bin: &str, doc: &Json, path: &Path) {
+    if let Err(e) = write_json(bin, doc, path) {
+        eprintln!("{bin}: cannot write {}: {e}", path.display());
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sam_stress::report::{json_report, lint_stress_json};
+
+    fn small_params() -> PatternParams {
+        PatternParams::small(3)
+    }
+
+    #[test]
+    fn standard_cases_cover_both_devices_and_honor_overrides() {
+        let cases = standard_cases(None, None, None);
+        assert_eq!(cases.len(), 6);
+        assert_eq!(cases[0].config, cases[1].config, "identity twin");
+        assert_eq!(cases[2].config.starvation_cap, 0);
+        assert_eq!(cases[3].config.starvation_cap, 256);
+        assert_eq!(
+            (cases[4].config.drain_hi, cases[4].config.drain_lo),
+            (20, 4)
+        );
+        assert_eq!(cases[5].config.device, DeviceKind::Rram);
+        let cases = standard_cases(Some(512), Some(24), Some(6));
+        assert_eq!(cases[0].config.starvation_cap, 512);
+        assert_eq!(
+            (cases[0].config.drain_hi, cases[0].config.drain_lo),
+            (24, 6)
+        );
+        // Variants keep their own axis but inherit the rest.
+        assert_eq!(cases[2].config.starvation_cap, 0);
+        assert_eq!(cases[2].config.drain_hi, 24);
+        assert_eq!(
+            (cases[4].config.drain_hi, cases[4].config.drain_lo),
+            (20, 4)
+        );
+        assert_eq!(cases[5].config.starvation_cap, 512);
+    }
+
+    /// The `--jobs` byte-identity guarantee in miniature: reports, table,
+    /// and JSON all match between a serial and a parallel sweep.
+    #[test]
+    fn parallel_sweep_matches_serial_byte_for_byte() {
+        let patterns = [Pattern::RowHitFlood, Pattern::WriteBurst];
+        let cases = standard_cases(None, None, None);
+        let (serial, _) = run_stress(&patterns, &small_params(), &cases, 1, None);
+        let (parallel, _) = run_stress(&patterns, &small_params(), &cases, 4, None);
+        assert_eq!(serial, parallel);
+        assert_eq!(render_report(&serial), render_report(&parallel));
+        assert_eq!(
+            json_report(3, &serial).to_string(),
+            json_report(3, &parallel).to_string()
+        );
+    }
+
+    /// Tracing is purely observational: outcomes identical, one trace per
+    /// grid cell, in submission order.
+    #[test]
+    fn traced_grid_matches_untraced_and_collects_per_cell() {
+        let patterns = [Pattern::BankPingPong];
+        let cases = standard_cases(None, None, None);
+        let (plain, none) = run_stress(&patterns, &small_params(), &cases, 2, None);
+        assert!(none.is_empty());
+        let (traced, traces) = run_stress(
+            &patterns,
+            &small_params(),
+            &cases,
+            2,
+            Some(TraceOptions::new(1_000)),
+        );
+        assert_eq!(plain, traced);
+        assert_eq!(traces.len(), cases.len());
+        assert_eq!(traces[0].label, "ping-pong/commodity");
+        assert!(traces.iter().any(|t| !t.events.is_empty()));
+    }
+
+    #[test]
+    fn full_grid_is_clean_and_lints_at_small_scale() {
+        let cases = standard_cases(None, None, None);
+        let (reports, _) = run_stress(&Pattern::ALL, &small_params(), &cases, 4, None);
+        let doc = json_report(3, &reports);
+        let summary = lint_stress_json(&doc).unwrap();
+        assert_eq!(summary.patterns, 5);
+        assert_eq!(summary.runs, 30);
+        assert_eq!(summary.total_violations, 0);
+        let rendered = render_report(&reports);
+        assert!(rendered.contains("behavioural invariants: all held"));
+    }
+}

@@ -1,0 +1,41 @@
+//! Differential determinism gate for the stress harness: everything the
+//! `stress` binary emits — the stdout table, the `results/stress.json`
+//! document, and the `--trace` Chrome document — must be byte-identical
+//! between `--jobs 1` and `--jobs 4`, traced or not. Same identity-gate
+//! pattern as the fig12 sweep tests, applied to the full pattern grid.
+
+use sam_bench::stressrun::{render_report, run_stress, standard_cases};
+use sam_bench::traced::TraceOptions;
+use sam_stress::report::json_report;
+use sam_stress::{Pattern, PatternParams};
+use sam_trace::chrome_trace;
+
+#[test]
+fn stress_outputs_are_jobs_and_trace_independent() {
+    let params = PatternParams::small(41);
+    let cases = standard_cases(None, None, None);
+    let opts = TraceOptions::new(2_000);
+
+    let (serial, _) = run_stress(&Pattern::ALL, &params, &cases, 1, None);
+    let (parallel, _) = run_stress(&Pattern::ALL, &params, &cases, 4, None);
+    let (traced, traces_p) = run_stress(&Pattern::ALL, &params, &cases, 4, Some(opts));
+    let (_, traces_s) = run_stress(&Pattern::ALL, &params, &cases, 1, Some(opts));
+
+    // stdout table: byte-identical across jobs and tracing.
+    let table = render_report(&serial);
+    assert_eq!(table, render_report(&parallel));
+    assert_eq!(table, render_report(&traced));
+
+    // JSON document: byte-identical (and deliberately carries no jobs
+    // field, so the bytes *are* the determinism oracle).
+    let doc = json_report(41, &serial).to_string();
+    assert_eq!(doc, json_report(41, &parallel).to_string());
+    assert_eq!(doc, json_report(41, &traced).to_string());
+    assert!(!doc.contains("\"jobs\""));
+
+    // Trace document: byte-identical between worker counts.
+    assert_eq!(traces_s.len(), Pattern::ALL.len() * cases.len());
+    let doc_s = chrome_trace("stress", &traces_s).to_string();
+    let doc_p = chrome_trace("stress", &traces_p).to_string();
+    assert_eq!(doc_s, doc_p);
+}

@@ -26,6 +26,8 @@ pub fn commodity() -> Design {
         critical_word_first: true,
         power: PowerTraits::commodity(),
         starvation_cap: None,
+        drain_hi: None,
+        drain_lo: None,
     }
 }
 
@@ -49,6 +51,8 @@ pub fn dgms() -> Design {
         critical_word_first: true,
         power: PowerTraits::commodity(),
         starvation_cap: None,
+        drain_hi: None,
+        drain_lo: None,
     }
 }
 
@@ -80,6 +84,8 @@ pub fn sam_sub() -> Design {
             fine_grained_activation: false,
         },
         starvation_cap: None,
+        drain_hi: None,
+        drain_lo: None,
     }
 }
 
@@ -109,6 +115,8 @@ pub fn sam_io() -> Design {
             fine_grained_activation: false,
         },
         starvation_cap: None,
+        drain_hi: None,
+        drain_lo: None,
     }
 }
 
@@ -137,6 +145,8 @@ pub fn sam_en() -> Design {
             fine_grained_activation: true,
         },
         starvation_cap: None,
+        drain_hi: None,
+        drain_lo: None,
     }
 }
 
@@ -181,6 +191,8 @@ pub fn gs_dram() -> Design {
         critical_word_first: false,
         power: PowerTraits::commodity(),
         starvation_cap: None,
+        drain_hi: None,
+        drain_lo: None,
     }
 }
 
@@ -207,6 +219,8 @@ pub fn gs_dram_ecc() -> Design {
         critical_word_first: false,
         power: PowerTraits::commodity(),
         starvation_cap: None,
+        drain_hi: None,
+        drain_lo: None,
     }
 }
 
@@ -233,6 +247,8 @@ pub fn rc_nvm_bit() -> Design {
         critical_word_first: true,
         power: PowerTraits::commodity(),
         starvation_cap: None,
+        drain_hi: None,
+        drain_lo: None,
     }
 }
 
@@ -257,6 +273,8 @@ pub fn rc_nvm_wd() -> Design {
         critical_word_first: true,
         power: PowerTraits::commodity(),
         starvation_cap: None,
+        drain_hi: None,
+        drain_lo: None,
     }
 }
 

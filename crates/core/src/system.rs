@@ -78,6 +78,13 @@ pub struct SystemConfig {
     /// A `Some` here (e.g. from the `--starvation-cap` CLI flag) wins over
     /// both.
     pub starvation_cap: Option<Cycle>,
+    /// Write-drain high-watermark override (`--drain-hi`). Same precedence
+    /// as [`Self::starvation_cap`]: CLI beats design beats controller
+    /// default (28).
+    pub drain_hi: Option<usize>,
+    /// Write-drain low-watermark override (`--drain-lo`). Same precedence;
+    /// controller default is 8.
+    pub drain_lo: Option<usize>,
 }
 
 impl SystemConfig {
@@ -98,6 +105,8 @@ impl SystemConfig {
             ecc_write_extra: 4,
             prefetch_degree: 0,
             starvation_cap: None,
+            drain_hi: None,
+            drain_lo: None,
         }
     }
 
@@ -412,6 +421,18 @@ impl<'t> Engine<'t> {
         }
         if let Some(cap) = cfg.starvation_cap {
             ctrl_cfg.starvation_cap = cap;
+        }
+        if let Some(hi) = design.drain_hi {
+            ctrl_cfg.write_high_watermark = hi;
+        }
+        if let Some(lo) = design.drain_lo {
+            ctrl_cfg.write_low_watermark = lo;
+        }
+        if let Some(hi) = cfg.drain_hi {
+            ctrl_cfg.write_high_watermark = hi;
+        }
+        if let Some(lo) = cfg.drain_lo {
+            ctrl_cfg.write_low_watermark = lo;
         }
         let ctrl = Controller::new(ctrl_cfg);
         Self {

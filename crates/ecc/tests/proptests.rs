@@ -4,10 +4,13 @@
 
 use proptest::prelude::*;
 use sam_ecc::codes::{SecDed, SscCode, SscDsdCode};
+use sam_ecc::inject::{run_trial, Fault, Outcome};
 use sam_ecc::layout::{
-    decode_line, encode_line, extract_codewords, scatter_codewords, CodewordLayout,
+    decode_line, encode_line, extract_codewords, scatter_codewords, Burst, CodewordLayout, BEATS,
+    CHIPS, CODEWORDS_PER_BURST, PINS_PER_CHIP,
 };
 use sam_ecc::EccError;
+use sam_util::rng::Xoshiro256StarStar;
 
 proptest! {
     #[test]
@@ -80,6 +83,80 @@ proptest! {
         prop_assert_eq!(extract_codewords(&burst, layout), Some(cws));
     }
 
+    /// The adversarial burst: a chip that corrupts *every* bit it drives
+    /// (all-ones pattern = all symbols of one device wrong in every
+    /// codeword). The classification must be exhaustive and faithful:
+    /// protected layouts correct it — never detect-only, never silently
+    /// corrupt — and the gather layout honestly reports Unprotected.
+    #[test]
+    fn adversarial_all_ones_chip_burst_is_classified_exhaustively(
+        line in proptest::collection::vec(any::<u8>(), 64),
+        chip in 0usize..CHIPS,
+        seed in any::<u64>(),
+    ) {
+        let code = SscCode::new();
+        let line: [u8; 64] = line.try_into().expect("64 bytes");
+        let mut rng = Xoshiro256StarStar::new(seed);
+        for layout in [
+            CodewordLayout::BeatSpread,
+            CodewordLayout::Transposed,
+            CodewordLayout::GatherNoEcc,
+        ] {
+            // The injector's random chip pattern first (the campaign path)...
+            let trial = run_trial(&code, layout, &line, Fault::ChipFailure { chip }, &mut rng);
+            // ...then the worst case by hand: every bit the chip drives.
+            let worst = if layout.codewords_complete() {
+                let mut burst = encode_line(&code, &line, layout);
+                burst.kill_chip(chip, u128::MAX);
+                match decode_line(&code, &burst, layout) {
+                    Ok(d) if d == line => Outcome::Corrected,
+                    Ok(_) => Outcome::SilentCorruption,
+                    Err(_) => Outcome::Detected,
+                }
+            } else {
+                Outcome::Unprotected
+            };
+            let expect = if layout.codewords_complete() {
+                Outcome::Corrected
+            } else {
+                Outcome::Unprotected
+            };
+            prop_assert_eq!(trial, expect, "{:?} random pattern", layout);
+            prop_assert_eq!(worst, expect, "{:?} all-ones pattern", layout);
+        }
+    }
+
+    /// Two dead chips exceed the single-symbol budget of every codeword.
+    /// When at least one of them carries data symbols, the decode can
+    /// never be classified Corrected — the outcome is Detected or (for a
+    /// distance-3 code, legitimately possible) SilentCorruption, and the
+    /// classifier must not launder a miscorrection into Corrected.
+    #[test]
+    fn double_chip_kill_is_never_classified_corrected(
+        line in proptest::collection::vec(any::<u8>(), 64),
+        chip_a in 0usize..16, // a data chip
+        chip_b_off in 1usize..CHIPS,
+        transposed in any::<bool>(),
+    ) {
+        let chip_b = (chip_a + chip_b_off) % CHIPS;
+        let layout = if transposed {
+            CodewordLayout::Transposed
+        } else {
+            CodewordLayout::BeatSpread
+        };
+        let code = SscCode::new();
+        let line: [u8; 64] = line.try_into().expect("64 bytes");
+        let mut burst = encode_line(&code, &line, layout);
+        burst.kill_chip(chip_a, u128::MAX);
+        burst.kill_chip(chip_b, u128::MAX);
+        let outcome = match decode_line(&code, &burst, layout) {
+            Ok(d) if d == line => Outcome::Corrected,
+            Ok(_) => Outcome::SilentCorruption,
+            Err(_) => Outcome::Detected,
+        };
+        prop_assert_ne!(outcome, Outcome::Corrected, "{:?}", layout);
+    }
+
     #[test]
     fn chip_failure_always_recoverable_end_to_end(
         line in proptest::collection::vec(any::<u8>(), 64),
@@ -93,5 +170,69 @@ proptest! {
         burst.kill_chip(chip, pattern);
         let decoded = decode_line(&code, &burst, layout).unwrap();
         prop_assert_eq!(&decoded[..], &line[..]);
+    }
+}
+
+/// Regression pin for the symbol-to-device mapping (Figure 4). A refactor
+/// of `layout.rs` that permutes beats, pins, or bit order within a symbol
+/// would still round-trip (the proptests above cannot see it) but would
+/// break compatibility with every recorded burst — so the mapping itself
+/// is pinned bit by bit.
+#[test]
+fn symbol_to_device_mapping_is_pinned() {
+    // BeatSpread (Figure 4b): codeword w lives in beats {2w, 2w+1}; chip
+    // c contributes pins [4c, 4c+4); symbol bit = half*4 + dq.
+    for w in 0..CODEWORDS_PER_BURST {
+        for chip in 0..CHIPS {
+            for half in 0..2 {
+                for dq in 0..PINS_PER_CHIP {
+                    let mut burst = Burst::new();
+                    burst.set_bit(2 * w + half, chip * PINS_PER_CHIP + dq, true);
+                    let cws = extract_codewords(&burst, CodewordLayout::BeatSpread).unwrap();
+                    for (wi, cw) in cws.iter().enumerate() {
+                        for (ci, &sym) in cw.iter().enumerate() {
+                            let expect = if wi == w && ci == chip {
+                                1u8 << (half * 4 + dq)
+                            } else {
+                                0
+                            };
+                            assert_eq!(
+                                sym,
+                                expect,
+                                "BeatSpread bit (beat {}, pin {}) landed in cw {wi} chip {ci}",
+                                2 * w + half,
+                                chip * PINS_PER_CHIP + dq
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // Transposed (Figure 4c): codeword w takes DQ w of every chip (pin
+    // 4c + w); symbol bit = beat index.
+    for w in 0..CODEWORDS_PER_BURST {
+        for chip in 0..CHIPS {
+            for beat in 0..BEATS {
+                let mut burst = Burst::new();
+                burst.set_bit(beat, chip * PINS_PER_CHIP + w, true);
+                let cws = extract_codewords(&burst, CodewordLayout::Transposed).unwrap();
+                for (wi, cw) in cws.iter().enumerate() {
+                    for (ci, &sym) in cw.iter().enumerate() {
+                        let expect = if wi == w && ci == chip {
+                            1u8 << beat
+                        } else {
+                            0
+                        };
+                        assert_eq!(
+                            sym,
+                            expect,
+                            "Transposed bit (beat {beat}, pin {}) landed in cw {wi} chip {ci}",
+                            chip * PINS_PER_CHIP + w
+                        );
+                    }
+                }
+            }
+        }
     }
 }

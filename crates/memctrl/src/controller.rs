@@ -305,6 +305,44 @@ impl Controller {
         self.readq.len() + self.writeq.len()
     }
 
+    /// The active configuration (after any per-design or CLI overrides).
+    pub fn config(&self) -> &ControllerConfig {
+        &self.cfg
+    }
+
+    /// Current read-queue occupancy.
+    pub fn read_queue_len(&self) -> usize {
+        self.readq.len()
+    }
+
+    /// Current write-queue occupancy.
+    pub fn write_queue_len(&self) -> usize {
+        self.writeq.len()
+    }
+
+    /// Whether the write-drain hysteresis latch is currently set (writes
+    /// being served in preference to reads).
+    pub fn draining_writes(&self) -> bool {
+        self.draining_writes
+    }
+
+    /// Forward-progress probe: the age at `now` of the oldest queued
+    /// request across both queues, or `None` when idle. An external
+    /// harness can assert this never exceeds the starvation cap plus a
+    /// drain-window bound; the controller itself only enforces the cap
+    /// *within* the queue selected by the drain latch, so the combined
+    /// bound is a property of the whole scheduler, not of `select()`.
+    pub fn oldest_pending_age(&self, now: Cycle) -> Option<Cycle> {
+        let oldest = |q: &VecDeque<Pending>| q.iter().map(|p| p.arrival).min();
+        match (oldest(&self.readq), oldest(&self.writeq)) {
+            (None, None) => None,
+            (a, b) => {
+                let arrival = a.into_iter().chain(b).min().expect("one side is Some");
+                Some(now.saturating_sub(arrival))
+            }
+        }
+    }
+
     /// Whether a read (or write) can currently be accepted.
     pub fn can_accept(&self, is_write: bool) -> bool {
         if is_write {

@@ -19,7 +19,27 @@ fn run_stream(
     writes: &[bool],
     arrivals: &[u64],
 ) -> (EpochRecorder, EpochCounters) {
-    let mut ctrl = Controller::new(ControllerConfig::default());
+    run_stream_cfg(
+        ControllerConfig::default(),
+        epoch_len,
+        addrs,
+        strides,
+        writes,
+        arrivals,
+    )
+}
+
+/// [`run_stream`] under an explicit controller configuration (the
+/// tight-cap starvation tests shrink the cap far below its default).
+fn run_stream_cfg(
+    cfg: ControllerConfig,
+    epoch_len: u64,
+    addrs: &[u64],
+    strides: &[bool],
+    writes: &[bool],
+    arrivals: &[u64],
+) -> (EpochRecorder, EpochCounters) {
+    let mut ctrl = Controller::new(cfg);
     let epochs = Arc::new(Mutex::new(EpochRecorder::new(epoch_len)));
     ctrl.attach_epochs(epochs.clone());
     for (i, addr) in addrs.iter().enumerate() {
@@ -112,6 +132,45 @@ proptest! {
             if i + 1 < rows.len() {
                 prop_assert_eq!(row.end, row.start + epoch_len, "closed rows span one epoch");
             }
+        }
+    }
+
+    /// Starvation decisions are epoch-conserved too: under a tight cap
+    /// and an adversarial row-hit stream (a pile of same-row hits with
+    /// interleaved conflict-row victims — the shape the stress engine's
+    /// row-hit flood uses), the per-epoch `starved` deltas telescope to
+    /// the controller's end-of-run `starvation_forced` total, and the
+    /// stream really does force starvation decisions.
+    #[test]
+    fn starved_counters_telescope_under_tight_caps(
+        cap in 1u64..=64,
+        epoch_len in prop_oneof![1u64..=16, 100u64..=5000],
+        cols in proptest::collection::vec(0u64..128, 8..40),
+        victims in proptest::collection::vec(any::<bool>(), 40),
+    ) {
+        // Row 0 hits vs row 1 of the same physical bank (the +8KB term
+        // compensates the XOR bank permutation).
+        let addrs: Vec<u64> = cols
+            .iter()
+            .zip(&victims)
+            .map(|(c, v)| c * 64 + if *v { 256 * 1024 + 8 * 1024 } else { 0 })
+            .collect();
+        let strides = vec![false; addrs.len()];
+        let writes = vec![false; addrs.len()];
+        let arrivals = vec![0u64; addrs.len()];
+        let cfg = ControllerConfig {
+            starvation_cap: cap,
+            ..Default::default()
+        };
+        let (recorder, totals) =
+            run_stream_cfg(cfg, epoch_len, &addrs, &strides, &writes, &arrivals);
+        prop_assert_eq!(recorder.sum().starved, totals.starved);
+        if victims.iter().take(cols.len()).any(|&v| v)
+            && !victims.iter().take(cols.len()).all(|&v| v)
+        {
+            // Mixed rows at a tiny cap: aged conflicts must have forced
+            // at least one scheduling decision.
+            prop_assert!(totals.starved > 0 || cap > 1_000);
         }
     }
 

@@ -71,6 +71,63 @@ proptest! {
         prop_assert_eq!(done, expected);
     }
 
+    /// The behavioural bound the stress engine checks, as a property:
+    /// with any nonzero starvation cap, no read sits in the queue longer
+    /// than the cap plus a generous drain window — the backlog that can
+    /// legally be served ahead of it (a queue's worth of reads plus every
+    /// write in the stream, each at worst-case service cost) plus
+    /// refresh theft. See `sam_stress::driver::read_residency_bound`
+    /// (recomputed here so the substrate test stays dependency-free).
+    #[test]
+    fn capped_reads_have_bounded_queue_residency(
+        cap in 1u64..=4096,
+        addrs in proptest::collection::vec(0u64..(1 << 30), 1..60),
+        writes in proptest::collection::vec(any::<bool>(), 60),
+        arrivals in proptest::collection::vec(0u64..20_000, 60),
+    ) {
+        let cfg = ControllerConfig {
+            starvation_cap: cap,
+            ..Default::default()
+        };
+        let bound = {
+            let t = &cfg.device.timing;
+            let svc = t.rp + t.rcd + t.cl + t.cwl + t.burst + t.wr + t.rtr + t.wtw
+                + t.ccd_l + t.rrd_l + t.faw;
+            let stream_writes = writes.iter().filter(|&&w| w).count() as u64;
+            let backlog = (cfg.read_queue_capacity + 4) as u64 + stream_writes;
+            let busy = cap + backlog * svc;
+            let refresh = if cfg.refresh_enabled {
+                (busy / t.refi + 2) * cfg.device.ranks as u64 * t.rfc
+            } else {
+                0
+            };
+            busy + refresh
+        };
+        let mut ctrl = Controller::new(cfg);
+        let mut admitted = std::collections::HashMap::new();
+        for (i, addr) in addrs.iter().enumerate() {
+            let id = i as u64 + 1;
+            let req = if writes[i] {
+                MemRequest::write(id, addr & !63)
+            } else {
+                MemRequest::read(id, addr & !63)
+            };
+            if ctrl.enqueue(req, arrivals[i]).is_ok() {
+                admitted.insert(id, (writes[i], arrivals[i]));
+            }
+        }
+        for c in ctrl.drain(0) {
+            let (is_write, arrival) = admitted[&c.id];
+            if !is_write {
+                let residency = c.finish.saturating_sub(arrival);
+                prop_assert!(
+                    residency <= bound,
+                    "read {} sat {} cycles, bound {}", c.id, residency, bound
+                );
+            }
+        }
+    }
+
     #[test]
     fn completions_respect_causality(
         addrs in proptest::collection::vec(0u64..(1 << 28), 1..30),

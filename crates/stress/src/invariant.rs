@@ -1,0 +1,73 @@
+//! The behavioural invariants a stress run is checked against.
+//!
+//! These are deliberately *not* JEDEC protocol rules — `sam-check`'s
+//! oracle owns those. They are end-to-end scheduler properties that no
+//! single command can violate but a mis-tuned policy can:
+//!
+//! * **ReadResidencyBound** — with a finite starvation cap, no read sits
+//!   in the queue longer than the cap plus a drain-window bound derived
+//!   from the device timing and the outstanding work (writes are posted
+//!   and legitimately unbounded below the high watermark).
+//! * **WatermarkSupremacy** — whenever both queues are non-empty and the
+//!   write queue is at or above the high watermark at a scheduling
+//!   decision, that decision must serve a write. This is the hysteresis
+//!   latch's defining obligation; inverted margins (`lo >= hi`) break it
+//!   within a handful of requests, which is what makes minimal repros
+//!   small.
+//! * **ForwardProgress** — the scheduler never goes idle with work
+//!   queued, and every admitted request completes by end of stream.
+
+use sam_dram::Cycle;
+
+/// Which invariant a violation is against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InvariantKind {
+    /// A read overstayed `cap + drain window` in the queue.
+    ReadResidencyBound,
+    /// A read was served while the write queue was at/above the high
+    /// watermark with both queues non-empty.
+    WatermarkSupremacy,
+    /// The scheduler idled with work queued, or a request never
+    /// completed.
+    ForwardProgress,
+}
+
+impl InvariantKind {
+    /// Stable name used in reports, traces, and CI greps.
+    pub fn name(self) -> &'static str {
+        match self {
+            InvariantKind::ReadResidencyBound => "ReadResidencyBound",
+            InvariantKind::WatermarkSupremacy => "WatermarkSupremacy",
+            InvariantKind::ForwardProgress => "ForwardProgress",
+        }
+    }
+}
+
+impl std::fmt::Display for InvariantKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One invariant violation observed during a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Which invariant.
+    pub kind: InvariantKind,
+    /// Positional id of the offending request.
+    pub request_id: u64,
+    /// Cycle the violation was observed at.
+    pub at: Cycle,
+    /// Human-readable specifics (queue depths, residency vs bound, ...).
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} @ cycle {}: request {}: {}",
+            self.kind, self.at, self.request_id, self.detail
+        )
+    }
+}

@@ -1,0 +1,355 @@
+//! Seeded adversarial stream generators: the named attack patterns.
+//!
+//! Every generator is a pure function of its [`PatternParams`] (no
+//! clocks, no global state — `Date`-free by construction), so a seed in
+//! a CI log reproduces the exact stream. Addresses are built from the
+//! `rw:rk:bk:ch:cl:offset` mapping the controller uses: one row of one
+//! bank spans 8KB (128 cachelines), adjacent banks sit 8KB apart, and
+//! `0` vs `CONFLICT_ROW` are two rows of the *same physical bank* (the
+//! +8KB term compensates the XOR bank permutation), which is what makes
+//! row-hit floods and ping-pong storms land where they are aimed.
+
+use sam_dram::Cycle;
+use sam_memctrl::request::{MemRequest, StrideSpec};
+use sam_util::rng::Xoshiro256StarStar;
+
+use crate::stream::{renumber, TimedRequest};
+
+/// One 64B cacheline.
+pub const LINE: u64 = 64;
+/// One row of one bank: 128 cachelines.
+pub const ROW_SPAN: u64 = 8 * 1024;
+/// Adjacent-bank stride under the `rw:rk:bk:ch:cl:offset` mapping.
+pub const BANK_STRIDE: u64 = 8 * 1024;
+/// Row 1 of the same physical bank as address 0 (the +8KB compensates
+/// the XOR bank permutation; same idiom as the controller's own tests).
+pub const CONFLICT_ROW: u64 = 256 * 1024 + 8 * 1024;
+
+/// The named attack patterns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Pattern {
+    /// An unbroken stream of row hits to one open row, with a lone
+    /// victim read to another row of the same bank: pure FR-FCFS would
+    /// starve the victim forever; the starvation cap must bound it.
+    RowHitFlood,
+    /// Alternating reads to two rows of the same bank: every access
+    /// conflicts, maximising PRE/ACT churn and queue pressure.
+    BankPingPong,
+    /// Write bursts sized to cross the drain high watermark, followed by
+    /// read windows that let the queue fall below the low watermark —
+    /// oscillating the hysteresis latch as fast as it can go.
+    WriteBurst,
+    /// Groups of activates to four-plus distinct banks arriving
+    /// together, saturating the tFAW rolling window.
+    FawTrain,
+    /// Strided gathers, narrow sub-ranked bursts, and regular lines
+    /// interleaved across SAM's 16B sector boundaries, forcing I/O
+    /// mode-register churn.
+    SectorStraddle,
+}
+
+impl Pattern {
+    /// All patterns, in catalogue order.
+    pub const ALL: [Pattern; 5] = [
+        Pattern::RowHitFlood,
+        Pattern::BankPingPong,
+        Pattern::WriteBurst,
+        Pattern::FawTrain,
+        Pattern::SectorStraddle,
+    ];
+
+    /// Stable kebab-case name (CLI panel token).
+    pub fn name(self) -> &'static str {
+        match self {
+            Pattern::RowHitFlood => "row-hit-flood",
+            Pattern::BankPingPong => "ping-pong",
+            Pattern::WriteBurst => "write-burst",
+            Pattern::FawTrain => "faw-train",
+            Pattern::SectorStraddle => "sector-straddle",
+        }
+    }
+
+    /// Parses a panel token.
+    pub fn from_name(name: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|p| p.name() == name)
+    }
+
+    /// Generates the stream for this pattern.
+    pub fn generate(self, params: &PatternParams) -> Vec<TimedRequest> {
+        let mut rng = Xoshiro256StarStar::new(params.seed ^ self as u64);
+        let mut clock = DutyClock::new(params);
+        let mut out = match self {
+            Pattern::RowHitFlood => row_hit_flood(params, &mut clock, &mut rng),
+            Pattern::BankPingPong => ping_pong(params, &mut clock, &mut rng),
+            Pattern::WriteBurst => write_burst(params, &mut clock, &mut rng),
+            Pattern::FawTrain => faw_train(params, &mut clock, &mut rng),
+            Pattern::SectorStraddle => sector_straddle(params, &mut clock, &mut rng),
+        };
+        renumber(&mut out);
+        out
+    }
+}
+
+/// Generator knobs shared by every pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PatternParams {
+    /// RNG seed (xor-folded with the pattern discriminant).
+    pub seed: u64,
+    /// Total requests to emit.
+    pub len: usize,
+    /// Inter-arrival gap within a duty burst, in cycles (intensity).
+    pub gap: Cycle,
+    /// Requests per duty burst.
+    pub burst: usize,
+    /// Idle cycles inserted between duty bursts (duty cycle).
+    pub idle: Cycle,
+    /// Victim address for patterns that aim at one (the flood's starved
+    /// read); other patterns ignore it.
+    pub victim_addr: u64,
+}
+
+impl Default for PatternParams {
+    fn default() -> Self {
+        Self {
+            seed: 0x5a4d_57ab,
+            len: 2048,
+            gap: 4,
+            burst: 64,
+            idle: 256,
+            victim_addr: CONFLICT_ROW,
+        }
+    }
+}
+
+impl PatternParams {
+    /// Params scaled down for smokes and shrinking experiments.
+    pub fn small(seed: u64) -> Self {
+        Self {
+            seed,
+            len: 512,
+            ..Self::default()
+        }
+    }
+}
+
+/// Emits arrival cycles with the duty cycle applied: `burst` requests at
+/// `gap` spacing, then an `idle` hole.
+struct DutyClock {
+    t: Cycle,
+    gap: Cycle,
+    burst: usize,
+    idle: Cycle,
+    emitted: usize,
+}
+
+impl DutyClock {
+    fn new(p: &PatternParams) -> Self {
+        Self {
+            t: 0,
+            gap: p.gap,
+            burst: p.burst.max(1),
+            idle: p.idle,
+            emitted: 0,
+        }
+    }
+
+    fn tick(&mut self) -> Cycle {
+        let arrival = self.t;
+        self.emitted += 1;
+        self.t += self.gap;
+        if self.emitted.is_multiple_of(self.burst) {
+            self.t += self.idle;
+        }
+        arrival
+    }
+}
+
+fn row_hit_flood(
+    p: &PatternParams,
+    clock: &mut DutyClock,
+    rng: &mut Xoshiro256StarStar,
+) -> Vec<TimedRequest> {
+    let mut out = Vec::with_capacity(p.len);
+    // The victim lands early, after the aggressor row is already open.
+    let victim_at = (p.len / 16).max(1);
+    for i in 0..p.len {
+        let arrival = clock.tick();
+        if i == victim_at {
+            out.push(TimedRequest {
+                req: MemRequest::read(0, p.victim_addr),
+                arrival,
+            });
+            continue;
+        }
+        // Hits to the open aggressor row, random column.
+        let col = rng.next_below(128);
+        out.push(TimedRequest {
+            req: MemRequest::read(0, col * LINE),
+            arrival,
+        });
+    }
+    out
+}
+
+fn ping_pong(
+    p: &PatternParams,
+    clock: &mut DutyClock,
+    rng: &mut Xoshiro256StarStar,
+) -> Vec<TimedRequest> {
+    (0..p.len)
+        .map(|i| {
+            let row = if i % 2 == 0 { 0 } else { CONFLICT_ROW };
+            let col = rng.next_below(128);
+            TimedRequest {
+                req: MemRequest::read(0, row + col * LINE),
+                arrival: clock.tick(),
+            }
+        })
+        .collect()
+}
+
+fn write_burst(
+    p: &PatternParams,
+    clock: &mut DutyClock,
+    rng: &mut Xoshiro256StarStar,
+) -> Vec<TimedRequest> {
+    // Alternate write trains (sized past the high watermark) with read
+    // windows long enough for the drain to fall below the low watermark:
+    // each period latches the hysteresis once and unlatches it once.
+    let mut out = Vec::with_capacity(p.len);
+    let mut i = 0usize;
+    while out.len() < p.len {
+        let phase = i % 2;
+        let span = if phase == 0 { 30 } else { 32 };
+        for j in 0..span {
+            if out.len() >= p.len {
+                break;
+            }
+            let arrival = clock.tick();
+            let req = if phase == 0 {
+                let col = rng.next_below(128);
+                MemRequest::write(0, BANK_STRIDE + col * LINE)
+            } else {
+                let col = rng.next_below(128);
+                MemRequest::read(0, (j as u64 % 2) * (2 * BANK_STRIDE) + col * LINE)
+            };
+            out.push(TimedRequest { req, arrival });
+        }
+        i += 1;
+    }
+    out
+}
+
+fn faw_train(
+    p: &PatternParams,
+    clock: &mut DutyClock,
+    rng: &mut Xoshiro256StarStar,
+) -> Vec<TimedRequest> {
+    // Five activates per group (one beyond the window), each to a
+    // distinct bank, alternating row regions so every access is a miss.
+    let mut out = Vec::with_capacity(p.len);
+    let mut group = 0u64;
+    while out.len() < p.len {
+        let region = (group % 2) * (512 * 1024);
+        let arrival = clock.tick();
+        for k in 0..5u64 {
+            if out.len() >= p.len {
+                break;
+            }
+            let col = rng.next_below(32);
+            out.push(TimedRequest {
+                req: MemRequest::read(0, region + k * BANK_STRIDE + col * LINE),
+                arrival,
+            });
+        }
+        group += 1;
+    }
+    out
+}
+
+fn sector_straddle(
+    p: &PatternParams,
+    clock: &mut DutyClock,
+    rng: &mut Xoshiro256StarStar,
+) -> Vec<TimedRequest> {
+    // Gathers walk rows in 8-line strides; between them, narrow 16B
+    // bursts and regular lines touch offsets that straddle the sector
+    // grid, and the mode flips force MRS churn.
+    (0..p.len)
+        .map(|i| {
+            let arrival = clock.tick();
+            let req = match i % 4 {
+                0 | 1 => {
+                    let base = (i as u64 / 4) * 8 * LINE;
+                    MemRequest::stride_read(0, base % (4 * ROW_SPAN), StrideSpec::ssc_dsd())
+                }
+                2 => {
+                    let off = rng.next_below(4) * 16;
+                    MemRequest::narrow_read(0, CONFLICT_ROW + (i as u64 % 128) * LINE + off)
+                }
+                _ => {
+                    let col = rng.next_below(128);
+                    MemRequest::read(0, 2 * BANK_STRIDE + col * LINE)
+                }
+            };
+            TimedRequest { req, arrival }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic_and_sized() {
+        let p = PatternParams::default();
+        for pat in Pattern::ALL {
+            let a = pat.generate(&p);
+            let b = pat.generate(&p);
+            assert_eq!(a, b, "{} not deterministic", pat.name());
+            assert_eq!(a.len(), p.len, "{} wrong length", pat.name());
+            // Arrival order is non-decreasing and ids positional.
+            for (i, w) in a.windows(2).enumerate() {
+                assert!(w[0].arrival <= w[1].arrival, "{} arrivals", pat.name());
+                assert_eq!(w[0].req.id, i as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn seeds_change_streams() {
+        let a = Pattern::RowHitFlood.generate(&PatternParams::default());
+        let b = Pattern::RowHitFlood.generate(&PatternParams {
+            seed: 99,
+            ..PatternParams::default()
+        });
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn names_roundtrip() {
+        for pat in Pattern::ALL {
+            assert_eq!(Pattern::from_name(pat.name()), Some(pat));
+        }
+        assert_eq!(Pattern::from_name("nope"), None);
+    }
+
+    #[test]
+    fn flood_contains_exactly_one_victim() {
+        let p = PatternParams::default();
+        let stream = Pattern::RowHitFlood.generate(&p);
+        let victims = stream
+            .iter()
+            .filter(|t| t.req.addr == p.victim_addr)
+            .count();
+        assert_eq!(victims, 1);
+    }
+
+    #[test]
+    fn write_burst_mixes_both_kinds() {
+        let stream = Pattern::WriteBurst.generate(&PatternParams::default());
+        let writes = stream.iter().filter(|t| t.req.is_write).count();
+        assert!(writes > 0 && writes < stream.len());
+    }
+}
