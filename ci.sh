@@ -50,6 +50,40 @@ cmp /tmp/fig12.traced.out /tmp/fig12.untraced.out \
 [ -f results/fig12.trace.json ] || { echo "results/fig12.trace.json was not written"; exit 1; }
 cargo run --release -p sam-bench --bin sam-check -- lint-trace results/fig12.trace.json
 
+echo "==> golden byte-identity gate (fig12 + table2)"
+# The decomposed datapath and the provenance plumbing are behavior-
+# preserving by construction: stdout and results/*.json must match the
+# pre-change captures bit for bit. The untraced fig12 run above used the
+# same arguments the goldens were recorded with.
+cmp /tmp/fig12.untraced.out tests/golden/fig12.out \
+  || { echo "fig12 stdout drifted from tests/golden/fig12.out"; exit 1; }
+cmp results/fig12.json tests/golden/fig12.json \
+  || { echo "results/fig12.json drifted from tests/golden/fig12.json"; exit 1; }
+rm -f results/table2.json
+cargo run --release -p sam-bench --bin table2 > /tmp/table2.out
+cmp /tmp/table2.out tests/golden/table2.out \
+  || { echo "table2 stdout drifted from tests/golden/table2.out"; exit 1; }
+cmp results/table2.json tests/golden/table2.json \
+  || { echo "results/table2.json drifted from tests/golden/table2.json"; exit 1; }
+
+echo "==> per-core lanes smoke + JSON lint + rollup"
+# --per-core adds lane sections and the cycles rollup; --debug-cores dumps
+# progress to stderr. Neither may touch stdout (checked against the same
+# golden), and the lint verifies the lanes telescope to the aggregates.
+rm -f results/fig12.percore.json results/fig12.percore.rollup.json
+cargo run --release -p sam-bench --bin fig12 -- \
+  --rows 2048 --tb-rows 8192 --jobs 2 --per-core --debug-cores \
+  --out results/fig12.percore.json > /tmp/fig12.percore.out 2>/dev/null
+cmp /tmp/fig12.percore.out tests/golden/fig12.out \
+  || { echo "--per-core/--debug-cores changed fig12 stdout"; exit 1; }
+grep -q '"per_core"' results/fig12.percore.json \
+  || { echo "--per-core emitted no per_core sections"; exit 1; }
+cargo run --release -p sam-bench --bin sam-check -- lint-json results/fig12.percore.json
+[ -s results/fig12.percore.rollup.json ] \
+  || { echo "results/fig12.percore.rollup.json was not written"; exit 1; }
+grep -q '"folded"' results/fig12.percore.rollup.json \
+  || { echo "cycles rollup has no folded stacks"; exit 1; }
+
 echo "==> adversarial stress smoke + JSON lint"
 # Two patterns against the full differential case matrix (both devices,
 # FCFS vs capped, drain-hysteresis variants): any behavioural-invariant

@@ -13,6 +13,11 @@
 //! every run records a `sam-trace` event stream and epoch-stats rows into
 //! one Chrome trace document (default `results/fig12.trace.json`,
 //! viewable in Perfetto) without changing the tables or the metrics JSON.
+//! With `--per-core`, each serialized run gains a `per_core` lane section
+//! and the binary also writes `results/fig12.rollup.json`, a
+//! flamegraph-style cycles-by-(design, core, kind) rollup; `--debug-cores`
+//! dumps per-core completion progress to stderr. Both leave stdout and the
+//! default metrics JSON byte-identical.
 
 use sam::system::SystemConfig;
 use sam_bench::cli::{parse_args, ArgSpec};
@@ -24,13 +29,17 @@ use sam_imdb::query::Query;
 use sam_util::table::TextTable;
 
 fn main() {
-    let spec = ArgSpec::new("fig12").with_checked().with_trace();
+    let spec = ArgSpec::new("fig12")
+        .with_checked()
+        .with_trace()
+        .with_flags(&["--debug-cores", "--per-core"]);
     let args = parse_args(&spec, PlanConfig::default_scale());
     let plan = args.plan;
     let system = SystemConfig {
         starvation_cap: args.starvation_cap,
         drain_hi: args.drain_hi,
         drain_lo: args.drain_lo,
+        debug_cores: args.has_flag("--debug-cores"),
         ..SystemConfig::default()
     };
     if args.checked && !cfg!(feature = "check") {
@@ -53,7 +62,8 @@ fn main() {
         if args.checked { " [checked]" } else { "" }
     );
 
-    let mut report = MetricsReport::new("fig12", plan, args.jobs, args.checked);
+    let mut report = MetricsReport::new("fig12", plan, args.jobs, args.checked)
+        .with_per_core(args.has_flag("--per-core"));
     let mut audit = Audit::default();
     let mut tracer = args
         .trace
@@ -109,6 +119,9 @@ fn main() {
         println!("{label}\n{table}");
     }
     report.write_or_die(&args.out);
+    if report.per_core {
+        report.write_rollup_or_die(&args.out);
+    }
     if let Some(tracer) = &tracer {
         tracer.write_or_die(args.trace.as_deref().expect("tracer implies a path"));
     }

@@ -22,7 +22,9 @@ use sam_util::table::TextTable;
 
 fn main() {
     let args = parse_args(
-        &ArgSpec::new("fig13").with_trace(),
+        &ArgSpec::new("fig13")
+            .with_trace()
+            .with_flags(&["--debug-cores", "--per-core"]),
         PlanConfig::default_scale(),
     );
     let plan = args.plan;
@@ -30,6 +32,7 @@ fn main() {
         starvation_cap: args.starvation_cap,
         drain_hi: args.drain_hi,
         drain_lo: args.drain_lo,
+        debug_cores: args.has_flag("--debug-cores"),
         ..SystemConfig::default()
     };
     let gather = system.granularity.gather() as u64;
@@ -108,7 +111,8 @@ fn main() {
         run_sweep_weighted_strict(args.jobs, tasks)
     };
 
-    let mut report = MetricsReport::new("fig13", plan, args.jobs, false);
+    let mut report = MetricsReport::new("fig13", plan, args.jobs, false)
+        .with_per_core(args.has_flag("--per-core"));
     let mut next = 0usize;
     for (label, queries) in &groups {
         // The commodity baseline is the first design, so its runs lead
@@ -159,6 +163,9 @@ fn main() {
         println!("{label}: energy efficiency (baseline energy / design energy)\n{eff_table}");
     }
     report.write_or_die(&args.out);
+    if report.per_core {
+        report.write_rollup_or_die(&args.out);
+    }
     if let Some(tracer) = &tracer {
         tracer.write_or_die(args.trace.as_deref().expect("tracer implies a path"));
     }

@@ -106,7 +106,8 @@ fn panel_c() {
 fn main() {
     let spec = ArgSpec::new("fig14")
         .with_panels(&["a", "b", "c"])
-        .with_trace();
+        .with_trace()
+        .with_flags(&["--debug-cores", "--per-core"]);
     let args = parse_args(&spec, PlanConfig::default_scale());
     let panels: Vec<&str> = if args.panels.is_empty() {
         vec!["a", "b", "c"]
@@ -118,9 +119,11 @@ fn main() {
         starvation_cap: args.starvation_cap,
         drain_hi: args.drain_hi,
         drain_lo: args.drain_lo,
+        debug_cores: args.has_flag("--debug-cores"),
         ..SystemConfig::default()
     };
-    let mut report = MetricsReport::new("fig14", plan, args.jobs, false);
+    let mut report = MetricsReport::new("fig14", plan, args.jobs, false)
+        .with_per_core(args.has_flag("--per-core"));
     let mut tracer = args
         .trace
         .as_deref()
@@ -134,6 +137,9 @@ fn main() {
         }
     }
     report.write_or_die(&args.out);
+    if report.per_core {
+        report.write_rollup_or_die(&args.out);
+    }
     if let Some(tracer) = &tracer {
         tracer.write_or_die(args.trace.as_deref().expect("tracer implies a path"));
     }

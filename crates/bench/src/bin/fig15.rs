@@ -137,7 +137,8 @@ fn sweep_record_size(ctx: &mut PanelCtx<'_>) {
 fn main() {
     let spec = ArgSpec::new("fig15")
         .with_panels(&["a", "b", "c", "d", "e", "f", "g", "h", "i"])
-        .with_trace();
+        .with_trace()
+        .with_flags(&["--debug-cores", "--per-core"]);
     let args = parse_args(&spec, PlanConfig::default_scale());
     let panels: Vec<&str> = if args.panels.is_empty() {
         vec!["a", "b", "c", "d", "e", "f", "g", "h", "i"]
@@ -149,9 +150,11 @@ fn main() {
         starvation_cap: args.starvation_cap,
         drain_hi: args.drain_hi,
         drain_lo: args.drain_lo,
+        debug_cores: args.has_flag("--debug-cores"),
         ..SystemConfig::default()
     };
-    let mut report = MetricsReport::new("fig15", plan, args.jobs, false);
+    let mut report = MetricsReport::new("fig15", plan, args.jobs, false)
+        .with_per_core(args.has_flag("--per-core"));
     let mut tracer = args
         .trace
         .as_deref()
@@ -178,6 +181,9 @@ fn main() {
         }
     }
     report.write_or_die(&args.out);
+    if report.per_core {
+        report.write_rollup_or_die(&args.out);
+    }
     if let Some(tracer) = &tracer {
         tracer.write_or_die(args.trace.as_deref().expect("tracer implies a path"));
     }

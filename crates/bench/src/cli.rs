@@ -23,6 +23,10 @@
 //!   the `sam-trace` recorder (default trace path:
 //!   `results/<bin>.trace.json`; default epoch length: 10000 cycles)
 //! * `--trials N` — only on the fault-injection binaries
+//! * `--debug-cores` / `--per-core` — only on the simulating figure
+//!   binaries (fig12-fig15): per-core progress dump on stderr, and
+//!   per-core lane sections in the metrics JSON plus the
+//!   `results/<bin>.rollup.json` cycles rollup
 //! * bare panel names (e.g. `a b c`) — only on the panel binaries
 
 use std::path::PathBuf;

@@ -31,6 +31,8 @@ use sam::layout::Store;
 use sam::system::RunResult;
 use sam_imdb::exec::QueryRun;
 use sam_imdb::plan::PlanConfig;
+use sam_memctrl::controller::{CoreLanes, LaneStats};
+use sam_memctrl::request::ReqKind;
 use sam_power::{energy_uj, ActivityCounts, PowerParams};
 use sam_util::json::Json;
 
@@ -69,6 +71,17 @@ pub struct RunMetrics {
     /// byte-stable across this field's introduction. The per-run value is
     /// exported through the trace file's `sam` summary instead.
     pub starvation_events: u64,
+    /// Per-(core, kind) controller lanes for this run.
+    ///
+    /// Serialized only when the report has per-core output enabled
+    /// ([`MetricsReport::with_per_core`], the `--per-core` flag) — the
+    /// default `results/<bin>.json` stays byte-identical, same promise as
+    /// `starvation_events`.
+    pub per_core: CoreLanes,
+    /// The controller's aggregate counters, projected onto the lane
+    /// fields. Serialized next to the lanes as `per_core.totals` so the
+    /// telescoping invariant is checkable from the JSON alone.
+    pub lane_totals: LaneStats,
 }
 
 impl RunMetrics {
@@ -112,6 +125,16 @@ impl RunMetrics {
             energy_uj: energy_uj(&params, design, &activity),
             check_violations: 0,
             starvation_events: r.ctrl.starvation_forced,
+            per_core: r.per_core.clone(),
+            lane_totals: LaneStats {
+                row_hits: r.ctrl.row_hits,
+                row_misses: r.ctrl.row_misses,
+                row_conflicts: r.ctrl.row_conflicts,
+                reads_done: r.ctrl.reads_done,
+                writes_done: r.ctrl.writes_done,
+                total_latency: r.ctrl.total_latency,
+                starvation_forced: r.ctrl.starvation_forced,
+            },
         }
     }
 
@@ -121,8 +144,8 @@ impl RunMetrics {
         self
     }
 
-    fn to_json(&self) -> Json {
-        Json::object([
+    fn to_json(&self, per_core: bool) -> Json {
+        let mut pairs = vec![
             ("query", Json::str(&self.query)),
             ("design", Json::str(&self.design)),
             ("store", Json::str(&self.store)),
@@ -136,8 +159,60 @@ impl RunMetrics {
             ("refreshes", Json::UInt(self.refreshes)),
             ("energy_uj", Json::Float(self.energy_uj)),
             ("check_violations", Json::UInt(self.check_violations)),
+        ];
+        if per_core {
+            pairs.push(("per_core", self.per_core_json()));
+        }
+        Json::object(pairs)
+    }
+
+    /// The run's `per_core` section: aggregate `totals` plus one entry per
+    /// non-zero (core, kind) lane, in (core, kind-index) order.
+    fn per_core_json(&self) -> Json {
+        let mut lanes = Vec::new();
+        for core in 0..self.per_core.cores() {
+            for kind in ReqKind::ALL {
+                let lane = self.per_core.lane(core as u8, kind);
+                if lane.is_zero() {
+                    continue;
+                }
+                let mut pairs = vec![
+                    ("core", Json::UInt(core as u64)),
+                    ("kind", Json::str(kind.label())),
+                ];
+                pairs.extend(lane_stat_pairs(&lane));
+                lanes.push(Json::object(pairs));
+            }
+        }
+        Json::object([
+            ("totals", Json::object(lane_stat_pairs(&self.lane_totals))),
+            ("lanes", Json::Array(lanes)),
         ])
     }
+}
+
+/// The serialized field set of one [`LaneStats`] (shared by `totals` and
+/// each lane entry, so the lint can sum them field-by-field).
+const LANE_STAT_KEYS: [&str; 7] = [
+    "row_hits",
+    "row_misses",
+    "row_conflicts",
+    "reads",
+    "writes",
+    "latency",
+    "starved",
+];
+
+fn lane_stat_pairs(lane: &LaneStats) -> Vec<(&'static str, Json)> {
+    vec![
+        ("row_hits", Json::UInt(lane.row_hits)),
+        ("row_misses", Json::UInt(lane.row_misses)),
+        ("row_conflicts", Json::UInt(lane.row_conflicts)),
+        ("reads", Json::UInt(lane.reads_done)),
+        ("writes", Json::UInt(lane.writes_done)),
+        ("latency", Json::UInt(lane.total_latency)),
+        ("starved", Json::UInt(lane.starvation_forced)),
+    ]
 }
 
 /// A whole binary's metrics: configuration plus every run, in the order
@@ -152,6 +227,10 @@ pub struct MetricsReport {
     pub jobs: usize,
     /// Whether the verification oracle shadowed the runs.
     pub checked: bool,
+    /// Whether each serialized run carries its `per_core` section (the
+    /// `--per-core` flag). Off by default: the report stays byte-identical
+    /// to the pre-provenance schema.
+    pub per_core: bool,
     /// Per-run records.
     pub runs: Vec<RunMetrics>,
 }
@@ -164,8 +243,16 @@ impl MetricsReport {
             plan,
             jobs,
             checked,
+            per_core: false,
             runs: Vec::new(),
         }
+    }
+
+    /// Enables (or disables) the per-run `per_core` sections and the
+    /// cycles rollup (builder-style, from the `--per-core` flag).
+    pub fn with_per_core(mut self, on: bool) -> Self {
+        self.per_core = on;
+        self
     }
 
     /// The report as a JSON tree (the `results/<bin>.json` schema). The
@@ -184,9 +271,67 @@ impl MetricsReport {
             ),
             (
                 "runs",
-                Json::Array(self.runs.iter().map(RunMetrics::to_json).collect()),
+                Json::Array(self.runs.iter().map(|r| r.to_json(self.per_core)).collect()),
             ),
         ])
+    }
+
+    /// Flamegraph-style rollup of where the memory cycles went: one folded
+    /// stack line `design;coreN;kind <latency-cycles>` per (design, core,
+    /// kind) lane, summed across every run, in first-seen design order
+    /// then (core, kind) order. Feed `folded` straight to
+    /// `flamegraph.pl`-compatible tooling, or read it as a table.
+    pub fn rollup_json(&self) -> Json {
+        let mut order: Vec<String> = Vec::new();
+        let mut cycles: std::collections::HashMap<String, u64> = std::collections::HashMap::new();
+        for run in &self.runs {
+            for core in 0..run.per_core.cores() {
+                for kind in ReqKind::ALL {
+                    let lane = run.per_core.lane(core as u8, kind);
+                    if lane.total_latency == 0 {
+                        continue;
+                    }
+                    let key = format!("{};core{core};{}", run.design, kind.label());
+                    if !cycles.contains_key(&key) {
+                        order.push(key.clone());
+                    }
+                    *cycles.entry(key).or_insert(0) += lane.total_latency;
+                }
+            }
+        }
+        let folded: Vec<Json> = order
+            .iter()
+            .map(|key| Json::str(format!("{key} {}", cycles[key])))
+            .collect();
+        Json::object([
+            ("bin", Json::str(&self.bin)),
+            ("metric", Json::str("lane_latency_cycles")),
+            ("folded", Json::Array(folded)),
+        ])
+    }
+
+    /// Writes the rollup next to the metrics report: `<stem>.rollup.json`
+    /// for an `--out` of `<stem>.json`. Exits(1) on filesystem errors,
+    /// like [`Self::write_or_die`].
+    pub fn write_rollup_or_die(&self, metrics_path: &Path) {
+        let path = metrics_path.with_extension("rollup.json");
+        let write = || -> std::io::Result<()> {
+            if let Some(parent) = path.parent() {
+                if !parent.as_os_str().is_empty() {
+                    std::fs::create_dir_all(parent)?;
+                }
+            }
+            let mut text = self.rollup_json().to_string();
+            text.push('\n');
+            std::fs::write(&path, text)
+        };
+        match write() {
+            Ok(()) => eprintln!("{}: wrote cycles rollup to {}", self.bin, path.display()),
+            Err(e) => {
+                eprintln!("{}: cannot write {}: {e}", self.bin, path.display());
+                std::process::exit(1);
+            }
+        }
     }
 
     /// Writes the report to `path`, creating parent directories, and
@@ -276,6 +421,69 @@ fn lint_run(run: &Json) -> Result<(), String> {
         match run.get(key) {
             Some(v) if v.is_number() => {}
             other => return Err(expected(key, "number", other)),
+        }
+    }
+    if let Some(per_core) = run.get("per_core") {
+        lint_per_core(per_core).map_err(|e| format!("per_core: {e}"))?;
+    }
+    Ok(())
+}
+
+/// Validates a run's optional `per_core` section: the lane entries are
+/// well-formed, every `kind` is a known request-kind label, no (core,
+/// kind) pair repeats, and — the telescoping invariant — the lanes sum
+/// field-wise to `totals` exactly (refreshes are aggregate-only, so every
+/// serialized field must be conserved).
+fn lint_per_core(per_core: &Json) -> Result<(), String> {
+    let totals = per_core
+        .get("totals")
+        .ok_or_else(|| "missing key 'totals'".to_string())?;
+    for key in LANE_STAT_KEYS {
+        require_uint(totals, key).map_err(|e| format!("totals: {e}"))?;
+    }
+    let lanes = per_core
+        .get("lanes")
+        .and_then(Json::as_array)
+        .ok_or_else(|| "missing or non-array key 'lanes'".to_string())?;
+    let mut seen = Vec::new();
+    let mut sums = [0u64; LANE_STAT_KEYS.len()];
+    for (i, lane) in lanes.iter().enumerate() {
+        require_uint(lane, "core").map_err(|e| format!("lanes[{i}]: {e}"))?;
+        let kind = match lane.get("kind") {
+            Some(Json::Str(s)) => s.clone(),
+            other => return Err(format!("lanes[{i}]: {}", expected("kind", "string", other))),
+        };
+        if !ReqKind::ALL.iter().any(|k| k.label() == kind) {
+            return Err(format!("lanes[{i}]: unknown request kind '{kind}'"));
+        }
+        let core = match lane.get("core") {
+            Some(Json::UInt(c)) => *c,
+            _ => unreachable!("checked above"),
+        };
+        if seen.contains(&(core, kind.clone())) {
+            return Err(format!("lanes[{i}]: duplicate lane (core {core}, {kind})"));
+        }
+        seen.push((core, kind));
+        for (s, key) in sums.iter_mut().zip(LANE_STAT_KEYS) {
+            match lane.get(key) {
+                Some(Json::UInt(v)) => *s += v,
+                other => {
+                    return Err(format!(
+                        "lanes[{i}]: {}",
+                        expected(key, "unsigned integer", other)
+                    ))
+                }
+            }
+        }
+    }
+    for (s, key) in sums.iter().zip(LANE_STAT_KEYS) {
+        let Some(Json::UInt(total)) = totals.get(key) else {
+            unreachable!("checked above");
+        };
+        if s != total {
+            return Err(format!(
+                "lanes do not telescope: sum of '{key}' is {s}, totals say {total}"
+            ));
         }
     }
     Ok(())
@@ -385,6 +593,55 @@ mod tests {
         assert!(!with.contains("starvation"), "{with}");
         report.runs[0].starvation_events = 41;
         assert_eq!(report.to_json().to_string(), with);
+    }
+
+    /// The `--per-core` opt-in keeps the same byte-stability promise:
+    /// absent the flag, a report full of populated lanes serializes
+    /// exactly as before the field existed.
+    #[test]
+    fn per_core_stays_out_of_the_default_schema() {
+        let report = sample_report();
+        assert!(report.runs[0].per_core.cores() > 0, "lanes are populated");
+        let text = report.to_json().to_string();
+        assert!(!text.contains("per_core"), "{text}");
+    }
+
+    #[test]
+    fn per_core_section_passes_lint_and_telescopes() {
+        let report = sample_report().with_per_core(true);
+        let text = report.to_json().to_string();
+        assert!(text.contains("per_core"), "{text}");
+        let doc = Json::parse(&text).expect("writer output parses");
+        lint_metrics_json(&doc).expect("per-core output passes lint");
+    }
+
+    #[test]
+    fn lint_rejects_lanes_that_do_not_telescope() {
+        let mut report = sample_report().with_per_core(true);
+        report.runs[0].lane_totals.reads_done += 1;
+        let doc = Json::parse(&report.to_json().to_string()).unwrap();
+        let e = lint_metrics_json(&doc).unwrap_err();
+        assert!(e.contains("telescope"), "{e}");
+    }
+
+    #[test]
+    fn rollup_folds_cycles_by_design_core_kind() {
+        let report = sample_report();
+        let doc = Json::parse(&report.rollup_json().to_string()).unwrap();
+        assert!(matches!(doc.get("bin"), Some(Json::Str(b)) if b == "fig12"));
+        let folded = doc.get("folded").and_then(Json::as_array).unwrap();
+        assert!(!folded.is_empty());
+        let total: u64 = folded
+            .iter()
+            .map(|line| {
+                let Json::Str(s) = line else { panic!("{line}") };
+                let (stack, cycles) = s.rsplit_once(' ').expect("folded line has a count");
+                assert_eq!(stack.split(';').count(), 3, "design;coreN;kind: {s}");
+                assert!(stack.contains(";core"), "{s}");
+                cycles.parse::<u64>().expect("count parses")
+            })
+            .sum();
+        assert_eq!(total, report.runs[0].lane_totals.total_latency);
     }
 
     #[test]

@@ -255,9 +255,12 @@ impl Hierarchy {
 
     fn promote_to_l1(&mut self, line: u64, sector: usize, write: bool) {
         self.trace_instant("promote-l1", line + 16 * sector as u64);
-        if let Some(victim) = self.l1.fill(line, SectorState::single(sector)) {
+        // Promotion keeps the line's attribution from the level that hit.
+        let owner = self.l2.owner_of(line).unwrap_or(0);
+        if let Some(victim) = self.l1.fill_owned(line, SectorState::single(sector), owner) {
             if victim.needs_writeback() {
-                self.l2.fill(victim.line_addr, victim.sectors);
+                self.l2
+                    .fill_owned(victim.line_addr, victim.sectors, victim.owner);
             }
         }
         if write {
@@ -268,9 +271,11 @@ impl Hierarchy {
 
     fn promote_to_l2(&mut self, line: u64, sector: usize) {
         self.trace_instant("promote-l2", line + 16 * sector as u64);
-        if let Some(victim) = self.l2.fill(line, SectorState::single(sector)) {
+        let owner = self.llc.owner_of(line).unwrap_or(0);
+        if let Some(victim) = self.l2.fill_owned(line, SectorState::single(sector), owner) {
             if victim.needs_writeback() {
-                self.llc.fill(victim.line_addr, victim.sectors);
+                self.llc
+                    .fill_owned(victim.line_addr, victim.sectors, victim.owner);
             }
         }
     }
@@ -288,41 +293,59 @@ impl Hierarchy {
 
     /// Installs a full line (a regular 64B memory fill) at every level.
     /// Returns memory writebacks caused by LLC evictions.
+    ///
+    /// Attribution-neutral: the line is owned by core 0. Multicore drivers
+    /// use [`Self::fill_line_owned`].
     pub fn fill_line(&mut self, addr: u64) -> Vec<Writeback> {
+        self.fill_line_owned(addr, 0)
+    }
+
+    /// [`Self::fill_line`] with the line attributed to `owner`; victims
+    /// displaced anywhere along the spill path keep their own installer, so
+    /// the returned writebacks carry the core whose data is evicted.
+    pub fn fill_line_owned(&mut self, addr: u64, owner: u8) -> Vec<Writeback> {
         self.trace_instant("fill-line", addr);
-        self.fill(addr, SectorState::full())
+        self.fill(addr, SectorState::full(), owner)
     }
 
     /// Installs a single 16B sector (a stride fill) at every level.
     /// Returns memory writebacks caused by LLC evictions.
+    ///
+    /// Attribution-neutral: the line is owned by core 0. Multicore drivers
+    /// use [`Self::fill_sector_owned`].
     pub fn fill_sector(&mut self, addr: u64) -> Vec<Writeback> {
-        self.trace_instant("fill-sector", addr);
-        let (_, sector) = split_sector(addr);
-        self.fill(addr, SectorState::single(sector))
+        self.fill_sector_owned(addr, 0)
     }
 
-    fn fill(&mut self, addr: u64, state: SectorState) -> Vec<Writeback> {
+    /// [`Self::fill_sector`] with the filled line attributed to `owner`.
+    pub fn fill_sector_owned(&mut self, addr: u64, owner: u8) -> Vec<Writeback> {
+        self.trace_instant("fill-sector", addr);
+        let (_, sector) = split_sector(addr);
+        self.fill(addr, SectorState::single(sector), owner)
+    }
+
+    fn fill(&mut self, addr: u64, state: SectorState, owner: u8) -> Vec<Writeback> {
         let (line, _) = split_sector(addr);
         let mut writebacks = Vec::new();
-        if let Some(v) = self.llc.fill(line, state) {
+        if let Some(v) = self.llc.fill_owned(line, state, owner) {
             if v.needs_writeback() {
                 writebacks.push(v);
             }
         }
-        if let Some(v) = self.l2.fill(line, state) {
+        if let Some(v) = self.l2.fill_owned(line, state, owner) {
             if v.needs_writeback() {
-                if let Some(v2) = self.llc.fill(v.line_addr, v.sectors) {
+                if let Some(v2) = self.llc.fill_owned(v.line_addr, v.sectors, v.owner) {
                     if v2.needs_writeback() {
                         writebacks.push(v2);
                     }
                 }
             }
         }
-        if let Some(v) = self.l1.fill(line, state) {
+        if let Some(v) = self.l1.fill_owned(line, state, owner) {
             if v.needs_writeback() {
-                if let Some(v2) = self.l2.fill(v.line_addr, v.sectors) {
+                if let Some(v2) = self.l2.fill_owned(v.line_addr, v.sectors, v.owner) {
                     if v2.needs_writeback() {
-                        if let Some(v3) = self.llc.fill(v2.line_addr, v2.sectors) {
+                        if let Some(v3) = self.llc.fill_owned(v2.line_addr, v2.sectors, v2.owner) {
                             if v3.needs_writeback() {
                                 writebacks.push(v3);
                             }
@@ -341,9 +364,9 @@ impl Hierarchy {
     pub fn flush_dirty(&mut self) -> Vec<Writeback> {
         let mut writebacks = Vec::new();
         for v in self.l1.drain_dirty() {
-            if let Some(ev) = self.l2.fill(v.line_addr, v.sectors) {
+            if let Some(ev) = self.l2.fill_owned(v.line_addr, v.sectors, v.owner) {
                 if ev.needs_writeback() {
-                    if let Some(ev2) = self.llc.fill(ev.line_addr, ev.sectors) {
+                    if let Some(ev2) = self.llc.fill_owned(ev.line_addr, ev.sectors, ev.owner) {
                         if ev2.needs_writeback() {
                             writebacks.push(ev2);
                         }
@@ -352,7 +375,7 @@ impl Hierarchy {
             }
         }
         for v in self.l2.drain_dirty() {
-            if let Some(ev) = self.llc.fill(v.line_addr, v.sectors) {
+            if let Some(ev) = self.llc.fill_owned(v.line_addr, v.sectors, v.owner) {
                 if ev.needs_writeback() {
                     writebacks.push(ev);
                 }
@@ -440,6 +463,31 @@ mod tests {
         h.fill_line(0x4000);
         let r2 = h.access(0x4000, AccessKind::Write);
         assert_eq!(r2.level, HitLevel::L1);
+    }
+
+    #[test]
+    fn writebacks_carry_the_installing_core() {
+        let mut h = h();
+        h.fill_line_owned(0x3000, 2);
+        let w = h.access(0x3000, AccessKind::Write);
+        assert_eq!(w.level, HitLevel::L1);
+        let mut wbs = Vec::new();
+        for i in 1..200u64 {
+            wbs.extend(h.fill_line_owned(0x3000 + i * 1024, 7));
+        }
+        wbs.extend(h.flush_dirty());
+        let wb = wbs
+            .iter()
+            .find(|w| w.line_addr == 0x3000)
+            .expect("dirty line written back");
+        assert_eq!(wb.owner, 2, "attribution survives the spill path");
+        // The neutral wrappers keep everything on core 0.
+        let mut h0 = Hierarchy::new(HierarchyConfig::tiny());
+        h0.fill_line(0x4000);
+        h0.access(0x4000, AccessKind::Write);
+        for wb in h0.flush_dirty() {
+            assert_eq!(wb.owner, 0);
+        }
     }
 
     #[test]

@@ -10,6 +10,9 @@ pub struct Victim {
     pub line_addr: u64,
     /// Sector state at eviction (dirty sectors must be written back).
     pub sectors: SectorState,
+    /// Core that installed the line (see [`SetAssocCache::fill_owned`]);
+    /// rides along so an eventual writeback can be attributed.
+    pub owner: u8,
 }
 
 impl Victim {
@@ -26,6 +29,8 @@ struct Way {
     /// Monotonic LRU stamp; larger = more recent.
     stamp: u64,
     valid: bool,
+    /// Core that installed the line (merging fills keep the installer).
+    owner: u8,
 }
 
 /// Hit/miss counters for one cache level.
@@ -80,6 +85,8 @@ pub struct LineView {
     pub tag: u64,
     /// Per-sector valid/dirty state.
     pub sectors: SectorState,
+    /// Core that installed the line.
+    pub owner: u8,
 }
 
 /// One level of set-associative, write-back, write-allocate sector cache.
@@ -118,7 +125,8 @@ impl SetAssocCache {
                     tag: 0,
                     sectors: SectorState::empty(),
                     stamp: 0,
-                    valid: false
+                    valid: false,
+                    owner: 0
                 };
                 sets * ways
             ],
@@ -196,7 +204,18 @@ impl SetAssocCache {
     /// evicted victim if allocation displaced a valid line. `sectors` is the
     /// post-fill valid mask contribution: [`SectorState::full`] for a
     /// regular fill, [`SectorState::single`] for a stride fill.
+    ///
+    /// Attribution-neutral form of [`Self::fill_owned`]: the line is owned
+    /// by core 0 (the single-stream default).
     pub fn fill(&mut self, line_addr: u64, fill: SectorState) -> Option<Victim> {
+        self.fill_owned(line_addr, fill, 0)
+    }
+
+    /// [`Self::fill`], recording `owner` as the installing core. Merging
+    /// into a resident line keeps the original installer — ownership is a
+    /// per-line attribute, not per-sector — so victims (and thus eventual
+    /// writebacks) are attributed to whichever core allocated the line.
+    pub fn fill_owned(&mut self, line_addr: u64, fill: SectorState, owner: u8) -> Option<Victim> {
         self.tick += 1;
         let tick = self.tick;
         let (set, tag) = self.index(line_addr);
@@ -224,11 +243,13 @@ impl SetAssocCache {
             sectors: fill,
             stamp: tick,
             valid: true,
+            owner,
         };
         if old.valid {
             let victim = Victim {
                 line_addr: ((old.tag << sets_bits) | set_u64) * LINE_BYTES,
                 sectors: old.sectors,
+                owner: old.owner,
             };
             if victim.needs_writeback() {
                 self.stats.writebacks += 1;
@@ -237,6 +258,16 @@ impl SetAssocCache {
         } else {
             None
         }
+    }
+
+    /// Owner of the line containing `line_addr`, if resident. Read-only;
+    /// used by the hierarchy to preserve attribution across promotions.
+    pub fn owner_of(&self, line_addr: u64) -> Option<u8> {
+        let (set, tag) = self.index(line_addr);
+        self.data[set * self.ways..(set + 1) * self.ways]
+            .iter()
+            .find(|w| w.valid && w.tag == tag)
+            .map(|w| w.owner)
     }
 
     /// Marks `sector` of `line_addr` dirty without touching statistics or
@@ -266,6 +297,7 @@ impl SetAssocCache {
                 out.push(Victim {
                     line_addr: ((way.tag << sets_bits) | set) * LINE_BYTES,
                     sectors: way.sectors,
+                    owner: way.owner,
                 });
                 way.sectors = way.sectors.cleaned();
                 self.stats.writebacks += 1;
@@ -291,6 +323,7 @@ impl SetAssocCache {
                     line_addr: ((w.tag << sets_bits) | set as u64) * LINE_BYTES,
                     tag: w.tag,
                     sectors: w.sectors,
+                    owner: w.owner,
                 }
             })
     }
@@ -415,5 +448,31 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn bad_geometry_panics() {
         SetAssocCache::new(192, 1);
+    }
+
+    #[test]
+    fn owner_sticks_to_the_installer_and_rides_victims() {
+        let mut c = small();
+        c.fill_owned(0, SectorState::single(0), 2);
+        assert_eq!(c.owner_of(0), Some(2));
+        // Merging more sectors (even from another core) keeps the installer.
+        c.fill_owned(0, SectorState::single(1), 3);
+        assert_eq!(c.owner_of(0), Some(2));
+        c.access(0, 0, true); // dirty so the eviction needs a writeback
+        c.fill_owned(256, SectorState::full(), 1);
+        let v = c.fill_owned(512, SectorState::full(), 1).expect("eviction");
+        assert_eq!((v.line_addr, v.owner), (0, 2));
+        // drain_dirty victims carry the owner too.
+        let mut c2 = small();
+        c2.fill_owned(64, SectorState::full(), 5);
+        c2.access(64, 2, true);
+        let drained = c2.drain_dirty();
+        assert_eq!(drained.len(), 1);
+        assert_eq!(drained[0].owner, 5);
+        // The attribution-neutral wrapper defaults to core 0.
+        let mut c3 = small();
+        c3.fill(128, SectorState::full());
+        assert_eq!(c3.owner_of(128), Some(0));
+        assert_eq!(c3.owner_of(0x9000), None);
     }
 }

@@ -166,6 +166,7 @@ mod tests {
             line_addr: (tag << 10) | (set as u64 * 64),
             tag,
             sectors,
+            owner: 0,
         }
     }
 

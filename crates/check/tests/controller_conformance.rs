@@ -14,7 +14,7 @@ use sam_check::Violation;
 use sam_dram::device::DeviceConfig;
 use sam_memctrl::controller::{Controller, ControllerConfig};
 use sam_memctrl::mapping::Location;
-use sam_memctrl::request::{MemRequest, StrideSpec};
+use sam_memctrl::request::{MemRequest, Provenance, ReqKind, StrideSpec};
 
 /// A controller shadowed by an oracle configured from `oracle_device`
 /// (usually the controller's own device; different for bug injection).
@@ -113,6 +113,81 @@ fn mode_thrash_between_stride_and_regular_is_clean() {
     ctrl.drain(300);
     let (_, violations) = verdict(ctrl, oracle);
     assert!(violations.is_empty(), "{violations:#?}");
+}
+
+/// Provenance is payload-only: tagging every request with a (core, kind)
+/// must not move a single command cycle — the oracle-shadowed schedule is
+/// identical to the untagged run's — while the per-core lanes account for
+/// every completion exactly (the telescoping invariant, under a schedule
+/// the protocol oracle simultaneously certifies as legal).
+#[test]
+fn tagged_provenance_is_timing_invisible_and_lane_conserved() {
+    let device = DeviceConfig::ddr4_server();
+    let build = |i: u64| {
+        let addr = (i * 157) * 64;
+        match i % 5 {
+            0 => MemRequest::read(i, addr),
+            1 => MemRequest::write(i, addr),
+            2 => MemRequest::narrow_read(i, addr),
+            3 => MemRequest::stride_read(i, addr, StrideSpec::ssc()),
+            _ => MemRequest::stride_write(i, addr, StrideSpec::ssc_dsd()),
+        }
+    };
+    let kinds = [
+        ReqKind::Demand,
+        ReqKind::Writeback,
+        ReqKind::Prefetch,
+        ReqKind::EccExtra,
+        ReqKind::Traffic,
+    ];
+
+    let run = |tagged: bool| {
+        let (mut ctrl, oracle) = shadowed(device, &device);
+        let mut done = Vec::new();
+        for i in 0..400u64 {
+            let mut req = build(i);
+            if tagged {
+                req = req.with_provenance(Provenance::new((i % 7) as u8, kinds[i as usize % 5]));
+            }
+            if ctrl.enqueue(req, i * 2).is_err() {
+                done.extend(ctrl.drain(i * 2));
+                ctrl.enqueue(req, i * 2).expect("queue just drained");
+            }
+        }
+        done.extend(ctrl.drain(800));
+        let lanes = ctrl.per_core().clone();
+        let stats = *ctrl.stats();
+        let (count, violations) = verdict(ctrl, oracle);
+        (done, lanes, stats, count, violations)
+    };
+
+    let (plain_done, plain_lanes, _, _, plain_violations) = run(false);
+    let (tagged_done, tagged_lanes, stats, count, tagged_violations) = run(true);
+
+    // Same schedule, command for command.
+    assert!(count > 400, "{count}");
+    assert!(plain_violations.is_empty(), "{plain_violations:#?}");
+    assert!(tagged_violations.is_empty(), "{tagged_violations:#?}");
+    let key = |d: &sam_memctrl::request::Completion| (d.id, d.issue, d.finish, d.row_hit);
+    assert_eq!(
+        plain_done.iter().map(key).collect::<Vec<_>>(),
+        tagged_done.iter().map(key).collect::<Vec<_>>(),
+        "provenance tags changed the schedule"
+    );
+
+    // Untagged runs collapse to one (core 0, demand) lane; tagged runs
+    // spread over all seven cores — and both telescope to the aggregates.
+    assert_eq!(plain_lanes.cores(), 1);
+    assert_eq!(tagged_lanes.cores(), 7);
+    let total = tagged_lanes.total();
+    assert_eq!(total.reads_done, stats.reads_done);
+    assert_eq!(total.writes_done, stats.writes_done);
+    assert_eq!(total.row_hits, stats.row_hits);
+    assert_eq!(total.row_misses, stats.row_misses);
+    assert_eq!(total.row_conflicts, stats.row_conflicts);
+    assert_eq!(total.total_latency, stats.total_latency);
+    assert_eq!(total.starvation_forced, stats.starvation_forced);
+    assert_eq!(plain_lanes.total(), total);
 }
 
 #[test]

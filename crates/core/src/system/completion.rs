@@ -1,0 +1,108 @@
+//! Completion handling: installing finished fills into the hierarchy,
+//! releasing MSHR/merge bookkeeping, issuing the writebacks evictions
+//! cause, and retiring MLP slots back to the issuing core.
+
+use sam_dram::Cycle;
+
+/// How many data beats before burst completion the critical word reaches
+/// the core on critical-word-first layouts (Table 1: horizontal layouts
+/// deliver the requested word first; the paper estimates the cost of
+/// giving this up at <1% for the designs that do). A DDR4 64B burst is 8
+/// beats over 4 command cycles; the requested 16B word is on the bus ~3
+/// command cycles before the burst's last beat.
+pub(super) const CWF_EARLY_BEATS: Cycle = 3;
+
+#[derive(Debug, Clone)]
+pub(super) enum FillKind {
+    /// Regular line fill: install the whole line at `cache_line`.
+    Line { cache_line: u64 },
+    /// Stride fill: install these sectors.
+    Sectors { sector_addrs: Vec<u64> },
+    /// Fire-and-forget traffic (ECC bursts, sub-field bursts, writebacks).
+    Traffic,
+    /// Stride writeback with a merge key to release.
+    StrideWb { key: u64 },
+    /// A prefetched line fill: installs on completion but is not tied to a
+    /// core's MLP window.
+    Prefetch { cache_line: u64 },
+}
+
+#[derive(Debug, Clone)]
+pub(super) struct FillRecord {
+    pub(super) core: usize,
+    pub(super) kind: FillKind,
+}
+
+use super::Engine;
+
+impl<'t> Engine<'t> {
+    pub(super) fn handle_completion(&mut self, c: sam_memctrl::request::Completion) {
+        self.last_finish = self.last_finish.max(c.finish);
+        if self.hierarchy.trace_attached() {
+            self.hierarchy.set_trace_clock(c.finish);
+        }
+        let Some(record) = self.fills.remove(&c.id) else {
+            return;
+        };
+        match record.kind {
+            FillKind::Line { cache_line } => {
+                self.pending_lines.remove(&cache_line);
+                let wbs = self
+                    .hierarchy
+                    .fill_line_owned(cache_line, record.core as u8);
+                for s in 0..4u64 {
+                    let sector = cache_line + 16 * s;
+                    if self.pending_dirty.remove(&sector) {
+                        self.hierarchy.mark_dirty(sector);
+                    }
+                }
+                for wb in wbs {
+                    self.issue_writeback(wb, c.finish);
+                }
+                self.retire(record.core, c.finish);
+            }
+            FillKind::Sectors { sector_addrs } => {
+                let mut wbs = Vec::new();
+                for s in &sector_addrs {
+                    self.pending_sectors.remove(s);
+                    wbs.extend(self.hierarchy.fill_sector_owned(*s, record.core as u8));
+                    if self.pending_dirty.remove(s) {
+                        self.hierarchy.mark_dirty(*s);
+                    }
+                }
+                for wb in wbs {
+                    self.issue_writeback(wb, c.finish);
+                }
+                self.retire(record.core, c.finish);
+            }
+            FillKind::Traffic => {}
+            FillKind::StrideWb { key } => {
+                self.wb_merge.remove(&key);
+            }
+            FillKind::Prefetch { cache_line } => {
+                self.pending_lines.remove(&cache_line);
+                let wbs = self
+                    .hierarchy
+                    .fill_line_owned(cache_line, record.core as u8);
+                for wb in wbs {
+                    self.issue_writeback(wb, c.finish);
+                }
+            }
+        }
+    }
+
+    fn retire(&mut self, core: usize, finish: Cycle) {
+        // Critical-word-first layouts hand the requested word to the core
+        // before the burst completes (see [`CWF_EARLY_BEATS`]).
+        let visible = if self.design.critical_word_first {
+            finish.saturating_sub(CWF_EARLY_BEATS)
+        } else {
+            finish
+        };
+        let c = &mut self.cores[core];
+        debug_assert!(c.outstanding > 0);
+        c.outstanding -= 1;
+        c.freed
+            .push(std::cmp::Reverse(self.cfg.mem_to_cpu(visible)));
+    }
+}

@@ -1,0 +1,257 @@
+//! Bounded-MLP core stepping: op expansion into 16B sector touches, the
+//! cache-hierarchy front end, and the sliding MLP window (see the module
+//! doc on [`super`] for the overall decomposition).
+
+use std::collections::HashSet;
+
+use sam_cache::hierarchy::{AccessKind, HitLevel};
+
+use crate::ops::TraceOp;
+
+use super::Engine;
+
+#[derive(Debug, Clone, Copy)]
+pub(super) struct SectorTouch {
+    pub(super) cache_sector: u64,
+    pub(super) table: u8,
+    pub(super) record: u64,
+    pub(super) field: u16,
+    pub(super) write: bool,
+    /// Field access (stride-eligible) vs whole-record access.
+    pub(super) field_access: bool,
+}
+
+#[derive(Debug)]
+pub(super) struct CoreState<'t> {
+    pub(super) trace: &'t [TraceOp],
+    pub(super) op_idx: usize,
+    pub(super) sector_idx: usize,
+    pub(super) sectors: Vec<SectorTouch>,
+    pub(super) time_cpu: u64,
+    pub(super) outstanding: usize,
+    pub(super) issued: u64,
+    /// CPU-cycle times at which completed fills freed their MLP slots
+    /// (min-heap): issuing beyond the window consumes the earliest one.
+    pub(super) freed: std::collections::BinaryHeap<std::cmp::Reverse<u64>>,
+    pub(super) done: bool,
+}
+
+impl<'t> CoreState<'t> {
+    pub(super) fn new(trace: &'t [TraceOp]) -> Self {
+        Self {
+            trace,
+            op_idx: 0,
+            sector_idx: 0,
+            sectors: Vec::new(),
+            time_cpu: 0,
+            outstanding: 0,
+            issued: 0,
+            freed: std::collections::BinaryHeap::new(),
+            done: trace.is_empty(),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(super) enum Step {
+    Progress,
+    Stalled,
+    Done,
+}
+
+impl<'t> Engine<'t> {
+    pub(super) fn expand_op(&self, core: usize) -> Option<Vec<SectorTouch>> {
+        let c = &self.cores[core];
+        let op = c.trace.get(c.op_idx)?;
+        match op {
+            TraceOp::Compute(_) => Some(Vec::new()),
+            TraceOp::Fields {
+                table,
+                record,
+                fields,
+                write,
+            } => {
+                let p = &self.placements[*table as usize];
+                let mut seen = HashSet::new();
+                let mut touches = Vec::with_capacity(fields.len());
+                for &f in fields {
+                    let addr = p.field_addr(*record, f as u32);
+                    let sector = addr & !15;
+                    if seen.insert(sector) {
+                        touches.push(SectorTouch {
+                            cache_sector: sector,
+                            table: *table,
+                            record: *record,
+                            field: f,
+                            write: *write,
+                            field_access: true,
+                        });
+                    }
+                }
+                // Access-path choice (the sload/sstore decision is made by
+                // software, Section 5.1.2): when an op touches half the
+                // record or more, a row access moves less data than
+                // per-field stride gathers — fall back to line fills.
+                let touched = touches.len() as u64 * 16;
+                if touched * 2 > p.spec().record_bytes() {
+                    for t in &mut touches {
+                        t.field_access = false;
+                    }
+                }
+                Some(touches)
+            }
+            TraceOp::Whole {
+                table,
+                record,
+                write,
+            } => {
+                let p = &self.placements[*table as usize];
+                let fields = p.spec().fields;
+                let mut seen = HashSet::new();
+                let mut touches = Vec::new();
+                // Touch every field; sector dedup collapses neighbours that
+                // share a 16B sector (adjacent fields in row stores).
+                for f in 0..fields {
+                    let addr = p.field_addr(*record, f);
+                    let sector = addr & !15;
+                    if seen.insert(sector) {
+                        touches.push(SectorTouch {
+                            cache_sector: sector,
+                            table: *table,
+                            record: *record,
+                            field: f as u16,
+                            write: *write,
+                            field_access: false,
+                        });
+                    }
+                }
+                Some(touches)
+            }
+        }
+    }
+
+    /// Advances one core as far as it can go; returns how it stopped.
+    pub(super) fn step_core(&mut self, ci: usize) -> Step {
+        if self.cores[ci].done {
+            return Step::Done;
+        }
+        let mut progressed = false;
+        loop {
+            // Need a fresh op expansion?
+            if self.cores[ci].sector_idx >= self.cores[ci].sectors.len() {
+                let c = &self.cores[ci];
+                match c.trace.get(c.op_idx) {
+                    None => {
+                        self.cores[ci].done = true;
+                        return Step::Done;
+                    }
+                    Some(TraceOp::Compute(cycles)) => {
+                        self.cores[ci].time_cpu += *cycles as u64;
+                        self.cores[ci].op_idx += 1;
+                        self.cores[ci].sector_idx = 0;
+                        self.cores[ci].sectors.clear();
+                        progressed = true;
+                        continue;
+                    }
+                    Some(_) => {
+                        let touches = self.expand_op(ci).expect("op exists");
+                        let c = &mut self.cores[ci];
+                        c.sectors = touches;
+                        c.sector_idx = 0;
+                        c.op_idx += 1;
+                        if c.sectors.is_empty() {
+                            progressed = true;
+                            continue;
+                        }
+                    }
+                }
+            }
+            let touch = self.cores[ci].sectors[self.cores[ci].sector_idx];
+            match self.touch(ci, touch) {
+                Step::Progress => {
+                    self.cores[ci].sector_idx += 1;
+                    progressed = true;
+                }
+                Step::Stalled => {
+                    return if progressed {
+                        Step::Progress
+                    } else {
+                        Step::Stalled
+                    };
+                }
+                Step::Done => unreachable!("touch never reports Done"),
+            }
+        }
+    }
+
+    /// Performs one 16B touch; `Stalled` means MLP or queue pressure.
+    fn touch(&mut self, ci: usize, t: SectorTouch) -> Step {
+        self.probe_tick();
+        self.cores[ci].time_cpu += self.cfg.touch_cost_cpu;
+        let kind = if t.write {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        };
+        if self.hierarchy.trace_attached() {
+            self.hierarchy
+                .set_trace_clock(self.cfg.cpu_to_mem(self.cores[ci].time_cpu));
+        }
+        let result = self.hierarchy.access(t.cache_sector, kind);
+        match result.level {
+            HitLevel::L1 => Step::Progress,
+            HitLevel::L2 => {
+                self.cores[ci].time_cpu += self.cfg.l2_extra_cpu;
+                Step::Progress
+            }
+            HitLevel::Llc => {
+                self.cores[ci].time_cpu += self.cfg.llc_extra_cpu;
+                Step::Progress
+            }
+            HitLevel::Memory => {
+                self.cores[ci].time_cpu += self.cfg.llc_extra_cpu;
+                let line = t.cache_sector & !63;
+                // MSHR merge: a fill in flight already covers this touch.
+                if self.pending_sectors.contains(&t.cache_sector)
+                    || self.pending_lines.contains(&line)
+                {
+                    if t.write {
+                        self.pending_dirty.insert(t.cache_sector);
+                    }
+                    return Step::Progress;
+                }
+                if self.cores[ci].outstanding >= self.cfg.mlp {
+                    // Undo the speculative miss-discovery charge: the touch
+                    // will be retried once a slot frees up.
+                    self.cores[ci].time_cpu -= self.cfg.llc_extra_cpu + self.cfg.touch_cost_cpu;
+                    return Step::Stalled;
+                }
+                match self.issue_fill(ci, t) {
+                    true => {
+                        if t.write {
+                            self.pending_dirty.insert(t.cache_sector);
+                        }
+                        Step::Progress
+                    }
+                    false => {
+                        self.cores[ci].time_cpu -= self.cfg.llc_extra_cpu + self.cfg.touch_cost_cpu;
+                        Step::Stalled
+                    }
+                }
+            }
+        }
+    }
+
+    /// Charges the core for occupying an MLP slot: beyond the first window,
+    /// each issue consumes the earliest freed slot, advancing core time to
+    /// that completion (the sliding-window model of out-of-order misses).
+    pub(super) fn consume_slot(&mut self, ci: usize) {
+        let mlp = self.cfg.mlp as u64;
+        let c = &mut self.cores[ci];
+        c.issued += 1;
+        if c.issued > mlp {
+            let std::cmp::Reverse(t) = c.freed.pop().expect("a slot must free before reuse");
+            c.time_cpu = c.time_cpu.max(t);
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! Design lowering: turning a missing 16B touch into tagged memory
+//! requests — stride gathers, narrow sub-ranked bursts, regular line
+//! fills, next-line prefetches, and embedded-ECC extras.
+//!
+//! Every request built here carries a [`Provenance`] naming the issuing
+//! core and the lowering path, so the controller's per-core lanes and the
+//! per-core trace lanes attribute each burst without the scheduler ever
+//! reading the tag.
+
+use sam_dram::moderegs::IoMode;
+use sam_dram::Cycle;
+use sam_memctrl::request::{MemRequest, Provenance, ReqKind, StrideSpec};
+
+use crate::design::EccScheme;
+
+use super::completion::{FillKind, FillRecord};
+use super::Engine;
+
+impl<'t> Engine<'t> {
+    /// Builds and enqueues the memory request(s) for a missing touch.
+    /// Returns `false` when the controller queue is full.
+    pub(super) fn issue_fill(&mut self, ci: usize, t: super::core_engine::SectorTouch) -> bool {
+        let arrival = self.cfg.cpu_to_mem(self.cores[ci].time_cpu);
+        let (stride, dram_line) = {
+            let p = &self.placements[t.table as usize];
+            let stride = if t.field_access {
+                p.stride_fill(t.record, t.field as u32)
+            } else {
+                None
+            };
+            (stride, p.dram_addr_for(t.record, t.field as u32) & !63)
+        };
+        match stride {
+            Some(fill) => {
+                let id = self.fresh_id();
+                let caps = self.design.stride.expect("stride fill implies caps");
+                let req = if caps.needs_mode_switch {
+                    MemRequest::stride_read(
+                        id,
+                        fill.burst_addr,
+                        StrideSpec {
+                            gather: self.cfg.granularity.gather(),
+                            mode: IoMode::Sx4(fill.lane),
+                        },
+                    )
+                } else {
+                    // GS-DRAM / RC-NVM widen the command interface instead of
+                    // switching modes: schedule as a plain burst.
+                    MemRequest::read(id, fill.burst_addr)
+                }
+                .with_provenance(Provenance::demand(ci as u8));
+                if self.ctrl.enqueue(req, arrival).is_err() {
+                    return false;
+                }
+                self.stride_bursts += 1;
+                for &s in &fill.sector_addrs {
+                    self.pending_sectors.insert(s);
+                    self.line_to_burst
+                        .insert(s & !63, (fill.burst_addr, fill.lane));
+                }
+                self.fills.insert(
+                    id,
+                    FillRecord {
+                        core: ci,
+                        kind: FillKind::Sectors {
+                            sector_addrs: fill.sector_addrs.clone(),
+                        },
+                    },
+                );
+                self.cores[ci].outstanding += 1;
+                self.consume_slot(ci);
+                // RC-NVM-bit gathers bit-level sub-fields: an extra column
+                // burst every `extra_burst_period` stride bursts.
+                if caps.extra_burst_period > 0 {
+                    self.extra_burst_count += 1;
+                    if self.extra_burst_count >= caps.extra_burst_period {
+                        self.extra_burst_count = 0;
+                        let id = self.fresh_id();
+                        let extra = MemRequest::read(id, fill.burst_addr + 64)
+                            .with_provenance(Provenance::new(ci as u8, ReqKind::Traffic));
+                        self.stride_bursts += 1;
+                        if self.ctrl.enqueue(extra, arrival).is_ok() {
+                            self.fills.insert(
+                                id,
+                                FillRecord {
+                                    core: ci,
+                                    kind: FillKind::Traffic,
+                                },
+                            );
+                        } else {
+                            self.wb_backlog.push_back((extra, arrival, None));
+                        }
+                    }
+                }
+                // Embedded ECC cannot co-fetch codes for scattered rows.
+                if self.design.ecc == EccScheme::Embedded {
+                    self.ecc_stride_count += 1;
+                    if self.ecc_stride_count >= self.cfg.ecc_stride_period {
+                        self.ecc_stride_count = 0;
+                        self.issue_ecc_burst(ci, fill.burst_addr, arrival, false);
+                    }
+                }
+                true
+            }
+            None if self.design.sub_ranked && t.field_access => {
+                // DGMS-style narrow access: fetch only the touched 16B
+                // sector over one channel sub-lane. Strided scans keep
+                // hitting the same word offset — the same sub-lane — so
+                // they serialize (the Section 1 motivation), while random
+                // accesses across offsets overlap four-wide.
+                let id = self.fresh_id();
+                let sector_in_line = t.cache_sector & 63;
+                let req = MemRequest::narrow_read(id, dram_line + sector_in_line)
+                    .with_provenance(Provenance::demand(ci as u8));
+                if self.ctrl.enqueue(req, arrival).is_err() {
+                    return false;
+                }
+                self.line_bursts += 1;
+                self.pending_sectors.insert(t.cache_sector);
+                self.fills.insert(
+                    id,
+                    FillRecord {
+                        core: ci,
+                        kind: FillKind::Sectors {
+                            sector_addrs: vec![t.cache_sector],
+                        },
+                    },
+                );
+                self.cores[ci].outstanding += 1;
+                self.consume_slot(ci);
+                true
+            }
+            None => {
+                let id = self.fresh_id();
+                let cache_line = t.cache_sector & !63;
+                let dram_addr = dram_line;
+                let req =
+                    MemRequest::read(id, dram_addr).with_provenance(Provenance::demand(ci as u8));
+                if self.ctrl.enqueue(req, arrival).is_err() {
+                    return false;
+                }
+                self.line_bursts += 1;
+                self.pending_lines.insert(cache_line);
+                self.fills.insert(
+                    id,
+                    FillRecord {
+                        core: ci,
+                        kind: FillKind::Line { cache_line },
+                    },
+                );
+                self.cores[ci].outstanding += 1;
+                self.consume_slot(ci);
+                // Next-line stream prefetch: a sequential miss pattern pulls
+                // the following lines without occupying the core's window.
+                if self.cfg.prefetch_degree > 0 {
+                    let sequential = self.last_miss_line[ci].wrapping_add(64) == cache_line;
+                    self.last_miss_line[ci] = cache_line;
+                    if sequential {
+                        for d in 1..=self.cfg.prefetch_degree as u64 {
+                            let next = cache_line + d * 64;
+                            if self.pending_lines.contains(&next) {
+                                continue;
+                            }
+                            let pid = self.fresh_id();
+                            let preq = MemRequest::read(pid, dram_addr + d * 64)
+                                .with_provenance(Provenance::new(ci as u8, ReqKind::Prefetch));
+                            if self.ctrl.enqueue(preq, arrival).is_ok() {
+                                self.line_bursts += 1;
+                                self.pending_lines.insert(next);
+                                self.fills.insert(
+                                    pid,
+                                    FillRecord {
+                                        core: ci,
+                                        kind: FillKind::Prefetch { cache_line: next },
+                                    },
+                                );
+                            }
+                        }
+                    }
+                }
+                if self.design.ecc == EccScheme::Embedded {
+                    self.ecc_seq_count += 1;
+                    if self.ecc_seq_count >= self.cfg.ecc_seq_period {
+                        self.ecc_seq_count = 0;
+                        self.issue_ecc_burst(ci, dram_addr, arrival, false);
+                    }
+                }
+                true
+            }
+        }
+    }
+
+    /// Fire-and-forget embedded-ECC burst near `data_addr`, attributed to
+    /// the core whose data access made it necessary.
+    pub(super) fn issue_ecc_burst(
+        &mut self,
+        core: usize,
+        data_addr: u64,
+        arrival: Cycle,
+        write: bool,
+    ) {
+        let id = self.fresh_id();
+        // ECC words live in the top eighth of the same row (in-page).
+        let row = data_addr & !8191;
+        let ecc_addr = row + 7 * 1024 + ((data_addr >> 9) & 0x3C0);
+        let req = if write {
+            MemRequest::write(id, ecc_addr)
+        } else {
+            MemRequest::read(id, ecc_addr)
+        }
+        .with_provenance(Provenance::new(core as u8, ReqKind::EccExtra));
+        self.ecc_bursts += 1;
+        if self.ctrl.enqueue(req, arrival).is_ok() {
+            self.fills.insert(
+                id,
+                FillRecord {
+                    core,
+                    kind: FillKind::Traffic,
+                },
+            );
+        } else {
+            self.wb_backlog.push_back((req, arrival, None));
+        }
+    }
+}

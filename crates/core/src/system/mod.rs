@@ -27,19 +27,46 @@
 //! whenever the rank flips between regular and stride modes — all emerging
 //! from the request stream, not hard-coded factors.
 
+//! ## Module layout
+//!
+//! The simulator is decomposed by concern, with [`System`] as a thin
+//! orchestrator over an internal `Engine`:
+//!
+//! * [`core_engine`](self) — bounded-MLP core stepping (op expansion,
+//!   sector touches, the MLP sliding window);
+//! * [`lowering`](self) — design lowering of missing touches into tagged
+//!   memory requests (stride / narrow / line fills, prefetch, ECC extras);
+//! * [`datapath`](self) — writeback issue, stride write-combining, and the
+//!   overflow backlog;
+//! * [`completion`](self) — completion handling, fill installation, and
+//!   MLP-slot retirement.
+//!
+//! Every request the engine issues carries a
+//! [`Provenance`](sam_memctrl::request::Provenance) tag (issuing core +
+//! lowering path). The tag is payload-only — the scheduler never reads it —
+//! so attribution cannot perturb timing; the controller folds it into
+//! per-core statistics lanes surfaced here as [`RunResult::per_core`].
+
+mod completion;
+mod core_engine;
+mod datapath;
+mod lowering;
+
 use std::collections::{HashMap, HashSet, VecDeque};
 
-use sam_cache::hierarchy::{AccessKind, Hierarchy, HierarchyConfig, HitLevel};
+use sam_cache::hierarchy::{Hierarchy, HierarchyConfig};
 use sam_cache::set_assoc::CacheStats;
 use sam_dram::device::DeviceStats;
-use sam_dram::moderegs::IoMode;
 use sam_dram::Cycle;
-use sam_memctrl::controller::{Controller, ControllerConfig, ControllerStats};
-use sam_memctrl::request::{MemRequest, StrideSpec};
+use sam_memctrl::controller::{Controller, ControllerConfig, ControllerStats, CoreLanes};
+use sam_memctrl::request::MemRequest;
 
-use crate::design::{Design, EccScheme, Granularity};
+use crate::design::{Design, Granularity};
 use crate::layout::{Placement, Store, TableSpec};
-use crate::ops::{Trace, TraceOp};
+use crate::ops::Trace;
+
+use completion::FillRecord;
+use core_engine::{CoreState, Step};
 
 /// System-level configuration (core counts, frequencies, lowering knobs).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -85,6 +112,10 @@ pub struct SystemConfig {
     /// Write-drain low-watermark override (`--drain-lo`). Same precedence;
     /// controller default is 8.
     pub drain_lo: Option<usize>,
+    /// Dump per-core progress counters to stderr at the end of a run (the
+    /// `--debug-cores` CLI flag). Stderr only, so enabling it never touches
+    /// the byte-compared stdout/JSON outputs.
+    pub debug_cores: bool,
 }
 
 impl SystemConfig {
@@ -107,6 +138,7 @@ impl SystemConfig {
             starvation_cap: None,
             drain_hi: None,
             drain_lo: None,
+            debug_cores: false,
         }
     }
 
@@ -161,6 +193,10 @@ pub struct RunResult {
     pub write_latency_mean: f64,
     /// p99 write-latency upper bound (power-of-two bucket).
     pub write_latency_p99: Cycle,
+    /// Per-(core, kind) controller statistics lanes, telescoping exactly to
+    /// the aggregate [`Self::ctrl`] counters (refreshes excluded — they are
+    /// rank-level background work with no owning request).
+    pub per_core: CoreLanes,
 }
 
 impl RunResult {
@@ -177,69 +213,6 @@ impl RunResult {
             self.bus_busy as f64 / self.cycles as f64
         }
     }
-}
-
-#[derive(Debug, Clone, Copy)]
-struct SectorTouch {
-    cache_sector: u64,
-    table: u8,
-    record: u64,
-    field: u16,
-    write: bool,
-    /// Field access (stride-eligible) vs whole-record access.
-    field_access: bool,
-}
-
-#[derive(Debug)]
-struct CoreState<'t> {
-    trace: &'t [TraceOp],
-    op_idx: usize,
-    sector_idx: usize,
-    sectors: Vec<SectorTouch>,
-    time_cpu: u64,
-    outstanding: usize,
-    issued: u64,
-    /// CPU-cycle times at which completed fills freed their MLP slots
-    /// (min-heap): issuing beyond the window consumes the earliest one.
-    freed: std::collections::BinaryHeap<std::cmp::Reverse<u64>>,
-    done: bool,
-}
-
-impl<'t> CoreState<'t> {
-    fn new(trace: &'t [TraceOp]) -> Self {
-        Self {
-            trace,
-            op_idx: 0,
-            sector_idx: 0,
-            sectors: Vec::new(),
-            time_cpu: 0,
-            outstanding: 0,
-            issued: 0,
-            freed: std::collections::BinaryHeap::new(),
-            done: trace.is_empty(),
-        }
-    }
-}
-
-#[derive(Debug, Clone)]
-enum FillKind {
-    /// Regular line fill: install the whole line at `cache_line`.
-    Line { cache_line: u64 },
-    /// Stride fill: install these sectors.
-    Sectors { sector_addrs: Vec<u64> },
-    /// Fire-and-forget traffic (ECC bursts, sub-field bursts, writebacks).
-    Traffic,
-    /// Stride writeback with a merge key to release.
-    StrideWb { key: u64 },
-    /// A prefetched line fill: installs on completion but is not tied to a
-    /// core's MLP window.
-    Prefetch { cache_line: u64 },
-}
-
-#[derive(Debug, Clone)]
-struct FillRecord {
-    core: usize,
-    kind: FillKind,
 }
 
 /// Hooks for the external verification layer (the `sam-check` crate).
@@ -401,13 +374,6 @@ struct Engine<'t> {
     epochs: Option<sam_trace::SharedEpochs>,
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Step {
-    Progress,
-    Stalled,
-    Done,
-}
-
 impl<'t> Engine<'t> {
     fn new(
         cfg: &'t SystemConfig,
@@ -435,6 +401,12 @@ impl<'t> Engine<'t> {
             ctrl_cfg.write_low_watermark = lo;
         }
         let ctrl = Controller::new(ctrl_cfg);
+        // Provenance stores the issuing core in a u8; the Table 2 system
+        // has 4 cores, so this only guards pathological configurations.
+        assert!(
+            traces.len() <= u8::MAX as usize + 1,
+            "provenance tags support at most 256 cores"
+        );
         Self {
             cfg,
             design,
@@ -484,552 +456,6 @@ impl<'t> Engine<'t> {
         self.next_id
     }
 
-    fn expand_op(&self, core: usize) -> Option<Vec<SectorTouch>> {
-        let c = &self.cores[core];
-        let op = c.trace.get(c.op_idx)?;
-        match op {
-            TraceOp::Compute(_) => Some(Vec::new()),
-            TraceOp::Fields {
-                table,
-                record,
-                fields,
-                write,
-            } => {
-                let p = &self.placements[*table as usize];
-                let mut seen = HashSet::new();
-                let mut touches = Vec::with_capacity(fields.len());
-                for &f in fields {
-                    let addr = p.field_addr(*record, f as u32);
-                    let sector = addr & !15;
-                    if seen.insert(sector) {
-                        touches.push(SectorTouch {
-                            cache_sector: sector,
-                            table: *table,
-                            record: *record,
-                            field: f,
-                            write: *write,
-                            field_access: true,
-                        });
-                    }
-                }
-                // Access-path choice (the sload/sstore decision is made by
-                // software, Section 5.1.2): when an op touches half the
-                // record or more, a row access moves less data than
-                // per-field stride gathers — fall back to line fills.
-                let touched = touches.len() as u64 * 16;
-                if touched * 2 > p.spec().record_bytes() {
-                    for t in &mut touches {
-                        t.field_access = false;
-                    }
-                }
-                Some(touches)
-            }
-            TraceOp::Whole {
-                table,
-                record,
-                write,
-            } => {
-                let p = &self.placements[*table as usize];
-                let fields = p.spec().fields;
-                let mut seen = HashSet::new();
-                let mut touches = Vec::new();
-                // Touch every field; sector dedup collapses neighbours that
-                // share a 16B sector (adjacent fields in row stores).
-                for f in 0..fields {
-                    let addr = p.field_addr(*record, f);
-                    let sector = addr & !15;
-                    if seen.insert(sector) {
-                        touches.push(SectorTouch {
-                            cache_sector: sector,
-                            table: *table,
-                            record: *record,
-                            field: f as u16,
-                            write: *write,
-                            field_access: false,
-                        });
-                    }
-                }
-                Some(touches)
-            }
-        }
-    }
-
-    /// Advances one core as far as it can go; returns how it stopped.
-    fn step_core(&mut self, ci: usize) -> Step {
-        if self.cores[ci].done {
-            return Step::Done;
-        }
-        let mut progressed = false;
-        loop {
-            // Need a fresh op expansion?
-            if self.cores[ci].sector_idx >= self.cores[ci].sectors.len() {
-                let c = &self.cores[ci];
-                match c.trace.get(c.op_idx) {
-                    None => {
-                        self.cores[ci].done = true;
-                        return Step::Done;
-                    }
-                    Some(TraceOp::Compute(cycles)) => {
-                        self.cores[ci].time_cpu += *cycles as u64;
-                        self.cores[ci].op_idx += 1;
-                        self.cores[ci].sector_idx = 0;
-                        self.cores[ci].sectors.clear();
-                        progressed = true;
-                        continue;
-                    }
-                    Some(_) => {
-                        let touches = self.expand_op(ci).expect("op exists");
-                        let c = &mut self.cores[ci];
-                        c.sectors = touches;
-                        c.sector_idx = 0;
-                        c.op_idx += 1;
-                        if c.sectors.is_empty() {
-                            progressed = true;
-                            continue;
-                        }
-                    }
-                }
-            }
-            let touch = self.cores[ci].sectors[self.cores[ci].sector_idx];
-            match self.touch(ci, touch) {
-                Step::Progress => {
-                    self.cores[ci].sector_idx += 1;
-                    progressed = true;
-                }
-                Step::Stalled => {
-                    return if progressed {
-                        Step::Progress
-                    } else {
-                        Step::Stalled
-                    };
-                }
-                Step::Done => unreachable!("touch never reports Done"),
-            }
-        }
-    }
-
-    /// Performs one 16B touch; `Stalled` means MLP or queue pressure.
-    fn touch(&mut self, ci: usize, t: SectorTouch) -> Step {
-        self.probe_tick();
-        self.cores[ci].time_cpu += self.cfg.touch_cost_cpu;
-        let kind = if t.write {
-            AccessKind::Write
-        } else {
-            AccessKind::Read
-        };
-        if self.hierarchy.trace_attached() {
-            self.hierarchy
-                .set_trace_clock(self.cfg.cpu_to_mem(self.cores[ci].time_cpu));
-        }
-        let result = self.hierarchy.access(t.cache_sector, kind);
-        match result.level {
-            HitLevel::L1 => Step::Progress,
-            HitLevel::L2 => {
-                self.cores[ci].time_cpu += self.cfg.l2_extra_cpu;
-                Step::Progress
-            }
-            HitLevel::Llc => {
-                self.cores[ci].time_cpu += self.cfg.llc_extra_cpu;
-                Step::Progress
-            }
-            HitLevel::Memory => {
-                self.cores[ci].time_cpu += self.cfg.llc_extra_cpu;
-                let line = t.cache_sector & !63;
-                // MSHR merge: a fill in flight already covers this touch.
-                if self.pending_sectors.contains(&t.cache_sector)
-                    || self.pending_lines.contains(&line)
-                {
-                    if t.write {
-                        self.pending_dirty.insert(t.cache_sector);
-                    }
-                    return Step::Progress;
-                }
-                if self.cores[ci].outstanding >= self.cfg.mlp {
-                    // Undo the speculative miss-discovery charge: the touch
-                    // will be retried once a slot frees up.
-                    self.cores[ci].time_cpu -= self.cfg.llc_extra_cpu + self.cfg.touch_cost_cpu;
-                    return Step::Stalled;
-                }
-                match self.issue_fill(ci, t) {
-                    true => {
-                        if t.write {
-                            self.pending_dirty.insert(t.cache_sector);
-                        }
-                        Step::Progress
-                    }
-                    false => {
-                        self.cores[ci].time_cpu -= self.cfg.llc_extra_cpu + self.cfg.touch_cost_cpu;
-                        Step::Stalled
-                    }
-                }
-            }
-        }
-    }
-
-    /// Charges the core for occupying an MLP slot: beyond the first window,
-    /// each issue consumes the earliest freed slot, advancing core time to
-    /// that completion (the sliding-window model of out-of-order misses).
-    fn consume_slot(&mut self, ci: usize) {
-        let mlp = self.cfg.mlp as u64;
-        let c = &mut self.cores[ci];
-        c.issued += 1;
-        if c.issued > mlp {
-            let std::cmp::Reverse(t) = c.freed.pop().expect("a slot must free before reuse");
-            c.time_cpu = c.time_cpu.max(t);
-        }
-    }
-
-    /// Builds and enqueues the memory request(s) for a missing touch.
-    /// Returns `false` when the controller queue is full.
-    fn issue_fill(&mut self, ci: usize, t: SectorTouch) -> bool {
-        let arrival = self.cfg.cpu_to_mem(self.cores[ci].time_cpu);
-        let (stride, dram_line) = {
-            let p = &self.placements[t.table as usize];
-            let stride = if t.field_access {
-                p.stride_fill(t.record, t.field as u32)
-            } else {
-                None
-            };
-            (stride, p.dram_addr_for(t.record, t.field as u32) & !63)
-        };
-        match stride {
-            Some(fill) => {
-                let id = self.fresh_id();
-                let caps = self.design.stride.expect("stride fill implies caps");
-                let req = if caps.needs_mode_switch {
-                    MemRequest::stride_read(
-                        id,
-                        fill.burst_addr,
-                        StrideSpec {
-                            gather: self.cfg.granularity.gather(),
-                            mode: IoMode::Sx4(fill.lane),
-                        },
-                    )
-                } else {
-                    // GS-DRAM / RC-NVM widen the command interface instead of
-                    // switching modes: schedule as a plain burst.
-                    MemRequest::read(id, fill.burst_addr)
-                };
-                if self.ctrl.enqueue(req, arrival).is_err() {
-                    return false;
-                }
-                self.stride_bursts += 1;
-                for &s in &fill.sector_addrs {
-                    self.pending_sectors.insert(s);
-                    self.line_to_burst
-                        .insert(s & !63, (fill.burst_addr, fill.lane));
-                }
-                self.fills.insert(
-                    id,
-                    FillRecord {
-                        core: ci,
-                        kind: FillKind::Sectors {
-                            sector_addrs: fill.sector_addrs.clone(),
-                        },
-                    },
-                );
-                self.cores[ci].outstanding += 1;
-                self.consume_slot(ci);
-                // RC-NVM-bit gathers bit-level sub-fields: an extra column
-                // burst every `extra_burst_period` stride bursts.
-                if caps.extra_burst_period > 0 {
-                    self.extra_burst_count += 1;
-                    if self.extra_burst_count >= caps.extra_burst_period {
-                        self.extra_burst_count = 0;
-                        let id = self.fresh_id();
-                        let extra = MemRequest::read(id, fill.burst_addr + 64);
-                        self.stride_bursts += 1;
-                        if self.ctrl.enqueue(extra, arrival).is_ok() {
-                            self.fills.insert(
-                                id,
-                                FillRecord {
-                                    core: ci,
-                                    kind: FillKind::Traffic,
-                                },
-                            );
-                        } else {
-                            self.wb_backlog.push_back((extra, arrival, None));
-                        }
-                    }
-                }
-                // Embedded ECC cannot co-fetch codes for scattered rows.
-                if self.design.ecc == EccScheme::Embedded {
-                    self.ecc_stride_count += 1;
-                    if self.ecc_stride_count >= self.cfg.ecc_stride_period {
-                        self.ecc_stride_count = 0;
-                        self.issue_ecc_burst(fill.burst_addr, arrival, false);
-                    }
-                }
-                true
-            }
-            None if self.design.sub_ranked && t.field_access => {
-                // DGMS-style narrow access: fetch only the touched 16B
-                // sector over one channel sub-lane. Strided scans keep
-                // hitting the same word offset — the same sub-lane — so
-                // they serialize (the Section 1 motivation), while random
-                // accesses across offsets overlap four-wide.
-                let id = self.fresh_id();
-                let sector_in_line = t.cache_sector & 63;
-                let req = MemRequest::narrow_read(id, dram_line + sector_in_line);
-                if self.ctrl.enqueue(req, arrival).is_err() {
-                    return false;
-                }
-                self.line_bursts += 1;
-                self.pending_sectors.insert(t.cache_sector);
-                self.fills.insert(
-                    id,
-                    FillRecord {
-                        core: ci,
-                        kind: FillKind::Sectors {
-                            sector_addrs: vec![t.cache_sector],
-                        },
-                    },
-                );
-                self.cores[ci].outstanding += 1;
-                self.consume_slot(ci);
-                true
-            }
-            None => {
-                let id = self.fresh_id();
-                let cache_line = t.cache_sector & !63;
-                let dram_addr = dram_line;
-                let req = MemRequest::read(id, dram_addr);
-                if self.ctrl.enqueue(req, arrival).is_err() {
-                    return false;
-                }
-                self.line_bursts += 1;
-                self.pending_lines.insert(cache_line);
-                self.fills.insert(
-                    id,
-                    FillRecord {
-                        core: ci,
-                        kind: FillKind::Line { cache_line },
-                    },
-                );
-                self.cores[ci].outstanding += 1;
-                self.consume_slot(ci);
-                // Next-line stream prefetch: a sequential miss pattern pulls
-                // the following lines without occupying the core's window.
-                if self.cfg.prefetch_degree > 0 {
-                    let sequential = self.last_miss_line[ci].wrapping_add(64) == cache_line;
-                    self.last_miss_line[ci] = cache_line;
-                    if sequential {
-                        for d in 1..=self.cfg.prefetch_degree as u64 {
-                            let next = cache_line + d * 64;
-                            if self.pending_lines.contains(&next) {
-                                continue;
-                            }
-                            let pid = self.fresh_id();
-                            let preq = MemRequest::read(pid, dram_addr + d * 64);
-                            if self.ctrl.enqueue(preq, arrival).is_ok() {
-                                self.line_bursts += 1;
-                                self.pending_lines.insert(next);
-                                self.fills.insert(
-                                    pid,
-                                    FillRecord {
-                                        core: ci,
-                                        kind: FillKind::Prefetch { cache_line: next },
-                                    },
-                                );
-                            }
-                        }
-                    }
-                }
-                if self.design.ecc == EccScheme::Embedded {
-                    self.ecc_seq_count += 1;
-                    if self.ecc_seq_count >= self.cfg.ecc_seq_period {
-                        self.ecc_seq_count = 0;
-                        self.issue_ecc_burst(dram_addr, arrival, false);
-                    }
-                }
-                true
-            }
-        }
-    }
-
-    /// Fire-and-forget embedded-ECC burst near `data_addr`.
-    fn issue_ecc_burst(&mut self, data_addr: u64, arrival: Cycle, write: bool) {
-        let id = self.fresh_id();
-        // ECC words live in the top eighth of the same row (in-page).
-        let row = data_addr & !8191;
-        let ecc_addr = row + 7 * 1024 + ((data_addr >> 9) & 0x3C0);
-        let req = if write {
-            MemRequest::write(id, ecc_addr)
-        } else {
-            MemRequest::read(id, ecc_addr)
-        };
-        self.ecc_bursts += 1;
-        if self.ctrl.enqueue(req, arrival).is_ok() {
-            self.fills.insert(
-                id,
-                FillRecord {
-                    core: 0,
-                    kind: FillKind::Traffic,
-                },
-            );
-        } else {
-            self.wb_backlog.push_back((req, arrival, None));
-        }
-    }
-
-    /// Enqueues a writeback; dirty partial lines use stride writes (sstore)
-    /// with write-combining on the burst address.
-    fn issue_writeback(&mut self, wb: sam_cache::hierarchy::Writeback, when: Cycle) {
-        let line = wb.line_addr;
-        let full_line = wb.sectors.all_valid() && wb.sectors.dirty_sectors().len() == 4;
-        let stride_info = if full_line {
-            None
-        } else {
-            self.line_to_burst.get(&line).copied()
-        };
-        match stride_info {
-            Some((burst_addr, lane)) => {
-                if self.wb_merge.contains(&burst_addr) {
-                    return; // combined with a pending stride writeback
-                }
-                let id = self.fresh_id();
-                let caps = self
-                    .design
-                    .stride
-                    .expect("stride fills recorded imply caps");
-                let req = if caps.needs_mode_switch {
-                    MemRequest::stride_write(
-                        id,
-                        burst_addr,
-                        StrideSpec {
-                            gather: self.cfg.granularity.gather(),
-                            mode: IoMode::Sx4(lane),
-                        },
-                    )
-                } else {
-                    MemRequest::write(id, burst_addr)
-                };
-                // The key is held from now until the burst completes, even
-                // while it waits in the backlog: later group-mates merge.
-                self.wb_merge.insert(burst_addr);
-                self.writeback_bursts += 1;
-                if self.ctrl.enqueue(req, when).is_ok() {
-                    self.fills.insert(
-                        id,
-                        FillRecord {
-                            core: 0,
-                            kind: FillKind::StrideWb { key: burst_addr },
-                        },
-                    );
-                } else {
-                    self.wb_backlog.push_back((req, when, Some(burst_addr)));
-                }
-            }
-            None => {
-                let table = self.placements.iter().find(|p| {
-                    let spec = p.spec();
-                    line >= spec.base && line < spec.base + 4 * spec.data_bytes()
-                });
-                let dram_addr = table.map_or(line, |p| p.dram_addr_regular(line));
-                let id = self.fresh_id();
-                let req = MemRequest::write(id, dram_addr);
-                self.writeback_bursts += 1;
-                if self.ctrl.enqueue(req, when).is_ok() {
-                    self.fills.insert(
-                        id,
-                        FillRecord {
-                            core: 0,
-                            kind: FillKind::Traffic,
-                        },
-                    );
-                } else {
-                    self.wb_backlog.push_back((req, when, None));
-                }
-                if self.design.ecc == EccScheme::Embedded {
-                    for _ in 0..self.cfg.ecc_write_extra {
-                        self.issue_ecc_burst(dram_addr, when, true);
-                    }
-                }
-            }
-        }
-    }
-
-    fn flush_backlog(&mut self) {
-        while let Some(&(req, when, key)) = self.wb_backlog.front() {
-            if self.ctrl.enqueue(req, when).is_err() {
-                break;
-            }
-            self.wb_backlog.pop_front();
-            let kind = match key {
-                Some(k) => FillKind::StrideWb { key: k },
-                None => FillKind::Traffic,
-            };
-            self.fills.insert(req.id, FillRecord { core: 0, kind });
-        }
-    }
-
-    fn handle_completion(&mut self, c: sam_memctrl::request::Completion) {
-        self.last_finish = self.last_finish.max(c.finish);
-        if self.hierarchy.trace_attached() {
-            self.hierarchy.set_trace_clock(c.finish);
-        }
-        let Some(record) = self.fills.remove(&c.id) else {
-            return;
-        };
-        match record.kind {
-            FillKind::Line { cache_line } => {
-                self.pending_lines.remove(&cache_line);
-                let wbs = self.hierarchy.fill_line(cache_line);
-                for s in 0..4u64 {
-                    let sector = cache_line + 16 * s;
-                    if self.pending_dirty.remove(&sector) {
-                        self.hierarchy.mark_dirty(sector);
-                    }
-                }
-                for wb in wbs {
-                    self.issue_writeback(wb, c.finish);
-                }
-                self.retire(record.core, c.finish);
-            }
-            FillKind::Sectors { sector_addrs } => {
-                let mut wbs = Vec::new();
-                for s in &sector_addrs {
-                    self.pending_sectors.remove(s);
-                    wbs.extend(self.hierarchy.fill_sector(*s));
-                    if self.pending_dirty.remove(s) {
-                        self.hierarchy.mark_dirty(*s);
-                    }
-                }
-                for wb in wbs {
-                    self.issue_writeback(wb, c.finish);
-                }
-                self.retire(record.core, c.finish);
-            }
-            FillKind::Traffic => {}
-            FillKind::StrideWb { key } => {
-                self.wb_merge.remove(&key);
-            }
-            FillKind::Prefetch { cache_line } => {
-                self.pending_lines.remove(&cache_line);
-                let wbs = self.hierarchy.fill_line(cache_line);
-                for wb in wbs {
-                    self.issue_writeback(wb, c.finish);
-                }
-            }
-        }
-    }
-
-    fn retire(&mut self, core: usize, finish: Cycle) {
-        // Critical-word-first layouts hand the requested word to the core a
-        // few beats before the burst completes (Table 1; the paper estimates
-        // the loss at <1% for the designs that give it up).
-        let visible = if self.design.critical_word_first {
-            finish.saturating_sub(3)
-        } else {
-            finish
-        };
-        let c = &mut self.cores[core];
-        debug_assert!(c.outstanding > 0);
-        c.outstanding -= 1;
-        c.freed
-            .push(std::cmp::Reverse(self.cfg.mem_to_cpu(visible)));
-    }
-
     fn run(mut self) -> RunResult {
         loop {
             // Let every core run as far as it can.
@@ -1075,11 +501,20 @@ impl<'t> Engine<'t> {
             self.issue_writeback(wb, when);
         }
         loop {
+            let backlogged = self.wb_backlog.len();
             self.flush_backlog();
             match self.ctrl.schedule_one(self.ctrl.clock()) {
                 Some(c) => self.handle_completion(c),
                 None if self.wb_backlog.is_empty() => break,
-                None => {}
+                // An idle controller with a non-empty backlog must mean this
+                // round's flush made room (and the next schedule_one will
+                // complete something). If the backlog did not shrink either,
+                // the drain can never finish — fail loudly like the main
+                // loop instead of busy-spinning forever.
+                None => assert!(
+                    self.wb_backlog.len() < backlogged,
+                    "writeback backlog stalled against an idle controller: simulator deadlock"
+                ),
             }
         }
 
@@ -1091,7 +526,7 @@ impl<'t> Engine<'t> {
             .unwrap_or(0);
         let cycles = core_mem.max(self.last_finish).max(1);
         self.ctrl.finish_epochs(cycles);
-        if std::env::var_os("SAM_DEBUG").is_some() {
+        if self.cfg.debug_cores {
             let times: Vec<Cycle> = self
                 .cores
                 .iter()
@@ -1127,6 +562,7 @@ impl<'t> Engine<'t> {
             read_latency_p99: read_hist.percentile(0.99),
             write_latency_mean: write_hist.mean().unwrap_or(0.0),
             write_latency_p99: write_hist.percentile(0.99),
+            per_core: self.ctrl.per_core().clone(),
         }
     }
 }
@@ -1135,7 +571,7 @@ impl<'t> Engine<'t> {
 mod tests {
     use super::*;
     use crate::designs::{commodity, gs_dram, gs_dram_ecc, sam_en, sam_io, sam_sub};
-    use crate::ops::partition_records;
+    use crate::ops::{partition_records, TraceOp};
 
     fn scan_trace(records: u64, fields: Vec<u16>, cores: usize) -> Vec<Trace> {
         partition_records(0..records, cores, |r, t| {
@@ -1426,6 +862,43 @@ mod tests {
             fcfs.ctrl.starvation_forced > 0,
             "zero cap must force FCFS decisions"
         );
+    }
+
+    /// The tentpole invariant at system level: per-(core, kind) lanes are
+    /// populated by a multicore run and telescope exactly to the aggregate
+    /// controller counters, with demand fills attributed per core and
+    /// writebacks attributed to the core whose line is evicted.
+    #[test]
+    fn per_core_lanes_populate_and_telescope() {
+        use sam_memctrl::request::ReqKind;
+        let sys = System::new(SystemConfig::default(), sam_en(), Store::Row);
+        let traces = partition_records(0..2048, 4, |r, t| {
+            t.push(TraceOp::write_fields(r, vec![3]));
+            t.push(TraceOp::read_fields(r, vec![9]));
+        });
+        let r = sys.run(&[TableSpec::ta(0, 4096)], &traces);
+        let total = r.per_core.total();
+        assert_eq!(total.reads_done, r.ctrl.reads_done);
+        assert_eq!(total.writes_done, r.ctrl.writes_done);
+        assert_eq!(total.row_hits, r.ctrl.row_hits);
+        assert_eq!(total.row_misses, r.ctrl.row_misses);
+        assert_eq!(total.row_conflicts, r.ctrl.row_conflicts);
+        assert_eq!(total.total_latency, r.ctrl.total_latency);
+        assert_eq!(total.starvation_forced, r.ctrl.starvation_forced);
+        // All four cores issued demand traffic...
+        let active = (0..4)
+            .filter(|&c| r.per_core.lane(c, ReqKind::Demand).reads_done > 0)
+            .count();
+        assert_eq!(active, 4, "every core's demand fills must be attributed");
+        // ...and writebacks are spread across owners, not lumped on core 0.
+        let wb_owners = (0..4)
+            .filter(|&c| r.per_core.lane(c, ReqKind::Writeback).writes_done > 0)
+            .count();
+        assert!(
+            wb_owners >= 2,
+            "writebacks must follow their owning cores, got {wb_owners} owners"
+        );
+        assert!(r.writeback_bursts > 0, "the workload must write back");
     }
 
     #[test]

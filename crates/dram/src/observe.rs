@@ -30,6 +30,17 @@ use std::sync::{Arc, Mutex};
 pub trait CommandObserver: Send {
     /// Called once per accepted command, after the device state update.
     fn on_command(&mut self, cmd: &Command, at: Cycle);
+
+    /// Like [`Self::on_command`], but also carries the issuing core of the
+    /// request the command serves (`None` for background work such as
+    /// refresh, or when the controller above never stamps an origin).
+    ///
+    /// Defaulted to drop the origin and forward, so observers that only
+    /// care about the command stream implement `on_command` alone.
+    fn on_command_from(&mut self, cmd: &Command, at: Cycle, origin: Option<u8>) {
+        let _ = origin;
+        self.on_command(cmd, at);
+    }
 }
 
 /// Shared handle to an attached observer.
@@ -52,6 +63,8 @@ pub type SharedObserver = Arc<Mutex<dyn CommandObserver>>;
 pub struct ObserverSlot {
     #[cfg(feature = "check")]
     observer: Option<SharedObserver>,
+    #[cfg(feature = "check")]
+    origin: Option<u8>,
 }
 
 impl std::fmt::Debug for ObserverSlot {
@@ -64,14 +77,26 @@ impl std::fmt::Debug for ObserverSlot {
 }
 
 impl ObserverSlot {
-    /// Reports an accepted command to the attached observer, if any.
+    /// Reports an accepted command to the attached observer, if any,
+    /// together with the current origin stamp.
     #[inline]
     pub(crate) fn notify(&mut self, _cmd: &Command, _at: Cycle) {
         #[cfg(feature = "check")]
         if let Some(obs) = &self.observer {
             obs.lock()
                 .expect("observer lock poisoned")
-                .on_command(_cmd, _at);
+                .on_command_from(_cmd, _at, self.origin);
+        }
+    }
+
+    /// Stamps the origin core reported with subsequently accepted commands
+    /// (`None` clears it for background work like refresh). No-op without
+    /// the `check` feature, matching the rest of the observation hook.
+    #[inline]
+    pub(crate) fn set_origin(&mut self, _origin: Option<u8>) {
+        #[cfg(feature = "check")]
+        {
+            self.origin = _origin;
         }
     }
 
@@ -134,6 +159,14 @@ impl CommandObserver for FanoutObserver {
                 .on_command(cmd, at);
         }
     }
+
+    fn on_command_from(&mut self, cmd: &Command, at: Cycle, origin: Option<u8>) {
+        for obs in &self.observers {
+            obs.lock()
+                .expect("observer lock poisoned")
+                .on_command_from(cmd, at, origin);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -163,6 +196,35 @@ mod tests {
         slot.notify(&cmd, 5);
         slot.notify(&cmd, 6);
         assert_eq!(counter.lock().unwrap().0, 2);
+    }
+
+    /// Origin stamps flow through the slot to observers that opt into the
+    /// provenance-aware callback, and `FanoutObserver` forwards them
+    /// verbatim to every child.
+    #[cfg(feature = "check")]
+    #[test]
+    fn origin_stamp_reaches_provenance_aware_observers() {
+        struct Origins(Vec<Option<u8>>);
+        impl CommandObserver for Origins {
+            fn on_command(&mut self, _cmd: &Command, _at: Cycle) {
+                panic!("provenance-aware observer should get on_command_from");
+            }
+            fn on_command_from(&mut self, _cmd: &Command, _at: Cycle, origin: Option<u8>) {
+                self.0.push(origin);
+            }
+        }
+        let seen = Arc::new(Mutex::new(Origins(Vec::new())));
+        let mut fan = FanoutObserver::new();
+        fan.push(seen.clone());
+        let mut slot = ObserverSlot::default();
+        slot.attach(Arc::new(Mutex::new(fan)));
+        let cmd = Command::act(0, 0, 0, 1);
+        slot.notify(&cmd, 1);
+        slot.set_origin(Some(3));
+        slot.notify(&cmd, 2);
+        slot.set_origin(None);
+        slot.notify(&cmd, 3);
+        assert_eq!(seen.lock().unwrap().0, vec![None, Some(3), None]);
     }
 
     /// The whole point of the shared-observer representation: a slot (and

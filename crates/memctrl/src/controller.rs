@@ -25,7 +25,7 @@ use sam_dram::device::{DeviceConfig, DeviceStats, MemoryDevice};
 use sam_dram::Cycle;
 
 use crate::mapping::{AddressMapper, Location};
-use crate::request::{Completion, MemRequest};
+use crate::request::{Completion, MemRequest, Provenance, ReqKind};
 use sam_trace::event::track;
 use sam_trace::{Category, EpochCounters, SharedEpochs, SinkSlot, TraceEvent};
 use sam_util::hist::Histogram;
@@ -130,6 +130,104 @@ impl ControllerStats {
     }
 }
 
+/// One provenance lane's slice of the aggregate [`ControllerStats`].
+///
+/// Lanes cover every counter that is attributable to a single request:
+/// row-buffer outcomes, completions, service latency, and starvation
+/// firings. Refreshes are rank-level background work with no originating
+/// request, so they stay aggregate-only.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LaneStats {
+    /// Column accesses that hit the open row.
+    pub row_hits: u64,
+    /// Column accesses to a closed bank.
+    pub row_misses: u64,
+    /// Column accesses that required closing another row first.
+    pub row_conflicts: u64,
+    /// Completed reads.
+    pub reads_done: u64,
+    /// Completed writes.
+    pub writes_done: u64,
+    /// Sum over completions of (finish - arrival).
+    pub total_latency: u64,
+    /// Scheduling decisions forced by the starvation cap.
+    pub starvation_forced: u64,
+}
+
+impl LaneStats {
+    /// Adds `other` field-wise.
+    pub fn accumulate(&mut self, other: &LaneStats) {
+        self.row_hits += other.row_hits;
+        self.row_misses += other.row_misses;
+        self.row_conflicts += other.row_conflicts;
+        self.reads_done += other.reads_done;
+        self.writes_done += other.writes_done;
+        self.total_latency += other.total_latency;
+        self.starvation_forced += other.starvation_forced;
+    }
+
+    /// Whether every counter is zero.
+    pub fn is_zero(&self) -> bool {
+        *self == LaneStats::default()
+    }
+}
+
+/// Per-core × per-kind stat lanes that telescope to the aggregate
+/// [`ControllerStats`]: summing every lane reproduces the aggregate
+/// counters exactly (minus `refreshes`, which no request owns). The lane
+/// table grows on demand to the highest core id observed, so untagged
+/// streams cost one 5-lane row for core 0 and nothing else.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CoreLanes {
+    lanes: Vec<[LaneStats; ReqKind::COUNT]>,
+}
+
+impl CoreLanes {
+    fn lane_mut(&mut self, prov: Provenance) -> &mut LaneStats {
+        let core = prov.core as usize;
+        if core >= self.lanes.len() {
+            self.lanes
+                .resize(core + 1, [LaneStats::default(); ReqKind::COUNT]);
+        }
+        &mut self.lanes[core][prov.kind.index()]
+    }
+
+    /// Number of core rows (highest observed core id + 1; 0 when idle).
+    pub fn cores(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// The lane for (`core`, `kind`); all-zero for cores never observed.
+    pub fn lane(&self, core: u8, kind: ReqKind) -> LaneStats {
+        self.lanes
+            .get(core as usize)
+            .map_or_else(LaneStats::default, |row| row[kind.index()])
+    }
+
+    /// Sum of all kinds for one core.
+    pub fn core_total(&self, core: u8) -> LaneStats {
+        let mut total = LaneStats::default();
+        if let Some(row) = self.lanes.get(core as usize) {
+            for lane in row {
+                total.accumulate(lane);
+            }
+        }
+        total
+    }
+
+    /// Sum over every (core, kind) lane — must equal the aggregate
+    /// [`ControllerStats`] counters (the telescoping invariant).
+    pub fn total(&self) -> LaneStats {
+        let mut total = LaneStats::default();
+        for row in &self.lanes {
+            for lane in row {
+                total.accumulate(lane);
+            }
+        }
+        total
+    }
+}
+
 #[derive(Debug, Clone, Copy)]
 struct Pending {
     req: MemRequest,
@@ -150,6 +248,7 @@ pub struct Controller {
     next_refresh: Vec<Cycle>,
     clock: Cycle,
     stats: ControllerStats,
+    lanes: CoreLanes,
     latency_hist: Histogram,
     read_latency_hist: Histogram,
     write_latency_hist: Histogram,
@@ -182,6 +281,7 @@ impl Controller {
             next_refresh,
             clock: 0,
             stats: ControllerStats::default(),
+            lanes: CoreLanes::default(),
             latency_hist: Histogram::new(),
             read_latency_hist: Histogram::new(),
             write_latency_hist: Histogram::new(),
@@ -208,6 +308,11 @@ impl Controller {
     /// Controller statistics.
     pub fn stats(&self) -> &ControllerStats {
         &self.stats
+    }
+
+    /// Per-core × per-kind stat lanes (telescope to [`Self::stats`]).
+    pub fn per_core(&self) -> &CoreLanes {
+        &self.lanes
     }
 
     /// Device command counters (input of the power model).
@@ -402,6 +507,8 @@ impl Controller {
         }
         let refi = self.cfg.device.timing.refi;
         let rfc = self.cfg.device.timing.rfc;
+        // Refresh is rank-level background work with no owning request.
+        self.device.set_command_origin(None);
         for rank in 0..self.cfg.device.ranks {
             while self.next_refresh[rank] <= now {
                 let cmd = Command::refresh(rank);
@@ -468,6 +575,9 @@ impl Controller {
     /// Executes the full command sequence for `p`, returning its completion.
     fn execute(&mut self, p: Pending) -> Completion {
         self.service_refresh(self.clock.max(p.arrival));
+        // Every command issued below (MRS/PRE/ACT plus the column access)
+        // serves this request; stamp its origin for the observer fan-out.
+        self.device.set_command_origin(Some(p.req.prov.core));
         let t = self.cfg.device.timing;
         let loc = p.loc;
         // Start from the request's own arrival: per-bank state machines and
@@ -548,6 +658,7 @@ impl Controller {
             .device
             .issue(&col_cmd, at)
             .expect("column command follows earliest_issue");
+        self.device.set_command_origin(None);
         self.clock = self.clock.max(at);
 
         // A completion earlier than its own arrival means the scheduler (or
@@ -572,11 +683,35 @@ impl Controller {
         }
         self.stats.total_latency += latency;
         self.latency_hist.add(latency);
+        // The per-(core, kind) lane mirrors every per-request aggregate
+        // increment above (plus the row outcome), so lanes telescope.
+        let lane = self.lanes.lane_mut(p.req.prov);
+        match open {
+            Some(row) if row == loc.row => lane.row_hits += 1,
+            Some(_) => lane.row_conflicts += 1,
+            None => lane.row_misses += 1,
+        }
+        if p.req.is_write {
+            lane.writes_done += 1;
+        } else {
+            lane.reads_done += 1;
+        }
+        lane.total_latency += latency;
         let _ = t;
         self.trace.emit(TraceEvent::complete(
             track::REQUESTS,
             Category::Ctrl,
             if p.req.is_write { "write" } else { "read" },
+            at,
+            finish.saturating_sub(at),
+            p.req.id,
+        ));
+        // Same service span again on the issuing core's lane, named by the
+        // lowering path so Perfetto shows where each core's cycles go.
+        self.trace.emit(TraceEvent::complete(
+            track::core(p.req.prov.core),
+            Category::Ctrl,
+            p.req.prov.kind.label(),
             at,
             finish.saturating_sub(at),
             p.req.id,
@@ -628,6 +763,7 @@ impl Controller {
         };
         if starved {
             self.stats.starvation_forced += 1;
+            self.lanes.lane_mut(pending.req.prov).starvation_forced += 1;
             self.trace.emit(TraceEvent::instant(
                 track::CTRL,
                 Category::Ctrl,

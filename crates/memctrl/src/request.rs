@@ -37,6 +37,87 @@ impl StrideSpec {
     }
 }
 
+/// Which lowering path produced a request. Purely descriptive: the
+/// scheduler never reads it, so tagging a stream differently cannot
+/// change timing — it only changes how completions are attributed in
+/// per-core statistics lanes and trace lanes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ReqKind {
+    /// A demand fill a core is architecturally waiting on.
+    #[default]
+    Demand,
+    /// A dirty-eviction writeback (regular or stride-combined).
+    Writeback,
+    /// A speculative next-line prefetch fill.
+    Prefetch,
+    /// An embedded-ECC code read/RMW burst (GS-DRAM-ecc).
+    EccExtra,
+    /// Fire-and-forget side traffic (e.g. RC-NVM-bit sub-field bursts).
+    Traffic,
+}
+
+impl ReqKind {
+    /// Number of kinds (the per-core lane fan-out width).
+    pub const COUNT: usize = 5;
+
+    /// All kinds, in lane-index order.
+    pub const ALL: [ReqKind; Self::COUNT] = [
+        ReqKind::Demand,
+        ReqKind::Writeback,
+        ReqKind::Prefetch,
+        ReqKind::EccExtra,
+        ReqKind::Traffic,
+    ];
+
+    /// Dense lane index in `0..COUNT`.
+    pub fn index(self) -> usize {
+        match self {
+            ReqKind::Demand => 0,
+            ReqKind::Writeback => 1,
+            ReqKind::Prefetch => 2,
+            ReqKind::EccExtra => 3,
+            ReqKind::Traffic => 4,
+        }
+    }
+
+    /// Stable lower-case label used in trace slices and JSON keys.
+    pub fn label(self) -> &'static str {
+        match self {
+            ReqKind::Demand => "demand",
+            ReqKind::Writeback => "writeback",
+            ReqKind::Prefetch => "prefetch",
+            ReqKind::EccExtra => "ecc",
+            ReqKind::Traffic => "traffic",
+        }
+    }
+}
+
+/// Where a request came from: the issuing core and the lowering path.
+///
+/// Defaults to core 0 / [`ReqKind::Demand`], which is what the bare
+/// constructors tag — single-stream callers (tests, the stress engine)
+/// keep compiling unchanged while the system simulator stamps real
+/// origins via [`MemRequest::with_provenance`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Provenance {
+    /// Issuing core (0-based).
+    pub core: u8,
+    /// Lowering path that produced the request.
+    pub kind: ReqKind,
+}
+
+impl Provenance {
+    /// Provenance for `core` and `kind`.
+    pub fn new(core: u8, kind: ReqKind) -> Self {
+        Self { core, kind }
+    }
+
+    /// A demand access from `core`.
+    pub fn demand(core: u8) -> Self {
+        Self::new(core, ReqKind::Demand)
+    }
+}
+
 /// One memory request (one burst).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct MemRequest {
@@ -51,6 +132,9 @@ pub struct MemRequest {
     /// Narrow (sub-ranked, 16B) burst: occupies one channel sub-lane,
     /// selected by address bits [4, 6) (the AGMS/DGMS baselines).
     pub narrow: bool,
+    /// Issuing core and lowering path (attribution only; never scheduled
+    /// on).
+    pub prov: Provenance,
 }
 
 impl MemRequest {
@@ -62,6 +146,7 @@ impl MemRequest {
             is_write: false,
             stride: None,
             narrow: false,
+            prov: Provenance::default(),
         }
     }
 
@@ -73,6 +158,7 @@ impl MemRequest {
             is_write: true,
             stride: None,
             narrow: false,
+            prov: Provenance::default(),
         }
     }
 
@@ -84,6 +170,7 @@ impl MemRequest {
             is_write: false,
             stride: Some(spec),
             narrow: false,
+            prov: Provenance::default(),
         }
     }
 
@@ -95,6 +182,7 @@ impl MemRequest {
             is_write: true,
             stride: Some(spec),
             narrow: false,
+            prov: Provenance::default(),
         }
     }
 
@@ -106,6 +194,7 @@ impl MemRequest {
             is_write: false,
             stride: None,
             narrow: true,
+            prov: Provenance::default(),
         }
     }
 
@@ -117,7 +206,15 @@ impl MemRequest {
             is_write: true,
             stride: None,
             narrow: true,
+            prov: Provenance::default(),
         }
+    }
+
+    /// Returns the request re-tagged with `prov` (builder style, so the
+    /// positional constructors keep their signatures).
+    pub fn with_provenance(mut self, prov: Provenance) -> Self {
+        self.prov = prov;
+        self
     }
 
     /// The channel sub-lane a narrow request uses (address bits [4, 6)).
@@ -163,6 +260,31 @@ mod tests {
     fn granularity_specs() {
         assert_eq!(StrideSpec::ssc().gather, 4);
         assert_eq!(StrideSpec::ssc_dsd().gather, 8);
+    }
+
+    #[test]
+    fn provenance_defaults_and_rebinding() {
+        let r = MemRequest::read(1, 0x40);
+        assert_eq!(r.prov, Provenance::default());
+        assert_eq!(r.prov.core, 0);
+        assert_eq!(r.prov.kind, ReqKind::Demand);
+        let tagged = r.with_provenance(Provenance::new(3, ReqKind::Writeback));
+        assert_eq!(tagged.prov.core, 3);
+        assert_eq!(tagged.prov.kind, ReqKind::Writeback);
+        // Re-tagging never changes what the scheduler sees.
+        assert_eq!((tagged.id, tagged.addr, tagged.is_write), (1, 0x40, false));
+    }
+
+    #[test]
+    fn kind_lane_indices_are_dense_and_stable() {
+        for (i, k) in ReqKind::ALL.iter().enumerate() {
+            assert_eq!(k.index(), i);
+        }
+        let labels: Vec<&str> = ReqKind::ALL.iter().map(|k| k.label()).collect();
+        assert_eq!(
+            labels,
+            ["demand", "writeback", "prefetch", "ecc", "traffic"]
+        );
     }
 
     #[test]

@@ -268,6 +268,33 @@ pub fn run_stream_instrumented(
 
     out.starved = ctrl.stats().starvation_forced;
     out.refreshes = ctrl.stats().refreshes;
+
+    // Lane conservation: the provenance lanes must telescope to the
+    // aggregate counters exactly, on every stream, tagged or not.
+    let lanes = ctrl.per_core().total();
+    let stats = ctrl.stats();
+    let mismatches: Vec<String> = [
+        ("row_hits", lanes.row_hits, stats.row_hits),
+        ("row_misses", lanes.row_misses, stats.row_misses),
+        ("row_conflicts", lanes.row_conflicts, stats.row_conflicts),
+        ("reads_done", lanes.reads_done, stats.reads_done),
+        ("writes_done", lanes.writes_done, stats.writes_done),
+        ("total_latency", lanes.total_latency, stats.total_latency),
+        ("starved", lanes.starvation_forced, stats.starvation_forced),
+    ]
+    .iter()
+    .filter(|(_, lane, agg)| lane != agg)
+    .map(|(field, lane, agg)| format!("{field}: lanes {lane} vs aggregate {agg}"))
+    .collect();
+    if !mismatches.is_empty() {
+        out.violations.push(Violation {
+            kind: InvariantKind::LaneConservation,
+            request_id: u64::MAX,
+            at: now,
+            detail: mismatches.join(", "),
+        });
+    }
+
     ctrl.finish_epochs(now);
     out
 }

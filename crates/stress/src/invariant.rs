@@ -16,6 +16,11 @@
 //!   small.
 //! * **ForwardProgress** — the scheduler never goes idle with work
 //!   queued, and every admitted request completes by end of stream.
+//! * **LaneConservation** — the per-(core, kind) provenance lanes
+//!   telescope to the aggregate controller counters exactly: no completed
+//!   burst is double-charged to or dropped from the attribution
+//!   accounting (refreshes are excluded by construction — rank-level
+//!   background work no request owns).
 
 use sam_dram::Cycle;
 
@@ -30,6 +35,9 @@ pub enum InvariantKind {
     /// The scheduler idled with work queued, or a request never
     /// completed.
     ForwardProgress,
+    /// The per-core provenance lanes did not sum to the aggregate
+    /// controller counters.
+    LaneConservation,
 }
 
 impl InvariantKind {
@@ -39,6 +47,7 @@ impl InvariantKind {
             InvariantKind::ReadResidencyBound => "ReadResidencyBound",
             InvariantKind::WatermarkSupremacy => "WatermarkSupremacy",
             InvariantKind::ForwardProgress => "ForwardProgress",
+            InvariantKind::LaneConservation => "LaneConservation",
         }
     }
 }

@@ -66,6 +66,25 @@ fn base_fields(ev: &TraceEvent, ph: &str, pid: u64) -> Vec<(String, Json)> {
     ]
 }
 
+/// The per-core provenance-lane slice names the controller emits (one per
+/// `ReqKind`), with the reserved Chrome color each renders in. Shared by
+/// the exporter (colorization) and the lint (core lanes must carry only
+/// these slices).
+const CORE_LANE_KINDS: [(&str, &str); 5] = [
+    ("demand", "thread_state_running"),
+    ("writeback", "thread_state_iowait"),
+    ("prefetch", "thread_state_runnable"),
+    ("ecc", "terrible"),
+    ("traffic", "grey"),
+];
+
+fn core_lane_color(name: &str) -> Option<&'static str> {
+    CORE_LANE_KINDS
+        .iter()
+        .find(|(kind, _)| *kind == name)
+        .map(|(_, color)| *color)
+}
+
 fn epoch_row_json(row: &EpochRow) -> Json {
     let d = &row.delta;
     let mut pairs = vec![
@@ -136,6 +155,11 @@ pub fn chrome_trace(bin: &str, runs: &[RunTrace]) -> Json {
                 EventKind::Complete => {
                     let mut fields = base_fields(ev, "X", pid);
                     fields.push(("dur".into(), Json::UInt(ev.dur)));
+                    if ev.track >= track::CORE0 {
+                        if let Some(color) = core_lane_color(ev.name) {
+                            fields.push(("cname".into(), Json::str(color)));
+                        }
+                    }
                     fields.push(("args".into(), Json::object([("value", Json::UInt(ev.arg))])));
                     trace_events.push(Json::Object(fields));
                 }
@@ -263,6 +287,20 @@ pub fn lint_chrome_trace(doc: &Json) -> Result<TraceSummary, String> {
             continue;
         }
         let ts = require_uint(ev, "ts", &what)?;
+        // Per-core provenance lanes carry only self-contained per-kind
+        // service slices; anything else there is a misrouted event.
+        if tid >= track::CORE0 as u64 {
+            if ph != "X" {
+                return Err(format!(
+                    "{what}: core lane tid {tid} carries phase \"{ph}\" (only \"X\" slices allowed)"
+                ));
+            }
+            if core_lane_color(&name).is_none() {
+                return Err(format!(
+                    "{what}: core lane tid {tid} carries unknown slice \"{name}\""
+                ));
+            }
+        }
         match last_ts.entry(pid) {
             std::collections::hash_map::Entry::Occupied(mut e) => {
                 let (prev, at) = *e.get();
@@ -489,6 +527,41 @@ mod tests {
         let text = doc.to_string();
         let reparsed = Json::parse(&text).expect("writer output parses");
         assert_eq!(lint_chrome_trace(&reparsed).unwrap().epoch_rows, 2);
+    }
+
+    #[test]
+    fn core_lane_slices_are_colorized_and_lint_clean() {
+        let events = vec![
+            TraceEvent::complete(track::core(0), Category::Ctrl, "demand", 10, 30, 1),
+            TraceEvent::complete(track::core(1), Category::Ctrl, "writeback", 20, 12, 2),
+            TraceEvent::complete(track::core(1), Category::Ctrl, "ecc", 40, 6, 3),
+        ];
+        let doc = chrome_trace("fig12", &[run_with(events)]);
+        let summary = lint_chrome_trace(&doc).expect("core lanes are clean");
+        assert_eq!(summary.complete, 3);
+        let text = doc.to_string();
+        assert!(text.contains("\"cname\""), "core slices carry a color");
+        assert!(text.contains("core0") && text.contains("core1"));
+    }
+
+    #[test]
+    fn lint_rejects_misrouted_core_lane_events() {
+        let doc = Json::parse(
+            r#"{"traceEvents":[
+                {"name":"read","ph":"X","ts":1,"dur":2,"pid":1,"tid":256}
+            ]}"#,
+        )
+        .unwrap();
+        assert!(lint_chrome_trace(&doc)
+            .unwrap_err()
+            .contains("unknown slice"));
+        let doc = Json::parse(
+            r#"{"traceEvents":[
+                {"name":"demand","ph":"i","ts":1,"pid":1,"tid":256,"s":"t"}
+            ]}"#,
+        )
+        .unwrap();
+        assert!(lint_chrome_trace(&doc).unwrap_err().contains("phase"));
     }
 
     #[test]

@@ -170,6 +170,10 @@ pub mod track {
     pub const RANK0: u32 = 8;
     /// First bank lane; see [`bank`].
     pub const BANK0: u32 = 32;
+    /// First per-core provenance lane; see [`core`]. Sits above the bank
+    /// block (DDR4 server geometry tops out at `BANK0 + 63`), leaving room
+    /// for denser bank geometries without moving the core lanes.
+    pub const CORE0: u32 = 256;
 
     /// The lane for rank `rank` (refresh windows, MRS mode switches).
     pub fn rank(rank: usize) -> u32 {
@@ -182,6 +186,12 @@ pub mod track {
         BANK0 + (rank as u32) * 16 + (bank_group as u32) * 4 + bank as u32
     }
 
+    /// The provenance lane for `core`: one timeline per issuing core,
+    /// carrying per-kind request-service spans.
+    pub fn core(core: u8) -> u32 {
+        CORE0 + core as u32
+    }
+
     /// Human-readable lane name (the Chrome `thread_name` metadata).
     pub fn name(track: u32) -> String {
         match track {
@@ -191,10 +201,11 @@ pub mod track {
             REQUESTS => "requests".into(),
             CACHE => "cache".into(),
             t if (RANK0..BANK0).contains(&t) => format!("rank{}", t - RANK0),
-            t if t >= BANK0 => {
+            t if (BANK0..CORE0).contains(&t) => {
                 let b = t - BANK0;
                 format!("r{}bg{}b{}", b / 16, (b % 16) / 4, b % 4)
             }
+            t if t >= CORE0 => format!("core{}", t - CORE0),
             t => format!("track{t}"),
         }
     }
@@ -227,6 +238,9 @@ mod tests {
                 }
             }
         }
+        for core in 0..=u8::MAX {
+            assert!(seen.insert(track::core(core)), "core lane {core} collides");
+        }
         for fixed in [
             track::CTRL,
             track::READQ,
@@ -243,6 +257,8 @@ mod tests {
         assert_eq!(track::name(track::CTRL), "controller");
         assert_eq!(track::name(track::rank(1)), "rank1");
         assert_eq!(track::name(track::bank(1, 2, 3)), "r1bg2b3");
+        assert_eq!(track::name(track::core(0)), "core0");
+        assert_eq!(track::name(track::core(3)), "core3");
     }
 
     #[test]
