@@ -18,6 +18,16 @@ cargo build --release --workspace
 echo "==> cargo test"
 cargo test --workspace -q
 
+echo "==> sam-analyze selftest + static-analysis gate"
+# First prove every rule still fires on its known-bad fixture, then hold
+# the workspace to zero unwaived findings and schema-lint the report the
+# same way every other results/ document is gated.
+cargo run --release -p sam-bench --bin sam-analyze -- --selftest
+rm -f results/analyze.json
+cargo run --release -p sam-bench --bin sam-analyze -- --deny-all
+[ -f results/analyze.json ] || { echo "results/analyze.json was not written"; exit 1; }
+cargo run --release -p sam-bench --bin sam-check -- lint-json results/analyze.json
+
 echo "==> sam-check selftest"
 cargo run --release -p sam-bench --bin sam-check -- selftest
 

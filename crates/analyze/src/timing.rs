@@ -1,0 +1,77 @@
+//! The semantic pass: every `Design` in the sweep matrix is validated
+//! against the JEDEC relational constraints of
+//! [`TimingParams::check_relations`] without running a single simulated
+//! cycle. A silently-inconsistent derived parameter set (area scaling, a
+//! substrate swap, a fine-granularity refresh mode) would not crash a
+//! sweep — it would quietly skew 20M commands of results; this pass makes
+//! it fail in milliseconds instead.
+
+use sam::designs::all_designs;
+use sam_dram::timing::{RefreshMode, Substrate, TimingParams};
+
+use crate::report::Finding;
+
+/// The refresh modes the figure sweeps exercise.
+const MODES: [(RefreshMode, &str); 3] = [
+    (RefreshMode::Fgr1x, "1x"),
+    (RefreshMode::Fgr2x, "2x"),
+    (RefreshMode::Fgr4x, "4x"),
+];
+
+/// Validates one derived parameter set, tagging violations with the
+/// configuration's pseudo-path.
+fn check_one(timing: &TimingParams, pseudo_path: &str, out: &mut Vec<Finding>) {
+    for message in timing.check_relations() {
+        out.push(Finding {
+            rule: "timing",
+            path: pseudo_path.to_string(),
+            line: 0,
+            message,
+        });
+    }
+}
+
+/// Validates the whole sweep matrix: every design from
+/// [`sam::designs::all_designs`], on both substrates (the Figure 14(a)
+/// swap), under every fine-granularity refresh mode. Returns the number
+/// of configurations checked alongside any violations.
+pub fn sweep_matrix_findings(out: &mut Vec<Finding>) -> usize {
+    let mut configs = 0;
+    for design in all_designs() {
+        for substrate in [Substrate::Dram, Substrate::Rram] {
+            let swapped = design.clone().with_substrate(substrate);
+            let base = swapped.device_config().timing;
+            for (mode, label) in MODES {
+                let timing = base.with_refresh_mode(mode);
+                let pseudo_path =
+                    format!("design:{} substrate={} fgr={label}", design.name, substrate);
+                check_one(&timing, &pseudo_path, out);
+                configs += 1;
+            }
+        }
+    }
+    configs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_matrix_is_clean_and_counts_configs() {
+        let mut out = Vec::new();
+        let configs = sweep_matrix_findings(&mut out);
+        assert_eq!(configs, all_designs().len() * 2 * 3);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn bad_parameters_produce_timing_findings() {
+        let mut t = TimingParams::ddr4_2400();
+        t.ras = 5;
+        let mut out = Vec::new();
+        check_one(&t, "design:bad", &mut out);
+        assert!(!out.is_empty());
+        assert!(out.iter().all(|f| f.rule == "timing" && f.line == 0));
+    }
+}

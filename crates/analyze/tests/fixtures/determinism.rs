@@ -1,0 +1,10 @@
+// Fixture: determinism violations. Never compiled — scanned by
+// `sam-analyze --selftest` under a synthetic workspace path.
+use std::collections::HashMap;
+
+pub fn racy_summary() -> HashMap<String, u64> {
+    let started = std::time::Instant::now();
+    let mut out = HashMap::new();
+    out.insert("elapsed".to_string(), started.elapsed().as_nanos() as u64);
+    out
+}

@@ -1,0 +1,10 @@
+// Fixture: feature-inertness violation — trace-gated code mutating a
+// stats counter that feeds measured results.
+#[cfg(feature = "trace")]
+pub fn leak_into_stats(ctrl: &mut Controller) {
+    ctrl.stats.row_hits += 1;
+}
+
+pub fn untracked_is_fine(ctrl: &mut Controller) {
+    ctrl.stats.row_hits += 1;
+}

@@ -1,0 +1,11 @@
+// Fixture: observer-purity violation — a CommandObserver implementation
+// outside crates/check and crates/trace.
+struct Spy {
+    commands: u64,
+}
+
+impl CommandObserver for Spy {
+    fn command(&mut self, _cmd: &Command, _at: Cycle) {
+        self.commands += 1;
+    }
+}

@@ -1,0 +1,8 @@
+// Fixture: provenance-purity violation. Scanned under the synthetic path
+// crates/memctrl/src/sched_biased.rs so the sched* rule applies.
+pub fn biased_pick(queue: &[Pending]) -> usize {
+    queue
+        .iter()
+        .position(|p| p.req.prov.core == 0)
+        .unwrap_or(0)
+}

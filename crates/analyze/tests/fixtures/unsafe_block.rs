@@ -1,0 +1,4 @@
+// Fixture: unsafe-audit violation.
+pub fn peek(p: *const u64) -> u64 {
+    unsafe { *p }
+}

@@ -1,0 +1,5 @@
+// Fixture: a violation suppressed by a line waiver, plus one left bare.
+// sam-analyze: allow(determinism, "fixture: demonstrates a waived finding")
+use std::collections::HashSet;
+
+pub fn unwaived() { let _: HashSet<u8> = HashSet::new(); }

@@ -1,0 +1,9 @@
+// Fixture: a file-scoped waiver covering multiple findings.
+// sam-analyze: allow-file(unsafe-audit, "fixture: file-scoped waiver")
+pub fn first(p: *const u64) -> u64 {
+    unsafe { *p }
+}
+
+pub fn second(p: *const u64) -> u64 {
+    unsafe { *p }
+}

@@ -1,0 +1,46 @@
+//! Pins the feature-inertness rule's field list to the real
+//! `ControllerStats`/`LaneStats` structs: if a stats field is added or
+//! renamed in `sam-memctrl`, this test fails until `rules::STATS_FIELDS`
+//! is updated, so the rule cannot silently go stale.
+//!
+//! The structs derive `Debug`, so the canonical field names are readable
+//! from the debug representation of their `Default` values without any
+//! reflection machinery.
+
+use sam_analyze::rules::STATS_FIELDS;
+
+fn debug_field_names(debug: &str) -> Vec<String> {
+    // `Name { field_a: 0, field_b: 0 }` — split on the braces, take the
+    // identifier before each `:`.
+    let body = debug
+        .split_once('{')
+        .map_or(debug, |(_, b)| b)
+        .trim_end_matches('}');
+    body.split(',')
+        .filter_map(|part| part.split_once(':').map(|(k, _)| k.trim().to_string()))
+        .filter(|k| !k.is_empty())
+        .collect()
+}
+
+#[test]
+fn stats_fields_match_the_real_structs() {
+    use sam_memctrl::controller::{ControllerStats, LaneStats};
+    let controller = format!("{:?}", ControllerStats::default());
+    let lane = format!("{:?}", LaneStats::default());
+    let mut union: Vec<String> = debug_field_names(&controller);
+    for f in debug_field_names(&lane) {
+        if !union.contains(&f) {
+            union.push(f);
+        }
+    }
+    union.sort();
+    let mut ours: Vec<String> = STATS_FIELDS
+        .iter()
+        .map(std::string::ToString::to_string)
+        .collect();
+    ours.sort();
+    assert_eq!(
+        ours, union,
+        "rules::STATS_FIELDS is out of sync with ControllerStats/LaneStats"
+    );
+}

@@ -163,18 +163,18 @@ fn bench_ecc(c: &mut Criterion) {
     let cw = ssc.encode(&data16);
     group.bench_function("ssc_encode", |b| b.iter(|| black_box(ssc.encode(&data16))));
     group.bench_function("ssc_decode_clean", |b| {
-        b.iter(|| black_box(ssc.decode(&cw)))
+        b.iter(|| black_box(ssc.decode(&cw)));
     });
     group.bench_function("ssc_decode_correct", |b| {
         let mut bad = cw.clone();
         bad[7] ^= 0x5A;
-        b.iter(|| black_box(ssc.decode(&bad)))
+        b.iter(|| black_box(ssc.decode(&bad)));
     });
     let dsd = SscDsdCode::new();
     let data32: Vec<u8> = (0..32).map(|i| i % 16).collect();
     let cw2 = dsd.encode(&data32);
     group.bench_function("ssc_dsd_encode", |b| {
-        b.iter(|| black_box(dsd.encode(&data32)))
+        b.iter(|| black_box(dsd.encode(&data32)));
     });
     group.bench_function("ssc_dsd_decode", |b| b.iter(|| black_box(dsd.decode(&cw2))));
     let secded = SecDed::new();
@@ -182,7 +182,7 @@ fn bench_ecc(c: &mut Criterion) {
         b.iter(|| {
             let cw = secded.encode(black_box(0xDEAD_BEEF_0123_4567));
             black_box(secded.decode(cw).unwrap())
-        })
+        });
     });
     group.finish();
 }
@@ -207,7 +207,7 @@ fn bench_device(c: &mut Criterion) {
                 t = p;
             }
             black_box(dev.stats().acts)
-        })
+        });
     });
     group.finish();
 }

@@ -10,7 +10,7 @@ use sam_imdb::query::Query;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let qname = args.get(1).map(String::as_str).unwrap_or("Q3");
+    let qname = args.get(1).map_or("Q3", String::as_str);
     let rows: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(4096);
     let query = match qname {
         "Q1" => Query::Q1,

@@ -1,0 +1,111 @@
+//! sam-analyze: the workspace static-analysis pass.
+//!
+//! ```text
+//! cargo run --release -p sam-bench --bin sam-analyze -- [flags]
+//!
+//!   --deny-all     exit 1 if any unwaived finding remains (the CI gate)
+//!   --selftest     prove every rule fires on its known-bad fixture
+//!   --out PATH     where to write the JSON report
+//!                  (default: results/analyze.json)
+//!   --root PATH    workspace root to analyze (default: .)
+//! ```
+//!
+//! Runs the six source rules over every `crates/*/src` file, the flag–doc
+//! consistency rule against README.md/DESIGN.md, and the JEDEC timing
+//! pass over the full design sweep matrix — all without simulating a
+//! cycle. Unknown flags are a hard error, like every other binary here.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    deny_all: bool,
+    selftest: bool,
+    out: PathBuf,
+    root: PathBuf,
+}
+
+const USAGE: &str = "usage: sam-analyze [--deny-all] [--selftest] [--out PATH] [--root PATH]";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        deny_all: false,
+        selftest: false,
+        out: PathBuf::from("results/analyze.json"),
+        root: PathBuf::from("."),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--deny-all" => args.deny_all = true,
+            "--selftest" => args.selftest = true,
+            "--out" => {
+                args.out = PathBuf::from(it.next().ok_or("--out needs a path")?);
+            }
+            "--root" => {
+                args.root = PathBuf::from(it.next().ok_or("--root needs a path")?);
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("sam-analyze: {e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    if args.selftest {
+        return match sam_analyze::selftest::run() {
+            Ok(lines) => {
+                for line in lines {
+                    println!("sam-analyze selftest: {line}");
+                }
+                println!("sam-analyze selftest: all rules fire");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("sam-analyze selftest FAILED: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    let report = match sam_analyze::analyze_workspace(&args.root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("sam-analyze: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    print!("{}", report.human());
+    if let Some(dir) = args.out.parent() {
+        if !dir.as_os_str().is_empty() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("sam-analyze: cannot create {}: {e}", dir.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let json = report.to_json().to_string();
+    if let Err(e) = std::fs::write(&args.out, json + "\n") {
+        eprintln!("sam-analyze: cannot write {}: {e}", args.out.display());
+        return ExitCode::from(2);
+    }
+    println!("sam-analyze: wrote {}", args.out.display());
+    if args.deny_all && !report.clean() {
+        eprintln!(
+            "sam-analyze: --deny-all: {} unwaived finding(s)",
+            report.findings.len()
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

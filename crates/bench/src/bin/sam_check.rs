@@ -124,6 +124,27 @@ fn lint_json(path: &str) -> i32 {
             return 1;
         }
     };
+    if matches!(doc.get("bin"), Some(Json::Str(s)) if s == "sam-analyze") {
+        return match sam_analyze::report::lint_analyze_json(&doc) {
+            Ok(()) => {
+                let count = |key: &str| {
+                    doc.get(key)
+                        .and_then(Json::as_array)
+                        .map_or(0, <[Json]>::len)
+                };
+                println!(
+                    "{path}: valid analyze report ({} finding(s), {} waived)",
+                    count("findings"),
+                    count("waived")
+                );
+                0
+            }
+            Err(e) => {
+                eprintln!("sam-check: {path}: schema violation: {e}");
+                1
+            }
+        };
+    }
     if matches!(doc.get("bin"), Some(Json::Str(s)) if s == "stress") {
         return match sam_stress::lint_stress_json(&doc) {
             Ok(s) => {

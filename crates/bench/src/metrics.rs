@@ -283,7 +283,7 @@ impl MetricsReport {
     /// `flamegraph.pl`-compatible tooling, or read it as a table.
     pub fn rollup_json(&self) -> Json {
         let mut order: Vec<String> = Vec::new();
-        let mut cycles: std::collections::HashMap<String, u64> = std::collections::HashMap::new();
+        let mut cycles: std::collections::BTreeMap<String, u64> = std::collections::BTreeMap::new();
         for run in &self.runs {
             for core in 0..run.per_core.cores() {
                 for kind in ReqKind::ALL {
@@ -622,6 +622,16 @@ mod tests {
         let doc = Json::parse(&report.to_json().to_string()).unwrap();
         let e = lint_metrics_json(&doc).unwrap_err();
         assert!(e.contains("telescope"), "{e}");
+    }
+
+    /// Two independently-built reports must fold to the same bytes: the
+    /// rollup's interior cycle map is a `BTreeMap` so stack order cannot
+    /// depend on hash state.
+    #[test]
+    fn rollup_is_byte_identical_across_builds() {
+        let a = sample_report().rollup_json().to_string();
+        let b = sample_report().rollup_json().to_string();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -23,9 +23,7 @@ use std::sync::Mutex;
 /// The number of workers used when `--jobs` is not given: the machine's
 /// available parallelism (1 if that cannot be determined).
 pub fn default_jobs() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
 }
 
 /// One unit of work: a label identifying the configuration (shown when the
@@ -35,6 +33,14 @@ pub struct SweepTask<'a, T> {
     pub label: String,
     /// The simulation run itself.
     pub run: Box<dyn FnOnce() -> T + Send + 'a>,
+}
+
+impl<T> std::fmt::Debug for SweepTask<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SweepTask")
+            .field("label", &self.label)
+            .finish_non_exhaustive()
+    }
 }
 
 impl<'a, T> SweepTask<'a, T> {

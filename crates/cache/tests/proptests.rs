@@ -50,7 +50,7 @@ proptest! {
                     let r = h.access(addr, kind);
                     if !r.memory_fill_needed() {
                         let (line, s) = split_sector(addr);
-                        let filled = reference.get(&line).map(|m| m[s]).unwrap_or(false);
+                        let filled = reference.get(&line).is_some_and(|m| m[s]);
                         prop_assert!(filled, "hit on never-filled sector {addr:#x}");
                     }
                 }

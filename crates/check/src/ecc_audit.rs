@@ -14,7 +14,7 @@ use sam_ecc::layout::{
     scatter_codewords, Burst, CodewordLayout, BEATS, CHIPS, CODEWORDS_PER_BURST, PINS,
     PINS_PER_CHIP,
 };
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// One layout defect found by the auditor.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -47,7 +47,7 @@ where
     F: Fn(&[[u8; CHIPS]; CODEWORDS_PER_BURST]) -> Burst,
 {
     let mut faults = Vec::new();
-    let mut slot_users: HashMap<(usize, usize), (usize, usize, usize)> = HashMap::new();
+    let mut slot_users: BTreeMap<(usize, usize), (usize, usize, usize)> = BTreeMap::new();
     for w in 0..CODEWORDS_PER_BURST {
         for chip in 0..CHIPS {
             for bit in 0..SYMBOL_BITS {

@@ -19,7 +19,7 @@
 use sam_cache::hierarchy::Hierarchy;
 use sam_cache::set_assoc::{LineView, SetAssocCache};
 use sam_cache::SECTORS_PER_LINE;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// A cache invariant the checker can find violated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -80,7 +80,7 @@ pub fn check_lines(
     lines: impl Iterator<Item = LineView>,
 ) -> Vec<CacheViolation> {
     let mut violations = Vec::new();
-    let mut tags_by_set: HashMap<usize, HashSet<u64>> = HashMap::new();
+    let mut tags_by_set: BTreeMap<usize, BTreeSet<u64>> = BTreeMap::new();
     for line in lines {
         if !tags_by_set.entry(line.set).or_default().insert(line.tag) {
             violations.push(CacheViolation {
@@ -139,7 +139,7 @@ pub fn check_inclusion(h: &Hierarchy) -> Vec<CacheViolation> {
     for (upper_name, upper, lower_name, lower) in
         [("L1", h.l1(), "L2", h.l2()), ("L2", h.l2(), "LLC", h.llc())]
     {
-        let lower_lines: HashSet<u64> = lower.lines().map(|l| l.line_addr).collect();
+        let lower_lines: BTreeSet<u64> = lower.lines().map(|l| l.line_addr).collect();
         for line in upper.lines() {
             if !lower_lines.contains(&line.line_addr) {
                 violations.push(CacheViolation {

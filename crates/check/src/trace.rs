@@ -179,7 +179,7 @@ fn format_command(cmd: &Command, at: Cycle) -> String {
     }
 }
 
-fn kv(pairs: &mut std::collections::HashMap<String, String>, token: &str) -> Result<(), String> {
+fn kv(pairs: &mut std::collections::BTreeMap<String, String>, token: &str) -> Result<(), String> {
     let (k, v) = token
         .split_once('=')
         .ok_or_else(|| format!("expected key=value, got {token}"))?;
@@ -188,7 +188,7 @@ fn kv(pairs: &mut std::collections::HashMap<String, String>, token: &str) -> Res
 }
 
 fn req_num<T: std::str::FromStr>(
-    pairs: &std::collections::HashMap<String, String>,
+    pairs: &std::collections::BTreeMap<String, String>,
     key: &str,
 ) -> Result<T, String> {
     pairs
@@ -204,8 +204,8 @@ fn req_num<T: std::str::FromStr>(
 ///
 /// Returns a description of the first malformed line.
 pub fn parse_trace(text: &str) -> Result<(OracleConfig, Vec<(Command, Cycle)>), String> {
-    let mut geometry: Option<std::collections::HashMap<String, String>> = None;
-    let mut timing: Option<std::collections::HashMap<String, String>> = None;
+    let mut geometry: Option<std::collections::BTreeMap<String, String>> = None;
+    let mut timing: Option<std::collections::BTreeMap<String, String>> = None;
     let mut cmds = Vec::new();
     for (ln, raw) in text.lines().enumerate() {
         let line = raw.trim();
@@ -217,7 +217,7 @@ pub fn parse_trace(text: &str) -> Result<(OracleConfig, Vec<(Command, Cycle)>), 
         let first = tokens.next().unwrap();
         match first {
             "geometry" | "timing" => {
-                let mut pairs = std::collections::HashMap::new();
+                let mut pairs = std::collections::BTreeMap::new();
                 for token in tokens {
                     kv(&mut pairs, token).map_err(err)?;
                 }

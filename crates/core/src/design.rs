@@ -180,6 +180,12 @@ impl Design {
             Substrate::Rram => DeviceConfig::rram_server(),
         };
         let timing = base.timing.scaled_by_area(self.area_overhead);
+        debug_assert!(
+            timing.check_relations().is_empty(),
+            "design {:?} derives JEDEC-inconsistent timing: {:?}",
+            self.name,
+            timing.check_relations()
+        );
         base.with_timing(timing)
     }
 

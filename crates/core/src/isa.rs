@@ -17,7 +17,7 @@
 //! `sload`-based field-scan kernel (a) computes the same result as a scalar
 //! kernel and (b) emits strided accesses.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Machine registers (x0 is hardwired to zero, as tradition demands).
 pub const NUM_REGS: usize = 16;
@@ -205,7 +205,7 @@ pub enum Stop {
 #[derive(Debug, Clone, Default)]
 pub struct Interpreter {
     regs: [u64; NUM_REGS],
-    memory: HashMap<u64, u64>,
+    memory: BTreeMap<u64, u64>,
     log: Vec<Access>,
 }
 
@@ -258,10 +258,10 @@ impl Interpreter {
             match inst {
                 Inst::Li { rd, imm } => self.set_reg(rd, imm as u64),
                 Inst::Add { rd, rs1, rs2 } => {
-                    self.set_reg(rd, self.reg(rs1).wrapping_add(self.reg(rs2)))
+                    self.set_reg(rd, self.reg(rs1).wrapping_add(self.reg(rs2)));
                 }
                 Inst::Addi { rd, rs1, imm } => {
-                    self.set_reg(rd, self.reg(rs1).wrapping_add_signed(imm as i64))
+                    self.set_reg(rd, self.reg(rs1).wrapping_add_signed(imm as i64));
                 }
                 Inst::Load { rd, rs1, imm } | Inst::SLoad { rd, rs1, imm } => {
                     let addr = self.reg(rs1).wrapping_add_signed(imm as i64);

@@ -17,7 +17,7 @@
 
 use crate::design::Granularity;
 use sam_memctrl::mapping::stride_page_remap;
-use std::collections::HashMap;
+use std::collections::HashMap; // sam-analyze: allow(determinism, "page table is keyed-lookup only; never iterated")
 
 /// Base page size (4KB, Figure 10's page offset).
 pub const PAGE_BYTES: u64 = 4096;
@@ -63,6 +63,7 @@ pub struct AddressSpace {
     granularity: Granularity,
     /// 4KB-granular page table: vpn -> entry (huge pages occupy 512 slots'
     /// worth but are stored once per 4KB vpn for O(1) lookup).
+    // sam-analyze: allow(determinism, "page table is keyed-lookup only; never iterated")
     pages: HashMap<u64, PageEntry>,
     next_frame: u64,
 }
@@ -78,6 +79,7 @@ impl AddressSpace {
         );
         Self {
             granularity,
+            // sam-analyze: allow(determinism, "page table is keyed-lookup only; never iterated")
             pages: HashMap::new(),
             next_frame: phys_base,
         }

@@ -2,7 +2,7 @@
 //! cache-hierarchy front end, and the sliding MLP window (see the module
 //! doc on [`super`] for the overall decomposition).
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use sam_cache::hierarchy::{AccessKind, HitLevel};
 
@@ -72,7 +72,7 @@ impl<'t> Engine<'t> {
                 write,
             } => {
                 let p = &self.placements[*table as usize];
-                let mut seen = HashSet::new();
+                let mut seen = BTreeSet::new();
                 let mut touches = Vec::with_capacity(fields.len());
                 for &f in fields {
                     let addr = p.field_addr(*record, f as u32);
@@ -107,7 +107,7 @@ impl<'t> Engine<'t> {
             } => {
                 let p = &self.placements[*table as usize];
                 let fields = p.spec().fields;
-                let mut seen = HashSet::new();
+                let mut seen = BTreeSet::new();
                 let mut touches = Vec::new();
                 // Touch every field; sector dedup collapses neighbours that
                 // share a 16B sector (adjacent fields in row stores).

@@ -52,6 +52,7 @@ mod core_engine;
 mod datapath;
 mod lowering;
 
+// sam-analyze: allow-file(determinism, "Engine MSHR/fill maps are per-cycle hot structures, keyed-lookup only; iteration order never reaches output")
 use std::collections::{HashMap, HashSet, VecDeque};
 
 use sam_cache::hierarchy::{Hierarchy, HierarchyConfig};
@@ -239,6 +240,19 @@ pub struct Instrumentation<'a> {
     /// Epoch recorder sampling cumulative controller/device counters into
     /// fixed-length-epoch delta rows, plus an end-of-round MLP gauge.
     pub epochs: Option<sam_trace::SharedEpochs>,
+}
+
+impl std::fmt::Debug for Instrumentation<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut d = f.debug_struct("Instrumentation");
+        #[cfg(feature = "check")]
+        d.field("observer", &self.observer.is_some());
+        d.field("cache_probe", &self.cache_probe.is_some())
+            .field("cache_probe_period", &self.cache_probe_period)
+            .field("trace", &self.trace.is_some())
+            .field("epochs", &self.epochs.is_some())
+            .finish()
+    }
 }
 
 /// A configured system ready to run traces.

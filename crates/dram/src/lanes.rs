@@ -42,6 +42,7 @@ impl std::fmt::Debug for CommandLaneTracer {
     }
 }
 
+// sam-analyze: allow(observer-purity, "trace-sink adapter; lives in sam-dram only because sam-trace cannot depend back on Command")
 impl CommandObserver for CommandLaneTracer {
     fn on_command(&mut self, cmd: &Command, at: Cycle) {
         let t = &self.timing;

@@ -205,6 +205,78 @@ impl TimingParams {
         self.cl + self.burst
     }
 
+    /// Validates the JEDEC relational constraints between parameters and
+    /// returns one description per violation (empty = consistent).
+    ///
+    /// These are the invariants a *derived* parameter set (area scaling,
+    /// fine-granularity refresh) must preserve, checked statically by
+    /// `sam-analyze` over the whole sweep matrix and dynamically by a
+    /// `debug_assert!` at `Design` construction:
+    ///
+    /// - `tRAS >= tRCD + burst`: a row must stay open long enough to issue
+    ///   the column access and stream the burst.
+    /// - `|tRC - (tRAS + tRP)| <= 1`: ACT-to-ACT is row-active plus
+    ///   precharge; independent per-field rounding under area scaling can
+    ///   legally drift the sum by one cycle.
+    /// - `tFAW >= 4 * tRRDS`: the four-activate window cannot be tighter
+    ///   than four back-to-back different-bank-group ACTs.
+    /// - `tCCDL >= tCCDS`, `tRRDL >= tRRDS`, `tWTRL >= tWTRS`: same-bank-
+    ///   group spacing is never looser than cross-bank-group spacing.
+    /// - `tREFI >= 2 * tRFC` (refreshing substrates only): a device that
+    ///   spends more than half its time locked out refreshing cannot make
+    ///   forward progress; FGR modes must keep this headroom.
+    pub fn check_relations(&self) -> Vec<String> {
+        let mut violations = Vec::new();
+        let mut expect = |ok: bool, msg: String| {
+            if !ok {
+                violations.push(msg);
+            }
+        };
+        expect(
+            self.ras >= self.rcd + self.burst,
+            format!(
+                "tRAS ({}) < tRCD ({}) + burst ({}): row closes before the column access completes",
+                self.ras, self.rcd, self.burst
+            ),
+        );
+        expect(
+            self.rc.abs_diff(self.ras + self.rp) <= 1,
+            format!(
+                "tRC ({}) != tRAS ({}) + tRP ({}) beyond rounding tolerance",
+                self.rc, self.ras, self.rp
+            ),
+        );
+        expect(
+            self.faw >= 4 * self.rrd_s,
+            format!(
+                "tFAW ({}) < 4 * tRRDS ({}): four-activate window tighter than four ACTs",
+                self.faw, self.rrd_s
+            ),
+        );
+        expect(
+            self.ccd_l >= self.ccd_s,
+            format!("tCCDL ({}) < tCCDS ({})", self.ccd_l, self.ccd_s),
+        );
+        expect(
+            self.rrd_l >= self.rrd_s,
+            format!("tRRDL ({}) < tRRDS ({})", self.rrd_l, self.rrd_s),
+        );
+        expect(
+            self.wtr_l >= self.wtr_s,
+            format!("tWTRL ({}) < tWTRS ({})", self.wtr_l, self.wtr_s),
+        );
+        if self.needs_refresh() {
+            expect(
+                self.refi >= 2 * self.rfc,
+                format!(
+                    "tREFI ({}) < 2 * tRFC ({}): device spends over half its time refreshing",
+                    self.refi, self.rfc
+                ),
+            );
+        }
+        violations
+    }
+
     /// Whether this substrate needs periodic refresh.
     pub fn needs_refresh(&self) -> bool {
         self.refi != u64::MAX
@@ -291,6 +363,46 @@ mod tests {
     fn fgr_is_noop_on_rram() {
         let r = TimingParams::rram();
         assert_eq!(r.with_refresh_mode(RefreshMode::Fgr4x), r);
+    }
+
+    #[test]
+    fn stock_parameter_sets_pass_relational_checks() {
+        assert!(TimingParams::ddr4_2400().check_relations().is_empty());
+        assert!(TimingParams::rram().check_relations().is_empty());
+        for mode in [RefreshMode::Fgr1x, RefreshMode::Fgr2x, RefreshMode::Fgr4x] {
+            let t = TimingParams::ddr4_2400().with_refresh_mode(mode);
+            assert!(
+                t.check_relations().is_empty(),
+                "FGR {mode:?}: {:?}",
+                t.check_relations()
+            );
+        }
+        for overhead in [0.0, 0.007, 0.028, 0.072, 0.33] {
+            for base in [TimingParams::ddr4_2400(), TimingParams::rram()] {
+                let t = base.scaled_by_area(overhead);
+                assert!(
+                    t.check_relations().is_empty(),
+                    "{:?} scaled by {overhead}: {:?}",
+                    base.substrate,
+                    t.check_relations()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn relational_checks_fire_on_bad_parameters() {
+        let mut t = TimingParams::ddr4_2400();
+        t.ras = t.rcd; // row closes before the burst finishes
+        t.faw = 3 * t.rrd_s;
+        t.ccd_l = t.ccd_s - 1;
+        t.refi = t.rfc; // refresh-dominated
+        let v = t.check_relations();
+        assert!(v.iter().any(|m| m.contains("tRAS")), "{v:?}");
+        assert!(v.iter().any(|m| m.contains("tFAW")), "{v:?}");
+        assert!(v.iter().any(|m| m.contains("tCCDL")), "{v:?}");
+        assert!(v.iter().any(|m| m.contains("tREFI")), "{v:?}");
+        assert!(v.iter().any(|m| m.contains("tRC ")), "{v:?}");
     }
 
     #[test]

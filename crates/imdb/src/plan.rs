@@ -463,7 +463,7 @@ mod tests {
     use super::*;
 
     fn count_ops(plan: &Plan) -> usize {
-        plan.traces.iter().map(|t| t.len()).sum()
+        plan.traces.iter().map(std::vec::Vec::len).sum()
     }
 
     #[test]
@@ -563,7 +563,7 @@ mod tests {
             .traces
             .iter()
             .flatten()
-            .filter_map(|op| op.table())
+            .filter_map(sam::ops::TraceOp::table)
             .collect();
         assert_eq!(tables.len(), 2);
     }

@@ -208,14 +208,14 @@ mod tests {
             .iter()
             .chain(Query::qs_set().iter())
             .filter(|q| q.is_write())
-            .map(|q| q.name())
+            .map(super::Query::name)
             .collect();
         assert_eq!(writes, ["Q11", "Q12", "Qs5", "Qs6"]);
     }
 
     #[test]
     fn qs_queries_prefer_row_store() {
-        assert!(Query::qs_set().iter().all(|q| q.prefers_row_store()));
+        assert!(Query::qs_set().iter().all(super::Query::prefers_row_store));
         assert!(Query::q_set().iter().all(|q| !q.prefers_row_store()));
     }
 

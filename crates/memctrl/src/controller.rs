@@ -26,6 +26,7 @@ use sam_dram::Cycle;
 
 use crate::mapping::{AddressMapper, Location};
 use crate::request::{Completion, MemRequest, Provenance, ReqKind};
+use crate::sched;
 use sam_trace::event::track;
 use sam_trace::{Category, EpochCounters, SharedEpochs, SinkSlot, TraceEvent};
 use sam_util::hist::Histogram;
@@ -530,46 +531,33 @@ impl Controller {
         }
     }
 
-    /// Picks the FR-FCFS winner within `queue`: requests are ranked by the
-    /// estimated earliest column-issue cycle (row hits first by
-    /// construction), with arrival order breaking ties. Requests that would
-    /// force an I/O mode switch are charged tRTR in the estimate, which
-    /// makes the scheduler batch same-mode requests and amortize switches
-    /// (the controller behaviour Section 5.3 assumes).
-    ///
-    /// Starvation guard: if the oldest request has already waited more than
-    /// [`ControllerConfig::starvation_cap`] cycles at `now`, it is returned
-    /// directly — first-ready preference must not delay any request
-    /// unboundedly. The second tuple element reports whether the guard
-    /// fired, so the caller can count and trace cap firings.
+    /// Picks the FR-FCFS winner within `queue` by projecting each request
+    /// down to its policy-visible [`sched::SchedView`] (arrival, location,
+    /// required mode — never provenance) and delegating to [`sched::select`].
+    /// The closures hand the policy read-only access to the device's bank
+    /// timing state and per-rank I/O mode.
     fn select(&self, queue: &VecDeque<Pending>, now: Cycle) -> Option<(usize, bool)> {
-        let oldest = queue
-            .iter()
-            .enumerate()
-            .min_by_key(|(i, p)| (p.arrival, *i))?;
-        if now.saturating_sub(oldest.1.arrival) > self.cfg.starvation_cap {
-            return Some((oldest.0, true));
-        }
-        let trtr = self.cfg.device.timing.rtr;
-        let mut best: Option<(Cycle, Cycle, usize)> = None;
-        for (i, p) in queue.iter().enumerate() {
-            let base = now.max(p.arrival);
-            let mut est = self.device.earliest_column_for_row(
-                p.loc.rank,
-                p.loc.bank_group,
-                p.loc.bank,
-                p.loc.row,
-                base,
-            );
-            if self.device.io_mode(p.loc.rank) != p.req.required_mode() {
-                est += trtr;
-            }
-            let key = (est, p.arrival, i);
-            if best.is_none_or(|(be, ba, _)| (est, p.arrival) < (be, ba)) {
-                best = Some(key);
-            }
-        }
-        best.map(|(_, _, i)| (i, false))
+        let d = sched::select(
+            queue.iter().map(|p| sched::SchedView {
+                arrival: p.arrival,
+                loc: p.loc,
+                mode: p.req.required_mode(),
+            }),
+            now,
+            self.cfg.starvation_cap,
+            self.cfg.device.timing.rtr,
+            |loc, base| {
+                self.device.earliest_column_for_row(
+                    loc.rank,
+                    loc.bank_group,
+                    loc.bank,
+                    loc.row,
+                    base,
+                )
+            },
+            |rank| self.device.io_mode(rank),
+        )?;
+        Some((d.index, d.starved))
     }
 
     /// Executes the full command sequence for `p`, returning its completion.
@@ -730,12 +718,12 @@ impl Controller {
     pub fn schedule_one(&mut self, now: Cycle) -> Option<Completion> {
         // Watermark policy.
         let was_draining = self.draining_writes;
-        if self.writeq.len() >= self.cfg.write_high_watermark {
-            self.draining_writes = true;
-        }
-        if self.writeq.len() <= self.cfg.write_low_watermark {
-            self.draining_writes = false;
-        }
+        self.draining_writes = sched::drain_latch(
+            was_draining,
+            self.writeq.len(),
+            self.cfg.write_high_watermark,
+            self.cfg.write_low_watermark,
+        );
         if self.draining_writes != was_draining {
             let ev = if self.draining_writes {
                 TraceEvent::begin(track::CTRL, Category::Ctrl, "write-drain", now)
@@ -744,13 +732,11 @@ impl Controller {
             };
             self.trace.emit(ev);
         }
-        let serve_writes = if self.readq.is_empty() {
-            !self.writeq.is_empty()
-        } else if self.writeq.is_empty() {
-            false
-        } else {
-            self.draining_writes
-        };
+        let serve_writes = sched::serve_writes(
+            self.readq.is_empty(),
+            self.writeq.is_empty(),
+            self.draining_writes,
+        );
         let (queue_is_write, (idx, starved)) = if serve_writes {
             (true, self.select(&self.writeq, now)?)
         } else {

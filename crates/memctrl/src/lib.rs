@@ -26,5 +26,6 @@
 pub mod controller;
 pub mod mapping;
 pub mod request;
+pub mod sched;
 
 pub use sam_dram::Cycle;

@@ -1,0 +1,215 @@
+//! The FR-FCFS scheduling *policy*, isolated from the controller datapath.
+//!
+//! Everything in this module is deliberately blind to request identity: a
+//! queued request is visible to the policy only as a [`SchedView`] — its
+//! arrival cycle, decoded bank [`Location`], and required [`IoMode`]. The
+//! PR 5 invariant ("provenance is payload, never policy") is structural
+//! here: this module cannot name provenance fields because its inputs do
+//! not carry them, and the `sam-analyze` provenance-purity rule denies the
+//! tokens outright in any `src/sched*` module. Scheduling decisions
+//! therefore cannot depend on which core or lowering path issued a
+//! request, which is what keeps per-core attribution observational.
+//!
+//! The policy has three parts, each a pure function over its arguments:
+//!
+//! - [`select`]: the FR-FCFS winner of one queue — earliest estimated
+//!   column issue first (row hits sort first by construction), arrival
+//!   order breaking ties, with the starvation cap overriding both.
+//! - [`drain_latch`]: the write-drain hysteresis latch over the
+//!   high/low watermarks.
+//! - [`serve_writes`]: which queue the next decision comes from, given
+//!   occupancies and the latch.
+
+use sam_dram::moderegs::IoMode;
+use sam_dram::Cycle;
+
+use crate::mapping::Location;
+
+/// The policy-visible projection of a queued request: *where* it goes and
+/// *when* it arrived — never *who* issued it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedView {
+    /// Cycle the request entered the queue.
+    pub arrival: Cycle,
+    /// Decoded device location.
+    pub loc: Location,
+    /// I/O mode the column access requires (stride accesses need a mode
+    /// switch costing tRTR when the rank is in the other mode).
+    pub mode: IoMode,
+}
+
+/// Outcome of one [`select`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Decision {
+    /// Index of the winning request within the scanned queue.
+    pub index: usize,
+    /// Whether the starvation cap forced this pick (the oldest request had
+    /// waited more than the cap, bypassing first-ready preference).
+    pub starved: bool,
+}
+
+/// Picks the FR-FCFS winner among `queue`: requests are ranked by the
+/// estimated earliest column-issue cycle (row hits first by construction),
+/// with arrival order breaking ties. Requests whose required mode differs
+/// from the rank's current mode are charged `trtr` in the estimate, which
+/// makes the scheduler batch same-mode requests and amortize switches (the
+/// controller behaviour Section 5.3 assumes).
+///
+/// Starvation guard: if the oldest request has already waited more than
+/// `cap` cycles at `now`, it is returned directly — first-ready preference
+/// must not delay any request unboundedly. [`Decision::starved`] reports
+/// whether the guard fired, so the caller can count and trace cap firings.
+///
+/// Device state is reached only through the two closures (`earliest_column`
+/// estimates the column-issue cycle for a location; `rank_mode` reports a
+/// rank's current I/O mode), so the policy stays a pure function of its
+/// visible inputs.
+pub fn select(
+    queue: impl Iterator<Item = SchedView>,
+    now: Cycle,
+    cap: Cycle,
+    trtr: Cycle,
+    mut earliest_column: impl FnMut(Location, Cycle) -> Cycle,
+    mut rank_mode: impl FnMut(usize) -> IoMode,
+) -> Option<Decision> {
+    let mut oldest: Option<(Cycle, usize)> = None;
+    let mut best: Option<(Cycle, Cycle, usize)> = None;
+    for (i, v) in queue.enumerate() {
+        if oldest.is_none_or(|(a, _)| v.arrival < a) {
+            oldest = Some((v.arrival, i));
+        }
+        let base = now.max(v.arrival);
+        let mut est = earliest_column(v.loc, base);
+        if rank_mode(v.loc.rank) != v.mode {
+            est += trtr;
+        }
+        if best.is_none_or(|(be, ba, _)| (est, v.arrival) < (be, ba)) {
+            best = Some((est, v.arrival, i));
+        }
+    }
+    let (oldest_arrival, oldest_idx) = oldest?;
+    if now.saturating_sub(oldest_arrival) > cap {
+        return Some(Decision {
+            index: oldest_idx,
+            starved: true,
+        });
+    }
+    best.map(|(_, _, index)| Decision {
+        index,
+        starved: false,
+    })
+}
+
+/// Advances the write-drain hysteresis latch: occupancy at or above `hi`
+/// sets it (writes drain in a batch), occupancy at or below `lo` clears it
+/// (reads regain priority). Between the watermarks the latch holds its
+/// previous state — that hysteresis is what batches writes instead of
+/// thrashing the bus turnaround on every enqueue.
+pub fn drain_latch(current: bool, writeq_len: usize, hi: usize, lo: usize) -> bool {
+    let mut latch = current;
+    if writeq_len >= hi {
+        latch = true;
+    }
+    if writeq_len <= lo {
+        latch = false;
+    }
+    latch
+}
+
+/// Which queue the next scheduling decision serves: an empty side never
+/// wins, otherwise the drain latch decides.
+pub fn serve_writes(readq_empty: bool, writeq_empty: bool, draining: bool) -> bool {
+    if readq_empty {
+        !writeq_empty
+    } else if writeq_empty {
+        false
+    } else {
+        draining
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view(arrival: Cycle, row: u64) -> SchedView {
+        SchedView {
+            arrival,
+            loc: Location {
+                row,
+                ..Location::default()
+            },
+            mode: IoMode::X4,
+        }
+    }
+
+    /// An estimate that charges 10 cycles unless the row is 7 ("open").
+    fn est(loc: Location, base: Cycle) -> Cycle {
+        base + if loc.row == 7 { 0 } else { 10 }
+    }
+
+    #[test]
+    fn row_hit_beats_older_miss() {
+        let q = [view(0, 1), view(5, 7)];
+        let d = select(q.into_iter(), 6, 100, 2, est, |_| IoMode::X4).unwrap();
+        assert_eq!(
+            d,
+            Decision {
+                index: 1,
+                starved: false
+            }
+        );
+    }
+
+    #[test]
+    fn arrival_breaks_estimate_ties() {
+        let q = [view(3, 1), view(1, 1)];
+        let d = select(q.into_iter(), 4, 100, 2, est, |_| IoMode::X4).unwrap();
+        assert_eq!(d.index, 1);
+    }
+
+    #[test]
+    fn starvation_cap_overrides_row_hits() {
+        let q = [view(0, 1), view(200, 7)];
+        let d = select(q.into_iter(), 150, 100, 2, est, |_| IoMode::X4).unwrap();
+        assert_eq!(
+            d,
+            Decision {
+                index: 0,
+                starved: true
+            }
+        );
+    }
+
+    #[test]
+    fn mode_mismatch_charges_trtr() {
+        // Same arrival and row state; request 0 needs a stride mode the
+        // rank is not in, so tRTR tips the estimate toward request 1.
+        let mut q = [view(0, 7), view(0, 7)];
+        q[0].mode = IoMode::Sx4(0);
+        let d = select(q.into_iter(), 0, 100, 2, est, |_| IoMode::X4).unwrap();
+        assert_eq!(d.index, 1);
+    }
+
+    #[test]
+    fn empty_queue_selects_nothing() {
+        assert!(select([].into_iter(), 0, 100, 2, est, |_| IoMode::X4).is_none());
+    }
+
+    #[test]
+    fn latch_hysteresis_holds_between_watermarks() {
+        assert!(drain_latch(false, 28, 28, 8));
+        assert!(drain_latch(true, 15, 28, 8), "holds between watermarks");
+        assert!(!drain_latch(false, 15, 28, 8), "holds when clear too");
+        assert!(!drain_latch(true, 8, 28, 8));
+    }
+
+    #[test]
+    fn queue_choice_never_picks_an_empty_side() {
+        assert!(!serve_writes(false, true, true));
+        assert!(serve_writes(true, false, false));
+        assert!(!serve_writes(true, true, true));
+        assert!(serve_writes(false, false, true));
+        assert!(!serve_writes(false, false, false));
+    }
+}

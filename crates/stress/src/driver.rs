@@ -24,7 +24,7 @@
 //! thousands of requests on one cycle, and time spent blocked behind a
 //! full queue is front-end back-pressure, not scheduler unfairness.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use sam_dram::Cycle;
 use sam_memctrl::controller::{Controller, ControllerConfig};
@@ -136,7 +136,7 @@ pub fn run_stream_instrumented(
     let hi = cfg.drain_hi;
 
     // id -> (is_write, admission cycle); the driver-side queue mirror.
-    let mut mirror: HashMap<u64, (bool, Cycle)> = HashMap::new();
+    let mut mirror: BTreeMap<u64, (bool, Cycle)> = BTreeMap::new();
     let mut mirror_reads = 0usize;
     let mut mirror_writes = 0usize;
 
@@ -209,8 +209,7 @@ pub fn run_stream_instrumented(
                 request_id: u64::MAX,
                 at: now,
                 detail: format!(
-                    "scheduler idled with {} reads and {} writes queued",
-                    reads_before, writes_before
+                    "scheduler idled with {reads_before} reads and {writes_before} writes queued"
                 ),
             });
             break;

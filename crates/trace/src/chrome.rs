@@ -21,7 +21,7 @@
 //! the per-run epoch-statistics rows ([`crate::epoch::EpochRow`]) and ring
 //! drop counts; Chrome/Perfetto ignore unknown top-level keys.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use sam_util::json::Json;
 
@@ -136,7 +136,7 @@ pub fn chrome_trace(bin: &str, runs: &[RunTrace]) -> Json {
             trace_events.push(meta_event(pid, *t as u64, "thread_name", &track::name(*t)));
         }
 
-        let mut open: HashMap<u32, Vec<&'static str>> = HashMap::new();
+        let mut open: BTreeMap<u32, Vec<&'static str>> = BTreeMap::new();
         let mut last_ts: Cycle = 0;
         for ev in &events {
             last_ts = last_ts.max(ev.at);
@@ -147,9 +147,12 @@ pub fn chrome_trace(bin: &str, runs: &[RunTrace]) -> Json {
                 }
                 EventKind::End => {
                     // An End whose Begin the ring dropped cannot nest.
-                    match open.get_mut(&ev.track).and_then(|s| s.pop()) {
-                        Some(_) => trace_events.push(Json::Object(base_fields(ev, "E", pid))),
-                        None => continue,
+                    if open
+                        .get_mut(&ev.track)
+                        .and_then(std::vec::Vec::pop)
+                        .is_some()
+                    {
+                        trace_events.push(Json::Object(base_fields(ev, "E", pid)));
                     }
                 }
                 EventKind::Complete => {
@@ -202,7 +205,7 @@ pub fn chrome_trace(bin: &str, runs: &[RunTrace]) -> Json {
                 "epochs",
                 Json::Array(run.epochs.iter().map(epoch_row_json).collect()),
             ),
-        ]))
+        ]));
     }
     Json::object([
         ("traceEvents", Json::Array(trace_events)),
@@ -268,8 +271,8 @@ pub fn lint_chrome_trace(doc: &Json) -> Result<TraceSummary, String> {
         events: events.len(),
         ..Default::default()
     };
-    let mut last_ts: HashMap<u64, (Cycle, usize)> = HashMap::new();
-    let mut open: HashMap<(u64, u64), Vec<String>> = HashMap::new();
+    let mut last_ts: BTreeMap<u64, (Cycle, usize)> = BTreeMap::new();
+    let mut open: BTreeMap<(u64, u64), Vec<String>> = BTreeMap::new();
     for (i, ev) in events.iter().enumerate() {
         let what = format!("traceEvents[{i}]");
         let name = ev
@@ -302,7 +305,7 @@ pub fn lint_chrome_trace(doc: &Json) -> Result<TraceSummary, String> {
             }
         }
         match last_ts.entry(pid) {
-            std::collections::hash_map::Entry::Occupied(mut e) => {
+            std::collections::btree_map::Entry::Occupied(mut e) => {
                 let (prev, at) = *e.get();
                 if ts < prev {
                     return Err(format!(
@@ -311,7 +314,7 @@ pub fn lint_chrome_trace(doc: &Json) -> Result<TraceSummary, String> {
                 }
                 e.insert((ts, i));
             }
-            std::collections::hash_map::Entry::Vacant(e) => {
+            std::collections::btree_map::Entry::Vacant(e) => {
                 e.insert((ts, i));
             }
         }

@@ -126,7 +126,7 @@ impl RingRecorder {
     /// name table, then fixed-size little-endian records referencing it.
     pub fn to_binary(&self) -> Vec<u8> {
         let mut names: Vec<&'static str> = Vec::new();
-        let mut index_of = std::collections::HashMap::new();
+        let mut index_of = std::collections::BTreeMap::new();
         for ev in &self.events {
             index_of.entry(ev.name).or_insert_with(|| {
                 names.push(ev.name);

@@ -40,7 +40,7 @@ fn main() {
                     outcome,
                     Outcome::Unprotected,
                     "GS-DRAM gather has no ECC to decode"
-                )
+                );
             }
             _ => assert_eq!(
                 outcome,
