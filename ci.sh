@@ -76,6 +76,26 @@ cmp /tmp/table2.out tests/golden/table2.out \
 cmp results/table2.json tests/golden/table2.json \
   || { echo "results/table2.json drifted from tests/golden/table2.json"; exit 1; }
 
+echo "==> fig12 bench (simulated cycles/sec) + regression gate"
+# Times a fresh golden-scale fig12 run with the already-built binary (no
+# cargo overhead in the measurement) and folds it over the metrics report
+# into results/BENCH_fig12.json, appended to the committed trajectory.
+# The gate fails on a >10% cycles/sec regression vs the last committed
+# BENCH_fig12.json entry. Throughput is machine-local: on runners not
+# comparable to where the baseline was recorded, set
+# SAM_BENCH_GATE_PCT=off to keep the measurement but skip the gate, or
+# to a different tolerance percentage.
+rm -f results/BENCH_fig12.json
+bench_start_ns="$(date +%s%N)"
+./target/release/fig12 --rows 2048 --tb-rows 8192 --jobs 2 > /dev/null
+bench_wall_ns="$(( $(date +%s%N) - bench_start_ns ))"
+bench_gate=(--baseline BENCH_fig12.json --gate-pct "${SAM_BENCH_GATE_PCT:-10}")
+if [ "${SAM_BENCH_GATE_PCT:-10}" = off ]; then bench_gate=(); fi
+cargo run --release -p sam-bench --bin sam-check -- bench-fig12 results/fig12.json \
+  --wall-ns "$bench_wall_ns" --jobs 2 --label ci \
+  --out results/BENCH_fig12.json "${bench_gate[@]}"
+cargo run --release -p sam-bench --bin sam-check -- lint-json results/BENCH_fig12.json
+
 echo "==> per-core lanes smoke + JSON lint + rollup"
 # --per-core adds lane sections and the cycles rollup; --debug-cores dumps
 # progress to stderr. Neither may touch stdout (checked against the same

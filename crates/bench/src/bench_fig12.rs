@@ -1,0 +1,291 @@
+//! The fig12 throughput benchmark: simulated cycles per wall-clock second.
+//!
+//! `BENCH_fig12.json` (committed at the repo root) records the simulator's
+//! speed *trajectory*: one entry per measurement, oldest first, each
+//! tagged with the workload scale and job count it was taken at. The CI
+//! bench step (`ci.sh`, via `sam-check bench-fig12`) re-measures the
+//! golden-scale run, appends the result to `results/BENCH_fig12.json`
+//! as an artifact, and fails if throughput regressed more than the gate
+//! percentage against the last committed entry.
+//!
+//! Wall-clock is measured by the *caller* (the shell step brackets the
+//! fig12 run with timestamps) because measuring inside the binary would
+//! exclude process startup and table rendering, which are real costs of
+//! regenerating the figure. Simulated work is taken from the metrics
+//! report fig12 already emits: the sum of every run's `cycles`. Golden
+//! byte-identity pins that sum, so pre/post-change entries divide out to
+//! a pure wall-clock ratio.
+//!
+//! The gate compares machine-local measurements against a committed
+//! baseline, so it is only meaningful on hardware comparable to where
+//! the baseline was recorded; `ci.sh` honours `SAM_BENCH_GATE_PCT=off`
+//! for underpowered or noisy runners.
+
+use sam_util::json::Json;
+
+/// One throughput measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchEntry {
+    /// Where the number came from (e.g. a commit id or "ci").
+    pub label: String,
+    /// `--jobs` the run used.
+    pub jobs: u64,
+    /// Workload scale, from the metrics report's `plan`.
+    pub ta_records: u64,
+    /// Workload scale, from the metrics report's `plan`.
+    pub tb_records: u64,
+    /// Caller-measured wall-clock for the whole fig12 run.
+    pub wall_seconds: f64,
+    /// Sum of `cycles` over every run in the metrics report.
+    pub simulated_cycles: u64,
+}
+
+impl BenchEntry {
+    /// The headline number: simulated cycles per wall-clock second.
+    pub fn cycles_per_sec(&self) -> f64 {
+        self.simulated_cycles as f64 / self.wall_seconds
+    }
+
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("label", Json::str(self.label.clone())),
+            ("jobs", Json::UInt(self.jobs)),
+            ("ta_records", Json::UInt(self.ta_records)),
+            ("tb_records", Json::UInt(self.tb_records)),
+            ("wall_seconds", Json::Float(self.wall_seconds)),
+            ("simulated_cycles", Json::UInt(self.simulated_cycles)),
+            ("cycles_per_sec", Json::Float(self.cycles_per_sec())),
+        ])
+    }
+
+    fn from_json(doc: &Json) -> Result<BenchEntry, String> {
+        let str_of = |key: &str| -> Result<String, String> {
+            doc.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("entry missing string '{key}'"))
+        };
+        let uint_of = |key: &str| -> Result<u64, String> {
+            match doc.get(key) {
+                Some(&Json::UInt(v)) => Ok(v),
+                _ => Err(format!("entry missing uint '{key}'")),
+            }
+        };
+        let float_of = |key: &str| -> Result<f64, String> {
+            doc.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("entry missing number '{key}'"))
+        };
+        let entry = BenchEntry {
+            label: str_of("label")?,
+            jobs: uint_of("jobs")?,
+            ta_records: uint_of("ta_records")?,
+            tb_records: uint_of("tb_records")?,
+            wall_seconds: float_of("wall_seconds")?,
+            simulated_cycles: uint_of("simulated_cycles")?,
+        };
+        if !(entry.wall_seconds.is_finite() && entry.wall_seconds > 0.0) {
+            return Err("entry wall_seconds must be a positive number".into());
+        }
+        Ok(entry)
+    }
+}
+
+/// Extracts a [`BenchEntry`] from a fig12 metrics report (`plan` scale +
+/// total simulated cycles) and a caller-measured wall clock.
+///
+/// # Errors
+///
+/// Rejects reports without a well-formed `plan`/`runs`, and nonsensical
+/// measurements (zero cycles, non-positive wall-clock).
+pub fn entry_from_metrics(
+    metrics: &Json,
+    label: &str,
+    jobs: u64,
+    wall_seconds: f64,
+) -> Result<BenchEntry, String> {
+    if !(wall_seconds.is_finite() && wall_seconds > 0.0) {
+        return Err(format!("wall_seconds must be positive, got {wall_seconds}"));
+    }
+    let plan = metrics
+        .get("plan")
+        .ok_or_else(|| "metrics report has no 'plan'".to_string())?;
+    let plan_uint = |key: &str| -> Result<u64, String> {
+        match plan.get(key) {
+            Some(&Json::UInt(v)) => Ok(v),
+            _ => Err(format!("plan has no uint '{key}'")),
+        }
+    };
+    let runs = metrics
+        .get("runs")
+        .and_then(Json::as_array)
+        .ok_or_else(|| "metrics report has no 'runs' array".to_string())?;
+    let mut simulated_cycles = 0u64;
+    for (i, run) in runs.iter().enumerate() {
+        match run.get("cycles") {
+            Some(&Json::UInt(c)) => simulated_cycles += c,
+            _ => return Err(format!("runs[{i}] has no uint 'cycles'")),
+        }
+    }
+    if simulated_cycles == 0 {
+        return Err("metrics report sums to zero simulated cycles".into());
+    }
+    Ok(BenchEntry {
+        label: label.to_string(),
+        jobs,
+        ta_records: plan_uint("ta_records")?,
+        tb_records: plan_uint("tb_records")?,
+        wall_seconds,
+        simulated_cycles,
+    })
+}
+
+/// Parses the trajectory entries out of a `BENCH_fig12.json` document.
+///
+/// # Errors
+///
+/// Rejects documents that are not a `bench-fig12` report with at least
+/// one well-formed entry.
+pub fn parse_trajectory(doc: &Json) -> Result<Vec<BenchEntry>, String> {
+    match doc.get("bin") {
+        Some(Json::Str(s)) if s == "bench-fig12" => {}
+        other => return Err(format!("'bin' must be \"bench-fig12\", got {other:?}")),
+    }
+    let entries = doc
+        .get("entries")
+        .and_then(Json::as_array)
+        .ok_or_else(|| "missing 'entries' array".to_string())?;
+    if entries.is_empty() {
+        return Err("'entries' is empty".into());
+    }
+    entries
+        .iter()
+        .enumerate()
+        .map(|(i, e)| BenchEntry::from_json(e).map_err(|err| format!("entries[{i}]: {err}")))
+        .collect()
+}
+
+/// Renders a trajectory back to a `BENCH_fig12.json` document.
+pub fn trajectory_to_json(entries: &[BenchEntry]) -> Json {
+    Json::object([
+        ("bin", Json::str("bench-fig12")),
+        (
+            "unit",
+            Json::str("simulated DRAM cycles per wall-clock second"),
+        ),
+        (
+            "entries",
+            Json::Array(entries.iter().map(BenchEntry::to_json).collect()),
+        ),
+    ])
+}
+
+/// The regression gate: `measured` must be within `gate_pct` percent of
+/// the committed `baseline` throughput. Returns the human-readable
+/// verdict line on success.
+///
+/// # Errors
+///
+/// The error is the failure message (measured throughput below the
+/// floor), ready to print.
+pub fn gate(baseline: &BenchEntry, measured: &BenchEntry, gate_pct: f64) -> Result<String, String> {
+    let base_cps = baseline.cycles_per_sec();
+    let cps = measured.cycles_per_sec();
+    let floor = base_cps * (1.0 - gate_pct / 100.0);
+    let ratio = cps / base_cps;
+    if cps < floor {
+        return Err(format!(
+            "cycles/sec regression: measured {cps:.0} is {:.1}% of baseline '{}' ({base_cps:.0}); \
+             gate allows no less than {floor:.0} (-{gate_pct}%)",
+            ratio * 100.0,
+            baseline.label,
+        ));
+    }
+    Ok(format!(
+        "bench-fig12: {cps:.0} cycles/sec ({:.1}% of baseline '{}' at {base_cps:.0}, gate -{gate_pct}%)",
+        ratio * 100.0,
+        baseline.label,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(cycles: &[u64]) -> Json {
+        Json::object([
+            ("bin", Json::str("fig12")),
+            (
+                "plan",
+                Json::object([
+                    ("ta_records", Json::UInt(2048)),
+                    ("tb_records", Json::UInt(8192)),
+                    ("seed", Json::UInt(1)),
+                ]),
+            ),
+            (
+                "runs",
+                Json::Array(
+                    cycles
+                        .iter()
+                        .map(|&c| Json::object([("cycles", Json::UInt(c))]))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    #[test]
+    fn entry_sums_cycles_and_divides_by_wall_clock() {
+        let e = entry_from_metrics(&metrics(&[1000, 2000, 3000]), "here", 2, 3.0).unwrap();
+        assert_eq!(e.simulated_cycles, 6000);
+        assert_eq!(e.ta_records, 2048);
+        assert!((e.cycles_per_sec() - 2000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bad_measurements_are_rejected() {
+        let m = metrics(&[100]);
+        assert!(entry_from_metrics(&m, "x", 1, 0.0).is_err());
+        assert!(entry_from_metrics(&m, "x", 1, f64::NAN).is_err());
+        assert!(entry_from_metrics(&metrics(&[]), "x", 1, 1.0).is_err());
+        assert!(entry_from_metrics(&Json::object([("bin", Json::Null)]), "x", 1, 1.0).is_err());
+    }
+
+    #[test]
+    fn trajectory_roundtrips_through_json() {
+        let entries = vec![
+            entry_from_metrics(&metrics(&[500_000]), "pre", 2, 2.5).unwrap(),
+            entry_from_metrics(&metrics(&[500_000]), "post", 2, 2.0).unwrap(),
+        ];
+        let doc = trajectory_to_json(&entries);
+        let text = doc.to_string();
+        let parsed = parse_trajectory(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(parsed, entries);
+    }
+
+    #[test]
+    fn trajectory_rejects_malformed_documents() {
+        assert!(parse_trajectory(&Json::object([("bin", Json::str("fig12"))])).is_err());
+        let empty = Json::object([
+            ("bin", Json::str("bench-fig12")),
+            ("entries", Json::Array(vec![])),
+        ]);
+        assert!(parse_trajectory(&empty).is_err());
+    }
+
+    #[test]
+    fn gate_passes_within_tolerance_and_fails_beyond() {
+        let base = entry_from_metrics(&metrics(&[1_000_000]), "base", 2, 1.0).unwrap();
+        // 8% slower: inside a 10% gate.
+        let slower = entry_from_metrics(&metrics(&[1_000_000]), "ci", 2, 1.0 / 0.92).unwrap();
+        assert!(gate(&base, &slower, 10.0).is_ok());
+        // 20% slower: outside it.
+        let slow = entry_from_metrics(&metrics(&[1_000_000]), "ci", 2, 1.25).unwrap();
+        let err = gate(&base, &slow, 10.0).unwrap_err();
+        assert!(err.contains("regression"), "{err}");
+        // Faster is always fine.
+        let fast = entry_from_metrics(&metrics(&[1_000_000]), "ci", 2, 0.5).unwrap();
+        assert!(gate(&base, &fast, 10.0).is_ok());
+    }
+}

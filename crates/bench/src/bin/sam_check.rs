@@ -13,6 +13,11 @@
 //!                     tFAW bug caught by name, ECC layouts clean
 //!   lint-json <file>  validate a results/<bin>.json metrics report
 //!   lint-trace <file> validate a results/<bin>.trace.json Chrome trace
+//!   bench-fig12 <metrics.json> --wall-ns N --jobs J --out <file>
+//!                     fold a caller-measured wall clock into a
+//!                     cycles/sec trajectory entry; with --baseline
+//!                     (and optional --gate-pct, default 10), fail on
+//!                     a throughput regression vs the committed entry
 //! ```
 //!
 //! `lint-json` and `lint-trace` need only the JSON parser, so they work
@@ -48,6 +53,9 @@ fn main() {
         };
         std::process::exit(code);
     }
+    if args.get(1).map(String::as_str) == Some("bench-fig12") {
+        std::process::exit(bench_fig12(&args[2..]));
+    }
     #[cfg(feature = "check")]
     real::main();
     #[cfg(not(feature = "check"))]
@@ -65,9 +73,124 @@ fn main() {
 fn usage() -> i32 {
     eprintln!(
         "usage: sam-check record <file> | replay <file> | audit | selftest \
-         | lint-json <file> | lint-trace <file>"
+         | lint-json <file> | lint-trace <file> \
+         | bench-fig12 <metrics.json> --wall-ns N --jobs J --out <file> \
+           [--label L] [--baseline <file> --gate-pct P]"
     );
     2
+}
+
+/// The CI bench step: folds a caller-measured wall clock over the fig12
+/// metrics report into a cycles/sec entry, appends it to the committed
+/// trajectory (written to `--out` as the artifact), and applies the
+/// regression gate against the trajectory's last committed entry.
+fn bench_fig12(args: &[String]) -> i32 {
+    use sam_bench::bench_fig12::{entry_from_metrics, gate, parse_trajectory, trajectory_to_json};
+
+    let mut metrics_path = None;
+    let mut wall_ns = None;
+    let mut jobs = None;
+    let mut out = None;
+    let mut label = "ci".to_string();
+    let mut baseline = None;
+    let mut gate_pct = 10.0f64;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        let parsed = match arg.as_str() {
+            "--wall-ns" => value("--wall-ns").and_then(|v| {
+                v.parse::<u64>()
+                    .map(|n| wall_ns = Some(n))
+                    .map_err(|e| format!("--wall-ns: {e}"))
+            }),
+            "--jobs" => value("--jobs").and_then(|v| {
+                v.parse::<u64>()
+                    .map(|n| jobs = Some(n))
+                    .map_err(|e| format!("--jobs: {e}"))
+            }),
+            "--out" => value("--out").map(|v| out = Some(v)),
+            "--label" => value("--label").map(|v| label = v),
+            "--baseline" => value("--baseline").map(|v| baseline = Some(v)),
+            "--gate-pct" => value("--gate-pct").and_then(|v| {
+                v.parse::<f64>()
+                    .map(|p| gate_pct = p)
+                    .map_err(|e| format!("--gate-pct: {e}"))
+            }),
+            other if metrics_path.is_none() && !other.starts_with('-') => {
+                metrics_path = Some(arg.clone());
+                Ok(())
+            }
+            other => Err(format!("unknown argument '{other}'")),
+        };
+        if let Err(e) = parsed {
+            eprintln!("sam-check: bench-fig12: {e}");
+            return usage();
+        }
+    }
+    let (Some(metrics_path), Some(wall_ns), Some(jobs), Some(out)) =
+        (metrics_path, wall_ns, jobs, out)
+    else {
+        eprintln!("sam-check: bench-fig12 needs <metrics.json> --wall-ns --jobs --out");
+        return usage();
+    };
+
+    let parse_file = |path: &str| -> Result<Json, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        Json::parse(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let measured = match parse_file(&metrics_path)
+        .and_then(|doc| entry_from_metrics(&doc, &label, jobs, wall_ns as f64 / 1e9))
+    {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("sam-check: bench-fig12: {e}");
+            return 2;
+        }
+    };
+    let committed = match &baseline {
+        Some(path) => match parse_file(path).and_then(|doc| parse_trajectory(&doc)) {
+            Ok(entries) => entries,
+            Err(e) => {
+                eprintln!("sam-check: bench-fig12: baseline: {e}");
+                return 2;
+            }
+        },
+        None => Vec::new(),
+    };
+
+    // The artifact: the committed trajectory with this measurement on top.
+    let mut trajectory = committed.clone();
+    trajectory.push(measured.clone());
+    let mut text = trajectory_to_json(&trajectory).to_string();
+    text.push('\n');
+    if let Err(e) = std::fs::write(&out, text) {
+        eprintln!("sam-check: bench-fig12: cannot write {out}: {e}");
+        return 2;
+    }
+    println!(
+        "bench-fig12: {:.0} simulated cycles/sec ({} cycles in {:.3}s, --jobs {jobs}) -> {out}",
+        measured.cycles_per_sec(),
+        measured.simulated_cycles,
+        measured.wall_seconds,
+    );
+
+    match committed.last() {
+        None => 0,
+        Some(base) => match gate(base, &measured, gate_pct) {
+            Ok(verdict) => {
+                println!("{verdict}");
+                0
+            }
+            Err(e) => {
+                eprintln!("sam-check: bench-fig12: {e}");
+                1
+            }
+        },
+    }
 }
 
 /// Replays a shrinker-written stress stream through the sam-stress
@@ -136,6 +259,22 @@ fn lint_json(path: &str) -> i32 {
                     "{path}: valid analyze report ({} finding(s), {} waived)",
                     count("findings"),
                     count("waived")
+                );
+                0
+            }
+            Err(e) => {
+                eprintln!("sam-check: {path}: schema violation: {e}");
+                1
+            }
+        };
+    }
+    if matches!(doc.get("bin"), Some(Json::Str(s)) if s == "bench-fig12") {
+        return match sam_bench::bench_fig12::parse_trajectory(&doc) {
+            Ok(entries) => {
+                println!(
+                    "{path}: valid bench trajectory ({} entr{})",
+                    entries.len(),
+                    if entries.len() == 1 { "y" } else { "ies" }
                 );
                 0
             }

@@ -15,6 +15,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bench_fig12;
 #[cfg(feature = "check")]
 pub mod checked;
 pub mod cli;

@@ -59,6 +59,9 @@ impl<'t> Engine<'t> {
                 for wb in wbs {
                     self.issue_writeback(wb, c.finish);
                 }
+                // The whole line is now resident: any core blocked on one
+                // of its sectors hits on retry.
+                self.wake_covering_line(cache_line);
                 self.retire(record.core, c.finish);
             }
             FillKind::Sectors { sector_addrs } => {
@@ -72,6 +75,12 @@ impl<'t> Engine<'t> {
                 }
                 for wb in wbs {
                     self.issue_writeback(wb, c.finish);
+                }
+                // Sector fills install exactly these 16B sectors; other
+                // sectors of the same lines stay invalid, so the wake is
+                // per-sector, not per-line.
+                for s in &sector_addrs {
+                    self.wake_covering_sector(*s);
                 }
                 self.retire(record.core, c.finish);
             }
@@ -87,6 +96,7 @@ impl<'t> Engine<'t> {
                 for wb in wbs {
                     self.issue_writeback(wb, c.finish);
                 }
+                self.wake_covering_line(cache_line);
             }
         }
     }
@@ -104,5 +114,8 @@ impl<'t> Engine<'t> {
         c.outstanding -= 1;
         c.freed
             .push(std::cmp::Reverse(self.cfg.mem_to_cpu(visible)));
+        // The MLP window has a free slot again: the publisher that wakes a
+        // window-stalled core.
+        self.runnable.wake(core);
     }
 }

@@ -21,6 +21,26 @@ pub(super) struct SectorTouch {
     pub(super) field_access: bool,
 }
 
+/// What a stalled core is waiting on, registered at stall time so wake
+/// publishers (completions, covering fills, queue drains) can re-arm the
+/// core in O(1) instead of the engine re-stepping every core every round.
+///
+/// A stalled retry can only make progress when one of these fires:
+/// the blocked line/sector is installed into the hierarchy, a covering
+/// fill enters the MSHR pending sets, the core's own MLP slot retires, or
+/// (for `queue_full`) the controller read queue drains an entry. Each of
+/// those is a discrete event with a publisher; anything else cannot change
+/// the retry's outcome, which is what makes skipping the retries exact.
+#[derive(Debug, Clone, Copy)]
+pub(super) struct Blocker {
+    /// The 16B sector the blocked touch addresses.
+    pub(super) sector: u64,
+    /// Its containing cache line.
+    pub(super) line: u64,
+    /// Stalled on controller queue capacity (vs the MLP window).
+    pub(super) queue_full: bool,
+}
+
 #[derive(Debug)]
 pub(super) struct CoreState<'t> {
     pub(super) trace: &'t [TraceOp],
@@ -34,6 +54,8 @@ pub(super) struct CoreState<'t> {
     /// (min-heap): issuing beyond the window consumes the earliest one.
     pub(super) freed: std::collections::BinaryHeap<std::cmp::Reverse<u64>>,
     pub(super) done: bool,
+    /// Set while stalled: the wake condition that can unblock this core.
+    pub(super) blocked: Option<Blocker>,
 }
 
 impl<'t> CoreState<'t> {
@@ -48,6 +70,7 @@ impl<'t> CoreState<'t> {
             issued: 0,
             freed: std::collections::BinaryHeap::new(),
             done: trace.is_empty(),
+            blocked: None,
         }
     }
 }
@@ -135,6 +158,9 @@ impl<'t> Engine<'t> {
         if self.cores[ci].done {
             return Step::Done;
         }
+        // Any previously registered blocker is stale the moment the core
+        // runs again; a stall below re-registers the current one.
+        self.cores[ci].blocked = None;
         let mut progressed = false;
         loop {
             // Need a fresh op expansion?
@@ -224,6 +250,11 @@ impl<'t> Engine<'t> {
                     // Undo the speculative miss-discovery charge: the touch
                     // will be retried once a slot frees up.
                     self.cores[ci].time_cpu -= self.cfg.llc_extra_cpu + self.cfg.touch_cost_cpu;
+                    self.cores[ci].blocked = Some(Blocker {
+                        sector: t.cache_sector,
+                        line,
+                        queue_full: false,
+                    });
                     return Step::Stalled;
                 }
                 match self.issue_fill(ci, t) {
@@ -235,6 +266,11 @@ impl<'t> Engine<'t> {
                     }
                     false => {
                         self.cores[ci].time_cpu -= self.cfg.llc_extra_cpu + self.cfg.touch_cost_cpu;
+                        self.cores[ci].blocked = Some(Blocker {
+                            sector: t.cache_sector,
+                            line,
+                            queue_full: true,
+                        });
                         Step::Stalled
                     }
                 }

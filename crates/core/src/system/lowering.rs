@@ -58,6 +58,11 @@ impl<'t> Engine<'t> {
                     self.line_to_burst
                         .insert(s & !63, (fill.burst_addr, fill.lane));
                 }
+                // Another core blocked on one of these sectors now MSHR-
+                // merges instead of missing.
+                for &s in &fill.sector_addrs {
+                    self.wake_covering_sector(s);
+                }
                 self.fills.insert(
                     id,
                     FillRecord {
@@ -117,6 +122,7 @@ impl<'t> Engine<'t> {
                 }
                 self.line_bursts += 1;
                 self.pending_sectors.insert(t.cache_sector);
+                self.wake_covering_sector(t.cache_sector);
                 self.fills.insert(
                     id,
                     FillRecord {
@@ -141,6 +147,7 @@ impl<'t> Engine<'t> {
                 }
                 self.line_bursts += 1;
                 self.pending_lines.insert(cache_line);
+                self.wake_covering_line(cache_line);
                 self.fills.insert(
                     id,
                     FillRecord {
@@ -167,6 +174,7 @@ impl<'t> Engine<'t> {
                             if self.ctrl.enqueue(preq, arrival).is_ok() {
                                 self.line_bursts += 1;
                                 self.pending_lines.insert(next);
+                                self.wake_covering_line(next);
                                 self.fills.insert(
                                     pid,
                                     FillRecord {

@@ -52,8 +52,9 @@ mod core_engine;
 mod datapath;
 mod lowering;
 
-// sam-analyze: allow-file(determinism, "Engine MSHR/fill maps are per-cycle hot structures, keyed-lookup only; iteration order never reaches output")
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::VecDeque;
+
+use sam_util::fxhash::{FxHashMap, FxHashSet};
 
 use sam_cache::hierarchy::{Hierarchy, HierarchyConfig};
 use sam_cache::set_assoc::CacheStats;
@@ -61,6 +62,7 @@ use sam_dram::device::DeviceStats;
 use sam_dram::Cycle;
 use sam_memctrl::controller::{Controller, ControllerConfig, ControllerStats, CoreLanes};
 use sam_memctrl::request::MemRequest;
+use sam_memctrl::wake::WakeSet;
 
 use crate::design::{Design, Granularity};
 use crate::layout::{Placement, Store, TableSpec};
@@ -353,18 +355,18 @@ struct Engine<'t> {
     hierarchy: Hierarchy,
     ctrl: Controller,
     cores: Vec<CoreState<'t>>,
-    fills: HashMap<u64, FillRecord>,
+    fills: FxHashMap<u64, FillRecord>,
     /// Sectors/lines with a fill in flight (MSHR merge).
-    pending_sectors: HashSet<u64>,
-    pending_lines: HashSet<u64>,
+    pending_sectors: FxHashSet<u64>,
+    pending_lines: FxHashSet<u64>,
     /// Sectors written while their fill was in flight: marked dirty once
     /// the fill installs (write-allocate completion).
-    pending_dirty: HashSet<u64>,
+    pending_dirty: FxHashSet<u64>,
     /// Outstanding stride-writeback merge keys.
-    wb_merge: HashSet<u64>,
+    wb_merge: FxHashSet<u64>,
     /// Stride-burst address recorded per cache line at fill time, so dirty
     /// evictions can be written back as stride bursts.
-    line_to_burst: HashMap<u64, (u64, u8)>,
+    line_to_burst: FxHashMap<u64, (u64, u8)>,
     /// Writebacks that did not fit the write queue yet (with their stride
     /// merge key, if any — the key stays held while backlogged).
     wb_backlog: VecDeque<(MemRequest, Cycle, Option<u64>)>,
@@ -386,6 +388,11 @@ struct Engine<'t> {
     /// Epoch recorder shared with the controller; the engine contributes
     /// the MLP gauge (outstanding misses across cores).
     epochs: Option<sam_trace::SharedEpochs>,
+    /// Cores whose next step can make progress. Stalled cores leave the
+    /// set and are re-armed only by a wake publisher matching their
+    /// registered [`core_engine::Blocker`] — the event-driven core loop
+    /// (DESIGN.md §13).
+    runnable: WakeSet,
 }
 
 impl<'t> Engine<'t> {
@@ -428,12 +435,12 @@ impl<'t> Engine<'t> {
             hierarchy: Hierarchy::new(cfg.hierarchy),
             ctrl,
             cores: traces.iter().map(|t| CoreState::new(t)).collect(),
-            fills: HashMap::new(),
-            pending_sectors: HashSet::new(),
-            pending_lines: HashSet::new(),
-            pending_dirty: HashSet::new(),
-            wb_merge: HashSet::new(),
-            line_to_burst: HashMap::new(),
+            fills: FxHashMap::default(),
+            pending_sectors: FxHashSet::default(),
+            pending_lines: FxHashSet::default(),
+            pending_dirty: FxHashSet::default(),
+            wb_merge: FxHashSet::default(),
+            line_to_burst: FxHashMap::default(),
             wb_backlog: VecDeque::new(),
             next_id: 0,
             ecc_stride_count: 0,
@@ -449,6 +456,43 @@ impl<'t> Engine<'t> {
             probe_period: 0,
             probe_ticks: 0,
             epochs: None,
+            runnable: WakeSet::all_awake(traces.len()),
+        }
+    }
+
+    /// Wakes every core whose blocked touch addresses exactly `sector`
+    /// (published when a fill covering that sector is issued or installs).
+    fn wake_covering_sector(&mut self, sector: u64) {
+        for ci in 0..self.cores.len() {
+            if let Some(b) = self.cores[ci].blocked {
+                if b.sector == sector {
+                    self.runnable.wake(ci);
+                }
+            }
+        }
+    }
+
+    /// Wakes every core blocked inside cache line `line` (published when a
+    /// whole-line fill is issued or installs: any sector of it now hits).
+    fn wake_covering_line(&mut self, line: u64) {
+        for ci in 0..self.cores.len() {
+            if let Some(b) = self.cores[ci].blocked {
+                if b.line == line {
+                    self.runnable.wake(ci);
+                }
+            }
+        }
+    }
+
+    /// Wakes every core stalled on controller queue capacity (published
+    /// after each scheduling decision: it freed one queue slot).
+    fn wake_queue_blocked(&mut self) {
+        for ci in 0..self.cores.len() {
+            if let Some(b) = self.cores[ci].blocked {
+                if b.queue_full {
+                    self.runnable.wake(ci);
+                }
+            }
         }
     }
 
@@ -472,11 +516,16 @@ impl<'t> Engine<'t> {
 
     fn run(mut self) -> RunResult {
         loop {
-            // Let every core run as far as it can.
+            // Let every runnable core run as far as it can. Pass order is
+            // the ticked loop's round-robin: a wake for an index at or
+            // below the cursor joins the next pass, one above joins this
+            // pass — so the sequence of *effectful* steps (and with it the
+            // controller enqueue order) is identical to stepping every
+            // core every pass; only the no-op retries are skipped.
             loop {
                 let mut any = false;
                 for ci in 0..self.cores.len() {
-                    if self.step_core(ci) == Step::Progress {
+                    if self.runnable.take(ci) && self.step_core(ci) == Step::Progress {
                         any = true;
                     }
                 }
@@ -496,12 +545,25 @@ impl<'t> Engine<'t> {
                 break;
             }
             let now = self.ctrl.clock();
+            // Refresh catch-up stays *lazy* here on purpose: `execute`
+            // services due deadlines (at their original cycles) after the
+            // FR-FCFS winner is chosen, and eagerly applying them first
+            // would let the selection estimates observe post-refresh bank
+            // state and pick different winners. `Controller::advance_to`
+            // is the idle-jump primitive for callers with no pending
+            // decision (the stress driver's arrival gaps).
             match self.ctrl.schedule_one(now) {
-                Some(c) => self.handle_completion(c),
+                Some(c) => {
+                    self.handle_completion(c);
+                    // The decision drained one queue slot.
+                    self.wake_queue_blocked();
+                }
                 None => {
                     assert!(
                         !self.wb_backlog.is_empty(),
-                        "cores stalled with empty queues: simulator deadlock"
+                        "cores stalled with empty queues: simulator deadlock \
+                         (next controller wake {:?})",
+                        self.ctrl.next_wake(now)
                     );
                     // Backlogged writebacks but a full queue cannot happen
                     // with an empty queue; flush will succeed next round.

@@ -27,6 +27,7 @@ use sam_dram::Cycle;
 use crate::mapping::{AddressMapper, Location};
 use crate::request::{Completion, MemRequest, Provenance, ReqKind};
 use crate::sched;
+use crate::wake::TimeWheel;
 use sam_trace::event::track;
 use sam_trace::{Category, EpochCounters, SharedEpochs, SinkSlot, TraceEvent};
 use sam_util::hist::Histogram;
@@ -51,6 +52,12 @@ pub struct ControllerConfig {
     /// decision regardless of row-buffer state. Prevents an unbroken
     /// stream of younger row hits from starving an older row miss.
     pub starvation_cap: Cycle,
+    /// Use the naive whole-queue scan ([`sched::select_reference`])
+    /// instead of the group tournament for every scheduling decision.
+    /// A differential-testing knob, not a policy change: the two
+    /// implementations are exact equivalents, and the `sam-stress`
+    /// matrix replays streams through both to prove it.
+    pub reference_scheduler: bool,
 }
 
 impl ControllerConfig {
@@ -65,6 +72,7 @@ impl ControllerConfig {
             read_queue_capacity: 96,
             refresh_enabled,
             starvation_cap: 4096,
+            reference_scheduler: false,
         }
     }
 }
@@ -236,6 +244,31 @@ struct Pending {
     arrival: Cycle,
 }
 
+/// What a stored controller wake entry is for (DESIGN.md §13).
+///
+/// Only *sparse, self-re-arming* time-based publishers store entries in
+/// the controller's [`TimeWheel`]: today that is rank refresh, whose
+/// entry is re-armed one tREFI ahead at every issue. The other wake
+/// publishers the event-driven core relies on are folded in at query
+/// time by [`Controller::next_wake`] instead of being stored:
+///
+/// * **queued arrivals** and **bank timing gates** change on nearly
+///   every command, so storing each change would cost a heap operation
+///   per command for entries that are almost always superseded before
+///   they fire — the fold recomputes the two minima on demand;
+/// * the **write-drain hysteresis latch** is queue-depth-driven, not
+///   time-driven: it can only flip at an enqueue or a completion, both
+///   of which already re-enter the scheduler, so its wake is delivered
+///   synchronously and it has no future cycle to publish.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum WakeSource {
+    /// Rank `rank`'s next refresh falls due at the entry's cycle.
+    Refresh {
+        /// The rank whose tREFI deadline this entry tracks.
+        rank: usize,
+    },
+}
+
 /// The memory controller: queues, FR-FCFS scheduler, refresh state, and the
 /// owned [`MemoryDevice`].
 #[derive(Debug, Clone)]
@@ -255,6 +288,11 @@ pub struct Controller {
     write_latency_hist: Histogram,
     trace: SinkSlot,
     epochs: Option<SharedEpochs>,
+    /// Reusable group-tournament workspace for [`sched::select`]; pure
+    /// scratch, never part of the controller's semantic state.
+    scratch: sched::SelectScratch,
+    /// Stored wake entries (rank refresh deadlines; see [`WakeSource`]).
+    wheel: TimeWheel<WakeSource>,
 }
 
 impl Controller {
@@ -263,7 +301,7 @@ impl Controller {
         let device = MemoryDevice::new(cfg.device);
         let mapper = AddressMapper::new(&cfg.device);
         let refi = cfg.device.timing.refi;
-        let next_refresh = (0..cfg.device.ranks)
+        let next_refresh: Vec<Cycle> = (0..cfg.device.ranks)
             .map(|r| {
                 if cfg.refresh_enabled {
                     refi + (r as u64 * refi / cfg.device.ranks as u64)
@@ -272,6 +310,14 @@ impl Controller {
                 }
             })
             .collect();
+        // Seed the wheel with each rank's first refresh deadline; every
+        // issue in `service_refresh` re-arms its rank one tREFI ahead.
+        let mut wheel = TimeWheel::new();
+        for (rank, &due) in next_refresh.iter().enumerate() {
+            if due != u64::MAX {
+                wheel.push(due, WakeSource::Refresh { rank });
+            }
+        }
         Self {
             cfg,
             device,
@@ -288,6 +334,8 @@ impl Controller {
             write_latency_hist: Histogram::new(),
             trace: SinkSlot::default(),
             epochs: None,
+            scratch: sched::SelectScratch::default(),
+            wheel,
         }
     }
 
@@ -527,6 +575,80 @@ impl Controller {
                     rank as u64,
                 ));
                 self.next_refresh[rank] += refi;
+                // Re-arm this rank's wake entry at the new deadline.
+                self.wheel
+                    .push(self.next_refresh[rank], WakeSource::Refresh { rank });
+            }
+        }
+    }
+
+    /// The earliest cycle at which controller-side work can become
+    /// actionable while the caller is otherwise idle: the minimum over
+    /// the event-driven core's wake publishers (DESIGN.md §13) —
+    ///
+    /// * stored wheel entries (rank refresh deadlines),
+    /// * the earliest queued arrival still in the future, and
+    /// * the earliest bank timing gate still closed
+    ///   ([`MemoryDevice::next_wake`]).
+    ///
+    /// The returned cycle may be `<= now` when a refresh is overdue (the
+    /// caller should advance or schedule, which performs the catch-up).
+    /// Superseded wheel entries — deadlines a catch-up already serviced —
+    /// are discarded here, so the wheel is conservative: spurious wakes
+    /// are possible, missed wakes are not.
+    pub fn next_wake(&mut self, now: Cycle) -> Option<Cycle> {
+        let refresh = loop {
+            let head = self
+                .wheel
+                .peek()
+                .map(|(at, &WakeSource::Refresh { rank })| (at, rank));
+            match head {
+                Some((at, rank)) => {
+                    if at == self.next_refresh[rank] {
+                        break Some(at);
+                    }
+                    self.wheel.pop();
+                }
+                None => break None,
+            }
+        };
+        let arrival = self
+            .readq
+            .iter()
+            .chain(self.writeq.iter())
+            .map(|p| p.arrival)
+            .filter(|&a| a > now)
+            .min();
+        let bank = self.device.next_wake(now);
+        [refresh, arrival, bank].into_iter().flatten().min()
+    }
+
+    /// Event-driven idle jump: advances controller-side background work
+    /// to `target` by consuming wheel wakes in deadline order. Each
+    /// refresh wake is serviced at its *original* due cycle and re-arms
+    /// itself one tREFI later, so a jump across many tREFI issues every
+    /// intervening refresh exactly when a cycle-ticked simulation would
+    /// have (jump-safety; pinned by the refresh catch-up tests).
+    ///
+    /// Safe to skip entirely: `execute` performs the same catch-up
+    /// lazily before serving a request, so `advance_to` only moves
+    /// *when* the background work is performed, never what is issued.
+    pub fn advance_to(&mut self, target: Cycle) {
+        loop {
+            let head = self
+                .wheel
+                .peek()
+                .map(|(at, &WakeSource::Refresh { rank })| (at, rank));
+            match head {
+                Some((at, rank)) if at <= target => {
+                    self.wheel.pop();
+                    // Entries whose deadline no longer matches were
+                    // superseded by an earlier catch-up; drop them.
+                    if at == self.next_refresh[rank] {
+                        self.service_refresh(at);
+                    }
+                }
+                _ => break,
             }
         }
     }
@@ -536,27 +658,31 @@ impl Controller {
     /// required mode — never provenance) and delegating to [`sched::select`].
     /// The closures hand the policy read-only access to the device's bank
     /// timing state and per-rank I/O mode.
-    fn select(&self, queue: &VecDeque<Pending>, now: Cycle) -> Option<(usize, bool)> {
-        let d = sched::select(
-            queue.iter().map(|p| sched::SchedView {
-                arrival: p.arrival,
-                loc: p.loc,
-                mode: p.req.required_mode(),
-            }),
-            now,
-            self.cfg.starvation_cap,
-            self.cfg.device.timing.rtr,
-            |loc, base| {
-                self.device.earliest_column_for_row(
-                    loc.rank,
-                    loc.bank_group,
-                    loc.bank,
-                    loc.row,
-                    base,
-                )
-            },
-            |rank| self.device.io_mode(rank),
-        )?;
+    fn select(&mut self, write_queue: bool, now: Cycle) -> Option<(usize, bool)> {
+        // Disjoint field borrows: the policy reads `device` through the
+        // closures while the tournament mutates only its own workspace.
+        let queue = if write_queue {
+            &self.writeq
+        } else {
+            &self.readq
+        };
+        let device = &self.device;
+        let views = queue.iter().map(|p| sched::SchedView {
+            arrival: p.arrival,
+            loc: p.loc,
+            mode: p.req.required_mode(),
+        });
+        let est = |loc: Location, base: Cycle| {
+            device.earliest_column_for_row(loc.rank, loc.bank_group, loc.bank, loc.row, base)
+        };
+        let mode = |rank: usize| device.io_mode(rank);
+        let cap = self.cfg.starvation_cap;
+        let trtr = self.cfg.device.timing.rtr;
+        let d = if self.cfg.reference_scheduler {
+            sched::select_reference(views, now, cap, trtr, est, mode)
+        } else {
+            sched::select(views, now, cap, trtr, est, mode, &mut self.scratch)
+        }?;
         Some((d.index, d.starved))
     }
 
@@ -738,9 +864,9 @@ impl Controller {
             self.draining_writes,
         );
         let (queue_is_write, (idx, starved)) = if serve_writes {
-            (true, self.select(&self.writeq, now)?)
+            (true, self.select(true, now)?)
         } else {
-            (false, self.select(&self.readq, now)?)
+            (false, self.select(false, now)?)
         };
         let pending = if queue_is_write {
             self.writeq.remove(idx).expect("index from select")
@@ -1161,5 +1287,171 @@ mod tests {
             gap <= t.ccd_s.max(t.burst) + t.rrd_s,
             "banks overlap, gap {gap}"
         );
+    }
+
+    /// Jump-safety of the refresh catch-up (the ISSUE's headline bug
+    /// class): a read issued many tREFI after the last activity must see
+    /// every intervening refresh issued at its *original* due cycle, not
+    /// a collapsed burst at the read's arrival.
+    #[test]
+    fn refresh_catch_up_lands_on_original_due_cycles() {
+        use std::sync::{Arc, Mutex};
+        let mut c = ctrl();
+        let ring = Arc::new(Mutex::new(sam_trace::RingRecorder::new(1 << 14)));
+        c.attach_trace(ring.clone());
+        let cfg = *c.config();
+        let refi = cfg.device.timing.refi;
+        let arrival = 10 * refi + 123;
+        c.enqueue(MemRequest::read(1, 0), arrival).unwrap();
+        let done = c.drain(arrival);
+        assert_eq!(done.len(), 1);
+        drop(c);
+        let events = Arc::try_unwrap(ring)
+            .expect("sole owner")
+            .into_inner()
+            .unwrap()
+            .into_events()
+            .0;
+        // Reconstruct the expected deadline ladder per rank and compare
+        // with the observed REF issue cycles, in order.
+        for rank in 0..cfg.device.ranks {
+            let observed: Vec<Cycle> = events
+                .iter()
+                .filter(|e| e.name == "REF" && e.arg == rank as u64)
+                .map(|e| e.at)
+                .collect();
+            let mut expected = Vec::new();
+            let mut due = refi + (rank as u64 * refi / cfg.device.ranks as u64);
+            while due <= arrival {
+                expected.push(due);
+                due += refi;
+            }
+            assert_eq!(
+                observed, expected,
+                "rank {rank}: refreshes must issue at their original tREFI \
+                 deadlines, never collapsed at the catch-up cycle"
+            );
+        }
+    }
+
+    /// The same long-idle read, reached two ways: ticking `advance_to`
+    /// through every cycle of the gap, or jumping straight to the
+    /// arrival and letting `execute` catch up lazily. Completion cycles,
+    /// stats, and latency histograms must be identical (satellite: the
+    /// event-driven path sees the same refresh penalty as a ticked run).
+    #[test]
+    fn read_after_long_idle_sees_same_refresh_penalty_ticked_or_jumped() {
+        let t = t();
+        let arrival = 4 * t.refi + 77;
+
+        let mut ticked = ctrl();
+        for now in 0..=arrival {
+            ticked.advance_to(now);
+        }
+        ticked.enqueue(MemRequest::read(1, 0x40), arrival).unwrap();
+        let a = ticked.drain(arrival);
+
+        let mut jumped = ctrl();
+        jumped.enqueue(MemRequest::read(1, 0x40), arrival).unwrap();
+        let b = jumped.drain(arrival);
+
+        assert_eq!(a, b, "completions must match cycle-for-cycle");
+        assert_eq!(ticked.stats(), jumped.stats());
+        // Count the staggered per-rank deadlines that fall inside the gap:
+        // every one of them must have been serviced on both paths.
+        let ranks = ticked.config().device.ranks;
+        let mut ladder = 0u64;
+        for rank in 0..ranks {
+            let mut due = t.refi + (rank as u64 * t.refi / ranks as u64);
+            while due <= arrival {
+                ladder += 1;
+                due += t.refi;
+            }
+        }
+        assert!(ladder >= 4, "gap must span several deadlines, got {ladder}");
+        assert!(
+            ticked.stats().refreshes >= ladder,
+            "the gap spans {ladder} refreshes, saw {}",
+            ticked.stats().refreshes
+        );
+        assert_eq!(ticked.latency_histogram(), jumped.latency_histogram());
+        assert_eq!(
+            ticked.read_latency_histogram(),
+            jumped.read_latency_histogram()
+        );
+    }
+
+    #[test]
+    fn next_wake_folds_refresh_arrivals_and_banks() {
+        let t = t();
+        let mut c = ctrl();
+        let first_refresh = t.refi; // rank 0's first deadline
+        assert_eq!(c.next_wake(0), Some(first_refresh));
+        // A queued future arrival earlier than the refresh wins the fold.
+        c.enqueue(MemRequest::read(1, 0), 500).unwrap();
+        assert_eq!(c.next_wake(0), Some(500));
+        // Arrivals at or before `now` are actionable, not wakes.
+        assert_eq!(c.next_wake(500), Some(first_refresh));
+        // After serving, the touched bank's earliest gate is the next
+        // wake (its tRTP/tRAS window closes before the first refresh).
+        let done = c.drain(500);
+        let bank_wake = c.next_wake(500).expect("bank gates are closed");
+        assert!(
+            bank_wake > 500 && bank_wake < first_refresh,
+            "bank wake {bank_wake} should precede refresh {first_refresh}"
+        );
+        assert_eq!(done.len(), 1);
+    }
+
+    #[test]
+    fn rram_controller_has_no_refresh_wakes() {
+        let cfg = ControllerConfig::with_device(DeviceConfig::rram_server());
+        assert!(!cfg.refresh_enabled);
+        let mut c = Controller::new(cfg);
+        assert_eq!(c.next_wake(0), None, "idle RRAM publishes nothing");
+        c.advance_to(1_000_000_000);
+        assert_eq!(c.stats().refreshes, 0);
+    }
+
+    /// The reference scan and the tournament must be indistinguishable
+    /// end-to-end, not just per decision: same completions, stats, and
+    /// lanes over a mixed read/write/stride workload.
+    #[test]
+    fn reference_scheduler_is_observationally_identical() {
+        let mut mixed = Vec::new();
+        for i in 0..48u64 {
+            let addr = (i % 7) * 8192 + (i % 3) * 64;
+            let req = match i % 4 {
+                0 => MemRequest::read(i, addr),
+                1 => MemRequest::write(i, addr + 0x40000),
+                2 => MemRequest::stride_read(
+                    i,
+                    addr,
+                    StrideSpec {
+                        gather: 8,
+                        mode: sam_dram::moderegs::IoMode::Sx4((i % 4) as u8),
+                    },
+                ),
+                _ => MemRequest::read(i, addr + 0x100),
+            };
+            mixed.push((req, i * 3));
+        }
+        let run = |reference: bool| {
+            let cfg = ControllerConfig {
+                reference_scheduler: reference,
+                ..ControllerConfig::default()
+            };
+            let mut c = Controller::new(cfg);
+            for (req, arrival) in &mixed {
+                c.enqueue(*req, *arrival).unwrap();
+            }
+            let done = c.drain(0);
+            (done, *c.stats(), c.per_core().clone())
+        };
+        let (done_t, stats_t, lanes_t) = run(false);
+        let (done_r, stats_r, lanes_r) = run(true);
+        assert_eq!(done_t, done_r);
+        assert_eq!(stats_t, stats_r);
+        assert_eq!(lanes_t, lanes_r);
     }
 }

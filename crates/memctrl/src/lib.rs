@@ -27,5 +27,6 @@ pub mod controller;
 pub mod mapping;
 pub mod request;
 pub mod sched;
+pub mod wake;
 
 pub use sam_dram::Cycle;

@@ -48,6 +48,82 @@ pub struct Decision {
     pub starved: bool,
 }
 
+/// Reusable zero-allocation workspace for [`select`]'s group tournament.
+///
+/// The controller owns one and threads it through every decision; `select`
+/// fully resets it on entry, so sharing one scratch across queues (or
+/// controllers) is safe and the policy stays a pure function of its
+/// per-call inputs.
+#[derive(Debug, Clone)]
+pub struct SelectScratch {
+    groups: Vec<Group>,
+    /// Open-addressed hash table over `groups`, `SLOT_EMPTY` = free.
+    table: [u8; TABLE_SLOTS],
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Group {
+    view: SchedView,
+    index: usize,
+}
+
+const TABLE_SLOTS: usize = 128;
+const SLOT_EMPTY: u8 = u8::MAX;
+/// Beyond this many distinct groups a queue item competes directly (exact
+/// either way — the cap only bounds the workspace).
+const MAX_GROUPS: usize = 48;
+
+impl Default for SelectScratch {
+    fn default() -> Self {
+        Self {
+            groups: Vec::with_capacity(MAX_GROUPS),
+            table: [SLOT_EMPTY; TABLE_SLOTS],
+        }
+    }
+}
+
+/// Whether two views are interchangeable to the estimate: same bank, row,
+/// and required mode (`col` never enters the estimate).
+fn same_group(a: &SchedView, b: &SchedView) -> bool {
+    a.loc.row == b.loc.row
+        && a.loc.rank == b.loc.rank
+        && a.loc.bank_group == b.loc.bank_group
+        && a.loc.bank == b.loc.bank
+        && a.mode == b.mode
+}
+
+/// Hash slot for a view's group key (full equality is re-checked via
+/// [`same_group`], so collisions only cost probes, never correctness).
+fn group_slot(v: &SchedView) -> usize {
+    let mode = match v.mode {
+        IoMode::X4 => 0u64,
+        IoMode::X8 => 1,
+        IoMode::X16 => 2,
+        IoMode::Sx4(lane) => 3 + lane as u64,
+    };
+    let key = (v.loc.row << 16)
+        ^ ((v.loc.rank as u64) << 12)
+        ^ ((v.loc.bank_group as u64) << 8)
+        ^ ((v.loc.bank as u64) << 4)
+        ^ mode;
+    (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 57) as usize
+}
+
+fn estimate(
+    v: &SchedView,
+    now: Cycle,
+    trtr: Cycle,
+    earliest_column: &mut impl FnMut(Location, Cycle) -> Cycle,
+    rank_mode: &mut impl FnMut(usize) -> IoMode,
+) -> Cycle {
+    let base = now.max(v.arrival);
+    let mut est = earliest_column(v.loc, base);
+    if rank_mode(v.loc.rank) != v.mode {
+        est += trtr;
+    }
+    est
+}
+
 /// Picks the FR-FCFS winner among `queue`: requests are ranked by the
 /// estimated earliest column-issue cycle (row hits first by construction),
 /// with arrival order breaking ties. Requests whose required mode differs
@@ -63,8 +139,101 @@ pub struct Decision {
 /// Device state is reached only through the two closures (`earliest_column`
 /// estimates the column-issue cycle for a location; `rank_mode` reports a
 /// rank's current I/O mode), so the policy stays a pure function of its
-/// visible inputs.
+/// visible inputs. `earliest_column` must be pure and monotone
+/// non-decreasing in its cycle argument (every device form is
+/// `max(ready, base + fixed)`); that monotonicity is what lets the group
+/// tournament below skip dominated candidates.
+///
+/// # Algorithm
+///
+/// Decision-for-decision identical to the reference scan
+/// ([`select_reference`]), but O(groups) estimate calls instead of
+/// O(queue): requests agreeing on (bank, row, mode) are interchangeable to
+/// the estimate except through `max(now, arrival)`, and the estimate is
+/// monotone in arrival — so within such a group the earliest-arrived
+/// member (first queue index on ties) dominates every other under the
+/// `(est, arrival)` order and only that representative needs estimating.
+/// Strided scans put long runs of same-row gathers in the queue, which is
+/// precisely when the estimate scan was the hot loop; pathological queues
+/// (every request a distinct row) fall past [`MAX_GROUPS`] and compete
+/// individually, which is the reference scan again.
 pub fn select(
+    queue: impl Iterator<Item = SchedView>,
+    now: Cycle,
+    cap: Cycle,
+    trtr: Cycle,
+    mut earliest_column: impl FnMut(Location, Cycle) -> Cycle,
+    mut rank_mode: impl FnMut(usize) -> IoMode,
+    scratch: &mut SelectScratch,
+) -> Option<Decision> {
+    scratch.groups.clear();
+    scratch.table.fill(SLOT_EMPTY);
+    let mut oldest: Option<(Cycle, usize)> = None;
+    // (est, arrival, index) of the best item evaluated individually
+    // (group-cap overflow); merged with the group winners below.
+    let mut best: Option<(Cycle, Cycle, usize)> = None;
+    for (i, v) in queue.enumerate() {
+        if oldest.is_none_or(|(a, _)| v.arrival < a) {
+            oldest = Some((v.arrival, i));
+        }
+        let mut slot = group_slot(&v);
+        loop {
+            match scratch.table[slot] {
+                SLOT_EMPTY => {
+                    if scratch.groups.len() < MAX_GROUPS {
+                        scratch.table[slot] = scratch.groups.len() as u8;
+                        scratch.groups.push(Group { view: v, index: i });
+                    } else {
+                        let est = estimate(&v, now, trtr, &mut earliest_column, &mut rank_mode);
+                        if best.is_none_or(|b| (est, v.arrival, i) < b) {
+                            best = Some((est, v.arrival, i));
+                        }
+                    }
+                    break;
+                }
+                g => {
+                    let e = &mut scratch.groups[g as usize];
+                    if same_group(&e.view, &v) {
+                        // First index keeps the representative on arrival
+                        // ties, matching the reference scan's strict `<`.
+                        if v.arrival < e.view.arrival {
+                            e.view.arrival = v.arrival;
+                            e.index = i;
+                        }
+                        break;
+                    }
+                    slot = (slot + 1) % TABLE_SLOTS;
+                }
+            }
+        }
+    }
+    let (oldest_arrival, oldest_idx) = oldest?;
+    if now.saturating_sub(oldest_arrival) > cap {
+        return Some(Decision {
+            index: oldest_idx,
+            starved: true,
+        });
+    }
+    for e in &scratch.groups {
+        let est = estimate(&e.view, now, trtr, &mut earliest_column, &mut rank_mode);
+        if best.is_none_or(|b| (est, e.view.arrival, e.index) < b) {
+            best = Some((est, e.view.arrival, e.index));
+        }
+    }
+    best.map(|(_, _, index)| Decision {
+        index,
+        starved: false,
+    })
+}
+
+/// The reference FR-FCFS scan: estimates every queued request and keeps
+/// the strict `(est, arrival)` minimum, first index winning ties.
+///
+/// This is the model [`select`] is proven against — the differential
+/// suite replays recorded request streams through both and asserts
+/// identical decisions (see `tests/` and the sam-stress matrix). Keep it
+/// dead simple; it is the spec, not the fast path.
+pub fn select_reference(
     queue: impl Iterator<Item = SchedView>,
     now: Cycle,
     cap: Cycle,
@@ -78,11 +247,7 @@ pub fn select(
         if oldest.is_none_or(|(a, _)| v.arrival < a) {
             oldest = Some((v.arrival, i));
         }
-        let base = now.max(v.arrival);
-        let mut est = earliest_column(v.loc, base);
-        if rank_mode(v.loc.rank) != v.mode {
-            est += trtr;
-        }
+        let est = estimate(&v, now, trtr, &mut earliest_column, &mut rank_mode);
         if best.is_none_or(|(be, ba, _)| (est, v.arrival) < (be, ba)) {
             best = Some((est, v.arrival, i));
         }
@@ -148,10 +313,28 @@ mod tests {
         base + if loc.row == 7 { 0 } else { 10 }
     }
 
+    /// Runs the tournament select and the reference scan on the same queue
+    /// and asserts they agree before returning the decision.
+    fn select_checked(q: &[SchedView], now: Cycle, cap: Cycle, trtr: Cycle) -> Option<Decision> {
+        let mut scratch = SelectScratch::default();
+        let fast = select(
+            q.iter().copied(),
+            now,
+            cap,
+            trtr,
+            est,
+            |_| IoMode::X4,
+            &mut scratch,
+        );
+        let reference = select_reference(q.iter().copied(), now, cap, trtr, est, |_| IoMode::X4);
+        assert_eq!(fast, reference, "tournament must match the reference scan");
+        fast
+    }
+
     #[test]
     fn row_hit_beats_older_miss() {
         let q = [view(0, 1), view(5, 7)];
-        let d = select(q.into_iter(), 6, 100, 2, est, |_| IoMode::X4).unwrap();
+        let d = select_checked(&q, 6, 100, 2).unwrap();
         assert_eq!(
             d,
             Decision {
@@ -164,14 +347,14 @@ mod tests {
     #[test]
     fn arrival_breaks_estimate_ties() {
         let q = [view(3, 1), view(1, 1)];
-        let d = select(q.into_iter(), 4, 100, 2, est, |_| IoMode::X4).unwrap();
+        let d = select_checked(&q, 4, 100, 2).unwrap();
         assert_eq!(d.index, 1);
     }
 
     #[test]
     fn starvation_cap_overrides_row_hits() {
         let q = [view(0, 1), view(200, 7)];
-        let d = select(q.into_iter(), 150, 100, 2, est, |_| IoMode::X4).unwrap();
+        let d = select_checked(&q, 150, 100, 2).unwrap();
         assert_eq!(
             d,
             Decision {
@@ -187,13 +370,70 @@ mod tests {
         // rank is not in, so tRTR tips the estimate toward request 1.
         let mut q = [view(0, 7), view(0, 7)];
         q[0].mode = IoMode::Sx4(0);
-        let d = select(q.into_iter(), 0, 100, 2, est, |_| IoMode::X4).unwrap();
+        let d = select_checked(&q, 0, 100, 2).unwrap();
         assert_eq!(d.index, 1);
     }
 
     #[test]
     fn empty_queue_selects_nothing() {
-        assert!(select([].into_iter(), 0, 100, 2, est, |_| IoMode::X4).is_none());
+        assert!(select_checked(&[], 0, 100, 2).is_none());
+    }
+
+    #[test]
+    fn equal_arrival_ties_pick_the_first_index() {
+        // Three same-group requests with equal arrivals: the reference
+        // strict `<` keeps index 0; the tournament's representative rule
+        // must do the same.
+        let q = [view(4, 7), view(4, 7), view(4, 7)];
+        let d = select_checked(&q, 5, 100, 2).unwrap();
+        assert_eq!(d.index, 0);
+    }
+
+    #[test]
+    fn group_cap_overflow_stays_exact() {
+        // More distinct rows than MAX_GROUPS: overflow items compete
+        // individually. The winner (row 7, the only "open" row) sits past
+        // the cap so it must win from the overflow path.
+        let mut q: Vec<SchedView> = (0..80).map(|i| view(i as Cycle, 100 + i)).collect();
+        q.push(view(90, 7));
+        let d = select_checked(&q, 95, 10_000, 2).unwrap();
+        assert_eq!(d.index, 80);
+    }
+
+    /// Randomized differential check: tournament == reference on queues
+    /// mixing repeated groups, duplicate arrivals, stride modes, and
+    /// more distinct rows than the group cap.
+    #[test]
+    fn tournament_matches_reference_on_random_queues() {
+        let mut state = 0x5A11_AD5E_1EC7_0000_u64 ^ 0x1234_5678_9abc_def0;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for case in 0..500 {
+            let len = (next() % 97) as usize;
+            let q: Vec<SchedView> = (0..len)
+                .map(|_| {
+                    let mut v = view(next() % 64, next() % 60);
+                    v.loc.bank = (next() % 4) as usize;
+                    v.loc.bank_group = (next() % 4) as usize;
+                    v.loc.rank = (next() % 2) as usize;
+                    if next() % 3 == 0 {
+                        v.mode = IoMode::Sx4((next() % 4) as u8);
+                    }
+                    v
+                })
+                .collect();
+            let now = next() % 80;
+            let cap = if next() % 4 == 0 { 20 } else { 10_000 };
+            let mode = |r: usize| if r == 0 { IoMode::X4 } else { IoMode::Sx4(1) };
+            let mut scratch = SelectScratch::default();
+            let fast = select(q.iter().copied(), now, cap, 2, est, mode, &mut scratch);
+            let reference = select_reference(q.iter().copied(), now, cap, 2, est, mode);
+            assert_eq!(fast, reference, "case {case}: queue {q:?} now {now}");
+        }
     }
 
     #[test]

@@ -113,6 +113,33 @@ pub fn cross_check(runs: &[DiffRun]) -> Vec<String> {
                     b.outcome.stats_digest()
                 ));
             }
+            // Scheduler-path identity: the group tournament and the naive
+            // reference scan are exact equivalents, so runs that differ
+            // *only* in the scheduler implementation must be
+            // byte-identical in both the stats digest and the per-core
+            // lanes. This is the wheel-vs-reference differential.
+            let same_but_sched = ca.device == cb.device
+                && ca.starvation_cap == cb.starvation_cap
+                && ca.drain_hi == cb.drain_hi
+                && ca.drain_lo == cb.drain_lo
+                && ca.reference_scheduler != cb.reference_scheduler;
+            if same_but_sched {
+                if a.outcome.stats_digest() != b.outcome.stats_digest() {
+                    findings.push(format!(
+                        "scheduler paths diverged: '{}' vs '{}': {} != {}",
+                        a.case.label,
+                        b.case.label,
+                        a.outcome.stats_digest(),
+                        b.outcome.stats_digest()
+                    ));
+                }
+                if a.outcome.lanes_digest != b.outcome.lanes_digest {
+                    findings.push(format!(
+                        "scheduler paths diverged in per-core lanes: '{}' vs '{}': {} != {}",
+                        a.case.label, b.case.label, a.outcome.lanes_digest, b.outcome.lanes_digest
+                    ));
+                }
+            }
         }
     }
     findings
@@ -136,6 +163,10 @@ mod tests {
             DiffCase {
                 label: "default-explicit".into(),
                 config: StressConfig::ddr4_default(),
+            },
+            DiffCase {
+                label: "default-reference-sched".into(),
+                config: StressConfig::ddr4_default().with_reference_scheduler(),
             },
         ]
     }
@@ -168,6 +199,74 @@ mod tests {
                     .collect::<Vec<_>>()
             );
         }
+    }
+
+    /// Satellite: recorded streams — rendered to the on-disk trace
+    /// format and parsed back, exactly what `sam-check replay` does —
+    /// replayed through the reference scan and the tournament produce
+    /// identical stats digests, per-core lanes, and completion cycles.
+    #[test]
+    fn recorded_streams_replay_identically_under_both_schedulers() {
+        use crate::stream::{format_stream, parse_stream, StressStream};
+        for pattern in Pattern::ALL {
+            let requests = pattern.generate(&PatternParams::small(7));
+            let recorded = format_stream(&StressStream {
+                config: StressConfig::ddr4_default(),
+                requests,
+            });
+            let replayed = parse_stream(&recorded).unwrap();
+            let tournament = run_stream(&replayed.config, &replayed.requests);
+            let reference = run_stream(
+                &replayed.config.with_reference_scheduler(),
+                &replayed.requests,
+            );
+            assert_eq!(
+                tournament.stats_digest(),
+                reference.stats_digest(),
+                "{}: scheduler paths must not diverge",
+                pattern.name()
+            );
+            assert_eq!(
+                tournament.lanes_digest,
+                reference.lanes_digest,
+                "{}",
+                pattern.name()
+            );
+            assert_eq!(
+                tournament.last_finish,
+                reference.last_finish,
+                "{}",
+                pattern.name()
+            );
+            assert_eq!(tournament, reference, "{}", pattern.name());
+        }
+    }
+
+    #[test]
+    fn scheduler_divergence_is_reported() {
+        let stream = Pattern::RowHitFlood.generate(&PatternParams::small(9));
+        let mut report = run_differential(&stream, &cases());
+        // Forge a desync between the tournament and reference runs.
+        let idx = report
+            .runs
+            .iter()
+            .position(|r| r.case.config.reference_scheduler)
+            .expect("matrix includes a reference-scheduler case");
+        report.runs[idx].outcome.row_hits += 1;
+        report.runs[idx].outcome.lanes_digest.push('!');
+        let findings = cross_check(&report.runs);
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.contains("scheduler paths diverged")),
+            "{findings:?}"
+        );
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.contains("diverged in per-core lanes")),
+            "{findings:?}"
+        );
     }
 
     #[test]

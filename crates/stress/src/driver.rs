@@ -56,6 +56,9 @@ pub struct StressOutcome {
     pub last_finish: Cycle,
     /// Invariant violations, in observation order.
     pub violations: Vec<Violation>,
+    /// Canonical rendering of the controller's per-core provenance
+    /// lanes; the scheduler differential compares it across paths.
+    pub lanes_digest: String,
 }
 
 impl StressOutcome {
@@ -151,6 +154,7 @@ pub fn run_stream_instrumented(
         residency_bound: bound,
         last_finish: 0,
         violations: Vec::new(),
+        lanes_digest: String::new(),
     };
 
     let mut next = 0usize;
@@ -175,7 +179,16 @@ pub fn run_stream_instrumented(
         if ctrl.queued() == 0 {
             match requests.get(next) {
                 Some(t) => {
-                    now = now.max(t.arrival);
+                    // Event-driven idle jump (DESIGN.md §13): consume
+                    // the controller's wheel wakes across the gap —
+                    // refreshes issue at their original due cycles —
+                    // then land directly on the next arrival. Purely a
+                    // matter of *when* background work is performed:
+                    // the lazy catch-up inside scheduling issues the
+                    // identical commands at the identical cycles.
+                    let target = now.max(t.arrival);
+                    ctrl.advance_to(target);
+                    now = target;
                     continue;
                 }
                 None => break,
@@ -293,9 +306,32 @@ pub fn run_stream_instrumented(
             detail: mismatches.join(", "),
         });
     }
+    out.lanes_digest = lanes_digest(ctrl.per_core());
 
     ctrl.finish_epochs(now);
     out
+}
+
+/// Deterministic one-line rendering of the per-core lane totals, so two
+/// runs' lanes can be compared byte-for-byte like [`StressOutcome::stats_digest`].
+fn lanes_digest(lanes: &sam_memctrl::controller::CoreLanes) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    for core in 0..lanes.cores() {
+        let t = lanes.core_total(core as u8);
+        let _ = write!(
+            s,
+            "core{core}[hits={} misses={} conflicts={} reads={} writes={} latency={} starved={}] ",
+            t.row_hits,
+            t.row_misses,
+            t.row_conflicts,
+            t.reads_done,
+            t.writes_done,
+            t.total_latency,
+            t.starvation_forced
+        );
+    }
+    s
 }
 
 #[cfg(test)]

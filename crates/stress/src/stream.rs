@@ -85,6 +85,11 @@ pub struct StressConfig {
     pub drain_hi: usize,
     /// Write-drain low watermark.
     pub drain_lo: usize,
+    /// Replay through the naive reference scheduler instead of the
+    /// group tournament (see
+    /// [`ControllerConfig::reference_scheduler`]); the differential
+    /// matrix proves the two paths byte-identical on every stream.
+    pub reference_scheduler: bool,
 }
 
 impl StressConfig {
@@ -111,7 +116,14 @@ impl StressConfig {
             starvation_cap: base.starvation_cap,
             drain_hi: base.write_high_watermark,
             drain_lo: base.write_low_watermark,
+            reference_scheduler: base.reference_scheduler,
         }
+    }
+
+    /// The same knobs, replayed through the reference scheduler.
+    pub fn with_reference_scheduler(mut self) -> Self {
+        self.reference_scheduler = true;
+        self
     }
 
     /// Builds the configuration **without** watermark validation.
@@ -131,6 +143,7 @@ impl StressConfig {
             starvation_cap,
             drain_hi,
             drain_lo,
+            reference_scheduler: false,
         }
     }
 
@@ -156,6 +169,7 @@ impl StressConfig {
         cfg.starvation_cap = self.starvation_cap;
         cfg.write_high_watermark = self.drain_hi;
         cfg.write_low_watermark = self.drain_lo;
+        cfg.reference_scheduler = self.reference_scheduler;
         cfg
     }
 }
@@ -204,11 +218,18 @@ pub fn format_stream(stream: &StressStream) -> String {
     out.push_str(STRESS_TRACE_HEADER);
     out.push('\n');
     out.push_str(&format!(
-        "config device={} cap={} hi={} lo={}\n",
+        "config device={} cap={} hi={} lo={}{}\n",
         c.device.token(),
         c.starvation_cap,
         c.drain_hi,
-        c.drain_lo
+        c.drain_lo,
+        // Only serialized when set, so pre-existing recorded traces stay
+        // byte-identical and replay through the default (tournament) path.
+        if c.reference_scheduler {
+            " sched=reference"
+        } else {
+            ""
+        }
     ));
     for t in &stream.requests {
         let r = &t.req;
@@ -276,15 +297,27 @@ pub fn parse_stream(text: &str) -> Result<StressStream, String> {
         let parts: Vec<&str> = text.split_whitespace().collect();
         match parts[0] {
             "config" => {
-                if parts.len() != 5 {
-                    return Err(format!("line {line}: config needs device/cap/hi/lo"));
+                if parts.len() != 5 && parts.len() != 6 {
+                    return Err(format!(
+                        "line {line}: config needs device/cap/hi/lo [sched]"
+                    ));
                 }
                 let device = DeviceKind::from_token(parse_kv(parts[1], "device", line)?)
                     .ok_or_else(|| format!("line {line}: unknown device"))?;
                 let cap = parse_num(parse_kv(parts[2], "cap", line)?, "cap", line)?;
                 let hi = parse_num(parse_kv(parts[3], "hi", line)?, "hi", line)?;
                 let lo = parse_num(parse_kv(parts[4], "lo", line)?, "lo", line)?;
-                config = Some(StressConfig::unchecked(device, cap, hi, lo));
+                let mut cfg = StressConfig::unchecked(device, cap, hi, lo);
+                if parts.len() == 6 {
+                    cfg.reference_scheduler = match parse_kv(parts[5], "sched", line)? {
+                        "reference" => true,
+                        "tournament" => false,
+                        other => {
+                            return Err(format!("line {line}: unknown scheduler '{other}'"));
+                        }
+                    };
+                }
+                config = Some(cfg);
             }
             "req" => {
                 if parts.len() < 4 {
@@ -383,6 +416,22 @@ mod tests {
         assert_eq!(back, s);
         // And the rendering is a fixpoint.
         assert_eq!(format_stream(&back), text);
+    }
+
+    #[test]
+    fn reference_scheduler_config_roundtrips() {
+        let mut s = sample();
+        s.config = s.config.with_reference_scheduler();
+        let text = format_stream(&s);
+        assert!(text.contains("sched=reference"));
+        let back = parse_stream(&text).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(format_stream(&back), text, "rendering is a fixpoint");
+        // Bad scheduler tokens are rejected.
+        assert!(parse_stream(&text.replace("sched=reference", "sched=magic")).is_err());
+        // The explicit tournament spelling parses back to the default.
+        let explicit = text.replace("sched=reference", "sched=tournament");
+        assert!(!parse_stream(&explicit).unwrap().config.reference_scheduler);
     }
 
     #[test]

@@ -191,9 +191,22 @@ impl EpochRecorder {
     pub fn tick(&mut self, now: Cycle, totals: EpochCounters, readq: u64, writeq: u64) {
         debug_assert!(!self.finished, "tick after finish");
         let now = now.max(self.cursor);
-        while now >= self.start + self.len {
+        if now >= self.start + self.len {
+            // Close the epoch the previous snapshot belongs to, then
+            // telescope over the skipped region in one jump: after that
+            // close, `closed == prev` and the gauges are reset, so a
+            // per-epoch close loop from here would only discard all-zero
+            // epochs — O(skip) work for rows that are omitted anyway.
+            // The skip-ahead core can jump time by millions of cycles in
+            // one event, so crossing a quiet region must cost O(1), not
+            // O(cycles skipped).
             let at_close = self.prev;
             self.close(at_close);
+            if now >= self.start + self.len {
+                let skipped = (now - self.start) / self.len;
+                self.start += skipped * self.len;
+                self.index += skipped;
+            }
         }
         self.cursor = now;
         self.prev = totals;
@@ -329,6 +342,45 @@ mod tests {
         assert_eq!(r.rows().len(), 2);
         assert_eq!(r.rows()[0].index, 0);
         assert_eq!(r.rows()[1].index, 9);
+        assert_eq!(r.sum(), snap(2, 9));
+    }
+
+    #[test]
+    fn huge_skips_telescope_in_constant_time() {
+        // A skip-ahead jump crossing ~1e17 epochs: the pre-fix per-epoch
+        // close loop would effectively never return; the telescoped jump
+        // must produce the same two rows instantly.
+        let mut r = EpochRecorder::new(10);
+        r.tick(5, snap(1, 5), 0, 0);
+        let far: Cycle = 1_000_000_000_000_000_000;
+        r.tick(far, snap(2, 9), 0, 0);
+        r.finish(far, snap(2, 9));
+        assert_eq!(r.rows().len(), 2);
+        assert_eq!(r.rows()[0].index, 0);
+        assert_eq!(r.rows()[0].delta.reads, 1);
+        assert_eq!(r.rows()[1].index, far / 10);
+        assert_eq!(r.rows()[1].delta.reads, 1);
+        assert_eq!(r.sum(), snap(2, 9));
+    }
+
+    #[test]
+    fn telescoped_skip_matches_small_skip_row_for_row() {
+        // The O(1) jump must be observationally identical to the closes
+        // it replaces on a gap small enough to enumerate by hand.
+        let mut r = EpochRecorder::new(10);
+        r.tick(5, snap(1, 5), 2, 1);
+        r.tick(95, snap(2, 9), 0, 0);
+        r.finish(95, snap(2, 9));
+        assert_eq!(r.rows().len(), 2);
+        assert_eq!(
+            (r.rows()[0].index, r.rows()[0].start, r.rows()[0].end),
+            (0, 0, 10)
+        );
+        assert_eq!(r.rows()[0].readq_peak, 2);
+        assert_eq!(
+            (r.rows()[1].index, r.rows()[1].start, r.rows()[1].end),
+            (9, 90, 95)
+        );
         assert_eq!(r.sum(), snap(2, 9));
     }
 

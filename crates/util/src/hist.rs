@@ -44,7 +44,10 @@ impl Histogram {
         let bucket = 64 - value.leading_zeros() as usize;
         self.buckets[bucket.saturating_sub(1).min(63)] += 1;
         self.count += 1;
-        self.sum += value;
+        // Saturate rather than wrap: boundary samples near u64::MAX would
+        // otherwise panic here in debug builds. A saturated sum degrades
+        // the mean gracefully instead of poisoning the whole histogram.
+        self.sum = self.sum.saturating_add(value);
         self.max = self.max.max(value);
     }
 
@@ -74,7 +77,10 @@ impl Histogram {
         for (i, &b) in self.buckets.iter().enumerate() {
             seen += b;
             if seen >= target.max(1) {
-                return 1u64 << (i + 1);
+                // Bucket 63 covers [2^63, u64::MAX]; its nominal top 2^64
+                // is not representable (`1u64 << 64` overflows), so the
+                // largest recorded sample bounds it instead.
+                return if i < 63 { 1u64 << (i + 1) } else { self.max };
             }
         }
         self.max
@@ -95,7 +101,7 @@ impl Histogram {
             self.buckets[i] += other.buckets[i];
         }
         self.count += other.count;
-        self.sum += other.sum;
+        self.sum = self.sum.saturating_add(other.sum);
         self.max = self.max.max(other.max);
     }
 }
@@ -143,6 +149,40 @@ mod tests {
     #[test]
     fn empty_percentile_is_zero() {
         assert_eq!(Histogram::new().percentile(0.9), 0);
+    }
+
+    #[test]
+    fn boundary_samples_zero_and_one_share_bucket_zero() {
+        let mut h = Histogram::new();
+        h.add(0);
+        assert_eq!(h.percentile(1.0), 2, "bucket 0 tops out at 2");
+        h.add(1);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.buckets().collect::<Vec<_>>(), vec![(0, 2)]);
+        assert_eq!(h.percentile(0.5), 2);
+        assert_eq!(h.percentile(1.0), 2);
+    }
+
+    #[test]
+    fn top_bucket_percentile_does_not_overflow() {
+        // A sample in bucket 63 used to evaluate `1u64 << 64`: a panic in
+        // debug builds, a wrap to 1 in release. The bound is now the
+        // largest recorded sample.
+        let mut h = Histogram::new();
+        h.add(u64::MAX);
+        assert_eq!(h.percentile(0.5), u64::MAX);
+        assert_eq!(h.percentile(1.0), u64::MAX);
+        assert_eq!(h.max(), u64::MAX);
+        // Mixed with small samples the low quantiles keep exact tops.
+        h.add(1);
+        h.add(1);
+        h.add(1);
+        assert_eq!(h.percentile(0.5), 2);
+        assert_eq!(h.percentile(1.0), u64::MAX);
+        // The top-bucket bound is the observed max, not a fixed constant.
+        let mut g = Histogram::new();
+        g.add(1u64 << 63);
+        assert_eq!(g.percentile(1.0), 1u64 << 63);
     }
 
     #[test]

@@ -28,7 +28,7 @@ use std::fmt;
 /// A JSON document tree.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Json {
-    /// `null` (also produced when serializing non-finite floats).
+    /// `null`.
     Null,
     /// `true` / `false`.
     Bool(bool),
@@ -36,7 +36,9 @@ pub enum Json {
     UInt(u64),
     /// A signed integer.
     Int(i64),
-    /// A finite float; non-finite values serialize as `null`.
+    /// A float. JSON has no representation for non-finite values: the
+    /// parser rejects overflowing literals (`1e999`) and the writer panics
+    /// on NaN/infinity instead of emitting unparseable text.
     Float(f64),
     /// A string.
     Str(String),
@@ -102,8 +104,8 @@ impl Json {
     /// # Errors
     ///
     /// Returns a [`JsonError`] with the byte offset of the first problem:
-    /// trailing garbage, unterminated strings, bad escapes, malformed
-    /// numbers, or nesting deeper than 128 levels.
+    /// trailing garbage, unterminated strings, bad escapes, malformed or
+    /// f64-overflowing numbers, or nesting deeper than 128 levels.
     pub fn parse(text: &str) -> Result<Json, JsonError> {
         let mut p = Parser {
             bytes: text.as_bytes(),
@@ -126,7 +128,10 @@ impl Json {
             Json::UInt(v) => write!(f, "{v}"),
             Json::Int(v) => write!(f, "{v}"),
             Json::Float(v) if v.is_finite() => write!(f, "{v}"),
-            Json::Float(_) => write!(f, "null"),
+            Json::Float(v) => panic!(
+                "refusing to serialize non-finite float {v}: JSON cannot represent it \
+                 (a silent `null` here corrupts the document for every reader)"
+            ),
             Json::Str(s) => write_escaped(f, s),
             Json::Array(items) if items.is_empty() => write!(f, "[]"),
             Json::Array(items) => {
@@ -154,6 +159,13 @@ impl Json {
     }
 }
 
+/// Pretty-printing writer; output is byte-deterministic per value.
+///
+/// # Panics
+///
+/// Panics on a non-finite [`Json::Float`] — JSON has no representation for
+/// NaN or infinity, and the parser can never produce one, so encountering
+/// one is a constructor-side bug worth failing loudly on.
 impl fmt::Display for Json {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         self.write_indented(f, 0)
@@ -400,10 +412,20 @@ impl Parser<'_> {
                 return Ok(Json::Int(v));
             }
         }
-        text.parse::<f64>().map(Json::Float).map_err(|_| JsonError {
+        let v = text.parse::<f64>().map_err(|_| JsonError {
             pos: start,
             message: format!("malformed number '{text}'"),
-        })
+        })?;
+        // `f64::from_str` accepts literals whose magnitude overflows to
+        // infinity (`1e999`); accepting one here would build a document the
+        // writer must then refuse.
+        if !v.is_finite() {
+            return Err(JsonError {
+                pos: start,
+                message: format!("number '{text}' overflows f64"),
+            });
+        }
+        Ok(Json::Float(v))
     }
 }
 
@@ -454,9 +476,31 @@ mod tests {
     }
 
     #[test]
-    fn non_finite_floats_serialize_as_null() {
-        assert_eq!(Json::Float(f64::NAN).to_string(), "null");
-        assert_eq!(Json::Float(f64::INFINITY).to_string(), "null");
+    #[should_panic(expected = "non-finite float")]
+    fn non_finite_float_write_panics() {
+        let _ = Json::Float(f64::NAN).to_string();
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite float")]
+    fn infinite_float_write_panics() {
+        let _ = Json::Float(f64::INFINITY).to_string();
+    }
+
+    #[test]
+    fn overflowing_float_literals_are_rejected_at_parse_time() {
+        for bad in ["1e999", "-1e999", "1e308e", "[1e400]", "{\"x\": -2e9999}"] {
+            assert!(Json::parse(bad).is_err(), "should reject {bad:?}");
+        }
+        // The largest finite magnitudes still parse.
+        assert_eq!(
+            Json::parse("1.7976931348623157e308").unwrap(),
+            Json::Float(f64::MAX)
+        );
+        assert_eq!(
+            Json::parse("-1.7976931348623157e308").unwrap(),
+            Json::Float(f64::MIN)
+        );
     }
 
     #[test]

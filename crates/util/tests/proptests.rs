@@ -1,8 +1,53 @@
 //! Property-based tests of the utility crate.
 
 use proptest::prelude::*;
+use sam_util::json::Json;
 use sam_util::rng::{SplitMix64, Xoshiro256StarStar};
 use sam_util::stats::{geometric_mean, max, mean, min, Accumulator};
+
+/// Builds a bounded random [`Json`] tree from a seeded generator (the
+/// vendored proptest has no recursive strategies, so recursion is driven
+/// by the RNG directly).
+fn arb_json(rng: &mut SplitMix64, depth: usize) -> Json {
+    let leaf_only = depth == 0;
+    match rng.next_u64() % if leaf_only { 6 } else { 8 } {
+        0 => Json::Null,
+        1 => Json::Bool(rng.next_u64().is_multiple_of(2)),
+        2 => Json::UInt(rng.next_u64()),
+        3 => Json::Int(rng.next_u64() as i64),
+        4 => {
+            // Any finite float; the parser can only ever produce finite
+            // ones, so that is the writer's input domain.
+            let f = f64::from_bits(rng.next_u64());
+            Json::Float(if f.is_finite() { f } else { 0.0 })
+        }
+        5 => {
+            let len = (rng.next_u64() % 8) as usize;
+            Json::Str(
+                (0..len)
+                    .map(|_| {
+                        // Mix plain text with the characters the writer
+                        // must escape.
+                        let pool = ['a', '"', '\\', '\n', '\t', '\u{1}', 'é', '字'];
+                        pool[(rng.next_u64() % pool.len() as u64) as usize]
+                    })
+                    .collect(),
+            )
+        }
+        6 => {
+            let len = (rng.next_u64() % 4) as usize;
+            Json::Array((0..len).map(|_| arb_json(rng, depth - 1)).collect())
+        }
+        _ => {
+            let len = (rng.next_u64() % 4) as usize;
+            Json::Object(
+                (0..len)
+                    .map(|i| (format!("k{i}"), arb_json(rng, depth - 1)))
+                    .collect(),
+            )
+        }
+    }
+}
 
 proptest! {
     #[test]
@@ -48,6 +93,33 @@ proptest! {
         let lo = min(&v).unwrap();
         let hi = max(&v).unwrap();
         prop_assert!(g >= lo * 0.999999 && g <= hi * 1.000001, "g={g}, [{lo},{hi}]");
+    }
+
+    #[test]
+    fn written_documents_reparse_to_a_fixpoint(seed in any::<u64>()) {
+        // Any document the writer accepts must re-parse, and the re-parse
+        // must write back byte-identically (write∘parse is a fixpoint,
+        // even where the value changes variant, e.g. Float(1.0) → UInt(1)).
+        let mut rng = SplitMix64::new(seed);
+        let doc = arb_json(&mut rng, 3);
+        let text = doc.to_string();
+        let back = Json::parse(&text);
+        prop_assert!(back.is_ok(), "written doc must reparse: {text}");
+        prop_assert_eq!(back.unwrap().to_string(), text);
+    }
+
+    #[test]
+    fn parsed_documents_survive_a_write_cycle(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        // The same property approached from raw input: anything the parser
+        // accepts, however hostile the source text, re-parses after writing.
+        if let Ok(s) = std::str::from_utf8(&bytes) {
+            if let Ok(doc) = Json::parse(s) {
+                let text = doc.to_string();
+                let back = Json::parse(&text);
+                prop_assert!(back.is_ok(), "reparse failed for {text}");
+                prop_assert_eq!(back.unwrap().to_string(), text);
+            }
+        }
     }
 
     #[test]
