@@ -3,11 +3,12 @@
 
 use sam_util::json::Json;
 
-/// Every rule the pass knows, in report order. The six source rules plus
-/// the semantic timing pass over the sweep matrix.
-pub const RULES: [&str; 7] = [
+/// Every rule the pass knows, in report order. The seven source rules
+/// plus the semantic timing pass over the sweep matrix.
+pub const RULES: [&str; 8] = [
     "determinism",
     "provenance-purity",
+    "obs-purity",
     "observer-purity",
     "unsafe-audit",
     "feature-inertness",

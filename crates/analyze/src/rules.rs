@@ -32,11 +32,18 @@ pub const STATS_FIELDS: [&str; 8] = [
 /// into a scheduling decision.
 const PROVENANCE_TOKENS: [&str; 5] = ["Provenance", "prov", "ReqKind", "MemRequest", "req"];
 
+/// The read surface of the `sam-obs` metrics registry. A scheduler-policy
+/// module may bump counters (`add`/`observe`/`touch`) but naming any of
+/// these is how observability state would feed back into a scheduling
+/// decision.
+const OBS_READ_TOKENS: [&str; 4] = ["value", "snapshot", "Snapshot", "delta"];
+
 /// Runs all file-local source rules over one scanned file, appending raw
 /// (pre-waiver) findings.
 pub fn source_findings(file: &SourceFile, out: &mut Vec<Finding>) {
     determinism(file, out);
     provenance_purity(file, out);
+    obs_purity(file, out);
     observer_purity(file, out);
     unsafe_audit(file, out);
     feature_inertness(file, out);
@@ -124,6 +131,34 @@ fn provenance_purity(file: &SourceFile, out: &mut Vec<Finding>) {
                 line: t.line,
                 message: format!(
                     "scheduler policy module names `{}`; policy must be blind to request identity",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+/// **obs-purity**: the metrics registry is write-only from scheduler
+/// policy. A module under `crates/memctrl/src/sched` may bump counters
+/// but not name the registry's read surface (`value`, `snapshot`/
+/// `Snapshot`, `delta`) outside tests — scheduling decisions must never
+/// depend on observability state, or turning the `obs` feature on could
+/// change simulated results.
+fn obs_purity(file: &SourceFile, out: &mut Vec<Finding>) {
+    if !file.path.starts_with("crates/memctrl/src/sched") {
+        return;
+    }
+    for (i, t) in file.tokens.iter().enumerate() {
+        if file.in_test[i] {
+            continue;
+        }
+        if t.kind == TokenKind::Ident && OBS_READ_TOKENS.contains(&t.text.as_str()) {
+            out.push(Finding {
+                rule: "obs-purity",
+                path: file.path.clone(),
+                line: t.line,
+                message: format!(
+                    "scheduler policy module names `{}`; the metrics registry is write-only from policy code",
                     t.text
                 ),
             });
@@ -371,6 +406,26 @@ mod tests {
                 >= 2,
             "{hits:?}"
         );
+    }
+
+    #[test]
+    fn obs_rule_denies_registry_reads_in_sched_modules_only() {
+        let read = "fn pick() -> u64 { obs::CTRL_STARVED.value() }\n";
+        assert!(run_source("crates/memctrl/src/controller.rs", read)
+            .iter()
+            .all(|f| f.rule != "obs-purity"));
+        let hits = run_source("crates/memctrl/src/sched.rs", read);
+        assert_eq!(
+            hits.iter().filter(|f| f.rule == "obs-purity").count(),
+            1,
+            "{hits:?}"
+        );
+        // Write-only bumps and test-code reads stay clean.
+        let ok = "fn pick() { obs::SCHED_SELECTS.add(1); }\n\
+                  #[cfg(test)]\nmod tests {\n    fn peek() -> u64 { obs::SCHED_SELECTS.value() }\n}\n";
+        assert!(run_source("crates/memctrl/src/sched.rs", ok)
+            .iter()
+            .all(|f| f.rule != "obs-purity"));
     }
 
     #[test]

@@ -1,5 +1,6 @@
-//! `sam-analyze --selftest`: proves every rule (the six source rules, the
-//! waiver machinery, and the timing pass) fires on a known-bad fixture.
+//! `sam-analyze --selftest`: proves every rule (the seven source rules,
+//! the waiver machinery, and the timing pass) fires on a known-bad
+//! fixture.
 //!
 //! The fixtures live in `crates/analyze/tests/fixtures/` — a directory
 //! cargo never compiles — and are scanned here under synthetic workspace
@@ -25,7 +26,7 @@ struct Case {
     expect_waived: usize,
 }
 
-const CASES: [Case; 7] = [
+const CASES: [Case; 8] = [
     Case {
         rule: "determinism",
         path: "crates/core/src/fixture.rs",
@@ -38,6 +39,13 @@ const CASES: [Case; 7] = [
         path: "crates/memctrl/src/sched_biased.rs",
         source: include_str!("../tests/fixtures/provenance.rs"),
         expect_findings: 2, // the `req` and `prov` identifiers
+        expect_waived: 0,
+    },
+    Case {
+        rule: "obs-purity",
+        path: "crates/memctrl/src/sched_pressure.rs",
+        source: include_str!("../tests/fixtures/obs.rs"),
+        expect_findings: 1, // the `.value()` read; the `.add(1)` write and test reads pass
         expect_waived: 0,
     },
     Case {

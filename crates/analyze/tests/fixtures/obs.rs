@@ -1,0 +1,22 @@
+// Selftest fixture for the obs-purity rule: scanned as a synthetic
+// `crates/memctrl/src/sched*` module. Never compiled.
+
+/// BAD: a scheduling decision that reads observability state. The
+/// `.value()` read is the violation; the counter bump above it is the
+/// allowed write-only idiom and must not be flagged.
+pub fn biased_select(candidates: &[usize]) -> Option<usize> {
+    obs::SCHED_SELECTS.add(1);
+    let pressure = obs::CTRL_STARVED.value();
+    candidates.iter().copied().find(|&c| c as u64 > pressure)
+}
+
+#[cfg(test)]
+mod tests {
+    // Reads inside test code are fine: asserting on a counter is how the
+    // instrumentation itself gets tested.
+    #[test]
+    fn reads_are_allowed_here() {
+        let snapshot = obs::CTRL_STARVED.value();
+        assert_eq!(snapshot, 0);
+    }
+}

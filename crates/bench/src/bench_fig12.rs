@@ -23,6 +23,78 @@
 
 use sam_util::json::Json;
 
+/// The machine a measurement was taken on. Throughput numbers are only
+/// comparable across comparable hardware, so each trajectory entry
+/// records enough to judge that after the fact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HostMeta {
+    /// CPU model string from `/proc/cpuinfo` ("unknown" off Linux).
+    pub cpu_model: String,
+    /// Logical cores available to the process.
+    pub cpu_cores: u64,
+    /// `rustc --version` of the toolchain that built the binary's peer
+    /// tools ("unknown" when rustc is not on PATH).
+    pub rustc: String,
+}
+
+impl HostMeta {
+    /// Collects the running machine's metadata, with "unknown"
+    /// fallbacks: a bench record on exotic hardware beats no record.
+    #[must_use]
+    pub fn collect() -> HostMeta {
+        let cpu_model = std::fs::read_to_string("/proc/cpuinfo")
+            .ok()
+            .and_then(|text| {
+                text.lines()
+                    .find(|l| l.starts_with("model name"))
+                    .and_then(|l| l.split(':').nth(1))
+                    .map(|m| m.trim().to_string())
+            })
+            .unwrap_or_else(|| "unknown".to_string());
+        let cpu_cores = std::thread::available_parallelism().map_or(0, |n| n.get() as u64);
+        let rustc = std::process::Command::new("rustc")
+            .arg("--version")
+            .output()
+            .ok()
+            .filter(|out| out.status.success())
+            .map_or_else(
+                || "unknown".to_string(),
+                |out| String::from_utf8_lossy(&out.stdout).trim().to_string(),
+            );
+        HostMeta {
+            cpu_model,
+            cpu_cores,
+            rustc,
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("cpu_model", Json::str(self.cpu_model.clone())),
+            ("cpu_cores", Json::UInt(self.cpu_cores)),
+            ("rustc", Json::str(self.rustc.clone())),
+        ])
+    }
+
+    fn from_json(doc: &Json) -> Result<HostMeta, String> {
+        let str_of = |key: &str| -> Result<String, String> {
+            doc.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("host missing string '{key}'"))
+        };
+        let cpu_cores = match doc.get("cpu_cores") {
+            Some(&Json::UInt(v)) => v,
+            _ => return Err("host missing uint 'cpu_cores'".into()),
+        };
+        Ok(HostMeta {
+            cpu_model: str_of("cpu_model")?,
+            cpu_cores,
+            rustc: str_of("rustc")?,
+        })
+    }
+}
+
 /// One throughput measurement.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchEntry {
@@ -38,6 +110,10 @@ pub struct BenchEntry {
     pub wall_seconds: f64,
     /// Sum of `cycles` over every run in the metrics report.
     pub simulated_cycles: u64,
+    /// Machine metadata, when the recorder collected it. Entries from
+    /// before the field existed (or from minimal tooling) carry `None`
+    /// and still parse.
+    pub host: Option<HostMeta>,
 }
 
 impl BenchEntry {
@@ -47,7 +123,7 @@ impl BenchEntry {
     }
 
     fn to_json(&self) -> Json {
-        Json::object([
+        let mut fields = vec![
             ("label", Json::str(self.label.clone())),
             ("jobs", Json::UInt(self.jobs)),
             ("ta_records", Json::UInt(self.ta_records)),
@@ -55,7 +131,11 @@ impl BenchEntry {
             ("wall_seconds", Json::Float(self.wall_seconds)),
             ("simulated_cycles", Json::UInt(self.simulated_cycles)),
             ("cycles_per_sec", Json::Float(self.cycles_per_sec())),
-        ])
+        ];
+        if let Some(host) = &self.host {
+            fields.push(("host", host.to_json()));
+        }
+        Json::object(fields)
     }
 
     fn from_json(doc: &Json) -> Result<BenchEntry, String> {
@@ -76,6 +156,10 @@ impl BenchEntry {
                 .and_then(Json::as_f64)
                 .ok_or_else(|| format!("entry missing number '{key}'"))
         };
+        let host = match doc.get("host") {
+            Some(h) => Some(HostMeta::from_json(h)?),
+            None => None,
+        };
         let entry = BenchEntry {
             label: str_of("label")?,
             jobs: uint_of("jobs")?,
@@ -83,6 +167,7 @@ impl BenchEntry {
             tb_records: uint_of("tb_records")?,
             wall_seconds: float_of("wall_seconds")?,
             simulated_cycles: uint_of("simulated_cycles")?,
+            host,
         };
         if !(entry.wall_seconds.is_finite() && entry.wall_seconds > 0.0) {
             return Err("entry wall_seconds must be a positive number".into());
@@ -137,6 +222,7 @@ pub fn entry_from_metrics(
         tb_records: plan_uint("tb_records")?,
         wall_seconds,
         simulated_cycles,
+        host: None,
     })
 }
 
@@ -262,6 +348,51 @@ mod tests {
         let text = doc.to_string();
         let parsed = parse_trajectory(&Json::parse(&text).unwrap()).unwrap();
         assert_eq!(parsed, entries);
+    }
+
+    #[test]
+    fn host_metadata_roundtrips_and_old_records_still_parse() {
+        let mut with_host = entry_from_metrics(&metrics(&[500_000]), "ci", 2, 2.5).unwrap();
+        with_host.host = Some(HostMeta {
+            cpu_model: "Example CPU @ 3.0GHz".into(),
+            cpu_cores: 16,
+            rustc: "rustc 1.95.0".into(),
+        });
+        let bare = entry_from_metrics(&metrics(&[500_000]), "pre-host", 2, 2.0).unwrap();
+        assert_eq!(bare.host, None);
+
+        // A mixed trajectory — an old record without `host` next to a new
+        // one with it — survives a JSON round trip intact.
+        let entries = vec![bare, with_host.clone()];
+        let text = trajectory_to_json(&entries).to_string();
+        let parsed = parse_trajectory(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(parsed, entries);
+        assert_eq!(parsed[1].host, with_host.host);
+
+        // A present-but-broken host object is an error, not silently None.
+        let mut doc = trajectory_to_json(&entries);
+        let Json::Object(fields) = &mut doc else {
+            unreachable!()
+        };
+        let Json::Array(list) = &mut fields.iter_mut().find(|(k, _)| k == "entries").unwrap().1
+        else {
+            unreachable!()
+        };
+        let Json::Object(entry_fields) = &mut list[1] else {
+            unreachable!()
+        };
+        entry_fields.retain(|(k, _)| k != "host");
+        entry_fields.push(("host".into(), Json::object([("cpu_model", Json::UInt(3))])));
+        assert!(parse_trajectory(&doc).is_err());
+    }
+
+    #[test]
+    fn collected_host_metadata_is_well_formed() {
+        let host = HostMeta::collect();
+        assert!(!host.cpu_model.is_empty());
+        assert!(!host.rustc.is_empty());
+        // Round-trips through its own JSON shape.
+        assert_eq!(HostMeta::from_json(&host.to_json()).unwrap(), host);
     }
 
     #[test]

@@ -26,7 +26,11 @@ const MLPS: [usize; 4] = [4, 8, 16, 32];
 const PREFETCH_DEGREES: [u32; 3] = [0, 2, 4];
 
 fn main() {
-    let args = parse_args(&ArgSpec::new("ablation"), PlanConfig::default_scale());
+    let args = parse_args(
+        &ArgSpec::new("ablation").with_obs(),
+        PlanConfig::default_scale(),
+    );
+    let obs = sam_bench::obsrun::ObsSession::start("ablation", &args);
     let plan = args.plan;
     let sys = SystemConfig::default();
     let gather = sys.granularity.gather() as u64;
@@ -187,4 +191,5 @@ fn main() {
     println!("are bandwidth-bound anyway, which is why the main configuration");
     println!("leaves prefetching off.");
     report.write_or_die(&args.out);
+    obs.finish();
 }

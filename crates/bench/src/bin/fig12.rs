@@ -22,6 +22,7 @@
 use sam::system::SystemConfig;
 use sam_bench::cli::{parse_args, ArgSpec};
 use sam_bench::metrics::MetricsReport;
+use sam_bench::obsrun::ObsSession;
 use sam_bench::traced::{TraceCollector, TraceOptions};
 use sam_bench::{figure12_designs, gmean, grid_rows, SpeedupRow};
 use sam_imdb::plan::PlanConfig;
@@ -32,8 +33,10 @@ fn main() {
     let spec = ArgSpec::new("fig12")
         .with_checked()
         .with_trace()
+        .with_obs()
         .with_flags(&["--debug-cores", "--per-core"]);
     let args = parse_args(&spec, PlanConfig::default_scale());
+    let obs = ObsSession::start("fig12", &args);
     let plan = args.plan;
     let system = SystemConfig {
         starvation_cap: args.starvation_cap,
@@ -125,6 +128,7 @@ fn main() {
     if let Some(tracer) = &tracer {
         tracer.write_or_die(args.trace.as_deref().expect("tracer implies a path"));
     }
+    obs.finish();
     if args.checked {
         audit.summarize_and_exit();
     }

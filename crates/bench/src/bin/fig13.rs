@@ -24,9 +24,11 @@ fn main() {
     let args = parse_args(
         &ArgSpec::new("fig13")
             .with_trace()
+            .with_obs()
             .with_flags(&["--debug-cores", "--per-core"]),
         PlanConfig::default_scale(),
     );
+    let obs = sam_bench::obsrun::ObsSession::start("fig13", &args);
     let plan = args.plan;
     let system = SystemConfig {
         starvation_cap: args.starvation_cap,
@@ -169,4 +171,5 @@ fn main() {
     if let Some(tracer) = &tracer {
         tracer.write_or_die(args.trace.as_deref().expect("tracer implies a path"));
     }
+    obs.finish();
 }

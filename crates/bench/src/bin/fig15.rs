@@ -138,8 +138,10 @@ fn main() {
     let spec = ArgSpec::new("fig15")
         .with_panels(&["a", "b", "c", "d", "e", "f", "g", "h", "i"])
         .with_trace()
+        .with_obs()
         .with_flags(&["--debug-cores", "--per-core"]);
     let args = parse_args(&spec, PlanConfig::default_scale());
+    let obs = sam_bench::obsrun::ObsSession::start("fig15", &args);
     let panels: Vec<&str> = if args.panels.is_empty() {
         vec!["a", "b", "c", "d", "e", "f", "g", "h", "i"]
     } else {
@@ -187,4 +189,5 @@ fn main() {
     if let Some(tracer) = &tracer {
         tracer.write_or_die(args.trace.as_deref().expect("tracer implies a path"));
     }
+    obs.finish();
 }

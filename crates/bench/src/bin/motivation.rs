@@ -42,7 +42,11 @@ fn strided_scan(records: u64, cores: usize) -> Vec<Vec<TraceOp>> {
 }
 
 fn main() {
-    let args = parse_args(&ArgSpec::new("motivation"), PlanConfig::default_scale());
+    let args = parse_args(
+        &ArgSpec::new("motivation").with_obs(),
+        PlanConfig::default_scale(),
+    );
+    let obs = sam_bench::obsrun::ObsSession::start("motivation", &args);
     let records = args.plan.ta_records;
     let table = TableSpec::ta(TA_BASE, records);
     let sys = SystemConfig::default();
@@ -100,4 +104,5 @@ fn main() {
     println!("reads) but a strided scan hits one word offset — one sub-rank —");
     println!("so DGMS stays near 1x while SAM gathers 8 records per burst.");
     report.write_or_die(&args.out);
+    obs.finish();
 }

@@ -20,9 +20,10 @@ use sam_util::table::TextTable;
 
 fn main() {
     let args = parse_args(
-        &ArgSpec::new("reliability").with_trials(),
+        &ArgSpec::new("reliability").with_trials().with_obs(),
         PlanConfig::default_scale(),
     );
+    let obs = sam_bench::obsrun::ObsSession::start("reliability", &args);
     let trials = args.trials as usize;
 
     println!(
@@ -59,4 +60,5 @@ fn main() {
     println!("its strided accesses run unprotected, while every SAM layout corrects");
     println!("all whole-chip failures (Sections 4.1-4.3).");
     MetricsReport::new("reliability", args.plan, args.jobs, false).write_or_die(&args.out);
+    obs.finish();
 }

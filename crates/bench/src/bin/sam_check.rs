@@ -142,7 +142,7 @@ fn bench_fig12(args: &[String]) -> i32 {
         let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
         Json::parse(&text).map_err(|e| format!("{path}: {e}"))
     };
-    let measured = match parse_file(&metrics_path)
+    let mut measured = match parse_file(&metrics_path)
         .and_then(|doc| entry_from_metrics(&doc, &label, jobs, wall_ns as f64 / 1e9))
     {
         Ok(e) => e,
@@ -151,6 +151,9 @@ fn bench_fig12(args: &[String]) -> i32 {
             return 2;
         }
     };
+    // Tag the new entry with the machine it was measured on; committed
+    // entries predating the field parse fine without it.
+    measured.host = Some(sam_bench::bench_fig12::HostMeta::collect());
     let committed = match &baseline {
         Some(path) => match parse_file(path).and_then(|doc| parse_trajectory(&doc)) {
             Ok(entries) => entries,
@@ -247,6 +250,28 @@ fn lint_json(path: &str) -> i32 {
             return 1;
         }
     };
+    // Phase profiles carry `"report": "profile"` regardless of which
+    // binary wrote them, so they dispatch ahead of the per-bin schemas.
+    if matches!(doc.get("report"), Some(Json::Str(s)) if s == "profile") {
+        return match sam_obs::profile::lint_profile_json(&doc) {
+            Ok(()) => {
+                let phases = doc
+                    .get("phases")
+                    .and_then(Json::as_array)
+                    .map_or(0, <[Json]>::len);
+                let total = doc.get("total_ns").and_then(Json::as_f64).unwrap_or(0.0);
+                println!(
+                    "{path}: valid phase profile ({phases} root phase(s), {:.3}s total)",
+                    total / 1e9
+                );
+                0
+            }
+            Err(e) => {
+                eprintln!("sam-check: {path}: schema violation: {e}");
+                1
+            }
+        };
+    }
     if matches!(doc.get("bin"), Some(Json::Str(s)) if s == "sam-analyze") {
         return match sam_analyze::report::lint_analyze_json(&doc) {
             Ok(()) => {

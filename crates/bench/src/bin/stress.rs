@@ -46,12 +46,16 @@ fn main() {
     let spec = ArgSpec::new("stress")
         .with_trace()
         .with_panels(PATTERN_PANELS)
+        .with_obs()
         .with_flags(&["--shrink-selftest"]);
     let args = parse_args(&spec, PlanConfig::default_scale());
+    let obs = sam_bench::obsrun::ObsSession::start("stress", &args);
     let repro_path = args.out.with_file_name("stress.repro.trace");
 
     if args.has_flag("--shrink-selftest") {
-        std::process::exit(shrink_selftest(args.plan.seed, &repro_path));
+        let code = shrink_selftest(args.plan.seed, &repro_path);
+        obs.finish();
+        std::process::exit(code);
     }
 
     let patterns: Vec<Pattern> = if args.panels.is_empty() {
@@ -90,6 +94,7 @@ fn main() {
     }
 
     let total: usize = reports.iter().map(|p| p.report.total_violations()).sum();
+    obs.finish();
     if total > 0 {
         write_first_repro(&reports, &patterns, &params, &repro_path);
         std::process::exit(1);

@@ -16,7 +16,11 @@ use sam_imdb::plan::PlanConfig;
 use sam_util::table::TextTable;
 
 fn main() {
-    let args = parse_args(&ArgSpec::new("table1"), PlanConfig::default_scale());
+    let args = parse_args(
+        &ArgSpec::new("table1").with_obs(),
+        PlanConfig::default_scale(),
+    );
+    let obs = sam_bench::obsrun::ObsSession::start("table1", &args);
     let designs = [
         rc_nvm_bit(),
         rc_nvm_wd(),
@@ -96,4 +100,5 @@ fn main() {
     println!("{table}");
     println!("v: good/unmodified   o: fair/slightly modified   x: poor/modified");
     MetricsReport::new("table1", args.plan, args.jobs, false).write_or_die(&args.out);
+    obs.finish();
 }

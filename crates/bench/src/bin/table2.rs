@@ -18,7 +18,11 @@ use sam_imdb::plan::PlanConfig;
 use sam_memctrl::controller::ControllerConfig;
 
 fn main() {
-    let args = parse_args(&ArgSpec::new("table2"), PlanConfig::default_scale());
+    let args = parse_args(
+        &ArgSpec::new("table2").with_obs(),
+        PlanConfig::default_scale(),
+    );
+    let obs = sam_bench::obsrun::ObsSession::start("table2", &args);
     let sys = SystemConfig::default();
     let h = HierarchyConfig::table2();
     let dram = DeviceConfig::ddr4_server();
@@ -84,4 +88,5 @@ fn main() {
         }
     }
     MetricsReport::new("table2", args.plan, args.jobs, false).write_or_die(&args.out);
+    obs.finish();
 }

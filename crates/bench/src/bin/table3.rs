@@ -15,7 +15,11 @@ use sam_imdb::query::Query;
 use sam_util::table::TextTable;
 
 fn main() {
-    let args = parse_args(&ArgSpec::new("table3"), PlanConfig::default_scale());
+    let args = parse_args(
+        &ArgSpec::new("table3").with_obs(),
+        PlanConfig::default_scale(),
+    );
+    let obs = sam_bench::obsrun::ObsSession::start("table3", &args);
     println!("Table 3: benchmark queries\n");
     let mut table = TextTable::new(vec!["No.", "SQL statement"]);
     for q in Query::q_set() {
@@ -48,4 +52,5 @@ fn main() {
     ]);
     println!("Parametric queries (prefer row or column store)\n{table}");
     MetricsReport::new("table3", args.plan, args.jobs, false).write_or_die(&args.out);
+    obs.finish();
 }

@@ -22,6 +22,11 @@
 //! * `--trace[=PATH]` / `--epoch-len N` — only on binaries that support
 //!   the `sam-trace` recorder (default trace path:
 //!   `results/<bin>.trace.json`; default epoch length: 10000 cycles)
+//! * `--profile[=PATH]` / `--heartbeat[=SECS]` — only on binaries built
+//!   with host-side observability (`sam-bench`'s `obs` feature, on by
+//!   default): phase-profile report (default path
+//!   `results/<bin>.profile.json`) and stderr progress lines (default
+//!   interval: 5 seconds)
 //! * `--trials N` — only on the fault-injection binaries
 //! * `--debug-cores` / `--per-core` — only on the simulating figure
 //!   binaries (fig12-fig15): per-core progress dump on stderr, and
@@ -40,6 +45,9 @@ pub const DEFAULT_EPOCH_LEN: u64 = 10_000;
 
 /// Default fault-injection trial count (`--trials`).
 pub const DEFAULT_TRIALS: u64 = 100;
+
+/// Default heartbeat interval in seconds (`--heartbeat` with no value).
+pub const DEFAULT_HEARTBEAT_SECS: u64 = 5;
 
 /// Table 2 write-queue depth; `--drain-hi` may not exceed it. Mirrors
 /// `ControllerConfig::with_device` (asserted by a test below).
@@ -63,6 +71,8 @@ pub struct ArgSpec {
     pub accepts_trace: bool,
     /// Whether `--trials N` is accepted.
     pub accepts_trials: bool,
+    /// Whether `--profile[=PATH]` / `--heartbeat[=SECS]` are accepted.
+    pub accepts_obs: bool,
     /// Bare arguments accepted as panel selectors (empty: none).
     pub panels: &'static [&'static str],
     /// Extra binary-specific boolean flags (e.g. `--shrink-selftest`);
@@ -78,6 +88,7 @@ impl ArgSpec {
             accepts_checked: false,
             accepts_trace: false,
             accepts_trials: false,
+            accepts_obs: false,
             panels: &[],
             extra_flags: &[],
         }
@@ -98,6 +109,12 @@ impl ArgSpec {
     /// Accepts `--trials N`.
     pub fn with_trials(mut self) -> Self {
         self.accepts_trials = true;
+        self
+    }
+
+    /// Accepts `--profile[=PATH]` and `--heartbeat[=SECS]`.
+    pub fn with_obs(mut self) -> Self {
+        self.accepts_obs = true;
         self
     }
 
@@ -128,6 +145,9 @@ impl ArgSpec {
         if self.accepts_trials {
             u.push_str(" [--trials N]");
         }
+        if self.accepts_obs {
+            u.push_str(" [--profile[=PATH]] [--heartbeat[=SECS]]");
+        }
         for flag in self.extra_flags {
             u.push_str(&format!(" [{flag}]"));
         }
@@ -152,6 +172,11 @@ pub struct BenchArgs {
     pub trace: Option<PathBuf>,
     /// Epoch length in memory cycles for the trace's stats engine.
     pub epoch_len: u64,
+    /// Phase-profile report path when `--profile[=PATH]` was given; `None`
+    /// leaves profiling disabled (the one-atomic-load default).
+    pub profile: Option<PathBuf>,
+    /// Heartbeat interval in seconds when `--heartbeat[=SECS]` was given.
+    pub heartbeat: Option<u64>,
     /// FR-FCFS starvation-cap override in memory cycles (`Some(0)` forces
     /// pure FCFS); `None` keeps the design/controller default.
     pub starvation_cap: Option<u64>,
@@ -216,6 +241,8 @@ pub fn try_parse_args(
     let mut checked = false;
     let mut trace: Option<PathBuf> = None;
     let mut epoch_len = DEFAULT_EPOCH_LEN;
+    let mut profile: Option<PathBuf> = None;
+    let mut heartbeat: Option<u64> = None;
     let mut starvation_cap = None;
     let mut drain_hi: Option<usize> = None;
     let mut drain_lo: Option<usize> = None;
@@ -282,6 +309,27 @@ pub fn try_parse_args(
                 }
                 trace = Some(PathBuf::from(path));
             }
+            "--profile" if spec.accepts_obs => {
+                profile = Some(PathBuf::from(format!("results/{}.profile.json", spec.bin)));
+            }
+            t if spec.accepts_obs && t.starts_with("--profile=") => {
+                let path = &t["--profile=".len()..];
+                if path.is_empty() {
+                    return Err(CliError::BadValue("--profile".to_string(), String::new()));
+                }
+                profile = Some(PathBuf::from(path));
+            }
+            "--heartbeat" if spec.accepts_obs => {
+                heartbeat = Some(DEFAULT_HEARTBEAT_SECS);
+            }
+            t if spec.accepts_obs && t.starts_with("--heartbeat=") => {
+                let v = &t["--heartbeat=".len()..];
+                let secs: u64 =
+                    v.parse().ok().filter(|&s| s >= 1).ok_or_else(|| {
+                        CliError::BadValue("--heartbeat".to_string(), v.to_string())
+                    })?;
+                heartbeat = Some(secs);
+            }
             "--epoch-len" if spec.accepts_trace => {
                 let v = value_of(&mut i)?;
                 epoch_len = parse_num(arg, &v)?;
@@ -331,6 +379,8 @@ pub fn try_parse_args(
         checked,
         trace,
         epoch_len,
+        profile,
+        heartbeat,
         starvation_cap,
         drain_hi,
         drain_lo,
@@ -415,6 +465,40 @@ mod tests {
         let plain = ArgSpec::new("table1");
         let e = try_parse_args(&plain, PlanConfig::tiny(), &argv(&["--trace"])).unwrap_err();
         assert_eq!(e, CliError::UnknownArg("--trace".to_string()));
+    }
+
+    #[test]
+    fn obs_flag_forms_and_gating() {
+        let s = ArgSpec::new("fig12").with_obs();
+        let a = try_parse_args(&s, PlanConfig::tiny(), &argv(&["--profile"])).unwrap();
+        assert_eq!(a.profile, Some(PathBuf::from("results/fig12.profile.json")));
+        assert_eq!(a.heartbeat, None);
+        let a = try_parse_args(
+            &s,
+            PlanConfig::tiny(),
+            &argv(&["--profile=/tmp/p.json", "--heartbeat=2"]),
+        )
+        .unwrap();
+        assert_eq!(a.profile, Some(PathBuf::from("/tmp/p.json")));
+        assert_eq!(a.heartbeat, Some(2));
+        let a = try_parse_args(&s, PlanConfig::tiny(), &argv(&["--heartbeat"])).unwrap();
+        assert_eq!(a.heartbeat, Some(DEFAULT_HEARTBEAT_SECS));
+        // Empty path and zero/garbage intervals are rejected, not defaulted.
+        assert_eq!(
+            try_parse_args(&s, PlanConfig::tiny(), &argv(&["--profile="])).unwrap_err(),
+            CliError::BadValue("--profile".to_string(), String::new())
+        );
+        assert_eq!(
+            try_parse_args(&s, PlanConfig::tiny(), &argv(&["--heartbeat=0"])).unwrap_err(),
+            CliError::BadValue("--heartbeat".to_string(), "0".to_string())
+        );
+        assert!(try_parse_args(&s, PlanConfig::tiny(), &argv(&["--heartbeat=x"])).is_err());
+        // Binaries without observability reject the flags outright.
+        let plain = ArgSpec::new("probe");
+        let e = try_parse_args(&plain, PlanConfig::tiny(), &argv(&["--profile"])).unwrap_err();
+        assert_eq!(e, CliError::UnknownArg("--profile".to_string()));
+        let e = try_parse_args(&plain, PlanConfig::tiny(), &argv(&["--heartbeat=1"])).unwrap_err();
+        assert_eq!(e, CliError::UnknownArg("--heartbeat=1".to_string()));
     }
 
     #[test]

@@ -20,6 +20,7 @@ pub mod bench_fig12;
 pub mod checked;
 pub mod cli;
 pub mod metrics;
+pub mod obsrun;
 pub mod stressrun;
 pub mod sweep;
 pub mod traced;

@@ -342,6 +342,8 @@ impl MetricsReport {
     ///
     /// Propagates filesystem errors from directory creation or the write.
     pub fn write(&self, path: &Path) -> std::io::Result<()> {
+        let _p = sam_obs::profile::phase("emit-json");
+        sam_obs::registry::JSON_DOCS.add(1);
         if let Some(parent) = path.parent() {
             if !parent.as_os_str().is_empty() {
                 std::fs::create_dir_all(parent)?;

@@ -1,0 +1,139 @@
+//! The binaries' observability session: one [`ObsSession::start`] after
+//! argument parsing, one [`ObsSession::finish`] before exit.
+//!
+//! `start` validates that `--profile`/`--heartbeat` were not given to a
+//! build with observability compiled out (hard error, exit 2 — the same
+//! contract as `--checked` without the `check` feature: a flag that can
+//! only lie is refused, never shrugged off), then arms the profiler,
+//! snapshots the registry, opens the session's `main` root phase, and
+//! starts the heartbeat monitor. `finish` closes the root, merges every
+//! thread's phase tree, and writes `results/<bin>.profile.json` (notice
+//! on stderr only — stdout stays byte-identical to the goldens).
+
+use std::path::PathBuf;
+
+use sam_obs::heartbeat::{self, Heartbeat};
+use sam_obs::profile::{self, report_json, PhaseGuard};
+use sam_obs::registry::Snapshot;
+
+/// Observability state carried across one binary's run.
+#[derive(Debug)]
+pub struct ObsSession {
+    bin: &'static str,
+    profile_out: Option<PathBuf>,
+    start_snapshot: Snapshot,
+    root: Option<PhaseGuard>,
+    heartbeat: Option<Heartbeat>,
+}
+
+impl ObsSession {
+    /// Starts the session from the parsed `--profile`/`--heartbeat`
+    /// flags. Exits(2) if either flag was given but the binary was built
+    /// without `sam-bench`'s `obs` feature.
+    #[must_use]
+    pub fn start(bin: &'static str, args: &crate::cli::BenchArgs) -> Self {
+        if (args.profile.is_some() || args.heartbeat.is_some()) && !sam_obs::compiled() {
+            eprintln!(
+                "{bin}: --profile/--heartbeat require the `obs` feature \
+                 (on by default; rebuild without --no-default-features)"
+            );
+            std::process::exit(2);
+        }
+        if args.profile.is_some() {
+            profile::enable();
+        }
+        Self {
+            bin,
+            profile_out: args.profile.clone(),
+            start_snapshot: Snapshot::take(),
+            // The root must open after enable() so the session's own
+            // (non-sweep) work — table assembly, JSON emission — has a
+            // parent and the report telescopes to total measured time.
+            root: profile::phase("main"),
+            heartbeat: args.heartbeat.map(|secs| heartbeat::start(bin, secs)),
+        }
+    }
+
+    /// Ends the session: stops the heartbeat, closes the `main` root, and
+    /// writes the profile report if `--profile` was given. Exits(1) on an
+    /// unwritable report, like the metrics writer.
+    pub fn finish(mut self) {
+        if let Some(hb) = self.heartbeat.take() {
+            hb.stop();
+        }
+        drop(self.root.take());
+        let Some(path) = self.profile_out.take() else {
+            return;
+        };
+        let forest = profile::take_report();
+        let delta = Snapshot::take().delta(&self.start_snapshot);
+        let mut text = report_json(self.bin, &forest, &delta).to_string();
+        text.push('\n');
+        let write = || -> std::io::Result<()> {
+            if let Some(parent) = path.parent() {
+                if !parent.as_os_str().is_empty() {
+                    std::fs::create_dir_all(parent)?;
+                }
+            }
+            std::fs::write(&path, &text)
+        };
+        match write() {
+            Ok(()) => eprintln!("{}: wrote phase profile to {}", self.bin, path.display()),
+            Err(e) => {
+                eprintln!("{}: cannot write {}: {e}", self.bin, path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cli::{try_parse_args, ArgSpec};
+    use sam_imdb::plan::PlanConfig;
+    use sam_util::json::Json;
+
+    fn args(argv: &[&str]) -> crate::cli::BenchArgs {
+        let spec = ArgSpec::new("obstest").with_obs();
+        let argv: Vec<String> = argv.iter().map(|s| (*s).to_string()).collect();
+        try_parse_args(&spec, PlanConfig::tiny(), &argv).unwrap()
+    }
+
+    #[test]
+    fn session_without_flags_is_inert() {
+        let s = ObsSession::start("obstest", &args(&[]));
+        assert!(s.root.is_none() || sam_obs::profile::enabled());
+        s.finish();
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn profile_session_writes_a_lintable_report() {
+        let dir = std::env::temp_dir().join("sam-obs-session-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("obstest.profile.json");
+        let path_str = path.to_str().unwrap().to_string();
+        let flag = format!("--profile={path_str}");
+        let s = ObsSession::start("obstest", &args(&[&flag, "--heartbeat=3600"]));
+        {
+            let _inner = sam_obs::profile::phase("emit-json");
+        }
+        s.finish();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let doc = Json::parse(&text).unwrap();
+        sam_obs::profile::lint_profile_json(&doc).expect("session report lints clean");
+        assert_eq!(doc.get("bin").and_then(Json::as_str), Some("obstest"));
+        let phases = doc.get("phases").and_then(Json::as_array).unwrap();
+        assert!(
+            phases.iter().any(|p| {
+                p.get("name").and_then(Json::as_str) == Some("main")
+                    && p.get("children")
+                        .and_then(Json::as_array)
+                        .is_some_and(|c| !c.is_empty())
+            }),
+            "main root with nested children missing: {text}"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+}

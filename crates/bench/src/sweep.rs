@@ -95,20 +95,26 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 /// yields `Err(SweepPanic)` in its slot; all other tasks still run.
 pub fn run_sweep<T: Send>(jobs: usize, tasks: Vec<SweepTask<'_, T>>) -> Vec<Result<T, SweepPanic>> {
     let order: Vec<usize> = (0..tasks.len()).collect();
-    run_sweep_in_order(jobs, tasks, &order)
+    let weights = vec![1; tasks.len()];
+    run_sweep_in_order(jobs, tasks, &order, &weights)
 }
 
 /// [`run_sweep`] with an explicit execution order: workers pull tasks in
 /// `order` (a permutation of the task indices), but results still land in
 /// **submission** order, so reordering only affects wall-clock, never
-/// output bytes.
+/// output bytes. `weights[i]` is task `i`'s cost in the sweep cost model;
+/// the heartbeat's ETA is weight-proportional, so unweighted sweeps pass
+/// all-ones.
 fn run_sweep_in_order<T: Send>(
     jobs: usize,
     tasks: Vec<SweepTask<'_, T>>,
     order: &[usize],
+    weights: &[u64],
 ) -> Vec<Result<T, SweepPanic>> {
     let n = tasks.len();
     debug_assert_eq!(order.len(), n);
+    debug_assert_eq!(weights.len(), n);
+    sam_obs::heartbeat::sweep_add(n as u64, weights.iter().sum());
     let workers = jobs.max(1).min(n.max(1));
     // Each task sits in its own slot so a worker can take it without
     // holding any lock while it runs; each result lands at the same index.
@@ -132,12 +138,15 @@ fn run_sweep_in_order<T: Send>(
                     .take()
                     .expect("each task is taken exactly once");
                 let label = task.label;
-                let outcome =
+                let outcome = {
+                    let _p = sam_obs::profile::phase("run");
                     catch_unwind(AssertUnwindSafe(task.run)).map_err(|payload| SweepPanic {
                         index: i,
                         label,
                         message: panic_message(payload),
-                    });
+                    })
+                };
+                sam_obs::heartbeat::task_done(weights[i]);
                 *results[i].lock().expect("result slot poisoned") = Some(outcome);
             });
         }
@@ -175,8 +184,8 @@ pub fn run_sweep_weighted<T: Send>(
     // Descending weight; sort_by_key is stable, so equal weights keep
     // submission order.
     order.sort_by_key(|&i| std::cmp::Reverse(tasks[i].0));
-    let tasks: Vec<SweepTask<'_, T>> = tasks.into_iter().map(|(_, t)| t).collect();
-    run_sweep_in_order(jobs, tasks, &order)
+    let (weights, tasks): (Vec<u64>, Vec<SweepTask<'_, T>>) = tasks.into_iter().unzip();
+    run_sweep_in_order(jobs, tasks, &order, &weights)
 }
 
 /// [`run_sweep_weighted`] for sweeps that must not fail.

@@ -140,6 +140,7 @@ impl TraceCollector {
     /// Absorbs completed traced outcomes (submission order), keeping the
     /// traces and returning the bare runs.
     pub fn absorb(&mut self, outcomes: Vec<(QueryRun, RunTrace)>) -> Vec<QueryRun> {
+        let _p = sam_obs::profile::phase("trace-absorb");
         let mut runs = Vec::with_capacity(outcomes.len());
         for (run, trace) in outcomes {
             self.runs.push(trace);
@@ -223,6 +224,7 @@ impl TraceCollector {
     ///
     /// Propagates filesystem errors from directory creation or the write.
     pub fn write(&self, path: &Path) -> std::io::Result<()> {
+        let _p = sam_obs::profile::phase("emit-trace");
         if let Some(parent) = path.parent() {
             if !parent.as_os_str().is_empty() {
                 std::fs::create_dir_all(parent)?;

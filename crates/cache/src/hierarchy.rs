@@ -10,6 +10,8 @@
 
 use crate::sector::{split_sector, SectorState};
 use crate::set_assoc::{CacheStats, Probe, SetAssocCache};
+use sam_obs::profile::phase;
+use sam_obs::registry as obs;
 
 pub use crate::set_assoc::Victim as Writeback;
 
@@ -196,6 +198,18 @@ impl Hierarchy {
     /// from memory and then calls [`Self::fill_line`] or
     /// [`Self::fill_sector`]; a subsequent access will hit.
     pub fn access(&mut self, addr: u64, kind: AccessKind) -> AccessResult {
+        let _p = phase("cache");
+        let res = self.access_inner(addr, kind);
+        if res.sector_miss {
+            obs::CACHE_SECTOR_MISSES.add(1);
+        }
+        if matches!(res.level, HitLevel::Memory) {
+            obs::CACHE_MEM_MISSES.add(1);
+        }
+        res
+    }
+
+    fn access_inner(&mut self, addr: u64, kind: AccessKind) -> AccessResult {
         let (line, sector) = split_sector(addr);
         let write = kind == AccessKind::Write;
         let mut sector_miss = false;

@@ -571,6 +571,7 @@ impl<'t> Engine<'t> {
             }
         }
         // Final dirty data leaves the LLC.
+        let _p = sam_obs::profile::phase("drain");
         let wbs = self.hierarchy.flush_dirty();
         let when = self.last_finish;
         for wb in wbs {
@@ -601,6 +602,7 @@ impl<'t> Engine<'t> {
             .max()
             .unwrap_or(0);
         let cycles = core_mem.max(self.last_finish).max(1);
+        sam_obs::registry::SIM_CYCLES.add(cycles);
         self.ctrl.finish_epochs(cycles);
         if self.cfg.debug_cores {
             let times: Vec<Cycle> = self

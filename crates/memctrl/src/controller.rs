@@ -28,6 +28,8 @@ use crate::mapping::{AddressMapper, Location};
 use crate::request::{Completion, MemRequest, Provenance, ReqKind};
 use crate::sched;
 use crate::wake::TimeWheel;
+use sam_obs::profile::phase;
+use sam_obs::registry as obs;
 use sam_trace::event::track;
 use sam_trace::{Category, EpochCounters, SharedEpochs, SinkSlot, TraceEvent};
 use sam_util::hist::Histogram;
@@ -522,9 +524,12 @@ impl Controller {
         let pending = Pending { req, loc, arrival };
         if req.is_write {
             self.writeq.push_back(pending);
+            obs::WRITEQ_DEPTH.observe(self.writeq.len());
         } else {
             self.readq.push_back(pending);
+            obs::READQ_DEPTH.observe(self.readq.len());
         }
+        obs::CTRL_REQUESTS.add(1);
         if self.trace.is_attached() {
             let (name, lane, depth) = if req.is_write {
                 ("enq-write", track::WRITEQ, self.writeq.len())
@@ -554,6 +559,7 @@ impl Controller {
         if !self.cfg.refresh_enabled {
             return;
         }
+        let _p = phase("refresh");
         let refi = self.cfg.device.timing.refi;
         let rfc = self.cfg.device.timing.rfc;
         // Refresh is rank-level background work with no owning request.
@@ -566,6 +572,7 @@ impl Controller {
                     .issue(&cmd, at)
                     .expect("refresh issue follows earliest_issue");
                 self.stats.refreshes += 1;
+                obs::CTRL_REFRESHES.add(1);
                 self.trace.emit(TraceEvent::complete(
                     track::rank(rank),
                     Category::Ctrl,
@@ -659,6 +666,7 @@ impl Controller {
     /// The closures hand the policy read-only access to the device's bank
     /// timing state and per-rank I/O mode.
     fn select(&mut self, write_queue: bool, now: Cycle) -> Option<(usize, bool)> {
+        let _p = phase("sched-select");
         // Disjoint field borrows: the policy reads `device` through the
         // closures while the tournament mutates only its own workspace.
         let queue = if write_queue {
@@ -688,6 +696,7 @@ impl Controller {
 
     /// Executes the full command sequence for `p`, returning its completion.
     fn execute(&mut self, p: Pending) -> Completion {
+        let _p = phase("dram");
         self.service_refresh(self.clock.max(p.arrival));
         // Every command issued below (MRS/PRE/ACT plus the column access)
         // serves this request; stamp its origin for the observer fan-out.
@@ -875,6 +884,7 @@ impl Controller {
         };
         if starved {
             self.stats.starvation_forced += 1;
+            obs::CTRL_STARVED.add(1);
             self.lanes.lane_mut(pending.req.prov).starvation_forced += 1;
             self.trace.emit(TraceEvent::instant(
                 track::CTRL,

@@ -23,6 +23,12 @@
 use sam_dram::moderegs::IoMode;
 use sam_dram::Cycle;
 
+// Observability is write-only in this module: counters are bumped, never
+// read, so no scheduling decision can depend on observability state. The
+// sam-analyze obs-purity rule denies the registry's read surface
+// (`value`/`snapshot`/`delta`) in any `src/sched*` module outright.
+use sam_obs::registry as obs;
+
 use crate::mapping::Location;
 
 /// The policy-visible projection of a queued request: *where* it goes and
@@ -166,6 +172,7 @@ pub fn select(
     mut rank_mode: impl FnMut(usize) -> IoMode,
     scratch: &mut SelectScratch,
 ) -> Option<Decision> {
+    obs::SCHED_SELECTS.add(1);
     scratch.groups.clear();
     scratch.table.fill(SLOT_EMPTY);
     let mut oldest: Option<(Cycle, usize)> = None;
@@ -184,6 +191,7 @@ pub fn select(
                         scratch.table[slot] = scratch.groups.len() as u8;
                         scratch.groups.push(Group { view: v, index: i });
                     } else {
+                        obs::SCHED_GROUP_OVERFLOWS.add(1);
                         let est = estimate(&v, now, trtr, &mut earliest_column, &mut rank_mode);
                         if best.is_none_or(|b| (est, v.arrival, i) < b) {
                             best = Some((est, v.arrival, i));
@@ -241,6 +249,7 @@ pub fn select_reference(
     mut earliest_column: impl FnMut(Location, Cycle) -> Cycle,
     mut rank_mode: impl FnMut(usize) -> IoMode,
 ) -> Option<Decision> {
+    obs::SCHED_SELECTS.add(1);
     let mut oldest: Option<(Cycle, usize)> = None;
     let mut best: Option<(Cycle, Cycle, usize)> = None;
     for (i, v) in queue.enumerate() {
