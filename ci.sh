@@ -82,6 +82,41 @@ cmp /tmp/table2.out tests/golden/table2.out \
 cmp results/table2.json tests/golden/table2.json \
   || { echo "results/table2.json drifted from tests/golden/table2.json"; exit 1; }
 
+echo "==> sharded sweep merge gate (fig12 split 2 ways -> byte-identity)"
+# The shard oracle: the same golden-scale fig12 run split across two
+# shards at *different* worker counts (standing in for different
+# machines) must merge back to stdout and results JSON byte-identical
+# to the goldens. Shard processes print nothing; the envelopes alone
+# carry everything `merge-shards` needs to replay the rendering.
+rm -f results/fig12.shard-1-of-2.json results/fig12.shard-2-of-2.json
+./target/release/fig12 --rows 2048 --tb-rows 8192 --jobs 1 --shard 1/2 \
+  > /tmp/fig12.shard1.out
+./target/release/fig12 --rows 2048 --tb-rows 8192 --jobs 4 --shard 2/2 \
+  > /tmp/fig12.shard2.out
+for f in /tmp/fig12.shard1.out /tmp/fig12.shard2.out; do
+  if [ -s "$f" ]; then echo "sharded fig12 printed to stdout ($f)"; exit 1; fi
+done
+cargo run --release -p sam-bench --bin sam-check -- \
+  lint-json results/fig12.shard-1-of-2.json
+rm -f results/fig12.json
+cargo run --release -p sam-bench --bin sam-check -- merge-shards \
+  results/fig12.shard-1-of-2.json results/fig12.shard-2-of-2.json \
+  > /tmp/fig12.merged.out
+cmp /tmp/fig12.merged.out tests/golden/fig12.out \
+  || { echo "merged shard stdout drifted from tests/golden/fig12.out"; exit 1; }
+cmp results/fig12.json tests/golden/fig12.json \
+  || { echo "merged results/fig12.json drifted from tests/golden/fig12.json"; exit 1; }
+# Adversarial leg: forge a gap (shard 2 silently drops its last run) and
+# require the merge to hard-fail naming the unclaimed run.
+jq '.runs |= .[:-1]' results/fig12.shard-2-of-2.json > /tmp/fig12.shard2.gapped.json
+if cargo run --release -p sam-bench --bin sam-check -- merge-shards \
+    results/fig12.shard-1-of-2.json /tmp/fig12.shard2.gapped.json \
+    > /dev/null 2> /tmp/fig12.gap.err; then
+  echo "merge-shards accepted an envelope with a dropped run"; exit 1
+fi
+grep -q "gap: no shard claims run" /tmp/fig12.gap.err \
+  || { echo "gap merge failed with the wrong error:"; cat /tmp/fig12.gap.err; exit 1; }
+
 echo "==> fig12 profile/heartbeat smoke + byte-identity + profile lint"
 # Observability on must not change a byte of stdout or the metrics JSON,
 # serial or parallel; the emitted phase profile must pass the telescoping

@@ -7,189 +7,15 @@
 //!    depend on the cores' outstanding-miss window.
 //!
 //! ```text
-//! cargo run --release -p sam-bench --bin ablation [-- --rows N --jobs N]
+//! cargo run --release -p sam-bench --bin ablation [-- --rows N --jobs N --shard K/N]
 //! ```
 
-use sam::designs::{commodity, sam_en, sam_en_no_2d, sam_en_no_fga, sam_io};
-use sam::layout::Store;
-use sam::system::SystemConfig;
-use sam_bench::cli::{parse_args, ArgSpec};
-use sam_bench::metrics::{MetricsReport, RunMetrics};
-use sam_bench::sweep::{run_sweep_strict, SweepTask};
-use sam_imdb::exec::{run_query, QueryRun, Workload};
+use sam_bench::cli::parse_args;
+use sam_bench::shard::spec_for;
 use sam_imdb::plan::PlanConfig;
-use sam_imdb::query::Query;
-use sam_power::{breakdown, ActivityCounts, PowerParams};
-use sam_util::table::TextTable;
-
-const MLPS: [usize; 4] = [4, 8, 16, 32];
-const PREFETCH_DEGREES: [u32; 3] = [0, 2, 4];
 
 fn main() {
-    let args = parse_args(
-        &ArgSpec::new("ablation").with_obs(),
-        PlanConfig::default_scale(),
-    );
-    let obs = sam_bench::obsrun::ObsSession::start("ablation", &args);
-    let plan = args.plan;
-    let sys = SystemConfig::default();
-    let gather = sys.granularity.gather() as u64;
-
-    // All three studies' simulations are independent, so they go out as
-    // one flat sweep; the sections below slice the results back out in
-    // submission order.
-    let mut tasks: Vec<SweepTask<QueryRun>> = Vec::new();
-    let w = Workload::new(Query::Q3, plan).with_system(sys);
-    let option_designs = [sam_io(), sam_en_no_fga(), sam_en_no_2d(), sam_en()];
-    tasks.push(SweepTask::new("Q3/commodity/Row", move || {
-        run_query(&w, &commodity(), Store::Row)
-    }));
-    for d in option_designs.clone() {
-        tasks.push(SweepTask::new(format!("Q3/{}/Row", d.name), move || {
-            run_query(&w, &d, Store::Row)
-        }));
-    }
-    for mlp in MLPS {
-        let mut s = sys;
-        s.mlp = mlp;
-        let w = Workload::new(Query::Q3, plan).with_system(s);
-        tasks.push(SweepTask::new(
-            format!("Q3/commodity mlp={mlp}"),
-            move || run_query(&w, &commodity(), Store::Row),
-        ));
-        tasks.push(SweepTask::new(format!("Q3/SAM-en mlp={mlp}"), move || {
-            run_query(&w, &sam_en(), Store::Row)
-        }));
-    }
-    for degree in PREFETCH_DEGREES {
-        let mut s = sys;
-        s.mlp = 2;
-        s.prefetch_degree = degree;
-        let w = Workload::new(Query::Qs3, plan).with_system(s);
-        tasks.push(SweepTask::new(
-            format!("Qs3/commodity pf={degree}"),
-            move || run_query(&w, &commodity(), Store::Row),
-        ));
-        tasks.push(SweepTask::new(
-            format!("Qs3/SAM-en pf={degree}"),
-            move || run_query(&w, &sam_en(), Store::Row),
-        ));
-    }
-    let runs = run_sweep_strict(args.jobs, tasks);
-    let mut report = MetricsReport::new("ablation", plan, args.jobs, false);
-
-    println!("Ablation 1: SAM-en option decomposition on Q3 (Section 4.3)\n");
-    let base = &runs[0];
-    report
-        .runs
-        .push(RunMetrics::from_run(base, &commodity(), 1.0, gather));
-    let mut t = TextTable::new(vec!["design", "speedup", "power (mW)", "CWF", "over-fetch"]);
-    t.numeric();
-    for (d, run) in option_designs.iter().zip(&runs[1..5]) {
-        let params = PowerParams::for_design(d);
-        let act = ActivityCounts::from_run(&run.result, gather);
-        let power = breakdown(&params, d, &act);
-        let speedup = base.result.cycles as f64 / run.result.cycles as f64;
-        report
-            .runs
-            .push(RunMetrics::from_run(run, d, speedup, gather));
-        t.row(vec![
-            d.name.to_string(),
-            format!("{speedup:.2}"),
-            format!("{:.0}", power.total_mw()),
-            if d.critical_word_first {
-                "yes".into()
-            } else {
-                "no".into()
-            },
-            format!("{:.0}x", d.power.stride_overfetch),
-        ]);
-    }
-    println!("{t}");
-    println!("Option 1 (fine-grained activation) removes the over-fetch power;");
-    println!("option 2 (2D buffer) restores critical-word-first. Speedups are");
-    println!("within noise of each other — the options trade power and layout,");
-    println!("not bandwidth (Section 4.3).\n");
-
-    println!("Ablation 2: MLP-window sensitivity of the Q3 speedup\n");
-    let mut t = TextTable::new(vec![
-        "MLP/core",
-        "baseline cycles",
-        "SAM-en cycles",
-        "speedup",
-    ]);
-    t.numeric();
-    for (i, mlp) in MLPS.iter().enumerate() {
-        let b = &runs[5 + 2 * i];
-        let r = &runs[5 + 2 * i + 1];
-        let speedup = b.result.cycles as f64 / r.result.cycles as f64;
-        report.runs.push(RunMetrics::from_result(
-            format!("Q3 mlp={mlp}"),
-            &commodity(),
-            Store::Row,
-            &b.result,
-            1.0,
-            gather,
-        ));
-        report.runs.push(RunMetrics::from_result(
-            format!("Q3 mlp={mlp}"),
-            &sam_en(),
-            Store::Row,
-            &r.result,
-            speedup,
-            gather,
-        ));
-        t.row(vec![
-            mlp.to_string(),
-            b.result.cycles.to_string(),
-            r.result.cycles.to_string(),
-            format!("{speedup:.2}"),
-        ]);
-    }
-    println!("{t}");
-    println!("Both designs saturate their bottlenecks at modest windows (the");
-    println!("baseline the bus, SAM the gathered-burst stream), so the speedup");
-    println!("is stable across realistic MLP — until the window oversubscribes");
-    println!("the controller's read queue (4 cores x 32 > 96 entries), where");
-    println!("queue-full stalls start costing SAM's latency-sensitive bursts.");
-
-    println!("\nAblation 3: next-line stream prefetching on Qs3 under a narrow");
-    println!("MLP window (2 outstanding misses/core: a latency-bound core)\n");
-    let mut t = TextTable::new(vec!["prefetch degree", "baseline cycles", "SAM-en cycles"]);
-    t.numeric();
-    for (i, degree) in PREFETCH_DEGREES.iter().enumerate() {
-        let b = &runs[13 + 2 * i];
-        let r = &runs[13 + 2 * i + 1];
-        report.runs.push(RunMetrics::from_result(
-            format!("Qs3 pf={degree}"),
-            &commodity(),
-            Store::Row,
-            &b.result,
-            1.0,
-            gather,
-        ));
-        report.runs.push(RunMetrics::from_result(
-            format!("Qs3 pf={degree}"),
-            &sam_en(),
-            Store::Row,
-            &r.result,
-            b.result.cycles as f64 / r.result.cycles as f64,
-            gather,
-        ));
-        t.row(vec![
-            degree.to_string(),
-            b.result.cycles.to_string(),
-            r.result.cycles.to_string(),
-        ]);
-    }
-    println!("{t}");
-    println!("With a narrow window, sequential whole-tuple scans are latency-bound");
-    println!("and a next-line prefetcher recovers the baseline's loss. SAM-en does");
-    println!("NOT benefit: its grouped record alignment (Figure 11(a)) interleaves");
-    println!("a tuple's lines at stride K, so a next-line detector never fires — a");
-    println!("stride-aware prefetcher would be needed. At Table 2's MLP both scans");
-    println!("are bandwidth-bound anyway, which is why the main configuration");
-    println!("leaves prefetching off.");
-    report.write_or_die(&args.out);
-    obs.finish();
+    let spec = spec_for("ablation").expect("ablation is registered");
+    let args = parse_args(&spec, PlanConfig::default_scale());
+    sam_bench::bins::ablation::run(&args, None);
 }

@@ -17,185 +17,17 @@
 //! and the binary also writes `results/fig12.rollup.json`, a
 //! flamegraph-style cycles-by-(design, core, kind) rollup; `--debug-cores`
 //! dumps per-core completion progress to stderr. Both leave stdout and the
-//! default metrics JSON byte-identical.
+//! default metrics JSON byte-identical. With `--shard K/N`, the binary
+//! runs only its deterministic slice of the 162 runs and writes a
+//! `results/fig12.shard-K-of-N.json` envelope; `sam-check merge-shards`
+//! reassembles the full tables and JSON byte-identically.
 
-use sam::system::SystemConfig;
-use sam_bench::cli::{parse_args, ArgSpec};
-use sam_bench::metrics::MetricsReport;
-use sam_bench::obsrun::ObsSession;
-use sam_bench::traced::{TraceCollector, TraceOptions};
-use sam_bench::{figure12_designs, gmean, grid_rows, SpeedupRow};
+use sam_bench::cli::parse_args;
+use sam_bench::shard::spec_for;
 use sam_imdb::plan::PlanConfig;
-use sam_imdb::query::Query;
-use sam_util::table::TextTable;
 
 fn main() {
-    let spec = ArgSpec::new("fig12")
-        .with_checked()
-        .with_trace()
-        .with_obs()
-        .with_flags(&["--debug-cores", "--per-core"]);
+    let spec = spec_for("fig12").expect("fig12 is registered");
     let args = parse_args(&spec, PlanConfig::default_scale());
-    let obs = ObsSession::start("fig12", &args);
-    let plan = args.plan;
-    let system = SystemConfig {
-        starvation_cap: args.starvation_cap,
-        drain_hi: args.drain_hi,
-        drain_lo: args.drain_lo,
-        debug_cores: args.has_flag("--debug-cores"),
-        ..SystemConfig::default()
-    };
-    if args.checked && !cfg!(feature = "check") {
-        eprintln!(
-            "fig12: --checked requires the `check` feature \
-             (on by default; rebuild without --no-default-features)"
-        );
-        std::process::exit(2);
-    }
-    if args.checked && args.trace.is_some() {
-        // The oracle and the lane tracer both want the run's command
-        // stream; keep the two audit modes separate runs.
-        eprintln!("fig12: --trace cannot be combined with --checked");
-        std::process::exit(2);
-    }
-    println!(
-        "Figure 12: speedup vs row-store baseline (Ta rows = {}, Tb rows = {}, SSC-DSD 4-bit granularity){}\n",
-        plan.ta_records,
-        plan.tb_records,
-        if args.checked { " [checked]" } else { "" }
-    );
-
-    let mut report = MetricsReport::new("fig12", plan, args.jobs, args.checked)
-        .with_per_core(args.has_flag("--per-core"));
-    let mut audit = Audit::default();
-    let mut tracer = args
-        .trace
-        .as_deref()
-        .map(|_| TraceCollector::new("fig12", TraceOptions::new(args.epoch_len)));
-    for (label, queries) in [
-        ("Q queries (prefer column store)", Query::q_set().to_vec()),
-        ("Qs queries (prefer row store)", Query::qs_set().to_vec()),
-    ] {
-        let rows: Vec<SpeedupRow> = if args.checked {
-            audit.checked_rows(&queries, plan, system, args.jobs, &mut report)
-        } else if let Some(tracer) = &mut tracer {
-            tracer
-                .grid_rows(&queries, plan, system, &figure12_designs(), args.jobs)
-                .into_iter()
-                .map(|(row, metrics)| {
-                    report.runs.extend(metrics);
-                    row
-                })
-                .collect()
-        } else {
-            grid_rows(&queries, plan, system, &figure12_designs(), args.jobs)
-                .into_iter()
-                .map(|(row, metrics)| {
-                    report.runs.extend(metrics);
-                    row
-                })
-                .collect()
-        };
-        let mut header = vec!["query".to_string()];
-        let mut table_rows = Vec::new();
-        let mut columns: Vec<Vec<f64>> = Vec::new();
-        for (qi, row) in rows.into_iter().enumerate() {
-            if qi == 0 {
-                header.extend(row.speedups.iter().map(|(n, _)| n.clone()));
-                header.push("ideal".into());
-                columns = vec![Vec::new(); row.speedups.len() + 1];
-            }
-            let mut values: Vec<f64> = row.speedups.iter().map(|(_, s)| *s).collect();
-            values.push(row.ideal);
-            for (ci, v) in values.iter().enumerate() {
-                columns[ci].push(*v);
-            }
-            table_rows.push((row.query, values));
-        }
-        let mut table = TextTable::new(header);
-        table.numeric();
-        for (name, values) in table_rows {
-            table.row_f64(name, &values, 2);
-        }
-        let gmeans: Vec<f64> = columns.iter().map(|c| gmean(c)).collect();
-        table.row_f64("Gmean", &gmeans, 2);
-        println!("{label}\n{table}");
-    }
-    report.write_or_die(&args.out);
-    if report.per_core {
-        report.write_rollup_or_die(&args.out);
-    }
-    if let Some(tracer) = &tracer {
-        tracer.write_or_die(args.trace.as_deref().expect("tracer implies a path"));
-    }
-    obs.finish();
-    if args.checked {
-        audit.summarize_and_exit();
-    }
-}
-
-/// Accumulates per-run check reports across the whole figure.
-#[derive(Default)]
-struct Audit {
-    #[cfg(feature = "check")]
-    reports: Vec<sam_bench::checked::CheckReport>,
-}
-
-#[cfg(feature = "check")]
-impl Audit {
-    fn checked_rows(
-        &mut self,
-        queries: &[Query],
-        plan: PlanConfig,
-        system: SystemConfig,
-        jobs: usize,
-        report: &mut MetricsReport,
-    ) -> Vec<SpeedupRow> {
-        sam_bench::checked::grid_rows_checked(queries, plan, system, jobs)
-            .into_iter()
-            .map(|q| {
-                report.runs.extend(q.metrics);
-                self.reports.extend(q.reports);
-                q.row
-            })
-            .collect()
-    }
-
-    fn summarize_and_exit(self) {
-        let runs = self.reports.len();
-        let commands: usize = self.reports.iter().map(|r| r.commands).sum();
-        let dirty: Vec<_> = self.reports.iter().filter(|r| !r.clean()).collect();
-        println!(
-            "Verification: {runs} runs, {commands} DRAM commands shadowed, {} dirty",
-            dirty.len()
-        );
-        for report in &dirty {
-            println!("  {} ({:?}):", report.design, report.store);
-            for v in report.violations.iter().take(10) {
-                println!("    protocol: {v}");
-            }
-            for v in report.cache_violations.iter().take(10) {
-                println!("    cache: {v}");
-            }
-        }
-        if !dirty.is_empty() {
-            std::process::exit(1);
-        }
-    }
-}
-
-#[cfg(not(feature = "check"))]
-impl Audit {
-    fn checked_rows(
-        &mut self,
-        _queries: &[Query],
-        _plan: PlanConfig,
-        _system: SystemConfig,
-        _jobs: usize,
-        _report: &mut MetricsReport,
-    ) -> Vec<SpeedupRow> {
-        unreachable!("--checked exits early without the `check` feature")
-    }
-
-    fn summarize_and_exit(self) {}
+    sam_bench::bins::fig12::run(&args, None);
 }

@@ -2,174 +2,20 @@
 //! energy efficiency per design, grouped by query class.
 //!
 //! ```text
-//! cargo run --release -p sam-bench --bin fig13 [-- --rows N --tb-rows N --jobs N --trace]
+//! cargo run --release -p sam-bench --bin fig13 [-- --rows N --tb-rows N --jobs N --trace --shard K/N]
 //! ```
+//!
+//! With `--shard K/N`, the binary runs only its deterministic slice of
+//! the (group × design × query) sweep and writes a
+//! `results/fig13.shard-K-of-N.json` envelope; `sam-check merge-shards`
+//! reassembles the full tables and JSON byte-identically.
 
-use sam::design::Design;
-use sam::designs::commodity;
-use sam::layout::Store;
-use sam::system::SystemConfig;
-use sam_bench::cli::{parse_args, ArgSpec};
-use sam_bench::figure12_designs;
-use sam_bench::metrics::{MetricsReport, RunMetrics};
-use sam_bench::sweep::{run_sweep_weighted_strict, SweepTask};
-use sam_bench::traced::{TraceCollector, TraceOptions};
-use sam_imdb::exec::{run_query, QueryRun, Workload};
+use sam_bench::cli::parse_args;
+use sam_bench::shard::spec_for;
 use sam_imdb::plan::PlanConfig;
-use sam_imdb::query::Query;
-use sam_power::{breakdown, energy_uj, ActivityCounts, PowerParams};
-use sam_util::table::TextTable;
 
 fn main() {
-    let args = parse_args(
-        &ArgSpec::new("fig13")
-            .with_trace()
-            .with_obs()
-            .with_flags(&["--debug-cores", "--per-core"]),
-        PlanConfig::default_scale(),
-    );
-    let obs = sam_bench::obsrun::ObsSession::start("fig13", &args);
-    let plan = args.plan;
-    let system = SystemConfig {
-        starvation_cap: args.starvation_cap,
-        drain_hi: args.drain_hi,
-        drain_lo: args.drain_lo,
-        debug_cores: args.has_flag("--debug-cores"),
-        ..SystemConfig::default()
-    };
-    let gather = system.granularity.gather() as u64;
-
-    let groups: [(&str, Vec<Query>); 4] = [
-        (
-            "Read (Q1-Q10)",
-            vec![
-                Query::Q1,
-                Query::Q2,
-                Query::Q3,
-                Query::Q4,
-                Query::Q5,
-                Query::Q6,
-                Query::Q7,
-                Query::Q8,
-                Query::Q9,
-                Query::Q10,
-            ],
-        ),
-        ("Write (Q11,Q12)", vec![Query::Q11, Query::Q12]),
-        (
-            "Read (Qs1-Qs4)",
-            vec![Query::Qs1, Query::Qs2, Query::Qs3, Query::Qs4],
-        ),
-        ("Write (Qs5,Qs6)", vec![Query::Qs5, Query::Qs6]),
-    ];
-
-    println!(
-        "Figure 13: average power (mW) by component and normalized energy efficiency\n\
-         (Ta rows = {}, Tb rows = {})\n",
-        plan.ta_records, plan.tb_records
-    );
-
-    let mut designs = vec![commodity()];
-    designs.extend(figure12_designs());
-
-    // One flat sweep over every (group, design, query) simulation,
-    // executed heaviest-first ([`Query::cost_hint`]): the per-query costs
-    // are very uneven — Q1-Q10 (and the joins in particular) dominate —
-    // so cost-ranked execution keeps a heavy pair from landing last on
-    // one worker and gating the whole sweep. Results still come back in
-    // submission order, so the per-group/per-design aggregation below
-    // (and the output bytes) are independent of the weights.
-    let mut cases: Vec<(u64, String, Workload, Design)> = Vec::new();
-    for (_, queries) in &groups {
-        for design in &designs {
-            for q in queries {
-                cases.push((
-                    q.cost_hint(&plan),
-                    format!("{}/{}/Row", q.name(), design.name),
-                    Workload::new(*q, plan).with_system(system),
-                    design.clone(),
-                ));
-            }
-        }
-    }
-    let mut tracer = args
-        .trace
-        .as_deref()
-        .map(|_| TraceCollector::new("fig13", TraceOptions::new(args.epoch_len)));
-    let runs: Vec<QueryRun> = if let Some(tracer) = &mut tracer {
-        let tasks = cases
-            .into_iter()
-            .map(|(cost, label, w, d)| (cost, tracer.task(label, w, d, Store::Row)))
-            .collect();
-        tracer.absorb(run_sweep_weighted_strict(args.jobs, tasks))
-    } else {
-        let tasks = cases
-            .into_iter()
-            .map(|(cost, label, w, d)| {
-                let task = SweepTask::new(label, move || run_query(&w, &d, Store::Row));
-                (cost, task)
-            })
-            .collect();
-        run_sweep_weighted_strict(args.jobs, tasks)
-    };
-
-    let mut report = MetricsReport::new("fig13", plan, args.jobs, false)
-        .with_per_core(args.has_flag("--per-core"));
-    let mut next = 0usize;
-    for (label, queries) in &groups {
-        // The commodity baseline is the first design, so its runs lead
-        // the group's block — remember them for speedup metrics.
-        let group_runs = &runs[next..next + designs.len() * queries.len()];
-        next += group_runs.len();
-        let baseline_runs = &group_runs[..queries.len()];
-
-        let mut power_table = TextTable::new(vec!["design", "background", "ACT", "RD/WR", "total"]);
-        power_table.numeric();
-        let mut eff_table = TextTable::new(vec!["design", "energy-efficiency"]);
-        eff_table.numeric();
-        let mut baseline_energy = 0.0;
-        for (di, design) in designs.iter().enumerate() {
-            let params = PowerParams::for_design(design);
-            let mut bg = 0.0;
-            let mut act = 0.0;
-            let mut rdwr = 0.0;
-            let mut energy = 0.0;
-            for (qi, run) in group_runs[di * queries.len()..(di + 1) * queries.len()]
-                .iter()
-                .enumerate()
-            {
-                let activity = ActivityCounts::from_run(&run.result, gather);
-                let b = breakdown(&params, design, &activity);
-                bg += b.background_mw;
-                act += b.act_mw;
-                rdwr += b.rdwr_mw;
-                energy += energy_uj(&params, design, &activity);
-                let speedup = baseline_runs[qi].result.cycles as f64 / run.result.cycles as f64;
-                report
-                    .runs
-                    .push(RunMetrics::from_run(run, design, speedup, gather));
-            }
-            let n = queries.len() as f64;
-            let name = if design.name == "commodity" {
-                "baseline(row)"
-            } else {
-                design.name
-            };
-            power_table.row_f64(name, &[bg / n, act / n, rdwr / n, (bg + act + rdwr) / n], 1);
-            if design.name == "commodity" {
-                baseline_energy = energy;
-            }
-            eff_table.row_f64(name, &[baseline_energy / energy], 2);
-        }
-        println!("{label}: power breakdown (mW)\n{power_table}");
-        println!("{label}: energy efficiency (baseline energy / design energy)\n{eff_table}");
-    }
-    report.write_or_die(&args.out);
-    if report.per_core {
-        report.write_rollup_or_die(&args.out);
-    }
-    if let Some(tracer) = &tracer {
-        tracer.write_or_die(args.trace.as_deref().expect("tracer implies a path"));
-    }
-    obs.finish();
+    let spec = spec_for("fig13").expect("fig13 is registered");
+    let args = parse_args(&spec, PlanConfig::default_scale());
+    sam_bench::bins::fig13::run(&args, None);
 }

@@ -2,148 +2,19 @@
 //! (c) area/storage overhead.
 //!
 //! ```text
-//! cargo run --release -p sam-bench --bin fig14 [-- a b c] [--rows N --jobs N --trace]
+//! cargo run --release -p sam-bench --bin fig14 [-- a b c] [--rows N --jobs N --trace --shard K/N]
 //! ```
-//! With no panel arguments, all three panels run.
+//! With no panel arguments, all three panels run. With `--shard K/N`,
+//! the binary runs only its deterministic slice of the selected panels'
+//! simulations and writes a `results/fig14.shard-K-of-N.json` envelope;
+//! `sam-check merge-shards` reassembles the panels byte-identically.
 
-use sam::design::Granularity;
-use sam::designs::{gs_dram_ecc, rc_nvm_wd, sam_en, sam_io, sam_sub};
-use sam::system::SystemConfig;
-use sam_bench::cli::{parse_args, ArgSpec};
-use sam_bench::metrics::MetricsReport;
-use sam_bench::traced::{TraceCollector, TraceOptions};
-use sam_bench::{gmean, grid_rows};
-use sam_dram::timing::Substrate;
+use sam_bench::cli::parse_args;
+use sam_bench::shard::spec_for;
 use sam_imdb::plan::PlanConfig;
-use sam_imdb::query::Query;
-use sam_util::table::TextTable;
-
-fn all_queries() -> Vec<Query> {
-    let mut qs = Query::q_set().to_vec();
-    qs.extend(Query::qs_set());
-    qs
-}
-
-fn panel_a(
-    plan: PlanConfig,
-    system: SystemConfig,
-    jobs: usize,
-    report: &mut MetricsReport,
-    tracer: &mut Option<TraceCollector>,
-) {
-    println!("Figure 14(a): all-query gmean speedup under each substrate\n");
-    let mut table = TextTable::new(vec!["design", "NVM", "DRAM"]);
-    table.numeric();
-    for base in [rc_nvm_wd(), sam_sub(), sam_io(), sam_en()] {
-        let mut row = Vec::new();
-        for substrate in [Substrate::Rram, Substrate::Dram] {
-            let design = base.clone().with_substrate(substrate);
-            let designs = std::slice::from_ref(&design);
-            let mut speedups = Vec::new();
-            let rows = match tracer {
-                Some(tr) => tr.grid_rows(&all_queries(), plan, system, designs, jobs),
-                None => grid_rows(&all_queries(), plan, system, designs, jobs),
-            };
-            for (r, metrics) in rows {
-                speedups.push(r.speedups[0].1);
-                report.runs.extend(metrics);
-            }
-            row.push(gmean(&speedups));
-        }
-        table.row_f64(base.name, &row, 2);
-    }
-    println!("{table}");
-}
-
-fn panel_b(
-    plan: PlanConfig,
-    system: SystemConfig,
-    jobs: usize,
-    report: &mut MetricsReport,
-    tracer: &mut Option<TraceCollector>,
-) {
-    println!("Figure 14(b): Q-query gmean speedup vs strided granularity\n");
-    let designs = [rc_nvm_wd(), gs_dram_ecc(), sam_en()];
-    let mut table = TextTable::new(vec!["design", "16-bit", "8-bit", "4-bit"]);
-    table.numeric();
-    for design in &designs {
-        let mut row = Vec::new();
-        for gran in [Granularity::Bits16, Granularity::Bits8, Granularity::Bits4] {
-            let mut sys = system;
-            sys.granularity = gran;
-            let one = std::slice::from_ref(design);
-            let mut speedups = Vec::new();
-            let rows = match tracer {
-                Some(tr) => tr.grid_rows(&Query::q_set(), plan, sys, one, jobs),
-                None => grid_rows(&Query::q_set(), plan, sys, one, jobs),
-            };
-            for (r, metrics) in rows {
-                speedups.push(r.speedups[0].1);
-                report.runs.extend(metrics);
-            }
-            row.push(gmean(&speedups));
-        }
-        table.row_f64(design.name, &row, 2);
-    }
-    println!("{table}");
-}
-
-fn panel_c() {
-    println!("Figure 14(c): area and storage overhead\n");
-    let mut table = TextTable::new(vec!["design", "area", "storage", "extra metal layers"]);
-    table.numeric();
-    for r in sam_area::report() {
-        table.row(vec![
-            r.name.to_string(),
-            format!("{:.4}", r.area),
-            format!("{:.3}", r.storage),
-            r.extra_metal_layers.to_string(),
-        ]);
-    }
-    println!("{table}");
-}
 
 fn main() {
-    let spec = ArgSpec::new("fig14")
-        .with_panels(&["a", "b", "c"])
-        .with_trace()
-        .with_obs()
-        .with_flags(&["--debug-cores", "--per-core"]);
+    let spec = spec_for("fig14").expect("fig14 is registered");
     let args = parse_args(&spec, PlanConfig::default_scale());
-    let obs = sam_bench::obsrun::ObsSession::start("fig14", &args);
-    let panels: Vec<&str> = if args.panels.is_empty() {
-        vec!["a", "b", "c"]
-    } else {
-        args.panels.iter().map(String::as_str).collect()
-    };
-    let plan = args.plan;
-    let system = SystemConfig {
-        starvation_cap: args.starvation_cap,
-        drain_hi: args.drain_hi,
-        drain_lo: args.drain_lo,
-        debug_cores: args.has_flag("--debug-cores"),
-        ..SystemConfig::default()
-    };
-    let mut report = MetricsReport::new("fig14", plan, args.jobs, false)
-        .with_per_core(args.has_flag("--per-core"));
-    let mut tracer = args
-        .trace
-        .as_deref()
-        .map(|_| TraceCollector::new("fig14", TraceOptions::new(args.epoch_len)));
-    for p in panels {
-        match p {
-            "a" => panel_a(plan, system, args.jobs, &mut report, &mut tracer),
-            "b" => panel_b(plan, system, args.jobs, &mut report, &mut tracer),
-            "c" => panel_c(),
-            _ => unreachable!(),
-        }
-    }
-    report.write_or_die(&args.out);
-    if report.per_core {
-        report.write_rollup_or_die(&args.out);
-    }
-    if let Some(tracer) = &tracer {
-        tracer.write_or_die(args.trace.as_deref().expect("tracer implies a path"));
-    }
-    obs.finish();
+    sam_bench::bins::fig14::run(&args, None);
 }

@@ -3,191 +3,19 @@
 //! SAM-en, and the ideal store.
 //!
 //! ```text
-//! cargo run --release -p sam-bench --bin fig15 [-- a b c d e f g h i] [--rows N --jobs N --trace]
+//! cargo run --release -p sam-bench --bin fig15 [-- a b c d e f g h i] [--rows N --jobs N --trace --shard K/N]
 //! ```
-//! With no panel arguments, all nine panels run.
+//! With no panel arguments, all nine panels run. With `--shard K/N`,
+//! the binary runs only its deterministic slice of the selected panels'
+//! simulations and writes a `results/fig15.shard-K-of-N.json` envelope;
+//! `sam-check merge-shards` reassembles the panels byte-identically.
 
-use sam::design::Design;
-use sam::designs::{gs_dram_ecc, rc_nvm_wd, sam_en};
-use sam::system::SystemConfig;
-use sam_bench::cli::{parse_args, ArgSpec};
-use sam_bench::grid_rows_with_plans;
-use sam_bench::metrics::MetricsReport;
-use sam_bench::traced::{TraceCollector, TraceOptions};
+use sam_bench::cli::parse_args;
+use sam_bench::shard::spec_for;
 use sam_imdb::plan::PlanConfig;
-use sam_imdb::query::Query;
-use sam_util::table::TextTable;
-
-fn designs() -> Vec<Design> {
-    vec![rc_nvm_wd(), gs_dram_ecc(), sam_en()]
-}
-
-const SELECTIVITIES: [f64; 7] = [0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 1.0];
-const PROJECTIVITIES: [u32; 7] = [4, 8, 16, 32, 64, 96, 128];
-
-/// Shared panel context: the base plan and system, the worker count, and
-/// the output sinks (metrics report plus the optional trace collector).
-struct PanelCtx<'a> {
-    plan: PlanConfig,
-    system: SystemConfig,
-    jobs: usize,
-    report: &'a mut MetricsReport,
-    tracer: &'a mut Option<TraceCollector>,
-}
-
-/// Runs one panel's cases on the sweep workers and prints its table.
-fn panel_table(
-    labels: Vec<String>,
-    cases: Vec<(Query, PlanConfig)>,
-    first_column: &'static str,
-    ctx: &mut PanelCtx<'_>,
-) {
-    let ds = designs();
-    let mut table = TextTable::new(vec![
-        first_column,
-        "RC-NVM-wd",
-        "GS-DRAM-ecc",
-        "SAM-en",
-        "ideal",
-    ]);
-    table.numeric();
-    let rows = match ctx.tracer {
-        Some(tr) => tr.grid_rows_with_plans(&cases, ctx.system, &ds, ctx.jobs),
-        None => grid_rows_with_plans(&cases, ctx.system, &ds, ctx.jobs),
-    };
-    for (label, (row, metrics)) in labels.into_iter().zip(rows) {
-        let mut values: Vec<f64> = row.speedups.iter().map(|(_, s)| *s).collect();
-        values.push(row.ideal);
-        table.row_f64(label, &values, 2);
-        ctx.report.runs.extend(metrics);
-    }
-    println!("{table}");
-}
-
-fn sweep_selectivity(label: &str, projectivity: u32, aggregate: bool, ctx: &mut PanelCtx<'_>) {
-    println!(
-        "Figure 15({label}): speedup vs selectivity ({projectivity} fields projected{})\n",
-        if aggregate { ", aggregate" } else { "" }
-    );
-    let mut labels = Vec::new();
-    let mut cases = Vec::new();
-    for sel in SELECTIVITIES {
-        let q = if aggregate {
-            Query::Aggregate {
-                projectivity,
-                selectivity: sel,
-            }
-        } else {
-            Query::Arithmetic {
-                projectivity,
-                selectivity: sel,
-            }
-        };
-        labels.push(format!("{:.0}%", sel * 100.0));
-        cases.push((q, ctx.plan));
-    }
-    panel_table(labels, cases, "selectivity", ctx);
-}
-
-fn sweep_projectivity(label: &str, selectivity: f64, aggregate: bool, ctx: &mut PanelCtx<'_>) {
-    println!(
-        "Figure 15({label}): speedup vs projectivity ({:.0}% records selected{})\n",
-        selectivity * 100.0,
-        if aggregate { ", aggregate" } else { "" }
-    );
-    let mut labels = Vec::new();
-    let mut cases = Vec::new();
-    for proj in PROJECTIVITIES {
-        let q = if aggregate {
-            Query::Aggregate {
-                projectivity: proj,
-                selectivity,
-            }
-        } else {
-            Query::Arithmetic {
-                projectivity: proj,
-                selectivity,
-            }
-        };
-        labels.push(proj.to_string());
-        cases.push((q, ctx.plan));
-    }
-    panel_table(labels, cases, "fields", ctx);
-}
-
-fn sweep_record_size(ctx: &mut PanelCtx<'_>) {
-    println!("Figure 15(i): speedup vs record size (100% selected, all fields projected)\n");
-    let mut labels = Vec::new();
-    let mut cases = Vec::new();
-    for fields in [2u32, 4, 8, 16, 32, 64, 128, 256] {
-        let mut p = ctx.plan;
-        p.ta_fields = fields;
-        // Keep total data volume roughly constant across record sizes.
-        p.ta_records = (ctx.plan.ta_records * 128 / fields as u64).max(1024);
-        let q = Query::Arithmetic {
-            projectivity: fields,
-            selectivity: 1.0,
-        };
-        labels.push(format!("{}B", fields as u64 * 8));
-        cases.push((q, p));
-    }
-    panel_table(labels, cases, "record", ctx);
-}
 
 fn main() {
-    let spec = ArgSpec::new("fig15")
-        .with_panels(&["a", "b", "c", "d", "e", "f", "g", "h", "i"])
-        .with_trace()
-        .with_obs()
-        .with_flags(&["--debug-cores", "--per-core"]);
+    let spec = spec_for("fig15").expect("fig15 is registered");
     let args = parse_args(&spec, PlanConfig::default_scale());
-    let obs = sam_bench::obsrun::ObsSession::start("fig15", &args);
-    let panels: Vec<&str> = if args.panels.is_empty() {
-        vec!["a", "b", "c", "d", "e", "f", "g", "h", "i"]
-    } else {
-        args.panels.iter().map(String::as_str).collect()
-    };
-    let plan = args.plan;
-    let system = SystemConfig {
-        starvation_cap: args.starvation_cap,
-        drain_hi: args.drain_hi,
-        drain_lo: args.drain_lo,
-        debug_cores: args.has_flag("--debug-cores"),
-        ..SystemConfig::default()
-    };
-    let mut report = MetricsReport::new("fig15", plan, args.jobs, false)
-        .with_per_core(args.has_flag("--per-core"));
-    let mut tracer = args
-        .trace
-        .as_deref()
-        .map(|_| TraceCollector::new("fig15", TraceOptions::new(args.epoch_len)));
-    let mut ctx = PanelCtx {
-        plan,
-        system,
-        jobs: args.jobs,
-        report: &mut report,
-        tracer: &mut tracer,
-    };
-    for p in panels {
-        match p {
-            "a" => sweep_selectivity("a", 8, false, &mut ctx),
-            "b" => sweep_selectivity("b", 64, false, &mut ctx),
-            "c" => sweep_selectivity("c", 128, false, &mut ctx),
-            "d" => sweep_projectivity("d", 0.1, false, &mut ctx),
-            "e" => sweep_projectivity("e", 0.5, false, &mut ctx),
-            "f" => sweep_projectivity("f", 1.0, false, &mut ctx),
-            "g" => sweep_selectivity("g", 8, true, &mut ctx),
-            "h" => sweep_projectivity("h", 1.0, true, &mut ctx),
-            "i" => sweep_record_size(&mut ctx),
-            _ => unreachable!(),
-        }
-    }
-    report.write_or_die(&args.out);
-    if report.per_core {
-        report.write_rollup_or_die(&args.out);
-    }
-    if let Some(tracer) = &tracer {
-        tracer.write_or_die(args.trace.as_deref().expect("tracer implies a path"));
-    }
-    obs.finish();
+    sam_bench::bins::fig15::run(&args, None);
 }

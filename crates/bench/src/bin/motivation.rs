@@ -4,105 +4,15 @@
 //! sub-rank" — while SAM accelerates exactly those strided accesses.
 //!
 //! ```text
-//! cargo run --release -p sam-bench --bin motivation [-- --rows N --jobs N]
+//! cargo run --release -p sam-bench --bin motivation [-- --rows N --jobs N --shard K/N]
 //! ```
 
-use sam::designs::{commodity, dgms, sam_en};
-use sam::layout::{Store, TableSpec};
-use sam::ops::TraceOp;
-use sam::system::{RunResult, System, SystemConfig};
-use sam_bench::cli::{parse_args, ArgSpec};
-use sam_bench::metrics::{MetricsReport, RunMetrics};
-use sam_bench::sweep::{run_sweep_strict, SweepTask};
-use sam_imdb::plan::{PlanConfig, TA_BASE};
-use sam_util::rng::Xoshiro256StarStar;
-use sam_util::table::TextTable;
-
-/// Random single-field point reads: each core touches records scattered
-/// over the table, one random field each (sub-rank-friendly).
-fn random_point_reads(records: u64, count: usize, cores: usize, seed: u64) -> Vec<Vec<TraceOp>> {
-    let mut rng = Xoshiro256StarStar::new(seed);
-    let mut traces = vec![Vec::new(); cores];
-    for i in 0..count {
-        let r = rng.next_below(records);
-        let f = rng.next_below(128) as u16;
-        traces[i % cores].push(TraceOp::read_fields(r, vec![f]));
-        traces[i % cores].push(TraceOp::compute(3));
-    }
-    traces
-}
-
-/// A strided field scan: every record's field 9 (same word offset — the
-/// same sub-rank every time).
-fn strided_scan(records: u64, cores: usize) -> Vec<Vec<TraceOp>> {
-    sam::ops::partition_records(0..records, cores, |r, t| {
-        t.push(TraceOp::read_fields(r, vec![9]));
-        t.push(TraceOp::compute(3));
-    })
-}
+use sam_bench::cli::parse_args;
+use sam_bench::shard::spec_for;
+use sam_imdb::plan::PlanConfig;
 
 fn main() {
-    let args = parse_args(
-        &ArgSpec::new("motivation").with_obs(),
-        PlanConfig::default_scale(),
-    );
-    let obs = sam_bench::obsrun::ObsSession::start("motivation", &args);
-    let records = args.plan.ta_records;
-    let table = TableSpec::ta(TA_BASE, records);
-    let sys = SystemConfig::default();
-    let gather = sys.granularity.gather() as u64;
-
-    println!(
-        "Section 1 motivation: sub-ranking vs SAM on random and strided accesses\n\
-         (Ta = {records} x 1KB records; cycles normalized to commodity DRAM)\n"
-    );
-    let mut out = TextTable::new(vec!["workload", "commodity", "DGMS (sub-ranked)", "SAM-en"]);
-    out.numeric();
-
-    let workloads = [
-        (
-            "random point reads",
-            random_point_reads(records, records as usize, 4, 0xD1CE),
-        ),
-        ("strided field scan", strided_scan(records, 4)),
-    ];
-    let designs = [commodity(), dgms(), sam_en()];
-    let tasks: Vec<SweepTask<RunResult>> = workloads
-        .iter()
-        .flat_map(|(label, traces)| {
-            designs.iter().map(move |design| {
-                let design = design.clone();
-                SweepTask::new(format!("{label}/{}", design.name), move || {
-                    System::new(sys, design, Store::Row).run(&[table], traces)
-                })
-            })
-        })
-        .collect();
-    let runs = run_sweep_strict(args.jobs, tasks);
-
-    let mut report = MetricsReport::new("motivation", args.plan, args.jobs, false);
-    for (wi, (label, _)) in workloads.iter().enumerate() {
-        let chunk = &runs[wi * designs.len()..(wi + 1) * designs.len()];
-        let base = &chunk[0];
-        let mut row = Vec::new();
-        for (design, result) in designs.iter().zip(chunk) {
-            let speedup = base.cycles as f64 / result.cycles as f64;
-            row.push(speedup);
-            report.runs.push(RunMetrics::from_result(
-                *label,
-                design,
-                Store::Row,
-                result,
-                speedup,
-                gather,
-            ));
-        }
-        out.row_f64(*label, &row, 2);
-    }
-    println!("{out}");
-    println!("Sub-ranking helps when accesses scatter across sub-ranks (random");
-    println!("reads) but a strided scan hits one word offset — one sub-rank —");
-    println!("so DGMS stays near 1x while SAM gathers 8 records per burst.");
-    report.write_or_die(&args.out);
-    obs.finish();
+    let spec = spec_for("motivation").expect("motivation is registered");
+    let args = parse_args(&spec, PlanConfig::default_scale());
+    sam_bench::bins::motivation::run(&args, None);
 }

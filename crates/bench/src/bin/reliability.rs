@@ -3,62 +3,19 @@
 //! layout and verify chipkill correction.
 //!
 //! ```text
-//! cargo run --release -p sam-bench --bin reliability [-- --trials N --out PATH]
+//! cargo run --release -p sam-bench --bin reliability [-- --trials N --out PATH --shard K/N]
 //! ```
 //!
 //! Fault injection is not a query simulation, so the emitted
 //! `results/reliability.json` report carries zero runs — it exists so
 //! `sam-check lint-json` can gate every binary uniformly.
 
-use sam::designs::all_designs;
-use sam_bench::cli::{parse_args, ArgSpec};
-use sam_bench::metrics::MetricsReport;
-use sam_ecc::codes::SscCode;
-use sam_ecc::inject::chipkill_campaign;
+use sam_bench::cli::parse_args;
+use sam_bench::shard::spec_for;
 use sam_imdb::plan::PlanConfig;
-use sam_util::table::TextTable;
 
 fn main() {
-    let args = parse_args(
-        &ArgSpec::new("reliability").with_trials().with_obs(),
-        PlanConfig::default_scale(),
-    );
-    let obs = sam_bench::obsrun::ObsSession::start("reliability", &args);
-    let trials = args.trials as usize;
-
-    println!(
-        "Chipkill fault-injection campaign: {trials} corruption patterns per chip x 18 chips\n"
-    );
-    let code = SscCode::new();
-    let mut table = TextTable::new(vec![
-        "design",
-        "layout",
-        "corrected",
-        "detected",
-        "silent",
-        "unprotected",
-        "chipkill-safe",
-    ]);
-    for design in all_designs() {
-        let report = chipkill_campaign(&code, design.codeword_layout, trials, 0xC41F);
-        table.row(vec![
-            design.name.to_string(),
-            format!("{:?}", design.codeword_layout),
-            report.corrected.to_string(),
-            report.detected.to_string(),
-            report.silent.to_string(),
-            report.unprotected.to_string(),
-            if report.chipkill_safe() {
-                "yes".into()
-            } else {
-                "NO".into()
-            },
-        ]);
-    }
-    println!("{table}");
-    println!("GS-DRAM's strided gather cannot co-fetch ECC symbols (Section 3.3.1):");
-    println!("its strided accesses run unprotected, while every SAM layout corrects");
-    println!("all whole-chip failures (Sections 4.1-4.3).");
-    MetricsReport::new("reliability", args.plan, args.jobs, false).write_or_die(&args.out);
-    obs.finish();
+    let spec = spec_for("reliability").expect("reliability is registered");
+    let args = parse_args(&spec, PlanConfig::default_scale());
+    sam_bench::bins::reliability::run(&args, None);
 }

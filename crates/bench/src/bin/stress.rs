@@ -15,7 +15,12 @@
 //! cross-run oracles (starved-count monotone vs cap, byte-identical
 //! stats for equal configs). The table and `results/stress.json` are
 //! byte-identical at any `--jobs` count; `--trace[=PATH]` records every
-//! cell into one Chrome trace document without changing either.
+//! cell into one Chrome trace document without changing either. With
+//! `--shard K/N`, the binary runs only its deterministic slice of the
+//! grid and writes a `results/stress.shard-K-of-N.json` envelope;
+//! `sam-check merge-shards` reassembles the full table and JSON
+//! byte-identically (including the cross-run oracles, which run on the
+//! reassembled grid).
 //!
 //! On any violation the binary shrinks the first failing (config,
 //! stream) pair to a 1-minimal repro, writes it next to the JSON report
@@ -25,178 +30,12 @@
 //! only through the validation-bypassing test hook) and verifies the
 //! written repro fits a screenful and replays to the same violation.
 
-use sam_bench::cli::{parse_args, ArgSpec};
-use sam_bench::stressrun::{render_report, run_stress, standard_cases, write_json_or_die};
-use sam_bench::traced::{TraceCollector, TraceOptions};
+use sam_bench::cli::parse_args;
+use sam_bench::shard::spec_for;
 use sam_imdb::plan::PlanConfig;
-use sam_stress::report::{json_report, PatternReport};
-use sam_stress::shrink::{first_violation, shrink_stream};
-use sam_stress::stream::{format_stream, DeviceKind, StressConfig};
-use sam_stress::{InvariantKind, Pattern, PatternParams};
-
-const PATTERN_PANELS: &[&str] = &[
-    "row-hit-flood",
-    "ping-pong",
-    "write-burst",
-    "faw-train",
-    "sector-straddle",
-];
 
 fn main() {
-    let spec = ArgSpec::new("stress")
-        .with_trace()
-        .with_panels(PATTERN_PANELS)
-        .with_obs()
-        .with_flags(&["--shrink-selftest"]);
+    let spec = spec_for("stress").expect("stress is registered");
     let args = parse_args(&spec, PlanConfig::default_scale());
-    let obs = sam_bench::obsrun::ObsSession::start("stress", &args);
-    let repro_path = args.out.with_file_name("stress.repro.trace");
-
-    if args.has_flag("--shrink-selftest") {
-        let code = shrink_selftest(args.plan.seed, &repro_path);
-        obs.finish();
-        std::process::exit(code);
-    }
-
-    let patterns: Vec<Pattern> = if args.panels.is_empty() {
-        Pattern::ALL.to_vec()
-    } else {
-        args.panels
-            .iter()
-            .map(|n| Pattern::from_name(n).expect("panel names are validated by the CLI"))
-            .collect()
-    };
-    let params = PatternParams {
-        seed: args.plan.seed,
-        ..PatternParams::default()
-    };
-    let cases = standard_cases(args.starvation_cap, args.drain_hi, args.drain_lo);
-    println!(
-        "Adversarial stress: {} pattern(s) x {} case(s), seed {}, {} requests/stream\n",
-        patterns.len(),
-        cases.len(),
-        params.seed,
-        params.len
-    );
-
-    let trace_opts = args
-        .trace
-        .as_deref()
-        .map(|_| TraceOptions::new(args.epoch_len));
-    let (reports, traces) = run_stress(&patterns, &params, &cases, args.jobs, trace_opts);
-    print!("{}", render_report(&reports));
-
-    write_json_or_die("stress", &json_report(params.seed, &reports), &args.out);
-    if let Some(opts) = trace_opts {
-        let mut collector = TraceCollector::new("stress", opts);
-        collector.runs = traces;
-        collector.write_or_die(args.trace.as_deref().expect("trace options imply a path"));
-    }
-
-    let total: usize = reports.iter().map(|p| p.report.total_violations()).sum();
-    obs.finish();
-    if total > 0 {
-        write_first_repro(&reports, &patterns, &params, &repro_path);
-        std::process::exit(1);
-    }
-}
-
-/// Shrinks the first per-run violation to a minimal repro and writes it.
-/// Cross-run findings have no single offending stream, so a run with
-/// only those still exits 1 but leaves no repro.
-fn write_first_repro(
-    reports: &[PatternReport],
-    patterns: &[Pattern],
-    params: &PatternParams,
-    path: &std::path::Path,
-) {
-    for (pattern, p) in patterns.iter().zip(reports) {
-        for run in &p.report.runs {
-            let Some(v) = run.outcome.violations.first() else {
-                continue;
-            };
-            eprintln!(
-                "stress: shrinking {}/{} ({}) to a minimal repro...",
-                p.pattern, run.case.label, v.kind
-            );
-            let stream = pattern.generate(params);
-            let minimal = shrink_stream(&run.case.config, &stream, v.kind);
-            if let Err(e) = std::fs::write(path, format_stream(&minimal)) {
-                eprintln!("stress: cannot write {}: {e}", path.display());
-                return;
-            }
-            eprintln!(
-                "stress: wrote {}-request repro to {} (replay with `sam-check replay`)",
-                minimal.requests.len(),
-                path.display()
-            );
-            return;
-        }
-    }
-    eprintln!("stress: only cross-run findings (no single-stream repro to shrink)");
-}
-
-/// Drives the shrinker end to end against the known-bad synthetic
-/// config: inverted hysteresis margins (lo > hi), constructible only via
-/// the validation-bypassing hook, which break watermark supremacy within
-/// a handful of requests.
-fn shrink_selftest(seed: u64, repro_path: &std::path::Path) -> i32 {
-    let mut failures = 0;
-    let mut step = |name: &str, ok: bool| {
-        println!("{}  {name}", if ok { "PASS" } else { "FAIL" });
-        if !ok {
-            failures += 1;
-        }
-    };
-
-    let cfg = StressConfig::unchecked(DeviceKind::Ddr4, 4096, 8, 28);
-    let stream = Pattern::WriteBurst.generate(&PatternParams::small(seed));
-    let found = first_violation(&cfg, &stream);
-    step(
-        "inverted margins (hi=8, lo=28) break watermark supremacy",
-        found == Some(InvariantKind::WatermarkSupremacy),
-    );
-    if found != Some(InvariantKind::WatermarkSupremacy) {
-        println!("shrink selftest: {failures} check(s) failed");
-        return 1;
-    }
-
-    let minimal = shrink_stream(&cfg, &stream, InvariantKind::WatermarkSupremacy);
-    step(
-        &format!(
-            "minimal repro fits a screenful ({} of {} requests, <= 32)",
-            minimal.requests.len(),
-            stream.len()
-        ),
-        minimal.requests.len() <= 32,
-    );
-
-    let text = format_stream(&minimal);
-    let written = std::fs::create_dir_all(repro_path.parent().unwrap_or(std::path::Path::new(".")))
-        .and_then(|()| std::fs::write(repro_path, &text));
-    step(
-        &format!("repro written to {}", repro_path.display()),
-        written.is_ok(),
-    );
-
-    let replayed = sam_stress::replay_text(&text);
-    step(
-        "written trace replays to the same violation",
-        matches!(
-            &replayed,
-            Ok((c, outcome)) if *c == cfg
-                && outcome
-                    .violations
-                    .iter()
-                    .any(|v| v.kind == InvariantKind::WatermarkSupremacy)
-        ),
-    );
-
-    if failures == 0 {
-        println!("shrink selftest: all checks passed");
-        0
-    } else {
-        println!("shrink selftest: {failures} check(s) failed");
-        1
-    }
+    sam_bench::bins::stress::run(&args, None);
 }

@@ -1,104 +1,20 @@
 //! Table 1: qualitative comparison of designs for strided access.
 //!
 //! ```text
-//! cargo run --release -p sam-bench --bin table1 [-- --out PATH]
+//! cargo run --release -p sam-bench --bin table1 [-- --out PATH --shard K/N]
 //! ```
 //! `v` = good/unmodified, `o` = fair/slightly modified, `x` = poor/modified
 //! (same legend as the paper). The table is qualitative (no simulations),
 //! so the emitted `results/table1.json` report carries zero runs — it
-//! exists so `sam-check lint-json` can gate every binary uniformly.
+//! exists so `sam-check lint-json` can gate every binary uniformly, and
+//! `--shard` emits a zero-run envelope for the same reason.
 
-use sam::designs::{gs_dram, rc_nvm_bit, rc_nvm_wd, sam_en, sam_io, sam_sub};
-use sam::properties::properties;
-use sam_bench::cli::{parse_args, ArgSpec};
-use sam_bench::metrics::MetricsReport;
+use sam_bench::cli::parse_args;
+use sam_bench::shard::spec_for;
 use sam_imdb::plan::PlanConfig;
-use sam_util::table::TextTable;
 
 fn main() {
-    let args = parse_args(
-        &ArgSpec::new("table1").with_obs(),
-        PlanConfig::default_scale(),
-    );
-    let obs = sam_bench::obsrun::ObsSession::start("table1", &args);
-    let designs = [
-        rc_nvm_bit(),
-        rc_nvm_wd(),
-        gs_dram(),
-        sam_sub(),
-        sam_io(),
-        sam_en(),
-    ];
-    let mut header = vec!["property".to_string()];
-    header.extend(designs.iter().map(|d| d.name.to_string()));
-    let mut table = TextTable::new(header);
-
-    let props: Vec<_> = designs.iter().map(properties).collect();
-    let yes_no = |b: bool| if b { "v".to_string() } else { "x".to_string() };
-
-    let rows: Vec<(&str, Vec<String>)> = vec![
-        (
-            "Database Alignment",
-            props.iter().map(|p| yes_no(p.database_alignment)).collect(),
-        ),
-        (
-            "ISA Extension",
-            props.iter().map(|p| yes_no(p.isa_extension)).collect(),
-        ),
-        (
-            "Sector/MDA Cache",
-            props.iter().map(|p| yes_no(p.sector_cache)).collect(),
-        ),
-        (
-            "Memory Controller",
-            props
-                .iter()
-                .map(|p| p.memory_controller.to_string())
-                .collect(),
-        ),
-        (
-            "Command Interface",
-            props
-                .iter()
-                .map(|p| p.command_interface.to_string())
-                .collect(),
-        ),
-        (
-            "Critical-Word-First",
-            props
-                .iter()
-                .map(|p| p.critical_word_first.to_string())
-                .collect(),
-        ),
-        (
-            "Performance",
-            props.iter().map(|p| p.performance.to_string()).collect(),
-        ),
-        (
-            "Power Consumption",
-            props.iter().map(|p| p.power.to_string()).collect(),
-        ),
-        (
-            "Area Overhead",
-            props.iter().map(|p| p.area.to_string()).collect(),
-        ),
-        (
-            "Reliability",
-            props.iter().map(|p| p.reliability.to_string()).collect(),
-        ),
-        (
-            "Mode Switch Delay",
-            props.iter().map(|p| p.mode_switch.to_string()).collect(),
-        ),
-    ];
-    for (name, cells) in rows {
-        let mut row = vec![name.to_string()];
-        row.extend(cells);
-        table.row(row);
-    }
-    println!("Table 1: comparison of designs for strided access\n");
-    println!("{table}");
-    println!("v: good/unmodified   o: fair/slightly modified   x: poor/modified");
-    MetricsReport::new("table1", args.plan, args.jobs, false).write_or_die(&args.out);
-    obs.finish();
+    let spec = spec_for("table1").expect("table1 is registered");
+    let args = parse_args(&spec, PlanConfig::default_scale());
+    sam_bench::bins::tables::run("table1", &args, None);
 }

@@ -2,91 +2,20 @@
 //! configuration structs (so the printout cannot drift from the code).
 //!
 //! ```text
-//! cargo run --release -p sam-bench --bin table2 [-- --starvation-cap N --out PATH]
+//! cargo run --release -p sam-bench --bin table2 [-- --starvation-cap N --out PATH --shard K/N]
 //! ```
 //!
 //! The printout lists no simulation results, so the emitted
 //! `results/table2.json` report carries zero runs — it exists so
-//! `sam-check lint-json` can gate every binary uniformly.
+//! `sam-check lint-json` can gate every binary uniformly, and `--shard`
+//! emits a zero-run envelope for the same reason.
 
-use sam::system::SystemConfig;
-use sam_bench::cli::{parse_args, ArgSpec};
-use sam_bench::metrics::MetricsReport;
-use sam_cache::hierarchy::HierarchyConfig;
-use sam_dram::device::DeviceConfig;
+use sam_bench::cli::parse_args;
+use sam_bench::shard::spec_for;
 use sam_imdb::plan::PlanConfig;
-use sam_memctrl::controller::ControllerConfig;
 
 fn main() {
-    let args = parse_args(
-        &ArgSpec::new("table2").with_obs(),
-        PlanConfig::default_scale(),
-    );
-    let obs = sam_bench::obsrun::ObsSession::start("table2", &args);
-    let sys = SystemConfig::default();
-    let h = HierarchyConfig::table2();
-    let dram = DeviceConfig::ddr4_server();
-    let rram = DeviceConfig::rram_server();
-    let mut ctrl = ControllerConfig::default();
-    if let Some(cap) = args.starvation_cap {
-        ctrl.starvation_cap = cap;
-    }
-    if let Some(hi) = args.drain_hi {
-        ctrl.write_high_watermark = hi;
-    }
-    if let Some(lo) = args.drain_lo {
-        ctrl.write_low_watermark = lo;
-    }
-
-    println!("Table 2: simulated system parameters\n");
-    println!("Processor");
-    println!(
-        "  {} cores, x86-class issue model, {:.1} GHz",
-        sys.cores,
-        sys.cpu_mhz as f64 / 1000.0
-    );
-    println!(
-        "  L1: {}KB, L2: {}KB, LLC: {}MB",
-        h.l1_bytes / 1024,
-        h.l2_bytes / 1024,
-        h.llc_bytes / (1024 * 1024)
-    );
-    println!("  64B cachelines, {}-way associative, 16B sectors", h.ways);
-    println!("Memory Controller");
-    println!("  Write queue capacity: {}", ctrl.write_queue_capacity);
-    println!("  Address mapping: rw:rk:bk:ch:cl:offset (XOR bank permutation)");
-    println!("  Page management: open-page, FR-FCFS");
-    println!(
-        "  FR-FCFS starvation cap: {} cycles{}",
-        ctrl.starvation_cap,
-        if ctrl.starvation_cap == 0 {
-            " (pure FCFS)"
-        } else {
-            ""
-        }
-    );
-    for (name, cfg) in [("DRAM", dram), ("RRAM", rram)] {
-        let t = cfg.timing;
-        println!("{name}");
-        println!("  DDR4-2400 interface, x4 I/O width");
-        println!(
-            "  1 channel, {} ranks, {} banks/rank",
-            cfg.ranks,
-            cfg.banks_per_rank()
-        );
-        println!(
-            "  {} rows/bank, {} cachelines/row",
-            cfg.rows_per_bank, cfg.cols_per_row
-        );
-        println!("  CL-nRCD-nRP: {}-{}-{}", t.cl, t.rcd, t.rp);
-        println!(
-            "  nRTR(mode switch)-nCCDS-nCCDL: {}-{}-{}",
-            t.rtr, t.ccd_s, t.ccd_l
-        );
-        if t.wtw > 0 {
-            println!("  write pulse (same-bank write-to-write): {} CK", t.wtw);
-        }
-    }
-    MetricsReport::new("table2", args.plan, args.jobs, false).write_or_die(&args.out);
-    obs.finish();
+    let spec = spec_for("table2").expect("table2 is registered");
+    let args = parse_args(&spec, PlanConfig::default_scale());
+    sam_bench::bins::tables::run("table2", &args, None);
 }

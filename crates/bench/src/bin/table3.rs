@@ -1,56 +1,20 @@
 //! Table 3: the benchmark query set with its SQL statements.
 //!
 //! ```text
-//! cargo run --release -p sam-bench --bin table3 [-- --out PATH]
+//! cargo run --release -p sam-bench --bin table3 [-- --out PATH --shard K/N]
 //! ```
 //!
 //! The query listing involves no simulations, so the emitted
 //! `results/table3.json` report carries zero runs — it exists so
-//! `sam-check lint-json` can gate every binary uniformly.
+//! `sam-check lint-json` can gate every binary uniformly, and `--shard`
+//! emits a zero-run envelope for the same reason.
 
-use sam_bench::cli::{parse_args, ArgSpec};
-use sam_bench::metrics::MetricsReport;
+use sam_bench::cli::parse_args;
+use sam_bench::shard::spec_for;
 use sam_imdb::plan::PlanConfig;
-use sam_imdb::query::Query;
-use sam_util::table::TextTable;
 
 fn main() {
-    let args = parse_args(
-        &ArgSpec::new("table3").with_obs(),
-        PlanConfig::default_scale(),
-    );
-    let obs = sam_bench::obsrun::ObsSession::start("table3", &args);
-    println!("Table 3: benchmark queries\n");
-    let mut table = TextTable::new(vec!["No.", "SQL statement"]);
-    for q in Query::q_set() {
-        table.row(vec![q.name(), q.sql()]);
-    }
-    println!("Queries from the RC-NVM benchmark (prefer column store)\n{table}");
-
-    let mut table = TextTable::new(vec!["No.", "SQL statement"]);
-    for q in Query::qs_set() {
-        table.row(vec![q.name(), q.sql()]);
-    }
-    println!("Supplemental queries (prefer row store)\n{table}");
-
-    let mut table = TextTable::new(vec!["No.", "SQL statement"]);
-    table.row(vec![
-        "Arith.".into(),
-        Query::Arithmetic {
-            projectivity: 8,
-            selectivity: 0.25,
-        }
-        .sql(),
-    ]);
-    table.row(vec![
-        "Aggr.".into(),
-        Query::Aggregate {
-            projectivity: 8,
-            selectivity: 0.25,
-        }
-        .sql(),
-    ]);
-    println!("Parametric queries (prefer row or column store)\n{table}");
-    MetricsReport::new("table3", args.plan, args.jobs, false).write_or_die(&args.out);
-    obs.finish();
+    let spec = spec_for("table3").expect("table3 is registered");
+    let args = parse_args(&spec, PlanConfig::default_scale());
+    sam_bench::bins::tables::run("table3", &args, None);
 }

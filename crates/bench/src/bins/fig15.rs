@@ -1,0 +1,233 @@
+//! Figure 15: parametric arithmetic/aggregate query sweeps over
+//! selectivity, projectivity, and record size, for RC-NVM-wd,
+//! GS-DRAM-ecc, SAM-en, and the ideal store.
+
+use sam::design::Design;
+use sam::designs::{gs_dram_ecc, rc_nvm_wd, sam_en};
+use sam::system::SystemConfig;
+use sam_imdb::plan::PlanConfig;
+use sam_imdb::query::Query;
+use sam_util::json::Json;
+use sam_util::table::TextTable;
+
+use crate::cli::BenchArgs;
+use crate::metrics::MetricsReport;
+use crate::obsrun::ObsSession;
+use crate::shard::resolve_sweep;
+use crate::traced::{TraceCollector, TraceOptions};
+use crate::{assemble_grid_chunk, grid_chunk_len, grid_tasks};
+
+fn designs() -> Vec<Design> {
+    vec![rc_nvm_wd(), gs_dram_ecc(), sam_en()]
+}
+
+const SELECTIVITIES: [f64; 7] = [0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 1.0];
+const PROJECTIVITIES: [u32; 7] = [4, 8, 16, 32, 64, 96, 128];
+
+const ALL_PANELS: [&str; 9] = ["a", "b", "c", "d", "e", "f", "g", "h", "i"];
+
+/// One panel's rendering plan: the heading, the table's first column
+/// header, and one (label, query, plan) row per swept point.
+struct Panel {
+    heading: String,
+    first_column: &'static str,
+    labels: Vec<String>,
+    cases: Vec<(Query, PlanConfig)>,
+}
+
+fn sweep_selectivity(label: &str, projectivity: u32, aggregate: bool, plan: PlanConfig) -> Panel {
+    let heading = format!(
+        "Figure 15({label}): speedup vs selectivity ({projectivity} fields projected{})\n",
+        if aggregate { ", aggregate" } else { "" }
+    );
+    let mut labels = Vec::new();
+    let mut cases = Vec::new();
+    for sel in SELECTIVITIES {
+        let q = if aggregate {
+            Query::Aggregate {
+                projectivity,
+                selectivity: sel,
+            }
+        } else {
+            Query::Arithmetic {
+                projectivity,
+                selectivity: sel,
+            }
+        };
+        labels.push(format!("{:.0}%", sel * 100.0));
+        cases.push((q, plan));
+    }
+    Panel {
+        heading,
+        first_column: "selectivity",
+        labels,
+        cases,
+    }
+}
+
+fn sweep_projectivity(label: &str, selectivity: f64, aggregate: bool, plan: PlanConfig) -> Panel {
+    let heading = format!(
+        "Figure 15({label}): speedup vs projectivity ({:.0}% records selected{})\n",
+        selectivity * 100.0,
+        if aggregate { ", aggregate" } else { "" }
+    );
+    let mut labels = Vec::new();
+    let mut cases = Vec::new();
+    for proj in PROJECTIVITIES {
+        let q = if aggregate {
+            Query::Aggregate {
+                projectivity: proj,
+                selectivity,
+            }
+        } else {
+            Query::Arithmetic {
+                projectivity: proj,
+                selectivity,
+            }
+        };
+        labels.push(proj.to_string());
+        cases.push((q, plan));
+    }
+    Panel {
+        heading,
+        first_column: "fields",
+        labels,
+        cases,
+    }
+}
+
+fn sweep_record_size(plan: PlanConfig) -> Panel {
+    let heading =
+        "Figure 15(i): speedup vs record size (100% selected, all fields projected)\n".to_string();
+    let mut labels = Vec::new();
+    let mut cases = Vec::new();
+    for fields in [2u32, 4, 8, 16, 32, 64, 128, 256] {
+        let mut p = plan;
+        p.ta_fields = fields;
+        // Keep total data volume roughly constant across record sizes.
+        p.ta_records = (plan.ta_records * 128 / fields as u64).max(1024);
+        let q = Query::Arithmetic {
+            projectivity: fields,
+            selectivity: 1.0,
+        };
+        labels.push(format!("{}B", fields as u64 * 8));
+        cases.push((q, p));
+    }
+    Panel {
+        heading,
+        first_column: "record",
+        labels,
+        cases,
+    }
+}
+
+fn build_panel(p: &str, plan: PlanConfig) -> Panel {
+    match p {
+        "a" => sweep_selectivity("a", 8, false, plan),
+        "b" => sweep_selectivity("b", 64, false, plan),
+        "c" => sweep_selectivity("c", 128, false, plan),
+        "d" => sweep_projectivity("d", 0.1, false, plan),
+        "e" => sweep_projectivity("e", 0.5, false, plan),
+        "f" => sweep_projectivity("f", 1.0, false, plan),
+        "g" => sweep_selectivity("g", 8, true, plan),
+        "h" => sweep_projectivity("h", 1.0, true, plan),
+        "i" => sweep_record_size(plan),
+        _ => unreachable!(),
+    }
+}
+
+/// Runs the figure: executes (or replays) the selected panels' parametric
+/// sweeps and renders each panel's table plus `results/fig15.json`.
+pub fn run(args: &BenchArgs, replay: Option<&[(String, Json)]>) {
+    let obs = ObsSession::start("fig15", args);
+    let panels: Vec<&str> = if args.panels.is_empty() {
+        ALL_PANELS.to_vec()
+    } else {
+        args.panels.iter().map(String::as_str).collect()
+    };
+    let plan = args.plan;
+    let system = SystemConfig {
+        starvation_cap: args.starvation_cap,
+        drain_hi: args.drain_hi,
+        drain_lo: args.drain_lo,
+        debug_cores: args.has_flag("--debug-cores"),
+        ..SystemConfig::default()
+    };
+    let mut report = MetricsReport::new("fig15", plan, args.jobs, false)
+        .with_per_core(args.has_flag("--per-core"));
+    let mut tracer = args
+        .trace
+        .as_deref()
+        .map(|_| TraceCollector::new("fig15", TraceOptions::new(args.epoch_len)));
+    let ds = designs();
+    let built: Vec<Panel> = panels.iter().map(|p| build_panel(p, plan)).collect();
+
+    if let Some(tracer) = &mut tracer {
+        // The lane tracer needs live access to each run's command stream,
+        // so it bypasses the shardable resolver (the CLI rejects `--shard`
+        // with `--trace`).
+        for panel in &built {
+            println!("{}", panel.heading);
+            let rows = tracer.grid_rows_with_plans(&panel.cases, system, &ds, args.jobs);
+            render_panel(panel, rows.into_iter(), &mut report);
+        }
+    } else {
+        let mut tasks = Vec::new();
+        for panel in &built {
+            for (q, p) in &panel.cases {
+                let weight = q.cost_hint(p);
+                for task in grid_tasks(*q, *p, system, &ds) {
+                    tasks.push((weight, task));
+                }
+            }
+        }
+        let Some(runs) = resolve_sweep("fig15", args, tasks, replay) else {
+            obs.finish();
+            return;
+        };
+        let chunk = grid_chunk_len(&ds);
+        let gather = system.granularity.gather() as u64;
+        let mut offset = 0usize;
+        for panel in &built {
+            println!("{}", panel.heading);
+            let count = panel.cases.len() * chunk;
+            let rows = runs[offset..offset + count]
+                .chunks(chunk)
+                .map(|c| assemble_grid_chunk(c, &ds, gather));
+            offset += count;
+            render_panel(panel, rows, &mut report);
+        }
+    }
+
+    report.write_or_die(&args.out);
+    if report.per_core {
+        report.write_rollup_or_die(&args.out);
+    }
+    if let Some(tracer) = &tracer {
+        tracer.write_or_die(args.trace.as_deref().expect("tracer implies a path"));
+    }
+    obs.finish();
+}
+
+/// Prints one panel's table from its assembled grid rows.
+fn render_panel(
+    panel: &Panel,
+    rows: impl Iterator<Item = crate::GridRow>,
+    report: &mut MetricsReport,
+) {
+    let mut table = TextTable::new(vec![
+        panel.first_column,
+        "RC-NVM-wd",
+        "GS-DRAM-ecc",
+        "SAM-en",
+        "ideal",
+    ]);
+    table.numeric();
+    for (label, (row, metrics)) in panel.labels.iter().zip(rows) {
+        let mut values: Vec<f64> = row.speedups.iter().map(|(_, s)| *s).collect();
+        values.push(row.ideal);
+        table.row_f64(label.clone(), &values, 2);
+        report.runs.extend(metrics);
+    }
+    println!("{table}");
+}

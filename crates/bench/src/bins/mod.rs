@@ -1,0 +1,52 @@
+//! The bench binaries' logic, structured as plan → execute → render.
+//!
+//! Each submodule owns one binary: it builds the full sweep as a flat
+//! weighted task list, resolves it through
+//! [`crate::shard::resolve_sweep`] (local run, `--shard K/N` envelope,
+//! or merge replay), and renders stdout tables and the metrics JSON
+//! *only* from the resolved results. Because rendering never looks at
+//! anything but the results and the parsed args, `sam-check
+//! merge-shards` reproduces a local run's bytes exactly by replaying the
+//! render over decoded records.
+//!
+//! The `fn main` under `src/bin/` is a thin wrapper: parse args with
+//! [`crate::shard::spec_for`], call `run(&args, None)`.
+
+pub mod ablation;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod motivation;
+pub mod reliability;
+pub mod stress;
+pub mod tables;
+
+use sam_util::json::Json;
+
+use crate::cli::BenchArgs;
+
+/// Replays `bin`'s render phase over merged `(label, record)` runs, as
+/// if the binary had executed them locally. Used by `sam-check
+/// merge-shards` after the merge oracle validates the envelopes.
+///
+/// # Errors
+///
+/// Returns a message when `bin` is not a sweep-driven binary.
+pub fn replay(bin: &str, args: &BenchArgs, runs: &[(String, Json)]) -> Result<(), String> {
+    match bin {
+        "fig12" => fig12::run(args, Some(runs)),
+        "fig13" => fig13::run(args, Some(runs)),
+        "fig14" => fig14::run(args, Some(runs)),
+        "fig15" => fig15::run(args, Some(runs)),
+        "table1" => tables::run("table1", args, Some(runs)),
+        "table2" => tables::run("table2", args, Some(runs)),
+        "table3" => tables::run("table3", args, Some(runs)),
+        "ablation" => ablation::run(args, Some(runs)),
+        "motivation" => motivation::run(args, Some(runs)),
+        "reliability" => reliability::run(args, Some(runs)),
+        "stress" => stress::run(args, Some(runs)),
+        other => return Err(format!("no sweep-driven binary named '{other}'")),
+    }
+    Ok(())
+}

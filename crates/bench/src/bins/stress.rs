@@ -1,0 +1,205 @@
+//! Adversarial stress engine: named attack patterns run differentially
+//! across scheduler knob settings, with behavioural-invariant checking
+//! and failing-stream shrinking.
+
+use sam_stress::driver::run_stream;
+use sam_stress::report::{json_report, PatternReport};
+use sam_stress::shrink::{first_violation, shrink_stream};
+use sam_stress::stream::{format_stream, DeviceKind, StressConfig};
+use sam_stress::{InvariantKind, Pattern, PatternParams};
+use sam_util::json::Json;
+
+use crate::cli::BenchArgs;
+use crate::obsrun::ObsSession;
+use crate::shard::resolve_sweep;
+use crate::stressrun::{
+    assemble_reports, render_report, run_stress, standard_cases, write_json_or_die,
+};
+use crate::sweep::SweepTask;
+use crate::traced::{TraceCollector, TraceOptions};
+
+/// Runs the stress grid: executes (or replays) every (pattern, case)
+/// cell, renders the differential table and `results/stress.json`, and
+/// exits 1 after shrinking a repro if any invariant was violated.
+pub fn run(args: &BenchArgs, replay: Option<&[(String, Json)]>) {
+    let obs = ObsSession::start("stress", args);
+    let repro_path = args.out.with_file_name("stress.repro.trace");
+
+    if args.has_flag("--shrink-selftest") {
+        let code = shrink_selftest(args.plan.seed, &repro_path);
+        obs.finish();
+        std::process::exit(code);
+    }
+
+    let patterns: Vec<Pattern> = if args.panels.is_empty() {
+        Pattern::ALL.to_vec()
+    } else {
+        args.panels
+            .iter()
+            .map(|n| Pattern::from_name(n).expect("panel names are validated by the CLI"))
+            .collect()
+    };
+    let params = PatternParams {
+        seed: args.plan.seed,
+        ..PatternParams::default()
+    };
+    let cases = standard_cases(args.starvation_cap, args.drain_hi, args.drain_lo);
+
+    let reports: Vec<PatternReport>;
+    let mut tracer = None;
+    if let Some(opts) = args
+        .trace
+        .as_deref()
+        .map(|_| TraceOptions::new(args.epoch_len))
+    {
+        // Tracing needs live recorder hookup per cell, so it bypasses the
+        // shardable resolver (the CLI rejects `--shard` with `--trace`).
+        let (traced_reports, traces) =
+            run_stress(&patterns, &params, &cases, args.jobs, Some(opts));
+        reports = traced_reports;
+        let mut collector = TraceCollector::new("stress", opts);
+        collector.runs = traces;
+        tracer = Some(collector);
+    } else {
+        let mut tasks = Vec::with_capacity(patterns.len() * cases.len());
+        for pattern in &patterns {
+            for case in &cases {
+                let label = format!("{}/{}", pattern.name(), case.label);
+                let config = case.config;
+                let pattern = *pattern;
+                tasks.push((
+                    1u64,
+                    SweepTask::new(label, move || {
+                        run_stream(&config, &pattern.generate(&params))
+                    }),
+                ));
+            }
+        }
+        let Some(outcomes) = resolve_sweep("stress", args, tasks, replay) else {
+            obs.finish();
+            return;
+        };
+        reports = assemble_reports(&patterns, &cases, outcomes);
+    }
+
+    println!(
+        "Adversarial stress: {} pattern(s) x {} case(s), seed {}, {} requests/stream\n",
+        patterns.len(),
+        cases.len(),
+        params.seed,
+        params.len
+    );
+    print!("{}", render_report(&reports));
+
+    write_json_or_die("stress", &json_report(params.seed, &reports), &args.out);
+    if let Some(collector) = &tracer {
+        collector.write_or_die(args.trace.as_deref().expect("trace options imply a path"));
+    }
+
+    let total: usize = reports.iter().map(|p| p.report.total_violations()).sum();
+    obs.finish();
+    if total > 0 {
+        write_first_repro(&reports, &patterns, &params, &repro_path);
+        std::process::exit(1);
+    }
+}
+
+/// Shrinks the first per-run violation to a minimal repro and writes it.
+/// Cross-run findings have no single offending stream, so a run with
+/// only those still exits 1 but leaves no repro.
+fn write_first_repro(
+    reports: &[PatternReport],
+    patterns: &[Pattern],
+    params: &PatternParams,
+    path: &std::path::Path,
+) {
+    for (pattern, p) in patterns.iter().zip(reports) {
+        for run in &p.report.runs {
+            let Some(v) = run.outcome.violations.first() else {
+                continue;
+            };
+            eprintln!(
+                "stress: shrinking {}/{} ({}) to a minimal repro...",
+                p.pattern, run.case.label, v.kind
+            );
+            let stream = pattern.generate(params);
+            let minimal = shrink_stream(&run.case.config, &stream, v.kind);
+            if let Err(e) = std::fs::write(path, format_stream(&minimal)) {
+                eprintln!("stress: cannot write {}: {e}", path.display());
+                return;
+            }
+            eprintln!(
+                "stress: wrote {}-request repro to {} (replay with `sam-check replay`)",
+                minimal.requests.len(),
+                path.display()
+            );
+            return;
+        }
+    }
+    eprintln!("stress: only cross-run findings (no single-stream repro to shrink)");
+}
+
+/// Drives the shrinker end to end against the known-bad synthetic
+/// config: inverted hysteresis margins (lo > hi), constructible only via
+/// the validation-bypassing hook, which break watermark supremacy within
+/// a handful of requests.
+fn shrink_selftest(seed: u64, repro_path: &std::path::Path) -> i32 {
+    let mut failures = 0;
+    let mut step = |name: &str, ok: bool| {
+        println!("{}  {name}", if ok { "PASS" } else { "FAIL" });
+        if !ok {
+            failures += 1;
+        }
+    };
+
+    let cfg = StressConfig::unchecked(DeviceKind::Ddr4, 4096, 8, 28);
+    let stream = Pattern::WriteBurst.generate(&PatternParams::small(seed));
+    let found = first_violation(&cfg, &stream);
+    step(
+        "inverted margins (hi=8, lo=28) break watermark supremacy",
+        found == Some(InvariantKind::WatermarkSupremacy),
+    );
+    if found != Some(InvariantKind::WatermarkSupremacy) {
+        println!("shrink selftest: {failures} check(s) failed");
+        return 1;
+    }
+
+    let minimal = shrink_stream(&cfg, &stream, InvariantKind::WatermarkSupremacy);
+    step(
+        &format!(
+            "minimal repro fits a screenful ({} of {} requests, <= 32)",
+            minimal.requests.len(),
+            stream.len()
+        ),
+        minimal.requests.len() <= 32,
+    );
+
+    let text = format_stream(&minimal);
+    let written = std::fs::create_dir_all(repro_path.parent().unwrap_or(std::path::Path::new(".")))
+        .and_then(|()| std::fs::write(repro_path, &text));
+    step(
+        &format!("repro written to {}", repro_path.display()),
+        written.is_ok(),
+    );
+
+    let replayed = sam_stress::replay_text(&text);
+    step(
+        "written trace replays to the same violation",
+        matches!(
+            &replayed,
+            Ok((c, outcome)) if *c == cfg
+                && outcome
+                    .violations
+                    .iter()
+                    .any(|v| v.kind == InvariantKind::WatermarkSupremacy)
+        ),
+    );
+
+    if failures == 0 {
+        println!("shrink selftest: all checks passed");
+        0
+    } else {
+        println!("shrink selftest: {failures} check(s) failed");
+        1
+    }
+}

@@ -1,0 +1,223 @@
+//! Tables 1-3: qualitative/config printouts with zero simulation runs.
+//!
+//! Each table still routes through [`crate::shard::resolve_sweep`] with an
+//! empty task list so `--shard` emits a (zero-run) envelope and
+//! `sam-check merge-shards` can gate every binary uniformly.
+
+use sam::designs::{gs_dram, rc_nvm_bit, rc_nvm_wd, sam_en, sam_io, sam_sub};
+use sam::properties::properties;
+use sam::system::SystemConfig;
+use sam_cache::hierarchy::HierarchyConfig;
+use sam_dram::device::DeviceConfig;
+use sam_imdb::query::Query;
+use sam_memctrl::controller::ControllerConfig;
+use sam_util::json::Json;
+use sam_util::table::TextTable;
+
+use crate::cli::BenchArgs;
+use crate::metrics::MetricsReport;
+use crate::obsrun::ObsSession;
+use crate::shard::resolve_sweep;
+use crate::sweep::SweepTask;
+
+/// Runs (or replays) one of the three table printouts. `bin` selects the
+/// table; unknown names panic because the dispatcher owns that check.
+pub fn run(bin: &'static str, args: &BenchArgs, replay: Option<&[(String, Json)]>) {
+    let obs = ObsSession::start(bin, args);
+    let tasks: Vec<(u64, SweepTask<Json>)> = Vec::new();
+    let Some(_runs) = resolve_sweep(bin, args, tasks, replay) else {
+        obs.finish();
+        return;
+    };
+
+    match bin {
+        "table1" => table1(),
+        "table2" => table2(args),
+        "table3" => table3(),
+        other => panic!("tables::run does not render '{other}'"),
+    }
+    MetricsReport::new(bin, args.plan, args.jobs, false).write_or_die(&args.out);
+    obs.finish();
+}
+
+fn table1() {
+    let designs = [
+        rc_nvm_bit(),
+        rc_nvm_wd(),
+        gs_dram(),
+        sam_sub(),
+        sam_io(),
+        sam_en(),
+    ];
+    let mut header = vec!["property".to_string()];
+    header.extend(designs.iter().map(|d| d.name.to_string()));
+    let mut table = TextTable::new(header);
+
+    let props: Vec<_> = designs.iter().map(properties).collect();
+    let yes_no = |b: bool| if b { "v".to_string() } else { "x".to_string() };
+
+    let rows: Vec<(&str, Vec<String>)> = vec![
+        (
+            "Database Alignment",
+            props.iter().map(|p| yes_no(p.database_alignment)).collect(),
+        ),
+        (
+            "ISA Extension",
+            props.iter().map(|p| yes_no(p.isa_extension)).collect(),
+        ),
+        (
+            "Sector/MDA Cache",
+            props.iter().map(|p| yes_no(p.sector_cache)).collect(),
+        ),
+        (
+            "Memory Controller",
+            props
+                .iter()
+                .map(|p| p.memory_controller.to_string())
+                .collect(),
+        ),
+        (
+            "Command Interface",
+            props
+                .iter()
+                .map(|p| p.command_interface.to_string())
+                .collect(),
+        ),
+        (
+            "Critical-Word-First",
+            props
+                .iter()
+                .map(|p| p.critical_word_first.to_string())
+                .collect(),
+        ),
+        (
+            "Performance",
+            props.iter().map(|p| p.performance.to_string()).collect(),
+        ),
+        (
+            "Power Consumption",
+            props.iter().map(|p| p.power.to_string()).collect(),
+        ),
+        (
+            "Area Overhead",
+            props.iter().map(|p| p.area.to_string()).collect(),
+        ),
+        (
+            "Reliability",
+            props.iter().map(|p| p.reliability.to_string()).collect(),
+        ),
+        (
+            "Mode Switch Delay",
+            props.iter().map(|p| p.mode_switch.to_string()).collect(),
+        ),
+    ];
+    for (name, cells) in rows {
+        let mut row = vec![name.to_string()];
+        row.extend(cells);
+        table.row(row);
+    }
+    println!("Table 1: comparison of designs for strided access\n");
+    println!("{table}");
+    println!("v: good/unmodified   o: fair/slightly modified   x: poor/modified");
+}
+
+fn table2(args: &BenchArgs) {
+    let sys = SystemConfig::default();
+    let h = HierarchyConfig::table2();
+    let dram = DeviceConfig::ddr4_server();
+    let rram = DeviceConfig::rram_server();
+    let mut ctrl = ControllerConfig::default();
+    if let Some(cap) = args.starvation_cap {
+        ctrl.starvation_cap = cap;
+    }
+    if let Some(hi) = args.drain_hi {
+        ctrl.write_high_watermark = hi;
+    }
+    if let Some(lo) = args.drain_lo {
+        ctrl.write_low_watermark = lo;
+    }
+
+    println!("Table 2: simulated system parameters\n");
+    println!("Processor");
+    println!(
+        "  {} cores, x86-class issue model, {:.1} GHz",
+        sys.cores,
+        sys.cpu_mhz as f64 / 1000.0
+    );
+    println!(
+        "  L1: {}KB, L2: {}KB, LLC: {}MB",
+        h.l1_bytes / 1024,
+        h.l2_bytes / 1024,
+        h.llc_bytes / (1024 * 1024)
+    );
+    println!("  64B cachelines, {}-way associative, 16B sectors", h.ways);
+    println!("Memory Controller");
+    println!("  Write queue capacity: {}", ctrl.write_queue_capacity);
+    println!("  Address mapping: rw:rk:bk:ch:cl:offset (XOR bank permutation)");
+    println!("  Page management: open-page, FR-FCFS");
+    println!(
+        "  FR-FCFS starvation cap: {} cycles{}",
+        ctrl.starvation_cap,
+        if ctrl.starvation_cap == 0 {
+            " (pure FCFS)"
+        } else {
+            ""
+        }
+    );
+    for (name, cfg) in [("DRAM", dram), ("RRAM", rram)] {
+        let t = cfg.timing;
+        println!("{name}");
+        println!("  DDR4-2400 interface, x4 I/O width");
+        println!(
+            "  1 channel, {} ranks, {} banks/rank",
+            cfg.ranks,
+            cfg.banks_per_rank()
+        );
+        println!(
+            "  {} rows/bank, {} cachelines/row",
+            cfg.rows_per_bank, cfg.cols_per_row
+        );
+        println!("  CL-nRCD-nRP: {}-{}-{}", t.cl, t.rcd, t.rp);
+        println!(
+            "  nRTR(mode switch)-nCCDS-nCCDL: {}-{}-{}",
+            t.rtr, t.ccd_s, t.ccd_l
+        );
+        if t.wtw > 0 {
+            println!("  write pulse (same-bank write-to-write): {} CK", t.wtw);
+        }
+    }
+}
+
+fn table3() {
+    println!("Table 3: benchmark queries\n");
+    let mut table = TextTable::new(vec!["No.", "SQL statement"]);
+    for q in Query::q_set() {
+        table.row(vec![q.name(), q.sql()]);
+    }
+    println!("Queries from the RC-NVM benchmark (prefer column store)\n{table}");
+
+    let mut table = TextTable::new(vec!["No.", "SQL statement"]);
+    for q in Query::qs_set() {
+        table.row(vec![q.name(), q.sql()]);
+    }
+    println!("Supplemental queries (prefer row store)\n{table}");
+
+    let mut table = TextTable::new(vec!["No.", "SQL statement"]);
+    table.row(vec![
+        "Arith.".into(),
+        Query::Arithmetic {
+            projectivity: 8,
+            selectivity: 0.25,
+        }
+        .sql(),
+    ]);
+    table.row(vec![
+        "Aggr.".into(),
+        Query::Aggregate {
+            projectivity: 8,
+            selectivity: 0.25,
+        }
+        .sql(),
+    ]);
+    println!("Parametric queries (prefer row or column store)\n{table}");
+}

@@ -27,6 +27,11 @@
 //!   default): phase-profile report (default path
 //!   `results/<bin>.profile.json`) and stderr progress lines (default
 //!   interval: 5 seconds)
+//! * `--shard K/N` — on the sweep-driven binaries: run only shard `K`'s
+//!   deterministically-partitioned slice of the run indices and write a
+//!   `results/<bin>.shard-K-of-N.json` envelope instead of tables
+//!   (reassemble with `sam-check merge-shards`); incompatible with
+//!   `--checked` and `--trace`
 //! * `--trials N` — only on the fault-injection binaries
 //! * `--debug-cores` / `--per-core` — only on the simulating figure
 //!   binaries (fig12-fig15): per-core progress dump on stderr, and
@@ -60,6 +65,41 @@ pub const DEFAULT_DRAIN_HI: usize = 28;
 /// Controller-default write-drain low watermark.
 pub const DEFAULT_DRAIN_LO: usize = 8;
 
+/// One shard's identity in a distributed sweep: `--shard K/N` means
+/// "run only the task indices the deterministic partitioner assigns to
+/// shard `K` of `N`" (see `sam_bench::sweep::partition_weighted`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// 1-based shard id (`K`).
+    pub index: u32,
+    /// Total shard count (`N`).
+    pub shards: u32,
+}
+
+impl ShardSpec {
+    /// Parses the `K/N` form: two positive integers, `1 <= K <= N`.
+    ///
+    /// # Errors
+    ///
+    /// A [`CliError::BadValue`] naming `--shard` for anything else.
+    pub fn parse(v: &str) -> Result<Self, CliError> {
+        let bad = || CliError::BadValue("--shard".to_string(), v.to_string());
+        let (k, n) = v.split_once('/').ok_or_else(bad)?;
+        let index: u32 = k.parse().map_err(|_| bad())?;
+        let shards: u32 = n.parse().map_err(|_| bad())?;
+        if index == 0 || shards == 0 || index > shards {
+            return Err(bad());
+        }
+        Ok(Self { index, shards })
+    }
+}
+
+impl std::fmt::Display for ShardSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.index, self.shards)
+    }
+}
+
 /// What a specific binary accepts beyond the shared flags.
 #[derive(Debug, Clone, Copy)]
 pub struct ArgSpec {
@@ -73,6 +113,8 @@ pub struct ArgSpec {
     pub accepts_trials: bool,
     /// Whether `--profile[=PATH]` / `--heartbeat[=SECS]` are accepted.
     pub accepts_obs: bool,
+    /// Whether `--shard K/N` is accepted (sweep-driven binaries).
+    pub accepts_shard: bool,
     /// Bare arguments accepted as panel selectors (empty: none).
     pub panels: &'static [&'static str],
     /// Extra binary-specific boolean flags (e.g. `--shrink-selftest`);
@@ -89,6 +131,7 @@ impl ArgSpec {
             accepts_trace: false,
             accepts_trials: false,
             accepts_obs: false,
+            accepts_shard: false,
             panels: &[],
             extra_flags: &[],
         }
@@ -115,6 +158,12 @@ impl ArgSpec {
     /// Accepts `--profile[=PATH]` and `--heartbeat[=SECS]`.
     pub fn with_obs(mut self) -> Self {
         self.accepts_obs = true;
+        self
+    }
+
+    /// Accepts `--shard K/N`.
+    pub fn with_shard(mut self) -> Self {
+        self.accepts_shard = true;
         self
     }
 
@@ -147,6 +196,9 @@ impl ArgSpec {
         }
         if self.accepts_obs {
             u.push_str(" [--profile[=PATH]] [--heartbeat[=SECS]]");
+        }
+        if self.accepts_shard {
+            u.push_str(" [--shard K/N]");
         }
         for flag in self.extra_flags {
             u.push_str(&format!(" [{flag}]"));
@@ -184,6 +236,9 @@ pub struct BenchArgs {
     pub drain_hi: Option<usize>,
     /// Write-drain low-watermark override (`--drain-lo N`).
     pub drain_lo: Option<usize>,
+    /// Shard assignment when `--shard K/N` was given: run only this
+    /// shard's task indices and write an envelope instead of tables.
+    pub shard: Option<ShardSpec>,
     /// Extra boolean flags that were given, in spec order semantics
     /// (each at most once; see [`ArgSpec::extra_flags`]).
     pub flags: Vec<String>,
@@ -211,6 +266,8 @@ pub enum CliError {
     MissingValue(String),
     /// A value that failed to parse.
     BadValue(String, String),
+    /// Two flags that cannot be combined.
+    Conflict(String, String),
 }
 
 impl std::fmt::Display for CliError {
@@ -219,6 +276,7 @@ impl std::fmt::Display for CliError {
             CliError::UnknownArg(a) => write!(f, "unknown argument '{a}'"),
             CliError::MissingValue(flag) => write!(f, "flag '{flag}' requires a value"),
             CliError::BadValue(flag, v) => write!(f, "bad value '{v}' for '{flag}'"),
+            CliError::Conflict(a, b) => write!(f, "flag '{a}' cannot be combined with '{b}'"),
         }
     }
 }
@@ -246,6 +304,7 @@ pub fn try_parse_args(
     let mut starvation_cap = None;
     let mut drain_hi: Option<usize> = None;
     let mut drain_lo: Option<usize> = None;
+    let mut shard: Option<ShardSpec> = None;
     let mut trials = DEFAULT_TRIALS;
     let mut panels = Vec::new();
     let mut flags = Vec::new();
@@ -299,6 +358,10 @@ pub fn try_parse_args(
                 drain_lo = Some(parse_num(arg, &v)? as usize);
             }
             "--checked" if spec.accepts_checked => checked = true,
+            "--shard" if spec.accepts_shard => {
+                let v = value_of(&mut i)?;
+                shard = Some(ShardSpec::parse(&v)?);
+            }
             "--trace" if spec.accepts_trace => {
                 trace = Some(PathBuf::from(format!("results/{}.trace.json", spec.bin)));
             }
@@ -355,6 +418,23 @@ pub fn try_parse_args(
         i += 1;
     }
 
+    if shard.is_some() {
+        // A shard run prints no tables (the merge replay does), so the
+        // audit modes that interleave with rendering stay whole-run local.
+        if checked {
+            return Err(CliError::Conflict(
+                "--shard".to_string(),
+                "--checked".to_string(),
+            ));
+        }
+        if trace.is_some() {
+            return Err(CliError::Conflict(
+                "--shard".to_string(),
+                "--trace".to_string(),
+            ));
+        }
+    }
+
     if drain_hi.is_some() || drain_lo.is_some() {
         // Validate the *effective* pair: a lone override combines with the
         // controller default for the other watermark.
@@ -384,6 +464,7 @@ pub fn try_parse_args(
         starvation_cap,
         drain_hi,
         drain_lo,
+        shard,
         trials,
         panels,
         flags,
@@ -499,6 +580,50 @@ mod tests {
         assert_eq!(e, CliError::UnknownArg("--profile".to_string()));
         let e = try_parse_args(&plain, PlanConfig::tiny(), &argv(&["--heartbeat=1"])).unwrap_err();
         assert_eq!(e, CliError::UnknownArg("--heartbeat=1".to_string()));
+    }
+
+    #[test]
+    fn shard_flag_parses_gates_and_conflicts() {
+        let s = ArgSpec::new("fig12")
+            .with_checked()
+            .with_trace()
+            .with_shard();
+        let a = try_parse_args(&s, PlanConfig::tiny(), &argv(&["--shard", "2/3"])).unwrap();
+        assert_eq!(a.shard, Some(ShardSpec::parse("2/3").unwrap()));
+        assert_eq!(a.shard.unwrap().to_string(), "2/3");
+        // Malformed specs are rejected: K > N, zeros, garbage.
+        for bad in ["4/3", "0/3", "2/0", "2", "a/b", "1/3/5", ""] {
+            let e = try_parse_args(&s, PlanConfig::tiny(), &argv(&["--shard", bad])).unwrap_err();
+            assert_eq!(
+                e,
+                CliError::BadValue("--shard".to_string(), bad.to_string())
+            );
+        }
+        // Shard runs render nothing, so the audit modes are conflicts.
+        let e = try_parse_args(
+            &s,
+            PlanConfig::tiny(),
+            &argv(&["--shard", "1/2", "--checked"]),
+        )
+        .unwrap_err();
+        assert_eq!(
+            e,
+            CliError::Conflict("--shard".to_string(), "--checked".to_string())
+        );
+        let e = try_parse_args(
+            &s,
+            PlanConfig::tiny(),
+            &argv(&["--trace", "--shard", "1/2"]),
+        )
+        .unwrap_err();
+        assert_eq!(
+            e,
+            CliError::Conflict("--shard".to_string(), "--trace".to_string())
+        );
+        // Binaries without sweeps reject the flag outright.
+        let plain = ArgSpec::new("probe");
+        let e = try_parse_args(&plain, PlanConfig::tiny(), &argv(&["--shard", "1/2"])).unwrap_err();
+        assert_eq!(e, CliError::UnknownArg("--shard".to_string()));
     }
 
     #[test]

@@ -16,11 +16,13 @@
 #![warn(missing_docs)]
 
 pub mod bench_fig12;
+pub mod bins;
 #[cfg(feature = "check")]
 pub mod checked;
 pub mod cli;
 pub mod metrics;
 pub mod obsrun;
+pub mod shard;
 pub mod stressrun;
 pub mod sweep;
 pub mod traced;

@@ -147,20 +147,36 @@ pub fn run_stress(
         }
     }
 
-    let outcomes = run_sweep_strict(jobs, tasks);
-    let mut reports = Vec::with_capacity(patterns.len());
+    let results = run_sweep_strict(jobs, tasks);
+    let mut outcomes = Vec::with_capacity(results.len());
     let mut traces = Vec::new();
+    for (outcome, run_trace) in results {
+        outcomes.push(outcome);
+        if let Some(t) = run_trace {
+            traces.push(t);
+        }
+    }
+    (assemble_reports(patterns, cases, outcomes), traces)
+}
+
+/// Reassembles flat submission-order outcomes (one per (pattern, case)
+/// cell, cases innermost) into per-pattern differential reports, running
+/// the cross-run oracles on each completed case row. Shared by the local
+/// sweep and the `merge-shards` replay, so both verdicts agree.
+pub fn assemble_reports(
+    patterns: &[Pattern],
+    cases: &[DiffCase],
+    outcomes: Vec<sam_stress::StressOutcome>,
+) -> Vec<PatternReport> {
+    assert_eq!(outcomes.len(), patterns.len() * cases.len());
+    let mut reports = Vec::with_capacity(patterns.len());
     let mut it = outcomes.into_iter();
     for pattern in patterns {
         let mut runs = Vec::with_capacity(cases.len());
         for case in cases {
-            let (outcome, run_trace) = it.next().expect("one outcome per task");
-            if let Some(t) = run_trace {
-                traces.push(t);
-            }
             runs.push(DiffRun {
                 case: case.clone(),
-                outcome,
+                outcome: it.next().expect("one outcome per task"),
             });
         }
         let cross_findings = cross_check(&runs);
@@ -172,7 +188,7 @@ pub fn run_stress(
             },
         });
     }
-    (reports, traces)
+    reports
 }
 
 /// Renders the grid as the binary's stdout body: one aligned row per

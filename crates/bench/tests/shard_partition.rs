@@ -1,0 +1,89 @@
+//! Property-based tests of the `--shard K/N` partitioner: for random
+//! task counts, weights, and shard counts, the partition must be
+//! disjoint and exhaustive, independent of anything but `(weights, N)`
+//! (in particular `--jobs`), and weight-balanced.
+
+use proptest::prelude::*;
+use sam_bench::sweep::partition_weighted;
+
+/// Rebuilds the per-shard owned-index lists the shard runner derives
+/// from the assignment vector.
+fn owned_lists(assignment: &[usize], shards: usize) -> Vec<Vec<usize>> {
+    let mut owned = vec![Vec::new(); shards];
+    for (i, &s) in assignment.iter().enumerate() {
+        owned[s].push(i);
+    }
+    owned
+}
+
+proptest! {
+    /// Every task index lands on exactly one in-range shard, and the
+    /// shards' owned lists partition `0..n` (disjoint + exhaustive).
+    #[test]
+    fn partition_is_disjoint_and_exhaustive(
+        weights in proptest::collection::vec(0u64..1_000_000, 1..128),
+        shards in 1usize..9,
+    ) {
+        let assignment = partition_weighted(&weights, shards);
+        prop_assert_eq!(assignment.len(), weights.len());
+        prop_assert!(assignment.iter().all(|&s| s < shards));
+        let owned = owned_lists(&assignment, shards);
+        let mut union: Vec<usize> = owned.iter().flatten().copied().collect();
+        prop_assert_eq!(union.len(), weights.len(), "shards overlap");
+        union.sort_unstable();
+        prop_assert_eq!(union, (0..weights.len()).collect::<Vec<_>>());
+    }
+
+    /// The partition is a pure function of `(weights, shards)`: repeated
+    /// calls — including from concurrently running threads, standing in
+    /// for different `--jobs` settings — always agree.
+    #[test]
+    fn partition_ignores_worker_count_and_call_site(
+        weights in proptest::collection::vec(0u64..1_000_000, 1..64),
+        shards in 1usize..9,
+    ) {
+        let reference = partition_weighted(&weights, shards);
+        prop_assert_eq!(&partition_weighted(&weights, shards), &reference);
+        let parallel: Vec<Vec<usize>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| scope.spawn(|| partition_weighted(&weights, shards)))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for p in parallel {
+            prop_assert_eq!(&p, &reference);
+        }
+    }
+
+    /// Load balance: always within one max weight of the mean (the LPT
+    /// greedy guarantee), which caps every shard at 2x the mean whenever
+    /// no single task outweighs the mean itself.
+    #[test]
+    fn partition_balances_weight_sums(
+        weights in proptest::collection::vec(1u64..100, 1..128),
+        shards in 1usize..9,
+    ) {
+        let assignment = partition_weighted(&weights, shards);
+        let mut loads = vec![0u64; shards];
+        for (i, &s) in assignment.iter().enumerate() {
+            loads[s] += weights[i];
+        }
+        let total: u64 = weights.iter().sum();
+        let max_w = *weights.iter().max().unwrap();
+        let mean = total as f64 / shards as f64;
+        for &load in &loads {
+            prop_assert!(
+                load as f64 <= mean + max_w as f64,
+                "load {load} exceeds mean {mean:.1} + max weight {max_w} ({loads:?})"
+            );
+        }
+        if (max_w as f64) <= mean {
+            for &load in &loads {
+                prop_assert!(
+                    load as f64 <= 2.0 * mean,
+                    "load {load} exceeds 2x mean {mean:.1} ({loads:?})"
+                );
+            }
+        }
+    }
+}

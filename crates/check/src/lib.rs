@@ -31,6 +31,7 @@
 pub mod ecc_audit;
 pub mod invariants;
 pub mod oracle;
+pub mod shards;
 pub mod trace;
 
 use sam_dram::command::Command;

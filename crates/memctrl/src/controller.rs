@@ -203,6 +203,14 @@ impl CoreLanes {
         &mut self.lanes[core][prov.kind.index()]
     }
 
+    /// Rebuilds the lane table from per-core rows in (core, kind-index)
+    /// layout — the inverse of reading every [`Self::lane`] back out.
+    /// Exists for deserialization (the sweep shard envelopes); simulation
+    /// populates lanes only through request provenance.
+    pub fn from_rows(rows: Vec<[LaneStats; ReqKind::COUNT]>) -> Self {
+        Self { lanes: rows }
+    }
+
     /// Number of core rows (highest observed core id + 1; 0 when idle).
     pub fn cores(&self) -> usize {
         self.lanes.len()
