@@ -194,7 +194,7 @@ pub struct CoreLanes {
 }
 
 impl CoreLanes {
-    fn lane_mut(&mut self, prov: Provenance) -> &mut LaneStats {
+    pub(super) fn lane_mut(&mut self, prov: Provenance) -> &mut LaneStats {
         let core = prov.core as usize;
         if core >= self.lanes.len() {
             self.lanes
@@ -442,7 +442,7 @@ impl Controller {
     }
 
     /// Samples cumulative counters into the epoch recorder at `now`.
-    fn note_epoch(&mut self, now: Cycle) {
+    pub(super) fn note_epoch(&mut self, now: Cycle) {
         if let Some(ep) = &self.epochs {
             let snap = self.epoch_snapshot();
             ep.lock().expect("epoch recorder lock poisoned").tick(
@@ -473,448 +473,11 @@ impl Controller {
     pub fn config(&self) -> &ControllerConfig {
         &self.cfg
     }
-
-    /// Current read-queue occupancy.
-    pub fn read_queue_len(&self) -> usize {
-        self.readq.len()
-    }
-
-    /// Current write-queue occupancy.
-    pub fn write_queue_len(&self) -> usize {
-        self.writeq.len()
-    }
-
-    /// Whether the write-drain hysteresis latch is currently set (writes
-    /// being served in preference to reads).
-    pub fn draining_writes(&self) -> bool {
-        self.draining_writes
-    }
-
-    /// Forward-progress probe: the age at `now` of the oldest queued
-    /// request across both queues, or `None` when idle. An external
-    /// harness can assert this never exceeds the starvation cap plus a
-    /// drain-window bound; the controller itself only enforces the cap
-    /// *within* the queue selected by the drain latch, so the combined
-    /// bound is a property of the whole scheduler, not of `select()`.
-    pub fn oldest_pending_age(&self, now: Cycle) -> Option<Cycle> {
-        let oldest = |q: &VecDeque<Pending>| q.iter().map(|p| p.arrival).min();
-        match (oldest(&self.readq), oldest(&self.writeq)) {
-            (None, None) => None,
-            (a, b) => {
-                let arrival = a.into_iter().chain(b).min().expect("one side is Some");
-                Some(now.saturating_sub(arrival))
-            }
-        }
-    }
-
-    /// Whether a read (or write) can currently be accepted.
-    pub fn can_accept(&self, is_write: bool) -> bool {
-        if is_write {
-            self.writeq.len() < self.cfg.write_queue_capacity
-        } else {
-            self.readq.len() < self.cfg.read_queue_capacity
-        }
-    }
-
-    /// Enqueues `req` arriving at cycle `arrival`.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`QueueFull`] if the corresponding queue is at capacity; the
-    /// caller should schedule work and retry.
-    pub fn enqueue(&mut self, req: MemRequest, arrival: Cycle) -> Result<(), QueueFull> {
-        if !self.can_accept(req.is_write) {
-            return Err(QueueFull {
-                write_queue: req.is_write,
-            });
-        }
-        let loc = self.mapper.decode(req.addr);
-        let pending = Pending { req, loc, arrival };
-        if req.is_write {
-            self.writeq.push_back(pending);
-            obs::WRITEQ_DEPTH.observe(self.writeq.len());
-        } else {
-            self.readq.push_back(pending);
-            obs::READQ_DEPTH.observe(self.readq.len());
-        }
-        obs::CTRL_REQUESTS.add(1);
-        if self.trace.is_attached() {
-            let (name, lane, depth) = if req.is_write {
-                ("enq-write", track::WRITEQ, self.writeq.len())
-            } else {
-                ("enq-read", track::READQ, self.readq.len())
-            };
-            self.trace.emit(TraceEvent::instant(
-                track::CTRL,
-                Category::Ctrl,
-                name,
-                arrival,
-                req.id,
-            ));
-            self.trace.emit(TraceEvent::counter(
-                lane,
-                Category::Ctrl,
-                "depth",
-                arrival,
-                depth as u64,
-            ));
-        }
-        Ok(())
-    }
-
-    /// Issues due refreshes for every rank relative to `now`.
-    fn service_refresh(&mut self, now: Cycle) {
-        if !self.cfg.refresh_enabled {
-            return;
-        }
-        let _p = phase("refresh");
-        let refi = self.cfg.device.timing.refi;
-        let rfc = self.cfg.device.timing.rfc;
-        // Refresh is rank-level background work with no owning request.
-        self.device.set_command_origin(None);
-        for rank in 0..self.cfg.device.ranks {
-            while self.next_refresh[rank] <= now {
-                let cmd = Command::refresh(rank);
-                let at = self.device.earliest_issue(&cmd, self.next_refresh[rank]);
-                self.device
-                    .issue(&cmd, at)
-                    .expect("refresh issue follows earliest_issue");
-                self.stats.refreshes += 1;
-                obs::CTRL_REFRESHES.add(1);
-                self.trace.emit(TraceEvent::complete(
-                    track::rank(rank),
-                    Category::Ctrl,
-                    "REF",
-                    at,
-                    rfc,
-                    rank as u64,
-                ));
-                self.next_refresh[rank] += refi;
-                // Re-arm this rank's wake entry at the new deadline.
-                self.wheel
-                    .push(self.next_refresh[rank], WakeSource::Refresh { rank });
-            }
-        }
-    }
-
-    /// The earliest cycle at which controller-side work can become
-    /// actionable while the caller is otherwise idle: the minimum over
-    /// the event-driven core's wake publishers (DESIGN.md §13) —
-    ///
-    /// * stored wheel entries (rank refresh deadlines),
-    /// * the earliest queued arrival still in the future, and
-    /// * the earliest bank timing gate still closed
-    ///   ([`MemoryDevice::next_wake`]).
-    ///
-    /// The returned cycle may be `<= now` when a refresh is overdue (the
-    /// caller should advance or schedule, which performs the catch-up).
-    /// Superseded wheel entries — deadlines a catch-up already serviced —
-    /// are discarded here, so the wheel is conservative: spurious wakes
-    /// are possible, missed wakes are not.
-    pub fn next_wake(&mut self, now: Cycle) -> Option<Cycle> {
-        let refresh = loop {
-            let head = self
-                .wheel
-                .peek()
-                .map(|(at, &WakeSource::Refresh { rank })| (at, rank));
-            match head {
-                Some((at, rank)) => {
-                    if at == self.next_refresh[rank] {
-                        break Some(at);
-                    }
-                    self.wheel.pop();
-                }
-                None => break None,
-            }
-        };
-        let arrival = self
-            .readq
-            .iter()
-            .chain(self.writeq.iter())
-            .map(|p| p.arrival)
-            .filter(|&a| a > now)
-            .min();
-        let bank = self.device.next_wake(now);
-        [refresh, arrival, bank].into_iter().flatten().min()
-    }
-
-    /// Event-driven idle jump: advances controller-side background work
-    /// to `target` by consuming wheel wakes in deadline order. Each
-    /// refresh wake is serviced at its *original* due cycle and re-arms
-    /// itself one tREFI later, so a jump across many tREFI issues every
-    /// intervening refresh exactly when a cycle-ticked simulation would
-    /// have (jump-safety; pinned by the refresh catch-up tests).
-    ///
-    /// Safe to skip entirely: `execute` performs the same catch-up
-    /// lazily before serving a request, so `advance_to` only moves
-    /// *when* the background work is performed, never what is issued.
-    pub fn advance_to(&mut self, target: Cycle) {
-        loop {
-            let head = self
-                .wheel
-                .peek()
-                .map(|(at, &WakeSource::Refresh { rank })| (at, rank));
-            match head {
-                Some((at, rank)) if at <= target => {
-                    self.wheel.pop();
-                    // Entries whose deadline no longer matches were
-                    // superseded by an earlier catch-up; drop them.
-                    if at == self.next_refresh[rank] {
-                        self.service_refresh(at);
-                    }
-                }
-                _ => break,
-            }
-        }
-    }
-
-    /// Picks the FR-FCFS winner within `queue` by projecting each request
-    /// down to its policy-visible [`sched::SchedView`] (arrival, location,
-    /// required mode — never provenance) and delegating to [`sched::select`].
-    /// The closures hand the policy read-only access to the device's bank
-    /// timing state and per-rank I/O mode.
-    fn select(&mut self, write_queue: bool, now: Cycle) -> Option<(usize, bool)> {
-        let _p = phase("sched-select");
-        // Disjoint field borrows: the policy reads `device` through the
-        // closures while the tournament mutates only its own workspace.
-        let queue = if write_queue {
-            &self.writeq
-        } else {
-            &self.readq
-        };
-        let device = &self.device;
-        let views = queue.iter().map(|p| sched::SchedView {
-            arrival: p.arrival,
-            loc: p.loc,
-            mode: p.req.required_mode(),
-        });
-        let est = |loc: Location, base: Cycle| {
-            device.earliest_column_for_row(loc.rank, loc.bank_group, loc.bank, loc.row, base)
-        };
-        let mode = |rank: usize| device.io_mode(rank);
-        let cap = self.cfg.starvation_cap;
-        let trtr = self.cfg.device.timing.rtr;
-        let d = if self.cfg.reference_scheduler {
-            sched::select_reference(views, now, cap, trtr, est, mode)
-        } else {
-            sched::select(views, now, cap, trtr, est, mode, &mut self.scratch)
-        }?;
-        Some((d.index, d.starved))
-    }
-
-    /// Executes the full command sequence for `p`, returning its completion.
-    fn execute(&mut self, p: Pending) -> Completion {
-        let _p = phase("dram");
-        self.service_refresh(self.clock.max(p.arrival));
-        // Every command issued below (MRS/PRE/ACT plus the column access)
-        // serves this request; stamp its origin for the observer fan-out.
-        self.device.set_command_origin(Some(p.req.prov.core));
-        let t = self.cfg.device.timing;
-        let loc = p.loc;
-        // Start from the request's own arrival: per-bank state machines and
-        // the shared data bus already serialize where physics requires, so
-        // a later-selected request's PRE/ACT may overlap earlier requests'
-        // column phases (bank-level parallelism).
-        let mut cursor = p.arrival;
-
-        // I/O mode switch if needed (MRS; tRTR charged by the rank state).
-        let want = p.req.required_mode();
-        if self.device.io_mode(loc.rank) != want {
-            let mrs = Command::mrs(loc.rank, want);
-            let at = self.device.earliest_issue(&mrs, cursor);
-            self.device.issue(&mrs, at).expect("MRS always issuable");
-            cursor = at;
-        }
-
-        // Row state handling (open-page policy).
-        let open = self.device.open_row(loc.rank, loc.bank_group, loc.bank);
-        match open {
-            Some(row) if row == loc.row => {
-                self.stats.row_hits += 1;
-            }
-            Some(_) => {
-                self.stats.row_conflicts += 1;
-                let pre = Command::pre(loc.rank, loc.bank_group, loc.bank);
-                let at = self.device.earliest_issue(&pre, cursor);
-                self.device
-                    .issue(&pre, at)
-                    .expect("PRE follows earliest_issue");
-                cursor = at;
-                let act = Command::act(loc.rank, loc.bank_group, loc.bank, loc.row);
-                let at = self.device.earliest_issue(&act, cursor);
-                self.device
-                    .issue(&act, at)
-                    .expect("ACT follows earliest_issue");
-                cursor = at;
-            }
-            None => {
-                self.stats.row_misses += 1;
-                let act = Command::act(loc.rank, loc.bank_group, loc.bank, loc.row);
-                let at = self.device.earliest_issue(&act, cursor);
-                self.device
-                    .issue(&act, at)
-                    .expect("ACT follows earliest_issue");
-                cursor = at;
-            }
-        }
-
-        // The column access itself.
-        let stride = p.req.stride.is_some();
-        let col_cmd = match (p.req.narrow, p.req.is_write) {
-            (true, false) => Command::read_narrow(
-                loc.rank,
-                loc.bank_group,
-                loc.bank,
-                loc.row,
-                loc.col,
-                p.req.sub_lane(),
-            ),
-            (true, true) => Command::write_narrow(
-                loc.rank,
-                loc.bank_group,
-                loc.bank,
-                loc.row,
-                loc.col,
-                p.req.sub_lane(),
-            ),
-            (false, true) => {
-                Command::write(loc.rank, loc.bank_group, loc.bank, loc.row, loc.col, stride)
-            }
-            (false, false) => {
-                Command::read(loc.rank, loc.bank_group, loc.bank, loc.row, loc.col, stride)
-            }
-        };
-        let at = self.device.earliest_issue(&col_cmd, cursor);
-        let finish = self
-            .device
-            .issue(&col_cmd, at)
-            .expect("column command follows earliest_issue");
-        self.device.set_command_origin(None);
-        self.clock = self.clock.max(at);
-
-        // A completion earlier than its own arrival means the scheduler (or
-        // device timing) produced an impossible ordering; fail loudly
-        // instead of silently recording a zero-cycle latency that would
-        // mask the bug and skew every latency statistic.
-        debug_assert!(
-            finish >= p.arrival,
-            "request {} completed at {finish} before its arrival {}",
-            p.req.id,
-            p.arrival
-        );
-        let latency = finish
-            .checked_sub(p.arrival)
-            .expect("completion must not precede arrival");
-        if p.req.is_write {
-            self.stats.writes_done += 1;
-            self.write_latency_hist.add(latency);
-        } else {
-            self.stats.reads_done += 1;
-            self.read_latency_hist.add(latency);
-        }
-        self.stats.total_latency += latency;
-        self.latency_hist.add(latency);
-        // The per-(core, kind) lane mirrors every per-request aggregate
-        // increment above (plus the row outcome), so lanes telescope.
-        let lane = self.lanes.lane_mut(p.req.prov);
-        match open {
-            Some(row) if row == loc.row => lane.row_hits += 1,
-            Some(_) => lane.row_conflicts += 1,
-            None => lane.row_misses += 1,
-        }
-        if p.req.is_write {
-            lane.writes_done += 1;
-        } else {
-            lane.reads_done += 1;
-        }
-        lane.total_latency += latency;
-        let _ = t;
-        self.trace.emit(TraceEvent::complete(
-            track::REQUESTS,
-            Category::Ctrl,
-            if p.req.is_write { "write" } else { "read" },
-            at,
-            finish.saturating_sub(at),
-            p.req.id,
-        ));
-        // Same service span again on the issuing core's lane, named by the
-        // lowering path so Perfetto shows where each core's cycles go.
-        self.trace.emit(TraceEvent::complete(
-            track::core(p.req.prov.core),
-            Category::Ctrl,
-            p.req.prov.kind.label(),
-            at,
-            finish.saturating_sub(at),
-            p.req.id,
-        ));
-        self.note_epoch(finish);
-        Completion {
-            id: p.req.id,
-            issue: at,
-            finish,
-            row_hit: matches!(open, Some(r) if r == loc.row),
-        }
-    }
-
-    /// Schedules and fully executes one request, FR-FCFS order, honouring
-    /// the write-drain watermarks. Returns `None` when both queues are empty.
-    pub fn schedule_one(&mut self, now: Cycle) -> Option<Completion> {
-        // Watermark policy.
-        let was_draining = self.draining_writes;
-        self.draining_writes = sched::drain_latch(
-            was_draining,
-            self.writeq.len(),
-            self.cfg.write_high_watermark,
-            self.cfg.write_low_watermark,
-        );
-        if self.draining_writes != was_draining {
-            let ev = if self.draining_writes {
-                TraceEvent::begin(track::CTRL, Category::Ctrl, "write-drain", now)
-            } else {
-                TraceEvent::end(track::CTRL, Category::Ctrl, "write-drain", now)
-            };
-            self.trace.emit(ev);
-        }
-        let serve_writes = sched::serve_writes(
-            self.readq.is_empty(),
-            self.writeq.is_empty(),
-            self.draining_writes,
-        );
-        let (queue_is_write, (idx, starved)) = if serve_writes {
-            (true, self.select(true, now)?)
-        } else {
-            (false, self.select(false, now)?)
-        };
-        let pending = if queue_is_write {
-            self.writeq.remove(idx).expect("index from select")
-        } else {
-            self.readq.remove(idx).expect("index from select")
-        };
-        if starved {
-            self.stats.starvation_forced += 1;
-            obs::CTRL_STARVED.add(1);
-            self.lanes.lane_mut(pending.req.prov).starvation_forced += 1;
-            self.trace.emit(TraceEvent::instant(
-                track::CTRL,
-                Category::Ctrl,
-                "starved",
-                now,
-                pending.req.id,
-            ));
-        }
-        Some(self.execute(pending))
-    }
-
-    /// Schedules until both queues are empty, returning all completions in
-    /// execution order.
-    pub fn drain(&mut self, now: Cycle) -> Vec<Completion> {
-        let mut done = Vec::with_capacity(self.queued());
-        while let Some(c) = self.schedule_one(now.max(self.clock)) {
-            done.push(c);
-        }
-        done
-    }
 }
+
+mod drain;
+mod queues;
+mod refresh;
 
 #[cfg(test)]
 mod tests {
