@@ -117,6 +117,63 @@ fi
 grep -q "gap: no shard claims run" /tmp/fig12.gap.err \
   || { echo "gap merge failed with the wrong error:"; cat /tmp/fig12.gap.err; exit 1; }
 
+echo "==> fig16 hybrid sweep gates (checked, jobs identity, shards, lint)"
+# The DRAM-cache hybrid figure, held to the same bar as fig12: every
+# hybrid point under --checked shadows BOTH device command streams (DDR4
+# front + RRAM backing) with independent protocol oracles; stdout and
+# results/fig16.json must be byte-identical across --jobs values and to
+# the committed goldens; a 2-way shard split at different worker counts
+# must merge back to the same bytes.
+cargo run --release -p sam-bench --bin fig16 -- \
+  --rows 2048 --tb-rows 8192 --jobs 2 --checked > /dev/null
+rm -f results/fig16.json
+./target/release/fig16 --rows 2048 --tb-rows 8192 --jobs 1 > /tmp/fig16.jobs1.out
+cp results/fig16.json /tmp/fig16.jobs1.json
+rm -f results/fig16.json
+./target/release/fig16 --rows 2048 --tb-rows 8192 --jobs 4 > /tmp/fig16.jobs4.out
+cmp /tmp/fig16.jobs1.out /tmp/fig16.jobs4.out \
+  || { echo "fig16 stdout differs between --jobs 1 and --jobs 4"; exit 1; }
+cmp /tmp/fig16.jobs1.json results/fig16.json \
+  || { echo "results/fig16.json differs between --jobs 1 and --jobs 4"; exit 1; }
+cmp /tmp/fig16.jobs4.out tests/golden/fig16.out \
+  || { echo "fig16 stdout drifted from tests/golden/fig16.out"; exit 1; }
+cmp results/fig16.json tests/golden/fig16.json \
+  || { echo "results/fig16.json drifted from tests/golden/fig16.json"; exit 1; }
+cargo run --release -p sam-bench --bin sam-check -- lint-json results/fig16.json
+rm -f results/fig16.shard-1-of-2.json results/fig16.shard-2-of-2.json
+./target/release/fig16 --rows 2048 --tb-rows 8192 --jobs 1 --shard 1/2 \
+  > /tmp/fig16.shard1.out
+./target/release/fig16 --rows 2048 --tb-rows 8192 --jobs 4 --shard 2/2 \
+  > /tmp/fig16.shard2.out
+for f in /tmp/fig16.shard1.out /tmp/fig16.shard2.out; do
+  if [ -s "$f" ]; then echo "sharded fig16 printed to stdout ($f)"; exit 1; fi
+done
+cargo run --release -p sam-bench --bin sam-check -- \
+  lint-json results/fig16.shard-1-of-2.json
+rm -f results/fig16.json
+cargo run --release -p sam-bench --bin sam-check -- merge-shards \
+  results/fig16.shard-1-of-2.json results/fig16.shard-2-of-2.json \
+  > /tmp/fig16.merged.out
+cmp /tmp/fig16.merged.out tests/golden/fig16.out \
+  || { echo "merged shard stdout drifted from tests/golden/fig16.out"; exit 1; }
+cmp results/fig16.json tests/golden/fig16.json \
+  || { echo "merged results/fig16.json drifted from tests/golden/fig16.json"; exit 1; }
+# Adversarial leg: a forged envelope (shard 1 silently drops its last
+# run) must hard-fail the merge naming the unclaimed run.
+jq '.runs |= .[:-1]' results/fig16.shard-1-of-2.json > /tmp/fig16.shard1.gapped.json
+if cargo run --release -p sam-bench --bin sam-check -- merge-shards \
+    /tmp/fig16.shard1.gapped.json results/fig16.shard-2-of-2.json \
+    > /dev/null 2> /tmp/fig16.gap.err; then
+  echo "merge-shards accepted a forged fig16 envelope with a dropped run"; exit 1
+fi
+grep -q "gap: no shard claims run" /tmp/fig16.gap.err \
+  || { echo "fig16 gap merge failed with the wrong error:"; cat /tmp/fig16.gap.err; exit 1; }
+
+echo "==> hybrid-mirror differential smoke (stress --hybrid-diff)"
+# Every attack pattern through the DRAM-cache hybrid under both write
+# policies, decision-for-decision against the pure functional mirror.
+cargo run --release -p sam-bench --bin stress -- --hybrid-diff --seed 7
+
 echo "==> fig12 profile/heartbeat smoke + byte-identity + profile lint"
 # Observability on must not change a byte of stdout or the metrics JSON,
 # serial or parallel; the emitted phase profile must pass the telescoping

@@ -27,16 +27,49 @@ pub const STATS_FIELDS: [&str; 8] = [
     "starvation_forced",
 ];
 
+/// Field names of `HybridSummary` in `sam-memctrl` (the DRAM-cache
+/// hybrid's decision counters plus its per-device command splits); the
+/// feature-inertness rule guards them exactly like [`STATS_FIELDS`].
+/// Pinned to the real struct by `crates/analyze/tests/stats_fields.rs`.
+pub const HYBRID_FIELDS: [&str; 7] = [
+    "hits",
+    "misses",
+    "fills",
+    "dirty_evictions",
+    "writethroughs",
+    "front",
+    "back",
+];
+
 /// Identifiers that must not appear in a scheduler-policy module: naming
 /// any of them is how provenance (or the request carrying it) would leak
 /// into a scheduling decision.
 const PROVENANCE_TOKENS: [&str; 5] = ["Provenance", "prov", "ReqKind", "MemRequest", "req"];
 
-/// The read surface of the `sam-obs` metrics registry. A scheduler-policy
-/// module may bump counters (`add`/`observe`/`touch`) but naming any of
-/// these is how observability state would feed back into a scheduling
-/// decision.
+/// Modules that must be provenance-blind. Only the scheduler policy
+/// qualifies: the controller datapath (`controller/*`) and the hybrid
+/// topology carry provenance as *payload* by design — the per-core lanes
+/// and the hybrid's writeback-owner attribution need it — so the
+/// structural guarantee there is the `SchedView` projection in
+/// `controller/drain.rs`, not token blindness.
+const PROVENANCE_BLIND_MODULES: [&str; 1] = ["crates/memctrl/src/sched"];
+
+/// The read surface of the `sam-obs` metrics registry. A module on the
+/// write-only list may bump counters (`add`/`observe`/`touch`) but
+/// naming any of these is how observability state would feed back into a
+/// simulated decision.
 const OBS_READ_TOKENS: [&str; 4] = ["value", "snapshot", "Snapshot", "delta"];
+
+/// Modules where the metrics registry is write-only: the scheduler
+/// policy, the decomposed controller (`controller/{mod,queues,refresh,
+/// drain}.rs`), and the DRAM-cache hybrid topology. Simulated behaviour
+/// in any of them must not depend on observability state, or enabling
+/// `obs` could change results.
+const OBS_WRITE_ONLY_MODULES: [&str; 3] = [
+    "crates/memctrl/src/sched",
+    "crates/memctrl/src/controller/",
+    "crates/memctrl/src/hybrid.rs",
+];
 
 /// Runs all file-local source rules over one scanned file, appending raw
 /// (pre-waiver) findings.
@@ -120,7 +153,10 @@ fn determinism(file: &SourceFile, out: &mut Vec<Finding>) {
 /// (arrival, location, required mode), making the PR 5 "provenance is
 /// payload, never policy" invariant structural.
 fn provenance_purity(file: &SourceFile, out: &mut Vec<Finding>) {
-    if !file.path.starts_with("crates/memctrl/src/sched") {
+    if !PROVENANCE_BLIND_MODULES
+        .iter()
+        .any(|m| file.path.starts_with(m))
+    {
         return;
     }
     for t in &file.tokens {
@@ -138,14 +174,18 @@ fn provenance_purity(file: &SourceFile, out: &mut Vec<Finding>) {
     }
 }
 
-/// **obs-purity**: the metrics registry is write-only from scheduler
-/// policy. A module under `crates/memctrl/src/sched` may bump counters
+/// **obs-purity**: the metrics registry is write-only from simulation
+/// code. A module in [`OBS_WRITE_ONLY_MODULES`] — the scheduler policy,
+/// the controller datapath, and the hybrid topology — may bump counters
 /// but not name the registry's read surface (`value`, `snapshot`/
-/// `Snapshot`, `delta`) outside tests — scheduling decisions must never
+/// `Snapshot`, `delta`) outside tests: simulated decisions must never
 /// depend on observability state, or turning the `obs` feature on could
 /// change simulated results.
 fn obs_purity(file: &SourceFile, out: &mut Vec<Finding>) {
-    if !file.path.starts_with("crates/memctrl/src/sched") {
+    if !OBS_WRITE_ONLY_MODULES
+        .iter()
+        .any(|m| file.path.starts_with(m))
+    {
         return;
     }
     for (i, t) in file.tokens.iter().enumerate() {
@@ -158,7 +198,7 @@ fn obs_purity(file: &SourceFile, out: &mut Vec<Finding>) {
                 path: file.path.clone(),
                 line: t.line,
                 message: format!(
-                    "scheduler policy module names `{}`; the metrics registry is write-only from policy code",
+                    "simulation module names `{}`; the metrics registry is write-only from simulation code",
                     t.text
                 ),
             });
@@ -215,9 +255,9 @@ fn unsafe_audit(file: &SourceFile, out: &mut Vec<Finding>) {
 
 /// **feature-inertness**: code gated behind `#[cfg(feature = "check")]`
 /// or `#[cfg(feature = "trace")]` must not assign to any
-/// `ControllerStats`/`LaneStats` field — turning a feature on must never
-/// change measured results. Matches `.field op=` token shapes for fields
-/// in [`STATS_FIELDS`].
+/// `ControllerStats`/`LaneStats` field ([`STATS_FIELDS`]) or
+/// `HybridSummary` field ([`HYBRID_FIELDS`]) — turning a feature on must
+/// never change measured results. Matches `.field op=` token shapes.
 fn feature_inertness(file: &SourceFile, out: &mut Vec<Finding>) {
     let tokens = &file.tokens;
     for (i, tok) in tokens.iter().enumerate() {
@@ -227,7 +267,8 @@ fn feature_inertness(file: &SourceFile, out: &mut Vec<Finding>) {
         if file.in_test[i] || tok.kind != TokenKind::Ident {
             continue;
         }
-        if !STATS_FIELDS.contains(&tok.text.as_str()) {
+        let name = tok.text.as_str();
+        if !STATS_FIELDS.contains(&name) && !HYBRID_FIELDS.contains(&name) {
             continue;
         }
         if i == 0 || !punct_at(file, i - 1, ".") {
@@ -394,10 +435,17 @@ mod tests {
 
     #[test]
     fn provenance_rule_only_applies_to_sched_modules() {
+        // Provenance is *payload* in the datapath and the hybrid (lane
+        // attribution, writeback owners) — only sched must be blind.
         let src = "fn pick(p: &Pending) { let c = p.req.prov; }\n";
-        assert!(run_source("crates/memctrl/src/controller.rs", src)
-            .iter()
-            .all(|f| f.rule != "provenance-purity"));
+        for exempt in [
+            "crates/memctrl/src/controller/queues.rs",
+            "crates/memctrl/src/hybrid.rs",
+        ] {
+            assert!(run_source(exempt, src)
+                .iter()
+                .all(|f| f.rule != "provenance-purity"));
+        }
         let hits = run_source("crates/memctrl/src/sched.rs", src);
         assert!(
             hits.iter()
@@ -409,17 +457,23 @@ mod tests {
     }
 
     #[test]
-    fn obs_rule_denies_registry_reads_in_sched_modules_only() {
+    fn obs_rule_denies_registry_reads_across_the_write_only_list() {
         let read = "fn pick() -> u64 { obs::CTRL_STARVED.value() }\n";
-        assert!(run_source("crates/memctrl/src/controller.rs", read)
+        assert!(run_source("crates/memctrl/src/request.rs", read)
             .iter()
             .all(|f| f.rule != "obs-purity"));
-        let hits = run_source("crates/memctrl/src/sched.rs", read);
-        assert_eq!(
-            hits.iter().filter(|f| f.rule == "obs-purity").count(),
-            1,
-            "{hits:?}"
-        );
+        for covered in [
+            "crates/memctrl/src/sched.rs",
+            "crates/memctrl/src/controller/queues.rs",
+            "crates/memctrl/src/hybrid.rs",
+        ] {
+            let hits = run_source(covered, read);
+            assert_eq!(
+                hits.iter().filter(|f| f.rule == "obs-purity").count(),
+                1,
+                "{covered}: {hits:?}"
+            );
+        }
         // Write-only bumps and test-code reads stay clean.
         let ok = "fn pick() { obs::SCHED_SELECTS.add(1); }\n\
                   #[cfg(test)]\nmod tests {\n    fn peek() -> u64 { obs::SCHED_SELECTS.value() }\n}\n";
@@ -461,6 +515,18 @@ mod tests {
     fn inertness_flags_gated_stats_mutation_only() {
         let src = "#[cfg(feature = \"trace\")]\nfn leak(&mut self) { self.stats.row_hits += 1; }\nfn fine(&mut self) { self.stats.row_hits += 1; }\n#[cfg(feature = \"trace\")]\nfn read_only(&self) -> bool { self.stats.row_hits == 0 }\n";
         let out = run_source("crates/memctrl/src/controller.rs", src);
+        let hits: Vec<&Finding> = out
+            .iter()
+            .filter(|f| f.rule == "feature-inertness")
+            .collect();
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].line, 2);
+    }
+
+    #[test]
+    fn inertness_guards_hybrid_summary_fields_too() {
+        let src = "#[cfg(feature = \"check\")]\nfn leak(&mut self) { self.dirty_evictions += 1; }\nfn fine(&mut self) { self.dirty_evictions += 1; }\n";
+        let out = run_source("crates/memctrl/src/hybrid.rs", src);
         let hits: Vec<&Finding> = out
             .iter()
             .filter(|f| f.rule == "feature-inertness")

@@ -1,13 +1,14 @@
-//! Pins the feature-inertness rule's field list to the real
-//! `ControllerStats`/`LaneStats` structs: if a stats field is added or
-//! renamed in `sam-memctrl`, this test fails until `rules::STATS_FIELDS`
-//! is updated, so the rule cannot silently go stale.
+//! Pins the feature-inertness rule's field lists to the real
+//! `ControllerStats`/`LaneStats` and `HybridSummary` structs: if a stats
+//! field is added or renamed in `sam-memctrl`, these tests fail until
+//! `rules::STATS_FIELDS` / `rules::HYBRID_FIELDS` is updated, so the
+//! rule cannot silently go stale.
 //!
 //! The structs derive `Debug`, so the canonical field names are readable
 //! from the debug representation of their `Default` values without any
 //! reflection machinery.
 
-use sam_analyze::rules::STATS_FIELDS;
+use sam_analyze::rules::{HYBRID_FIELDS, STATS_FIELDS};
 
 fn debug_field_names(debug: &str) -> Vec<String> {
     // `Name { field_a: 0, field_b: 0 }` — split on the braces, take the
@@ -42,5 +43,29 @@ fn stats_fields_match_the_real_structs() {
     assert_eq!(
         ours, union,
         "rules::STATS_FIELDS is out of sync with ControllerStats/LaneStats"
+    );
+}
+
+#[test]
+fn hybrid_fields_match_the_real_struct() {
+    use sam_memctrl::hybrid::HybridSummary;
+    // `HybridSummary` nests `DeviceStats`, so the flat single-line parse
+    // above would pick up the inner fields too; the pretty form indents
+    // top-level fields exactly one level.
+    let pretty = format!("{:#?}", HybridSummary::default());
+    let mut real: Vec<String> = pretty
+        .lines()
+        .filter(|l| l.starts_with("    ") && !l.starts_with("     "))
+        .filter_map(|l| l.trim().split_once(':').map(|(k, _)| k.to_string()))
+        .collect();
+    real.sort();
+    let mut ours: Vec<String> = HYBRID_FIELDS
+        .iter()
+        .map(std::string::ToString::to_string)
+        .collect();
+    ours.sort();
+    assert_eq!(
+        ours, real,
+        "rules::HYBRID_FIELDS is out of sync with HybridSummary"
     );
 }

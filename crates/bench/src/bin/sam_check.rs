@@ -407,6 +407,27 @@ fn lint_json(path: &str) -> i32 {
             }
         };
     }
+    if matches!(doc.get("bin"), Some(Json::Str(s)) if s == "fig16") {
+        return match sam_bench::fig16::lint_fig16_json(&doc) {
+            Ok(()) => {
+                let count = |key: &str| {
+                    doc.get(key)
+                        .and_then(Json::as_array)
+                        .map_or(0, <[Json]>::len)
+                };
+                println!(
+                    "{path}: valid fig16 report ({} baseline(s), {} hybrid point(s))",
+                    count("baselines"),
+                    count("points")
+                );
+                0
+            }
+            Err(e) => {
+                eprintln!("sam-check: {path}: schema violation: {e}");
+                1
+            }
+        };
+    }
     if matches!(doc.get("bin"), Some(Json::Str(s)) if s == "stress") {
         return match sam_stress::lint_stress_json(&doc) {
             Ok(s) => {

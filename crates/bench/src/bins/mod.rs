@@ -17,6 +17,7 @@ pub mod fig12;
 pub mod fig13;
 pub mod fig14;
 pub mod fig15;
+pub mod fig16;
 pub mod motivation;
 pub mod reliability;
 pub mod stress;
@@ -39,6 +40,7 @@ pub fn replay(bin: &str, args: &BenchArgs, runs: &[(String, Json)]) -> Result<()
         "fig13" => fig13::run(args, Some(runs)),
         "fig14" => fig14::run(args, Some(runs)),
         "fig15" => fig15::run(args, Some(runs)),
+        "fig16" => fig16::run(args, Some(runs)),
         "table1" => tables::run("table1", args, Some(runs)),
         "table2" => tables::run("table2", args, Some(runs)),
         "table3" => tables::run("table3", args, Some(runs)),

@@ -30,6 +30,11 @@ pub fn run(args: &BenchArgs, replay: Option<&[(String, Json)]>) {
         obs.finish();
         std::process::exit(code);
     }
+    if args.has_flag("--hybrid-diff") {
+        let code = hybrid_diff(args);
+        obs.finish();
+        std::process::exit(code);
+    }
 
     let patterns: Vec<Pattern> = if args.panels.is_empty() {
         Pattern::ALL.to_vec()
@@ -101,6 +106,65 @@ pub fn run(args: &BenchArgs, replay: Option<&[(String, Json)]>) {
     if total > 0 {
         write_first_repro(&reports, &patterns, &params, &repro_path);
         std::process::exit(1);
+    }
+}
+
+/// The hybrid-topology differential (`--hybrid-diff`): every selected
+/// pattern stream through the DRAM-cache controller under both write
+/// policies, cross-checked decision-for-decision against the pure
+/// functional mirror (plus forward-progress and policy-exclusivity
+/// checks). Pattern panels and `--seed` compose; scheduler-knob flags do
+/// not apply (the hybrid's inner controllers run Table 2 defaults).
+fn hybrid_diff(args: &BenchArgs) -> i32 {
+    use sam_stress::hybriddiff::run_hybrid_differential;
+    use sam_stress::stream::DeviceKind;
+
+    let patterns: Vec<Pattern> = if args.panels.is_empty() {
+        Pattern::ALL.to_vec()
+    } else {
+        args.panels
+            .iter()
+            .map(|n| Pattern::from_name(n).expect("panel names are validated by the CLI"))
+            .collect()
+    };
+    let params = PatternParams {
+        seed: args.plan.seed,
+        ..PatternParams::default()
+    };
+    println!(
+        "Hybrid differential: {} pattern(s) x 2 write policies, seed {}, DDR4 cache over RRAM\n",
+        patterns.len(),
+        params.seed
+    );
+    let mut findings = 0usize;
+    for pattern in &patterns {
+        let stream = pattern.generate(&params);
+        for out in run_hybrid_differential(&stream, 128, DeviceKind::Rram) {
+            let status = if out.findings.is_empty() {
+                "ok"
+            } else {
+                "FAIL"
+            };
+            println!(
+                "{:<24} {:<13} {status}  ({} completions, {} hits / {} misses)",
+                pattern.name(),
+                out.policy.label(),
+                out.completions,
+                out.hits,
+                out.misses
+            );
+            for f in &out.findings {
+                println!("    {f}");
+            }
+            findings += out.findings.len();
+        }
+    }
+    if findings == 0 {
+        println!("\nhybrid differential: mirror identity held on every stream");
+        0
+    } else {
+        println!("\nhybrid differential: {findings} finding(s)");
+        1
     }
 }
 

@@ -88,6 +88,57 @@ pub fn run_query_checked(
     (run, report)
 }
 
+/// Runs a hybrid-topology workload (`SystemConfig::hybrid` set) with
+/// **both** device streams shadowed: the DDR4 front cache through the
+/// standard observer and the backing store through the backing-observer
+/// hook, each against an oracle configured from its own device's timing.
+/// The report's command count sums both levels.
+pub fn run_query_checked_hybrid(
+    workload: &Workload,
+    design: &Design,
+    store: Store,
+) -> (QueryRun, CheckReport) {
+    let front = Arc::new(Mutex::new(ProtocolOracle::new(OracleConfig::from_device(
+        &sam_dram::device::DeviceConfig::ddr4_server(),
+    ))));
+    let back = Arc::new(Mutex::new(ProtocolOracle::new(OracleConfig::from_device(
+        &design.device_config(),
+    ))));
+    let cache_violations = RefCell::new(Vec::new());
+    let run = {
+        let mut probe = |h: &Hierarchy| {
+            cache_violations.borrow_mut().extend(check_hierarchy(h));
+        };
+        let mut instr = Instrumentation {
+            observer: Some(front.clone()),
+            backing_observer: Some(back.clone()),
+            cache_probe: Some(&mut probe),
+            cache_probe_period: PROBE_PERIOD,
+            ..Default::default()
+        };
+        run_query_instrumented(workload, design, store, &mut instr)
+    };
+    let unwrap = |oracle: Arc<Mutex<ProtocolOracle>>| {
+        Arc::try_unwrap(oracle)
+            .expect("system dropped, oracle is sole owner")
+            .into_inner()
+            .expect("oracle lock poisoned")
+    };
+    let front = unwrap(front);
+    let back = unwrap(back);
+    let commands = front.command_count() + back.command_count();
+    let mut violations = front.finish();
+    violations.extend(back.finish());
+    let report = CheckReport {
+        design: design.name.to_string(),
+        store,
+        commands,
+        violations,
+        cache_violations: cache_violations.into_inner(),
+    };
+    (run, report)
+}
+
 /// [`crate::speedup_row`] with every constituent run checked: the
 /// row-store baseline, all seven Figure 12 designs, and the column-store
 /// commodity run behind the ideal reference.

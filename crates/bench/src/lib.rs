@@ -20,6 +20,7 @@ pub mod bins;
 #[cfg(feature = "check")]
 pub mod checked;
 pub mod cli;
+pub mod fig16;
 pub mod metrics;
 pub mod obsrun;
 pub mod shard;

@@ -144,7 +144,7 @@ impl RunMetrics {
         self
     }
 
-    fn to_json(&self, per_core: bool) -> Json {
+    pub(crate) fn to_json(&self, per_core: bool) -> Json {
         let mut pairs = vec![
             ("query", Json::str(&self.query)),
             ("design", Json::str(&self.design)),
@@ -400,7 +400,7 @@ pub fn lint_metrics_json(doc: &Json) -> Result<(), String> {
     Ok(())
 }
 
-fn lint_run(run: &Json) -> Result<(), String> {
+pub(crate) fn lint_run(run: &Json) -> Result<(), String> {
     for key in ["query", "design", "store"] {
         require_str(run, key)?;
     }

@@ -30,6 +30,7 @@ use sam_ecc::inject::CampaignReport;
 use sam_imdb::exec::QueryRun;
 use sam_imdb::query::Query;
 use sam_memctrl::controller::{ControllerStats, CoreLanes, LaneStats};
+use sam_memctrl::hybrid::HybridSummary;
 use sam_memctrl::request::ReqKind;
 use sam_stress::driver::StressOutcome;
 use sam_stress::invariant::{InvariantKind, Violation};
@@ -80,6 +81,12 @@ pub fn spec_for(bin: &str) -> Option<ArgSpec> {
             .with_obs()
             .with_shard()
             .with_flags(FIG_FLAGS),
+        "fig16" => ArgSpec::new("fig16")
+            .with_checked()
+            .with_trace()
+            .with_obs()
+            .with_shard()
+            .with_flags(FIG_FLAGS),
         "table1" => ArgSpec::new("table1").with_obs().with_shard(),
         "table2" => ArgSpec::new("table2").with_obs().with_shard(),
         "table3" => ArgSpec::new("table3").with_obs().with_shard(),
@@ -94,7 +101,7 @@ pub fn spec_for(bin: &str) -> Option<ArgSpec> {
             .with_panels(STRESS_PATTERNS)
             .with_obs()
             .with_shard()
-            .with_flags(&["--shrink-selftest"]),
+            .with_flags(&["--shrink-selftest", "--hybrid-diff"]),
         _ => return None,
     })
 }
@@ -346,9 +353,36 @@ fn lanes_from_json(doc: &Json) -> Result<CoreLanes, String> {
     Ok(CoreLanes::from_rows(out))
 }
 
+fn hybrid_to_json(h: &HybridSummary) -> Json {
+    Json::object([
+        ("hits", Json::UInt(h.hits)),
+        ("misses", Json::UInt(h.misses)),
+        ("fills", Json::UInt(h.fills)),
+        ("dirty_evictions", Json::UInt(h.dirty_evictions)),
+        ("writethroughs", Json::UInt(h.writethroughs)),
+        ("front", device_to_json(&h.front)),
+        ("back", device_to_json(&h.back)),
+    ])
+}
+
+fn hybrid_from_json(j: &Json) -> Result<HybridSummary, String> {
+    Ok(HybridSummary {
+        hits: u64_field(j, "hits")?,
+        misses: u64_field(j, "misses")?,
+        fills: u64_field(j, "fills")?,
+        dirty_evictions: u64_field(j, "dirty_evictions")?,
+        writethroughs: u64_field(j, "writethroughs")?,
+        front: device_from_json(field(j, "front")?)?,
+        back: device_from_json(field(j, "back")?)?,
+    })
+}
+
 impl ShardRecord for RunResult {
     fn to_record(&self) -> Json {
-        Json::object([
+        // The "hybrid" key is present exactly when the run used a hybrid
+        // topology; flat-topology records (every pre-fig16 golden) carry
+        // the same keys as before, byte for byte.
+        let mut pairs = vec![
             ("cycles", Json::UInt(self.cycles)),
             ("ctrl", ctrl_to_json(&self.ctrl)),
             ("device", device_to_json(&self.device)),
@@ -373,7 +407,11 @@ impl ShardRecord for RunResult {
             ("write_latency_mean", Json::Float(self.write_latency_mean)),
             ("write_latency_p99", Json::UInt(self.write_latency_p99)),
             ("per_core", lanes_to_json(&self.per_core)),
-        ])
+        ];
+        if let Some(h) = &self.hybrid {
+            pairs.push(("hybrid", hybrid_to_json(h)));
+        }
+        Json::object(pairs)
     }
 
     fn from_record(record: &Json) -> Result<Self, String> {
@@ -406,6 +444,10 @@ impl ShardRecord for RunResult {
             write_latency_mean: f64_field(record, "write_latency_mean")?,
             write_latency_p99: u64_field(record, "write_latency_p99")?,
             per_core: lanes_from_json(field(record, "per_core")?)?,
+            hybrid: match record.get("hybrid") {
+                Some(h) => Some(hybrid_from_json(h).map_err(|e| format!("key 'hybrid': {e}"))?),
+                None => None,
+            },
         })
     }
 }
@@ -873,6 +915,7 @@ mod tests {
             "fig13",
             "fig14",
             "fig15",
+            "fig16",
             "table1",
             "table2",
             "table3",

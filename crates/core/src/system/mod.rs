@@ -61,6 +61,8 @@ use sam_cache::set_assoc::CacheStats;
 use sam_dram::device::DeviceStats;
 use sam_dram::Cycle;
 use sam_memctrl::controller::{Controller, ControllerConfig, ControllerStats, CoreLanes};
+use sam_memctrl::hybrid::{DramCacheController, HybridConfig, HybridSummary};
+use sam_memctrl::level::MemLevel;
 use sam_memctrl::request::MemRequest;
 use sam_memctrl::wake::WakeSet;
 
@@ -119,6 +121,11 @@ pub struct SystemConfig {
     /// `--debug-cores` CLI flag). Stderr only, so enabling it never touches
     /// the byte-compared stdout/JSON outputs.
     pub debug_cores: bool,
+    /// Hybrid-memory topology: when set, a DDR4 DRAM cache fronts the
+    /// design's device as backing store
+    /// ([`DramCacheController`]); `None` (the default,
+    /// and every pinned golden) drives the design's device directly.
+    pub hybrid: Option<HybridConfig>,
 }
 
 impl SystemConfig {
@@ -142,6 +149,7 @@ impl SystemConfig {
             drain_hi: None,
             drain_lo: None,
             debug_cores: false,
+            hybrid: None,
         }
     }
 
@@ -200,6 +208,9 @@ pub struct RunResult {
     /// the aggregate [`Self::ctrl`] counters (refreshes excluded — they are
     /// rank-level background work with no owning request).
     pub per_core: CoreLanes,
+    /// DRAM-cache counters when the run used a hybrid topology
+    /// ([`SystemConfig::hybrid`]); `None` on flat hierarchies.
+    pub hybrid: Option<HybridSummary>,
 }
 
 impl RunResult {
@@ -226,9 +237,15 @@ impl RunResult {
 /// observation plumbing at all.
 #[derive(Default)]
 pub struct Instrumentation<'a> {
-    /// Sink for every DRAM command the device accepts, in issue order.
+    /// Sink for every DRAM command the CPU-facing device accepts, in
+    /// issue order.
     #[cfg(feature = "check")]
     pub observer: Option<sam_dram::observe::SharedObserver>,
+    /// Sink for commands on the *backing* device of a hybrid topology
+    /// ([`SystemConfig::hybrid`]); ignored on flat hierarchies, which
+    /// have no backing device.
+    #[cfg(feature = "check")]
+    pub backing_observer: Option<sam_dram::observe::SharedObserver>,
     /// Called with the cache hierarchy every `cache_probe_period` touches
     /// (and once at the end of the run), e.g. to check model invariants.
     pub cache_probe: Option<&'a mut (dyn FnMut(&Hierarchy) + 'a)>,
@@ -248,7 +265,8 @@ impl std::fmt::Debug for Instrumentation<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let mut d = f.debug_struct("Instrumentation");
         #[cfg(feature = "check")]
-        d.field("observer", &self.observer.is_some());
+        d.field("observer", &self.observer.is_some())
+            .field("backing_observer", &self.backing_observer.is_some());
         d.field("cache_probe", &self.cache_probe.is_some())
             .field("cache_probe_period", &self.cache_probe_period)
             .field("trace", &self.trace.is_some())
@@ -324,7 +342,14 @@ impl System {
                 taps.push(obs.clone());
             }
             if let Some(sink) = &instr.trace {
-                let timing = self.design.device_config().timing;
+                // The lane tracer shadows the CPU-facing device: the DDR4
+                // front cache under a hybrid topology, the design's own
+                // device otherwise.
+                let timing = if self.cfg.hybrid.is_some() {
+                    sam_dram::device::DeviceConfig::ddr4_server().timing
+                } else {
+                    self.design.device_config().timing
+                };
                 taps.push(Arc::new(Mutex::new(
                     sam_dram::lanes::CommandLaneTracer::new(sink.clone(), timing),
                 )));
@@ -337,6 +362,9 @@ impl System {
                     fan.push(tap);
                 }
                 engine.ctrl.attach_observer(Arc::new(Mutex::new(fan)));
+            }
+            if let Some(obs) = &instr.backing_observer {
+                engine.ctrl.attach_backing_observer(obs.clone());
             }
         }
         engine.probe = match &mut instr.cache_probe {
@@ -353,7 +381,11 @@ struct Engine<'t> {
     design: &'t Design,
     placements: Vec<Placement>,
     hierarchy: Hierarchy,
-    ctrl: Controller,
+    /// The memory hierarchy below the caches, driven exclusively through
+    /// the composable level interface (DESIGN.md §16): the flat FR-FCFS
+    /// [`Controller`] by default, the hybrid [`DramCacheController`] when
+    /// [`SystemConfig::hybrid`] is set.
+    ctrl: Box<dyn MemLevel>,
     cores: Vec<CoreState<'t>>,
     fills: FxHashMap<u64, FillRecord>,
     /// Sectors/lines with a fill in flight (MSHR merge).
@@ -421,7 +453,10 @@ impl<'t> Engine<'t> {
         if let Some(lo) = cfg.drain_lo {
             ctrl_cfg.write_low_watermark = lo;
         }
-        let ctrl = Controller::new(ctrl_cfg);
+        let ctrl: Box<dyn MemLevel> = match cfg.hybrid {
+            Some(hybrid) => Box::new(DramCacheController::new(ctrl_cfg, hybrid)),
+            None => Box::new(Controller::new(ctrl_cfg)),
+        };
         // Provenance stores the issuing core in a u8; the Table 2 system
         // has 4 cores, so this only guards pathological configurations.
         assert!(
@@ -559,14 +594,46 @@ impl<'t> Engine<'t> {
                     self.wake_queue_blocked();
                 }
                 None => {
-                    assert!(
-                        !self.wb_backlog.is_empty(),
-                        "cores stalled with empty queues: simulator deadlock \
-                         (next controller wake {:?})",
-                        self.ctrl.next_wake(now)
-                    );
-                    // Backlogged writebacks but a full queue cannot happen
-                    // with an empty queue; flush will succeed next round.
+                    if self.wb_backlog.is_empty() {
+                        // A composite level (the DRAM-cache hybrid) may
+                        // consume several non-terminal inner completions
+                        // inside one call and return `None` only once fully
+                        // idle — so an idle controller here can simply mean
+                        // this call drained the run's tail, even though the
+                        // break above saw `queued() > 0` before the call.
+                        // Queue capacity also freed up: wake admission-
+                        // stalled cores, then fail only if nothing is
+                        // runnable while work remains.
+                        self.wake_queue_blocked();
+                        let finished = self.cores.iter().all(|c| c.done) && self.ctrl.queued() == 0;
+                        if !finished && !self.runnable.any() {
+                            for (ci, c) in self.cores.iter().enumerate() {
+                                eprintln!(
+                                    "deadlock: core {ci} done={} op={}/{} outstanding={} \
+                                     blocked={:?}",
+                                    c.done,
+                                    c.op_idx,
+                                    c.trace.len(),
+                                    c.outstanding,
+                                    c.blocked
+                                );
+                            }
+                            for (id, rec) in &self.fills {
+                                eprintln!(
+                                    "deadlock: unretired fill id={id} core={} kind={:?}",
+                                    rec.core, rec.kind
+                                );
+                            }
+                            panic!(
+                                "cores stalled with empty queues: simulator deadlock \
+                                 (next controller wake {:?})",
+                                self.ctrl.next_wake(now)
+                            );
+                        }
+                    }
+                    // Backlogged writebacks against a full queue cannot
+                    // happen with an empty queue; flush will succeed next
+                    // round.
                 }
             }
         }
@@ -625,14 +692,14 @@ impl<'t> Engine<'t> {
         let write_hist = self.ctrl.write_latency_histogram();
         RunResult {
             cycles,
-            ctrl: *self.ctrl.stats(),
-            device: *self.ctrl.device_stats(),
+            ctrl: self.ctrl.stats(),
+            device: self.ctrl.device_stats(),
             cache: (*l1, *l2, *llc),
             stride_bursts: self.stride_bursts,
             line_bursts: self.line_bursts,
             ecc_bursts: self.ecc_bursts,
             writeback_bursts: self.writeback_bursts,
-            bus_busy: self.ctrl.device().channel().busy_cycles,
+            bus_busy: self.ctrl.bus_busy(),
             latency_mean: hist.mean().unwrap_or(0.0),
             latency_p50: hist.percentile(0.5),
             latency_p99: hist.percentile(0.99),
@@ -640,7 +707,8 @@ impl<'t> Engine<'t> {
             read_latency_p99: read_hist.percentile(0.99),
             write_latency_mean: write_hist.mean().unwrap_or(0.0),
             write_latency_p99: write_hist.percentile(0.99),
-            per_core: self.ctrl.per_core().clone(),
+            per_core: self.ctrl.per_core(),
+            hybrid: self.ctrl.hybrid_summary(),
         }
     }
 }

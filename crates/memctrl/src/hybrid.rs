@@ -1,0 +1,927 @@
+//! DRAM-as-cache hybrid topology: a DDR4 front end caching a slower,
+//! larger backing substrate (DESIGN.md §16).
+//!
+//! [`DramCacheController`] is the first composite [`MemLevel`]: it owns
+//! two inner [`Controller`]s — a DDR4 *front* acting as a direct-mapped
+//! block cache, and a *back* controller driving the design's substrate
+//! (the RC-NVM RRAM store in fig16) — and translates each external
+//! request into a chain of inner requests:
+//!
+//! * **hit** — one front access at the block's cache frame. Tags live in
+//!   DRAM alongside the data (Alloy-style tag-and-data: the burst that
+//!   moves the data also carries the tag), so a hit costs exactly one
+//!   front access.
+//! * **miss** — a front *tag-probe* read of the set frame (the access
+//!   that discovers the miss), then, under writeback with a dirty
+//!   victim, victim extraction (front reads of the victim frame, back
+//!   writes of the victim block carried as [`ReqKind::Writeback`] lanes
+//!   owned by the victim's installing core), then the block fill (back
+//!   reads charged to the installing core) and the install (front
+//!   writes). The external request completes critical-line-first: when
+//!   the back read covering its line finishes, while the remaining
+//!   install traffic drains in the background.
+//! * **writethrough** — hits write both levels (the back write is
+//!   [`ReqKind::Writeback`] traffic); write misses bypass the cache
+//!   entirely (write-no-allocate) and complete on the back write.
+//!
+//! Functional cache state (tags, dirty bits, owners) is host-side
+//! metadata updated *eagerly* at admission, so the hit/miss/victim
+//! decision sequence is a pure function of the admitted request stream —
+//! that is the contract the [`MirrorModel`] checks: an independent,
+//! timing-free reimplementation of the same policy whose decision stream
+//! must match the cycle-level controller's exactly.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use sam_dram::device::{DeviceConfig, DeviceStats};
+use sam_dram::Cycle;
+use sam_util::hist::Histogram;
+
+use crate::controller::{
+    Controller, ControllerConfig, ControllerStats, CoreLanes, LaneStats, QueueFull,
+};
+use crate::level::MemLevel;
+use crate::request::{Completion, MemRequest, Provenance, ReqKind};
+
+/// Cache-line transfer unit within a block (one 64B burst).
+pub const LINE_BYTES: u64 = 64;
+
+/// Inner-request id space: the high bit marks ids minted by the hybrid
+/// controller, so they can never collide with external ids from above.
+const INNER_ID_BASE: u64 = 1 << 63;
+
+/// What happens on writes (fig16's swept axis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WritePolicy {
+    /// Write-allocate; dirty blocks written back to the substrate on
+    /// eviction.
+    Writeback,
+    /// Write-no-allocate; every write is propagated to the substrate
+    /// immediately and blocks are never dirty.
+    Writethrough,
+}
+
+impl WritePolicy {
+    /// Stable label used in fig16 output and CLI-facing docs.
+    pub fn label(self) -> &'static str {
+        match self {
+            WritePolicy::Writeback => "writeback",
+            WritePolicy::Writethrough => "writethrough",
+        }
+    }
+}
+
+/// Geometry and policy of the DRAM cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HybridConfig {
+    /// Cache-block size in bytes (power of two, multiple of 64).
+    pub block_bytes: u64,
+    /// Total cache capacity in bytes (multiple of `block_bytes`).
+    pub capacity_bytes: u64,
+    /// Write policy.
+    pub policy: WritePolicy,
+    /// External transactions admitted concurrently (backpressure bound).
+    pub max_transactions: usize,
+    /// Record the per-request [`HybridDecision`] stream (mirror-test
+    /// hook; off in production runs so memory stays bounded).
+    pub log_decisions: bool,
+}
+
+impl HybridConfig {
+    /// A cache of `block_bytes` blocks under `policy` with the default
+    /// 1 MiB capacity and a 32-transaction admission window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_bytes` is not a power of two multiple of 64.
+    pub fn new(block_bytes: u64, policy: WritePolicy) -> Self {
+        let cfg = Self {
+            block_bytes,
+            capacity_bytes: 1 << 20,
+            policy,
+            max_transactions: 32,
+            log_decisions: false,
+        };
+        cfg.validate();
+        cfg
+    }
+
+    fn validate(&self) {
+        assert!(
+            self.block_bytes.is_power_of_two() && self.block_bytes >= LINE_BYTES,
+            "block_bytes must be a power of two >= {LINE_BYTES}"
+        );
+        assert!(
+            self.capacity_bytes >= self.block_bytes
+                && self.capacity_bytes.is_multiple_of(self.block_bytes),
+            "capacity must hold a whole number of blocks"
+        );
+        assert!(self.max_transactions > 0, "need at least one transaction");
+    }
+
+    /// Number of direct-mapped sets (frames).
+    pub fn sets(&self) -> u64 {
+        self.capacity_bytes / self.block_bytes
+    }
+
+    /// Lines per block.
+    pub fn lines_per_block(&self) -> u64 {
+        self.block_bytes / LINE_BYTES
+    }
+}
+
+/// The functional outcome of one external request, in admission order.
+/// This is the decision stream the [`MirrorModel`] reproduces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HybridDecision {
+    /// Block-aligned external address.
+    pub block: u64,
+    /// Whether the external request was a write.
+    pub is_write: bool,
+    /// Tag match in the frame.
+    pub hit: bool,
+    /// A dirty victim was evicted (writeback policy misses only).
+    pub dirty_evict: bool,
+    /// A write was propagated straight to the substrate (writethrough).
+    pub wrote_through: bool,
+}
+
+/// End-of-run hybrid counters surfaced through
+/// [`MemLevel::hybrid_summary`] into `RunResult` (fig16's per-point
+/// energy split needs the per-device command counts).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HybridSummary {
+    /// External requests that hit the DRAM cache.
+    pub hits: u64,
+    /// External requests that missed.
+    pub misses: u64,
+    /// Block fills from the substrate (read-allocate misses).
+    pub fills: u64,
+    /// Dirty victim blocks written back to the substrate.
+    pub dirty_evictions: u64,
+    /// Writes propagated straight through to the substrate.
+    pub writethroughs: u64,
+    /// Front (DDR4 cache) device command counts.
+    pub front: DeviceStats,
+    /// Back (substrate) device command counts.
+    pub back: DeviceStats,
+}
+
+impl HybridSummary {
+    /// Hit fraction over all external requests (0.0 when none).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Direct-mapped frame metadata (host-side; the in-DRAM tag copy is
+/// modelled by the probe/access traffic, not stored twice).
+#[derive(Debug, Clone, Copy)]
+struct TagEntry {
+    /// Block-aligned external base address cached in this frame.
+    base: u64,
+    dirty: bool,
+    /// Core that installed (or last dirtied) the block; dirty-victim
+    /// writeback traffic is attributed to it.
+    owner: u8,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Dest {
+    Front,
+    Back,
+}
+
+/// One external request in flight: the released inner step, the chain of
+/// unreleased steps, and the inner id whose completion surfaces the
+/// external one.
+#[derive(Debug)]
+struct Txn {
+    ext_id: u64,
+    is_write: bool,
+    arrival: Cycle,
+    steps: VecDeque<Vec<(Dest, MemRequest)>>,
+    outstanding: usize,
+    terminal_id: u64,
+    external_done: bool,
+}
+
+/// The unified DRAM-cache controller (see the module docs).
+#[derive(Debug)]
+pub struct DramCacheController {
+    cfg: HybridConfig,
+    front: Controller,
+    back: Controller,
+    tags: Vec<Option<TagEntry>>,
+    txns: BTreeMap<u64, Txn>,
+    inner_to_txn: BTreeMap<u64, u64>,
+    /// Inner requests admitted to a full inner queue retry from here, in
+    /// issue order (order is part of the determinism contract).
+    backlog: VecDeque<(Dest, MemRequest, Cycle)>,
+    next_inner_id: u64,
+    open_externals: usize,
+    hits: u64,
+    misses: u64,
+    fills: u64,
+    dirty_evictions: u64,
+    writethroughs: u64,
+    decisions: Vec<HybridDecision>,
+    latency_hist: Histogram,
+    read_latency_hist: Histogram,
+    write_latency_hist: Histogram,
+}
+
+impl DramCacheController {
+    /// Builds the hybrid level: a DDR4-server front cache over a backing
+    /// controller configured by `back_cfg` (the design's device plus any
+    /// scheduler-knob overrides, which apply to the substrate side).
+    pub fn new(back_cfg: ControllerConfig, cfg: HybridConfig) -> Self {
+        cfg.validate();
+        Self {
+            cfg,
+            front: Controller::new(ControllerConfig::with_device(DeviceConfig::ddr4_server())),
+            back: Controller::new(back_cfg),
+            tags: vec![None; cfg.sets() as usize],
+            txns: BTreeMap::new(),
+            inner_to_txn: BTreeMap::new(),
+            backlog: VecDeque::new(),
+            next_inner_id: INNER_ID_BASE,
+            open_externals: 0,
+            hits: 0,
+            misses: 0,
+            fills: 0,
+            dirty_evictions: 0,
+            writethroughs: 0,
+            decisions: Vec::new(),
+            latency_hist: Histogram::new(),
+            read_latency_hist: Histogram::new(),
+            write_latency_hist: Histogram::new(),
+        }
+    }
+
+    /// The configured geometry and policy.
+    pub fn hybrid_config(&self) -> &HybridConfig {
+        &self.cfg
+    }
+
+    /// The recorded decision stream (empty unless
+    /// [`HybridConfig::log_decisions`] is set).
+    pub fn decisions(&self) -> &[HybridDecision] {
+        &self.decisions
+    }
+
+    /// End-of-run counters (also reachable through the trait's
+    /// [`MemLevel::hybrid_summary`]).
+    pub fn summary(&self) -> HybridSummary {
+        HybridSummary {
+            hits: self.hits,
+            misses: self.misses,
+            fills: self.fills,
+            dirty_evictions: self.dirty_evictions,
+            writethroughs: self.writethroughs,
+            front: *self.front.device_stats(),
+            back: *self.back.device_stats(),
+        }
+    }
+
+    fn fresh_inner_id(&mut self) -> u64 {
+        self.next_inner_id += 1;
+        self.next_inner_id
+    }
+
+    fn block_base(&self, addr: u64) -> u64 {
+        addr & !(self.cfg.block_bytes - 1)
+    }
+
+    fn set_of(&self, block: u64) -> usize {
+        ((block / self.cfg.block_bytes) % self.cfg.sets()) as usize
+    }
+
+    /// The front-DRAM address of this set's cache frame.
+    fn frame_base(&self, set: usize) -> u64 {
+        set as u64 * self.cfg.block_bytes
+    }
+
+    /// Admits one external request: decides hit/miss against the
+    /// host-side tags (eagerly, so the decision stream is functional),
+    /// builds the inner request chain, and releases its first step.
+    fn admit(&mut self, ext: MemRequest, arrival: Cycle) {
+        let block = self.block_base(ext.addr);
+        let set = self.set_of(block);
+        let frame = self.frame_base(set);
+        let in_frame = frame + (ext.addr - block);
+        let lines = self.cfg.lines_per_block();
+        let critical_line = (ext.addr - block) / LINE_BYTES;
+
+        let entry = self.tags[set];
+        let hit = matches!(entry, Some(e) if e.base == block);
+        let mut dirty_evict = false;
+        let mut wrote_through = false;
+        let mut steps: VecDeque<Vec<(Dest, MemRequest)>> = VecDeque::new();
+        let terminal_id;
+
+        if hit {
+            self.hits += 1;
+            let id = self.fresh_inner_id();
+            terminal_id = id;
+            let mut step = vec![(
+                Dest::Front,
+                MemRequest {
+                    id,
+                    addr: in_frame,
+                    ..ext
+                },
+            )];
+            if ext.is_write {
+                match self.cfg.policy {
+                    WritePolicy::Writeback => {
+                        let e = self.tags[set].as_mut().expect("hit implies an entry");
+                        e.dirty = true;
+                        e.owner = ext.prov.core;
+                    }
+                    WritePolicy::Writethrough => {
+                        wrote_through = true;
+                        self.writethroughs += 1;
+                        let tid = self.fresh_inner_id();
+                        step.push((
+                            Dest::Back,
+                            MemRequest {
+                                id: tid,
+                                prov: Provenance::new(ext.prov.core, ReqKind::Writeback),
+                                ..ext
+                            },
+                        ));
+                    }
+                }
+            }
+            steps.push_back(step);
+        } else {
+            self.misses += 1;
+            // The tag probe: the front access that discovers the miss.
+            let probe_id = self.fresh_inner_id();
+            steps.push_back(vec![(
+                Dest::Front,
+                MemRequest::read(probe_id, frame).with_provenance(ext.prov),
+            )]);
+
+            let allocate = !(ext.is_write && self.cfg.policy == WritePolicy::Writethrough);
+            if allocate {
+                // Dirty victim extraction (writeback policy only).
+                if let Some(victim) = entry {
+                    if victim.dirty {
+                        dirty_evict = true;
+                        self.dirty_evictions += 1;
+                        let prov = Provenance::new(victim.owner, ReqKind::Writeback);
+                        let mut extract = Vec::new();
+                        for i in 0..lines {
+                            let rid = self.fresh_inner_id();
+                            extract
+                                .push((Dest::Front, MemRequest::read(rid, frame + i * LINE_BYTES)));
+                        }
+                        for i in 0..lines {
+                            let wid = self.fresh_inner_id();
+                            extract.push((
+                                Dest::Back,
+                                MemRequest::write(wid, victim.base + i * LINE_BYTES)
+                                    .with_provenance(prov),
+                            ));
+                        }
+                        steps.push_back(extract);
+                    }
+                }
+                // Fill: back reads charged to the installing core; the
+                // external request completes critical-line-first.
+                self.fills += 1;
+                let mut fill = Vec::new();
+                let mut term = 0;
+                for i in 0..lines {
+                    let rid = self.fresh_inner_id();
+                    if i == critical_line {
+                        term = rid;
+                    }
+                    fill.push((
+                        Dest::Back,
+                        MemRequest::read(rid, block + i * LINE_BYTES).with_provenance(ext.prov),
+                    ));
+                }
+                terminal_id = term;
+                steps.push_back(fill);
+                // Install into the frame.
+                let mut install = Vec::new();
+                for i in 0..lines {
+                    let wid = self.fresh_inner_id();
+                    install.push((
+                        Dest::Front,
+                        MemRequest::write(wid, frame + i * LINE_BYTES).with_provenance(ext.prov),
+                    ));
+                }
+                steps.push_back(install);
+                self.tags[set] = Some(TagEntry {
+                    base: block,
+                    dirty: ext.is_write && self.cfg.policy == WritePolicy::Writeback,
+                    owner: ext.prov.core,
+                });
+            } else {
+                // Write-no-allocate: the store goes straight through.
+                wrote_through = true;
+                self.writethroughs += 1;
+                let tid = self.fresh_inner_id();
+                terminal_id = tid;
+                steps.push_back(vec![(
+                    Dest::Back,
+                    MemRequest {
+                        id: tid,
+                        prov: Provenance::new(ext.prov.core, ReqKind::Writeback),
+                        ..ext
+                    },
+                )]);
+            }
+        }
+
+        if self.cfg.log_decisions {
+            self.decisions.push(HybridDecision {
+                block,
+                is_write: ext.is_write,
+                hit,
+                dirty_evict,
+                wrote_through,
+            });
+        }
+
+        let mut txn = Txn {
+            ext_id: ext.id,
+            is_write: ext.is_write,
+            arrival,
+            steps,
+            outstanding: 0,
+            terminal_id,
+            external_done: false,
+        };
+        for step in &txn.steps {
+            for (_, req) in step {
+                self.inner_to_txn.insert(req.id, ext.id);
+            }
+        }
+        let first = txn.steps.pop_front().expect("every chain has a step");
+        txn.outstanding = first.len();
+        for (dest, req) in first {
+            self.backlog.push_back((dest, req, arrival));
+        }
+        self.open_externals += 1;
+        self.txns.insert(ext.id, txn);
+        self.pump();
+    }
+
+    /// Retries backlogged inner requests in order, stopping at the first
+    /// full queue (order preservation is part of determinism).
+    fn pump(&mut self) {
+        while let Some((dest, req, when)) = self.backlog.front().copied() {
+            let admitted = match dest {
+                Dest::Front => self.front.enqueue(req, when).is_ok(),
+                Dest::Back => self.back.enqueue(req, when).is_ok(),
+            };
+            if !admitted {
+                break;
+            }
+            self.backlog.pop_front();
+        }
+    }
+
+    /// Consumes one inner completion: advances its transaction's chain
+    /// and surfaces the external completion when the terminal inner
+    /// request finishes.
+    fn on_inner_completion(&mut self, c: Completion) -> Option<Completion> {
+        let txn_id = self
+            .inner_to_txn
+            .remove(&c.id)
+            .expect("inner completion must belong to a transaction");
+        let txn = self.txns.get_mut(&txn_id).expect("transaction exists");
+        txn.outstanding -= 1;
+        let mut external = None;
+        if c.id == txn.terminal_id {
+            txn.external_done = true;
+            self.open_externals -= 1;
+            let latency = c.finish.saturating_sub(txn.arrival);
+            self.latency_hist.add(latency);
+            if txn.is_write {
+                self.write_latency_hist.add(latency);
+            } else {
+                self.read_latency_hist.add(latency);
+            }
+            external = Some(Completion {
+                id: txn.ext_id,
+                issue: c.issue,
+                finish: c.finish,
+                row_hit: c.row_hit,
+            });
+        }
+        if txn.outstanding == 0 {
+            if let Some(step) = txn.steps.pop_front() {
+                txn.outstanding = step.len();
+                for (dest, req) in step {
+                    self.backlog.push_back((dest, req, c.finish));
+                }
+                self.pump();
+            } else {
+                debug_assert!(txn.external_done, "chain ended before its terminal");
+                self.txns.remove(&txn_id);
+            }
+        }
+        external
+    }
+
+    fn merged_lanes(&self) -> CoreLanes {
+        let front = self.front.per_core();
+        let back = self.back.per_core();
+        let cores = front.cores().max(back.cores());
+        let mut rows = Vec::with_capacity(cores);
+        for core in 0..cores {
+            let mut row = [LaneStats::default(); ReqKind::COUNT];
+            for (slot, kind) in row.iter_mut().zip(ReqKind::ALL) {
+                slot.accumulate(&front.lane(core as u8, kind));
+                slot.accumulate(&back.lane(core as u8, kind));
+            }
+            rows.push(row);
+        }
+        CoreLanes::from_rows(rows)
+    }
+}
+
+fn add_ctrl(a: ControllerStats, b: ControllerStats) -> ControllerStats {
+    ControllerStats {
+        row_hits: a.row_hits + b.row_hits,
+        row_misses: a.row_misses + b.row_misses,
+        row_conflicts: a.row_conflicts + b.row_conflicts,
+        reads_done: a.reads_done + b.reads_done,
+        writes_done: a.writes_done + b.writes_done,
+        total_latency: a.total_latency + b.total_latency,
+        refreshes: a.refreshes + b.refreshes,
+        starvation_forced: a.starvation_forced + b.starvation_forced,
+    }
+}
+
+fn add_device(a: DeviceStats, b: DeviceStats) -> DeviceStats {
+    DeviceStats {
+        acts: a.acts + b.acts,
+        pres: a.pres + b.pres,
+        reads: a.reads + b.reads,
+        stride_reads: a.stride_reads + b.stride_reads,
+        writes: a.writes + b.writes,
+        stride_writes: a.stride_writes + b.stride_writes,
+        refreshes: a.refreshes + b.refreshes,
+        mode_switches: a.mode_switches + b.mode_switches,
+    }
+}
+
+impl MemLevel for DramCacheController {
+    fn can_accept(&self, _is_write: bool) -> bool {
+        self.open_externals < self.cfg.max_transactions
+    }
+
+    fn enqueue(&mut self, req: MemRequest, arrival: Cycle) -> Result<(), QueueFull> {
+        if self.open_externals >= self.cfg.max_transactions {
+            return Err(QueueFull {
+                write_queue: req.is_write,
+            });
+        }
+        self.admit(req, arrival);
+        Ok(())
+    }
+
+    fn schedule_one(&mut self, now: Cycle) -> Option<Completion> {
+        loop {
+            self.pump();
+            let inner = self
+                .front
+                .schedule_one(now.max(self.front.clock()))
+                .or_else(|| self.back.schedule_one(now.max(self.back.clock())))?;
+            if let Some(ext) = self.on_inner_completion(inner) {
+                return Some(ext);
+            }
+        }
+    }
+
+    fn clock(&self) -> Cycle {
+        self.front.clock().max(self.back.clock())
+    }
+
+    fn queued(&self) -> usize {
+        self.front.queued() + self.back.queued() + self.backlog.len()
+    }
+
+    fn next_wake(&mut self, now: Cycle) -> Option<Cycle> {
+        self.pump();
+        match (self.front.next_wake(now), self.back.next_wake(now)) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    fn advance_to(&mut self, target: Cycle) {
+        self.front.advance_to(target);
+        self.back.advance_to(target);
+    }
+
+    fn stats(&self) -> ControllerStats {
+        add_ctrl(*self.front.stats(), *self.back.stats())
+    }
+
+    fn per_core(&self) -> CoreLanes {
+        self.merged_lanes()
+    }
+
+    fn device_stats(&self) -> DeviceStats {
+        add_device(*self.front.device_stats(), *self.back.device_stats())
+    }
+
+    fn bus_busy(&self) -> Cycle {
+        // The CPU-facing data bus is the front channel.
+        self.front.device().channel().busy_cycles
+    }
+
+    fn latency_histogram(&self) -> &Histogram {
+        &self.latency_hist
+    }
+
+    fn read_latency_histogram(&self) -> &Histogram {
+        &self.read_latency_hist
+    }
+
+    fn write_latency_histogram(&self) -> &Histogram {
+        &self.write_latency_hist
+    }
+
+    fn attach_trace(&mut self, sink: sam_trace::SharedSink) {
+        // One clock domain per sink: the CPU-facing controller only.
+        self.front.attach_trace(sink);
+    }
+
+    fn attach_epochs(&mut self, epochs: sam_trace::SharedEpochs) {
+        self.front.attach_epochs(epochs);
+    }
+
+    fn finish_epochs(&mut self, now: Cycle) {
+        self.front.finish_epochs(now);
+    }
+
+    #[cfg(feature = "check")]
+    fn attach_observer(&mut self, observer: sam_dram::observe::SharedObserver) {
+        self.front.attach_observer(observer);
+    }
+
+    #[cfg(feature = "check")]
+    fn attach_backing_observer(&mut self, observer: sam_dram::observe::SharedObserver) {
+        self.back.attach_observer(observer);
+    }
+
+    fn hybrid_summary(&self) -> Option<HybridSummary> {
+        Some(self.summary())
+    }
+}
+
+/// The pure functional reference model: same direct-mapped tag/dirty
+/// policy as [`DramCacheController`], no timing, implemented
+/// independently so a divergence means a real policy bug rather than a
+/// shared one.
+#[derive(Debug, Clone)]
+pub struct MirrorModel {
+    block_bytes: u64,
+    sets: u64,
+    policy: WritePolicy,
+    /// `(block_base, dirty)` per frame.
+    frames: Vec<Option<(u64, bool)>>,
+    /// Counter mirror of [`HybridSummary`]'s decision-derived fields.
+    pub hits: u64,
+    /// External requests that missed.
+    pub misses: u64,
+    /// Block fills (allocating misses).
+    pub fills: u64,
+    /// Dirty victims evicted.
+    pub dirty_evictions: u64,
+    /// Writes propagated to the substrate.
+    pub writethroughs: u64,
+}
+
+impl MirrorModel {
+    /// A fresh (all-invalid) mirror of `cfg`'s cache.
+    pub fn new(cfg: &HybridConfig) -> Self {
+        Self {
+            block_bytes: cfg.block_bytes,
+            sets: cfg.sets(),
+            policy: cfg.policy,
+            frames: vec![None; cfg.sets() as usize],
+            hits: 0,
+            misses: 0,
+            fills: 0,
+            dirty_evictions: 0,
+            writethroughs: 0,
+        }
+    }
+
+    /// Applies one external access and returns the functional decision.
+    pub fn access(&mut self, addr: u64, is_write: bool) -> HybridDecision {
+        let block = addr & !(self.block_bytes - 1);
+        let set = ((block / self.block_bytes) % self.sets) as usize;
+        let frame = self.frames[set];
+        let hit = matches!(frame, Some((base, _)) if base == block);
+        let mut dirty_evict = false;
+        let mut wrote_through = false;
+        if hit {
+            self.hits += 1;
+            if is_write {
+                match self.policy {
+                    WritePolicy::Writeback => {
+                        self.frames[set] = Some((block, true));
+                    }
+                    WritePolicy::Writethrough => {
+                        wrote_through = true;
+                        self.writethroughs += 1;
+                    }
+                }
+            }
+        } else {
+            self.misses += 1;
+            if is_write && self.policy == WritePolicy::Writethrough {
+                wrote_through = true;
+                self.writethroughs += 1;
+            } else {
+                if let Some((_, dirty)) = frame {
+                    if dirty {
+                        dirty_evict = true;
+                        self.dirty_evictions += 1;
+                    }
+                }
+                self.fills += 1;
+                self.frames[set] = Some((block, is_write && self.policy == WritePolicy::Writeback));
+            }
+        }
+        HybridDecision {
+            block,
+            is_write,
+            hit,
+            dirty_evict,
+            wrote_through,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn hybrid(policy: WritePolicy, block_bytes: u64) -> DramCacheController {
+        let mut cfg = HybridConfig::new(block_bytes, policy);
+        // Few sets so aliasing (and thus victims) shows up fast.
+        cfg.capacity_bytes = block_bytes * 8;
+        cfg.log_decisions = true;
+        DramCacheController::new(
+            ControllerConfig::with_device(DeviceConfig::rram_server()),
+            cfg,
+        )
+    }
+
+    /// Drives a `(addr, is_write)` stream to full completion, spacing
+    /// arrivals a few cycles apart, and returns the controller.
+    fn drive(mut h: DramCacheController, stream: &[(u64, bool)]) -> DramCacheController {
+        let mut at = 0;
+        for (i, &(addr, w)) in stream.iter().enumerate() {
+            let id = i as u64 + 1;
+            let req = if w {
+                MemRequest::write(id, addr)
+            } else {
+                MemRequest::read(id, addr)
+            };
+            while MemLevel::enqueue(&mut h, req, at).is_err() {
+                let now = MemLevel::clock(&h);
+                MemLevel::schedule_one(&mut h, now).expect("full window implies pending work");
+            }
+            at += 4;
+        }
+        loop {
+            let now = MemLevel::clock(&h);
+            if MemLevel::schedule_one(&mut h, now).is_none() {
+                break;
+            }
+        }
+        assert_eq!(MemLevel::queued(&h), 0, "drain must empty the level");
+        assert!(h.txns.is_empty(), "no transaction may be left open");
+        h
+    }
+
+    #[test]
+    fn miss_then_hit_same_block() {
+        let h = drive(
+            hybrid(WritePolicy::Writeback, 256),
+            &[(0x40, false), (0x80, false)],
+        );
+        let s = h.summary();
+        assert_eq!((s.misses, s.hits, s.fills), (1, 1, 1));
+        assert_eq!(s.dirty_evictions, 0);
+        // One probe + 4 fill reads + 4 installs + 1 hit access.
+        assert_eq!(s.back.reads, 4);
+        assert!(s.front.reads >= 2 && s.front.writes == 4);
+    }
+
+    #[test]
+    fn dirty_victim_is_written_back_with_writeback_provenance() {
+        let block = 256;
+        let alias = block * 8; // same set, different tag
+        let h = drive(
+            hybrid(WritePolicy::Writeback, block),
+            &[(0, true), (alias, false)],
+        );
+        let s = h.summary();
+        assert_eq!(s.dirty_evictions, 1);
+        // Victim extraction: 4 front reads + 4 back writes...
+        assert_eq!(s.back.writes, 4);
+        // ...attributed to the Writeback lane of the owning core.
+        let lanes = h.merged_lanes();
+        assert_eq!(lanes.lane(0, ReqKind::Writeback).writes_done, 4);
+    }
+
+    #[test]
+    fn writethrough_never_dirties_and_propagates_writes() {
+        let h = drive(
+            hybrid(WritePolicy::Writethrough, 256),
+            &[(0, false), (0, true), (4096, true)],
+        );
+        let s = h.summary();
+        assert_eq!(s.dirty_evictions, 0);
+        // Hit write propagates; miss write bypasses (no second fill).
+        assert_eq!(s.writethroughs, 2);
+        assert_eq!(s.fills, 1);
+    }
+
+    #[test]
+    fn external_latency_histograms_cover_every_request() {
+        let h = drive(
+            hybrid(WritePolicy::Writeback, 128),
+            &[(0, false), (64, true), (8192, false)],
+        );
+        assert_eq!(MemLevel::latency_histogram(&h).count(), 3);
+        assert_eq!(MemLevel::read_latency_histogram(&h).count(), 2);
+        assert_eq!(MemLevel::write_latency_histogram(&h).count(), 1);
+    }
+
+    #[test]
+    fn lanes_telescope_to_summed_stats() {
+        let h = drive(
+            hybrid(WritePolicy::Writeback, 256),
+            &[(0, true), (2048, false), (0, false), (2048 * 8, true)],
+        );
+        let stats = MemLevel::stats(&h);
+        let total = MemLevel::per_core(&h).total();
+        assert_eq!(total.reads_done, stats.reads_done);
+        assert_eq!(total.writes_done, stats.writes_done);
+        assert_eq!(total.total_latency, stats.total_latency);
+    }
+
+    #[test]
+    fn hybrid_level_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<DramCacheController>();
+    }
+
+    #[test]
+    fn deterministic_across_identical_runs() {
+        let stream: Vec<(u64, bool)> = (0..200u64)
+            .map(|i| (((i * 977) % 8192) & !7, i % 3 == 0))
+            .collect();
+        let a = drive(hybrid(WritePolicy::Writeback, 256), &stream);
+        let b = drive(hybrid(WritePolicy::Writeback, 256), &stream);
+        assert_eq!(a.summary(), b.summary());
+        assert_eq!(a.decisions(), b.decisions());
+        assert_eq!(MemLevel::clock(&a), MemLevel::clock(&b));
+    }
+
+    proptest! {
+        /// The mirror contract: for any request stream, block size, and
+        /// policy, the cycle-level controller's decision stream and
+        /// derived counters are identical to the pure model's.
+        #[test]
+        fn mirror_decision_identity(
+            stream in proptest::collection::vec((0u64..32768, any::<bool>()), 1..120),
+            block_shift in 7u32..10,
+            wb in any::<bool>(),
+        ) {
+            let policy = if wb { WritePolicy::Writeback } else { WritePolicy::Writethrough };
+            let h = drive(hybrid(policy, 1 << block_shift), &stream);
+            let mut mirror = MirrorModel::new(h.hybrid_config());
+            let expect: Vec<HybridDecision> =
+                stream.iter().map(|&(a, w)| mirror.access(a, w)).collect();
+            prop_assert_eq!(h.decisions(), expect.as_slice());
+            let s = h.summary();
+            prop_assert_eq!(
+                (s.hits, s.misses, s.fills, s.dirty_evictions, s.writethroughs),
+                (mirror.hits, mirror.misses, mirror.fills,
+                 mirror.dirty_evictions, mirror.writethroughs)
+            );
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! The composable memory-level interface (DESIGN.md §16).
+//!
+//! A [`MemLevel`] is one stage of a memory hierarchy as seen from above:
+//! it admits tagged requests, delivers completions, exposes the
+//! event-driven wake surface (`next_wake`/`advance_to`, DESIGN.md §13),
+//! and passes observability attachments through to whatever devices it
+//! drives. The flat FR-FCFS [`Controller`] is the base implementation;
+//! composite topologies (the DRAM-cache front end in [`crate::hybrid`])
+//! implement the same trait by delegating to inner levels, so the system
+//! engine drives every topology through one surface.
+//!
+//! ## Wake contract
+//!
+//! A level *stores* only sparse, self-re-arming deadlines (rank refresh)
+//! and *folds* everything dense — queued arrivals, bank ready times,
+//! inner levels' wakes — at `next_wake` query time. Composite levels
+//! store nothing themselves: they fold the minima of their inner levels,
+//! so a stack of levels still answers `next_wake` in one pass and
+//! spurious wakes stay possible while missed wakes stay impossible.
+//!
+//! ## Observability contract
+//!
+//! Attachments are forwarded, never duplicated: the trace sink and epoch
+//! recorder go to the level's *front* (CPU-facing) controller so event
+//! streams keep one clock domain, while command observers are per-device
+//! — [`MemLevel::attach_observer`] taps the front device and
+//! [`MemLevel::attach_backing_observer`] taps the backing device of a
+//! composite level (a no-op on flat levels, which have none).
+
+use sam_dram::device::DeviceStats;
+use sam_dram::Cycle;
+use sam_util::hist::Histogram;
+
+use crate::controller::{Controller, ControllerStats, CoreLanes, QueueFull};
+use crate::hybrid::HybridSummary;
+use crate::request::{Completion, MemRequest};
+
+/// One composable stage of the memory hierarchy (see the module docs).
+///
+/// `Send` is a supertrait so a boxed level can ride the bench harness's
+/// sweep workers, same as the concrete controller always has.
+pub trait MemLevel: Send {
+    /// Whether a request of the given direction would be admitted now.
+    fn can_accept(&self, is_write: bool) -> bool;
+
+    /// Admits `req` at `arrival` (memory cycles).
+    ///
+    /// # Errors
+    ///
+    /// [`QueueFull`] when the level's admission queue for this direction
+    /// is at capacity; the caller retries after a completion frees space.
+    fn enqueue(&mut self, req: MemRequest, arrival: Cycle) -> Result<(), QueueFull>;
+
+    /// Schedules and fully executes work until one *externally visible*
+    /// completion is produced, or `None` when no queued work remains.
+    fn schedule_one(&mut self, now: Cycle) -> Option<Completion>;
+
+    /// The level's internal clock (last command issue time).
+    fn clock(&self) -> Cycle;
+
+    /// Number of admitted-but-unfinished requests (including any a
+    /// composite level holds internally).
+    fn queued(&self) -> usize;
+
+    /// The earliest future cycle at which this level could make progress,
+    /// folding stored deadlines, queued arrivals, device timing, and any
+    /// inner levels' wakes. `None` means fully idle.
+    fn next_wake(&mut self, now: Cycle) -> Option<Cycle>;
+
+    /// Jumps the level's notion of time to `target`, servicing stored
+    /// deadlines (refresh) at their original due cycles on the way.
+    fn advance_to(&mut self, target: Cycle);
+
+    /// Aggregate controller counters (summed over inner levels).
+    fn stats(&self) -> ControllerStats;
+
+    /// Per-(core, kind) lanes, telescoping to [`Self::stats`] (merged
+    /// over inner levels; refreshes stay aggregate-only).
+    fn per_core(&self) -> CoreLanes;
+
+    /// Device command counts (summed over inner levels' devices).
+    fn device_stats(&self) -> DeviceStats;
+
+    /// Busy cycles on the CPU-facing data bus.
+    fn bus_busy(&self) -> Cycle;
+
+    /// End-to-end request-latency histogram as seen from above this level.
+    fn latency_histogram(&self) -> &Histogram;
+
+    /// Read-only slice of [`Self::latency_histogram`].
+    fn read_latency_histogram(&self) -> &Histogram;
+
+    /// Write-only slice of [`Self::latency_histogram`].
+    fn write_latency_histogram(&self) -> &Histogram;
+
+    /// Attaches a trace sink to the front (CPU-facing) controller.
+    fn attach_trace(&mut self, sink: sam_trace::SharedSink);
+
+    /// Attaches an epoch recorder to the front controller.
+    fn attach_epochs(&mut self, epochs: sam_trace::SharedEpochs);
+
+    /// Flushes the final partial epoch at end of run.
+    fn finish_epochs(&mut self, now: Cycle);
+
+    /// Attaches a command observer to the front device.
+    #[cfg(feature = "check")]
+    fn attach_observer(&mut self, observer: sam_dram::observe::SharedObserver);
+
+    /// Attaches a command observer to the backing device of a composite
+    /// level. Flat levels have no backing device and ignore the call.
+    #[cfg(feature = "check")]
+    fn attach_backing_observer(&mut self, observer: sam_dram::observe::SharedObserver) {
+        let _ = observer;
+    }
+
+    /// Hybrid-topology counters, when this level is a DRAM-cache front
+    /// end ([`crate::hybrid::DramCacheController`]); `None` on flat
+    /// levels.
+    fn hybrid_summary(&self) -> Option<HybridSummary> {
+        None
+    }
+}
+
+impl MemLevel for Controller {
+    fn can_accept(&self, is_write: bool) -> bool {
+        Controller::can_accept(self, is_write)
+    }
+
+    fn enqueue(&mut self, req: MemRequest, arrival: Cycle) -> Result<(), QueueFull> {
+        Controller::enqueue(self, req, arrival)
+    }
+
+    fn schedule_one(&mut self, now: Cycle) -> Option<Completion> {
+        Controller::schedule_one(self, now)
+    }
+
+    fn clock(&self) -> Cycle {
+        Controller::clock(self)
+    }
+
+    fn queued(&self) -> usize {
+        Controller::queued(self)
+    }
+
+    fn next_wake(&mut self, now: Cycle) -> Option<Cycle> {
+        Controller::next_wake(self, now)
+    }
+
+    fn advance_to(&mut self, target: Cycle) {
+        Controller::advance_to(self, target);
+    }
+
+    fn stats(&self) -> ControllerStats {
+        *Controller::stats(self)
+    }
+
+    fn per_core(&self) -> CoreLanes {
+        Controller::per_core(self).clone()
+    }
+
+    fn device_stats(&self) -> DeviceStats {
+        *Controller::device_stats(self)
+    }
+
+    fn bus_busy(&self) -> Cycle {
+        self.device().channel().busy_cycles
+    }
+
+    fn latency_histogram(&self) -> &Histogram {
+        Controller::latency_histogram(self)
+    }
+
+    fn read_latency_histogram(&self) -> &Histogram {
+        Controller::read_latency_histogram(self)
+    }
+
+    fn write_latency_histogram(&self) -> &Histogram {
+        Controller::write_latency_histogram(self)
+    }
+
+    fn attach_trace(&mut self, sink: sam_trace::SharedSink) {
+        Controller::attach_trace(self, sink);
+    }
+
+    fn attach_epochs(&mut self, epochs: sam_trace::SharedEpochs) {
+        Controller::attach_epochs(self, epochs);
+    }
+
+    fn finish_epochs(&mut self, now: Cycle) {
+        Controller::finish_epochs(self, now);
+    }
+
+    #[cfg(feature = "check")]
+    fn attach_observer(&mut self, observer: sam_dram::observe::SharedObserver) {
+        Controller::attach_observer(self, observer);
+    }
+}

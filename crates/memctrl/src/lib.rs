@@ -24,6 +24,8 @@
 #![warn(missing_docs)]
 
 pub mod controller;
+pub mod hybrid;
+pub mod level;
 pub mod mapping;
 pub mod request;
 pub mod sched;

@@ -16,6 +16,11 @@
 //!    failing stream to a 1-minimal replayable repro in the [`stream`]
 //!    text format, which `sam-check replay` autodetects by header.
 //!
+//! [`hybriddiff`] runs the differential idea across *model layers*
+//! instead of knob settings: every pattern stream through the DRAM-cache
+//! hybrid topology, cross-checked against its pure functional mirror
+//! (the `stress --hybrid-diff` mode).
+//!
 //! The `stress` binary in `sam-bench` fronts all of it; [`report`]
 //! defines its `results/stress.json` schema and linter.
 
@@ -24,6 +29,7 @@
 
 pub mod diff;
 pub mod driver;
+pub mod hybriddiff;
 pub mod invariant;
 pub mod pattern;
 pub mod report;
@@ -32,6 +38,7 @@ pub mod stream;
 
 pub use diff::{run_differential, DiffCase, DiffReport, DiffRun};
 pub use driver::{read_residency_bound, run_stream, StressOutcome};
+pub use hybriddiff::{run_hybrid_case, run_hybrid_differential, HybridDiffOutcome};
 pub use invariant::{InvariantKind, Violation};
 pub use pattern::{Pattern, PatternParams};
 pub use report::{json_report, lint_stress_json, PatternReport, StressJsonSummary};
