@@ -13,13 +13,15 @@
 //!   front access.
 //! * **miss** — a front *tag-probe* read of the set frame (the access
 //!   that discovers the miss), then, under writeback with a dirty
-//!   victim, victim extraction (front reads of the victim frame, back
-//!   writes of the victim block carried as [`ReqKind::Writeback`] lanes
-//!   owned by the victim's installing core), then the block fill (back
-//!   reads charged to the installing core) and the install (front
-//!   writes). The external request completes critical-line-first: when
-//!   the back read covering its line finishes, while the remaining
-//!   install traffic drains in the background.
+//!   victim, victim extraction as two dependent steps — front reads of
+//!   the victim frame, then back writes of the victim block carried as
+//!   [`ReqKind::Writeback`] lanes owned by the victim's installing core
+//!   (the substrate writeback cannot start before the victim data has
+//!   been read out of the cache) — then the block fill (back reads
+//!   charged to the installing core) and the install (front writes).
+//!   The external request completes critical-line-first: when the back
+//!   read covering its line finishes, while the remaining install
+//!   traffic drains in the background.
 //! * **writethrough** — hits write both levels (the back write is
 //!   [`ReqKind::Writeback`] traffic); write misses bypass the cache
 //!   entirely (write-no-allocate) and complete on the back write.
@@ -207,6 +209,12 @@ struct Txn {
     arrival: Cycle,
     steps: VecDeque<Vec<(Dest, MemRequest)>>,
     outstanding: usize,
+    /// Latest inner-completion finish seen so far; the next step's
+    /// arrival anchor, so a step never starts before every request of
+    /// the step it depends on has finished (completions may be
+    /// processed out of timestamp order across the two inner
+    /// controllers).
+    step_finish: Cycle,
     terminal_id: u64,
     external_done: bool,
 }
@@ -377,21 +385,26 @@ impl DramCacheController {
                         dirty_evict = true;
                         self.dirty_evictions += 1;
                         let prov = Provenance::new(victim.owner, ReqKind::Writeback);
-                        let mut extract = Vec::new();
+                        // Two dependent steps: the victim data must be
+                        // read out of the cache before its substrate
+                        // writeback can issue.
+                        let mut extract_reads = Vec::new();
                         for i in 0..lines {
                             let rid = self.fresh_inner_id();
-                            extract
+                            extract_reads
                                 .push((Dest::Front, MemRequest::read(rid, frame + i * LINE_BYTES)));
                         }
+                        steps.push_back(extract_reads);
+                        let mut extract_writes = Vec::new();
                         for i in 0..lines {
                             let wid = self.fresh_inner_id();
-                            extract.push((
+                            extract_writes.push((
                                 Dest::Back,
                                 MemRequest::write(wid, victim.base + i * LINE_BYTES)
                                     .with_provenance(prov),
                             ));
                         }
-                        steps.push_back(extract);
+                        steps.push_back(extract_writes);
                     }
                 }
                 // Fill: back reads charged to the installing core; the
@@ -459,6 +472,7 @@ impl DramCacheController {
             arrival,
             steps,
             outstanding: 0,
+            step_finish: arrival,
             terminal_id,
             external_done: false,
         };
@@ -502,6 +516,7 @@ impl DramCacheController {
             .expect("inner completion must belong to a transaction");
         let txn = self.txns.get_mut(&txn_id).expect("transaction exists");
         txn.outstanding -= 1;
+        txn.step_finish = txn.step_finish.max(c.finish);
         let mut external = None;
         if c.id == txn.terminal_id {
             txn.external_done = true;
@@ -523,8 +538,12 @@ impl DramCacheController {
         if txn.outstanding == 0 {
             if let Some(step) = txn.steps.pop_front() {
                 txn.outstanding = step.len();
+                // Anchor to the step's *latest* finish, not this
+                // completion's: the two may differ when inner
+                // completions were consumed out of timestamp order.
+                let release = txn.step_finish;
                 for (dest, req) in step {
-                    self.backlog.push_back((dest, req, c.finish));
+                    self.backlog.push_back((dest, req, release));
                 }
                 self.pump();
             } else {
@@ -596,10 +615,21 @@ impl MemLevel for DramCacheController {
     fn schedule_one(&mut self, now: Cycle) -> Option<Completion> {
         loop {
             self.pump();
-            let inner = self
-                .front
-                .schedule_one(now.max(self.front.clock()))
-                .or_else(|| self.back.schedule_one(now.max(self.back.clock())))?;
+            // Serve whichever inner controller is further behind in
+            // time, so inner completions are consumed in (approximate)
+            // timestamp order; always draining one side first would let
+            // a far-ahead front starve the back's earlier completions
+            // and skew chained-step anchoring in composite runs.
+            let front_first = self.front.clock() <= self.back.clock();
+            let inner = if front_first {
+                self.front
+                    .schedule_one(now.max(self.front.clock()))
+                    .or_else(|| self.back.schedule_one(now.max(self.back.clock())))
+            } else {
+                self.back
+                    .schedule_one(now.max(self.back.clock()))
+                    .or_else(|| self.front.schedule_one(now.max(self.front.clock())))
+            }?;
             if let Some(ext) = self.on_inner_completion(inner) {
                 return Some(ext);
             }
